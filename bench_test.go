@@ -1,0 +1,363 @@
+// Package pgvn's root benchmarks regenerate every table and figure of the
+// paper's evaluation as testing.B benchmarks:
+//
+//	BenchmarkTable1Modes          Table 1  (optimistic/balanced/pessimistic)
+//	BenchmarkTable2Formulations   Table 2  (dense/sparse/basic)
+//	BenchmarkFigure10VsClick      Figure 10 strength deltas vs Click
+//	BenchmarkFigure11VsSCCP       Figure 11 strength deltas vs Wegman–Zadeck
+//	BenchmarkFigure12VsBalanced   Figure 12 strength deltas vs balanced
+//	BenchmarkFigure1PaperExample  the Figure 1/2 headline routine
+//	BenchmarkFigure9Ladder        the §4 value-inference worst case
+//	BenchmarkAblation*            design-choice ablations (DESIGN.md §6)
+//
+// Strength benchmarks attach their aggregate improvements as custom
+// metrics (so `go test -bench` output carries the figure data), and `go
+// run ./cmd/gvnbench` prints the full human-readable tables.
+package pgvn
+
+import (
+	"fmt"
+	"testing"
+
+	"pgvn/internal/core"
+	"pgvn/internal/ir"
+	"pgvn/internal/opt"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+	"pgvn/internal/workload"
+)
+
+// benchCorpus returns the SSA-converted corpus (built once, cloned per
+// run so every measurement sees identical input).
+func benchCorpus(b *testing.B, scale float64) []*ir.Routine {
+	b.Helper()
+	var routines []*ir.Routine
+	for _, bm := range workload.Corpus(scale) {
+		for _, r := range bm.Routines {
+			if err := ssa.Build(r, ssa.SemiPruned); err != nil {
+				b.Fatal(err)
+			}
+			routines = append(routines, r)
+		}
+	}
+	return routines
+}
+
+// analyzeAll runs the configuration over the corpus, returning aggregate
+// strength counts.
+func analyzeAll(b *testing.B, routines []*ir.Routine, cfg core.Config) core.Counts {
+	b.Helper()
+	var total core.Counts
+	for _, r := range routines {
+		res, err := core.Run(r.Clone(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := res.Count()
+		total.UnreachableValues += c.UnreachableValues
+		total.ConstantValues += c.ConstantValues
+		total.Classes += c.Classes
+		total.Values += c.Values
+	}
+	return total
+}
+
+// BenchmarkTable1Modes regenerates Table 1: full-pipeline cost under the
+// three value numbering modes.
+func BenchmarkTable1Modes(b *testing.B) {
+	modes := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"optimistic", core.DefaultConfig()},
+		{"balanced", core.BalancedConfig()},
+		{"pessimistic", core.PessimisticConfig()},
+	}
+	routines := benchCorpus(b, 0.05)
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			passes := 0
+			for n := 0; n < b.N; n++ {
+				passes = 0
+				for _, r := range routines {
+					res, err := core.Run(r.Clone(), m.cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					passes += res.Stats.Passes
+				}
+			}
+			b.ReportMetric(float64(passes)/float64(len(routines)), "passes/routine")
+		})
+	}
+}
+
+// BenchmarkTable2Formulations regenerates Table 2: dense vs sparse vs
+// predicate-analyses-disabled.
+func BenchmarkTable2Formulations(b *testing.B) {
+	forms := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"dense", core.DenseConfig()},
+		{"sparse", core.DefaultConfig()},
+		{"basic", core.BasicConfig()},
+	}
+	routines := benchCorpus(b, 0.05)
+	for _, f := range forms {
+		b.Run(f.name, func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				for _, r := range routines {
+					if _, err := core.Run(r.Clone(), f.cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// figureBench runs a strength-comparison figure and reports the aggregate
+// improvements as metrics.
+func figureBench(b *testing.B, cfgA, cfgB core.Config) {
+	routines := benchCorpus(b, 0.05)
+	var du, dc, dk int
+	for n := 0; n < b.N; n++ {
+		a := analyzeAll(b, routines, cfgA)
+		bb := analyzeAll(b, routines, cfgB)
+		du = a.UnreachableValues - bb.UnreachableValues
+		dc = a.ConstantValues - bb.ConstantValues
+		dk = bb.Classes - a.Classes
+	}
+	b.ReportMetric(float64(du), "unreach+")
+	b.ReportMetric(float64(dc), "const+")
+	b.ReportMetric(float64(dk), "classes-")
+}
+
+// BenchmarkFigure10VsClick regenerates Figure 10.
+func BenchmarkFigure10VsClick(b *testing.B) {
+	figureBench(b, core.DefaultConfig(), core.ClickConfig())
+}
+
+// BenchmarkFigure11VsSCCP regenerates Figure 11.
+func BenchmarkFigure11VsSCCP(b *testing.B) {
+	figureBench(b, core.DefaultConfig(), core.SCCPConfig())
+}
+
+// BenchmarkFigure12VsBalanced regenerates Figure 12.
+func BenchmarkFigure12VsBalanced(b *testing.B) {
+	figureBench(b, core.DefaultConfig(), core.BalancedConfig())
+}
+
+const figure1Source = `
+func R(X, Y, Z) {
+b1:
+  I = 1
+  J = 1
+  goto b2
+b2:
+  if J > 9 goto b18 else b3
+b3:
+  J = J + 1
+  if I != 1 goto b4 else b5
+b4:
+  I = 2
+  goto b5
+b5:
+  if Y == X goto b6 else b17
+b6:
+  P = 0
+  if X >= 1 goto b7 else b11
+b7:
+  if I != 1 goto b8 else b9
+b8:
+  P = 2
+  goto b11
+b9:
+  if X <= 9 goto b10 else b11
+b10:
+  P = I
+  goto b11
+b11:
+  Q = 0
+  if I <= Y goto b12 else b14
+b12:
+  if Y <= 9 goto b13 else b14
+b13:
+  Q = 1
+  goto b14
+b14:
+  if Z > I goto b15 else b16
+b15:
+  I = P + (X + 2) + (Z < 1) - (I + Y) - Q
+  goto b16
+b16:
+  goto b17
+b17:
+  goto b2
+b18:
+  return I
+}
+`
+
+// BenchmarkFigure1PaperExample times the headline example's full analysis
+// and checks the headline result on every iteration.
+func BenchmarkFigure1PaperExample(b *testing.B) {
+	r, err := parser.ParseRoutine(figure1Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ssa.Build(r, ssa.SemiPruned); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		res, err := core.Run(r.Clone(), core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c, ok := res.ReturnConst(); !ok || c != 1 {
+			b.Fatalf("R did not return constant 1")
+		}
+	}
+}
+
+// ladderSource builds the §4/Figure 9 value-inference worst case.
+func ladderSource(n int) string {
+	src := "func ladder("
+	for k := 1; k <= n; k++ {
+		if k > 1 {
+			src += ", "
+		}
+		src += fmt.Sprintf("i%d", k)
+	}
+	src += ") {\nentry:\n  goto g1\n"
+	for k := 1; k < n; k++ {
+		src += fmt.Sprintf("g%d:\n  if i%d == i%d goto g%d else out\n", k, k, k+1, k+1)
+	}
+	src += fmt.Sprintf("g%d:\n  j = i%d + 1\n  return j\nout:\n  return 0\n}\n", n, n)
+	return src
+}
+
+// BenchmarkFigure9Ladder measures the quadratic value-inference worst
+// case at several depths (the paper's O(E²) term).
+func BenchmarkFigure9Ladder(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r, err := parser.ParseRoutine(ladderSource(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ssa.Build(r, ssa.SemiPruned); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			visits := 0
+			for k := 0; k < b.N; k++ {
+				res, err := core.Run(r.Clone(), core.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				visits = res.Stats.ValueInfVisits
+			}
+			b.ReportMetric(float64(visits), "visits")
+		})
+	}
+}
+
+// BenchmarkAblationSSAPruning measures the §3 observation that pruned SSA
+// can reduce GVN effectiveness: constants found under each placement.
+func BenchmarkAblationSSAPruning(b *testing.B) {
+	for _, p := range []struct {
+		name      string
+		placement ssa.Placement
+	}{
+		{"semipruned", ssa.SemiPruned},
+		{"pruned", ssa.Pruned},
+		{"minimal", ssa.Minimal},
+	} {
+		b.Run(p.name, func(b *testing.B) {
+			var routines []*ir.Routine
+			for _, bm := range workload.Corpus(0.05) {
+				for _, r := range bm.Routines {
+					if err := ssa.Build(r, p.placement); err != nil {
+						b.Fatal(err)
+					}
+					routines = append(routines, r)
+				}
+			}
+			b.ResetTimer()
+			var c core.Counts
+			for n := 0; n < b.N; n++ {
+				c = analyzeAll(b, routines, core.DefaultConfig())
+			}
+			b.ReportMetric(float64(c.ConstantValues), "constants")
+			b.ReportMetric(float64(c.Classes), "classes")
+		})
+	}
+}
+
+// BenchmarkAblationCompleteVsPractical compares the complete algorithm
+// (reachable dominator tree) with the practical one on both time and
+// strength.
+func BenchmarkAblationCompleteVsPractical(b *testing.B) {
+	routines := benchCorpus(b, 0.05)
+	for _, v := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"practical", core.DefaultConfig()},
+		{"complete", core.CompleteConfig()},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			var c core.Counts
+			for n := 0; n < b.N; n++ {
+				c = analyzeAll(b, routines, v.cfg)
+			}
+			b.ReportMetric(float64(c.ConstantValues), "constants")
+			b.ReportMetric(float64(c.UnreachableValues), "unreachable")
+		})
+	}
+}
+
+// BenchmarkAblationExtensions compares the published algorithm with the
+// §6/§7 extensions (RKS φ-arithmetic + joint domination) on strength and
+// time.
+func BenchmarkAblationExtensions(b *testing.B) {
+	routines := benchCorpus(b, 0.05)
+	for _, v := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"published", core.DefaultConfig()},
+		{"extended", core.ExtendedConfig()},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			var c core.Counts
+			for n := 0; n < b.N; n++ {
+				c = analyzeAll(b, routines, v.cfg)
+			}
+			b.ReportMetric(float64(c.ConstantValues), "constants")
+			b.ReportMetric(float64(c.Classes), "classes")
+		})
+	}
+}
+
+// BenchmarkOptimizePipeline measures the end-to-end optimize path
+// (analysis plus transformation), the library's expected usage.
+func BenchmarkOptimizePipeline(b *testing.B) {
+	routines := benchCorpus(b, 0.05)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		for _, r := range routines {
+			work := r.Clone()
+			res, err := core.Run(work, core.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := opt.Apply(res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Command gvnbench regenerates the paper's evaluation artifacts over the
+// synthetic SPEC CINT2000-shaped corpus:
+//
+//	gvnbench -table 1       Table 1: optimistic/balanced/pessimistic times
+//	gvnbench -table 2       Table 2: dense/sparse/basic times
+//	gvnbench -figure 10     improvements over the Click emulation
+//	gvnbench -figure 11     improvements over the Wegman–Zadeck emulation
+//	gvnbench -figure 12     optimistic improvements over balanced
+//	gvnbench -stats         §4/§5 work statistics
+//	gvnbench -all           everything above
+//
+// -scale shrinks or grows the corpus (1.0 ≈ 690 routines).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pgvn/internal/core"
+	"pgvn/internal/harness"
+	"pgvn/internal/workload"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "regenerate Table 1 or 2")
+		figure = flag.Int("figure", 0, "regenerate Figure 10, 11 or 12")
+		stats  = flag.Bool("stats", false, "report the §4/§5 work statistics")
+		all    = flag.Bool("all", false, "regenerate every table and figure")
+		scale  = flag.Float64("scale", 0.25, "corpus scale (1.0 ≈ 690 routines)")
+		csv    = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+		bzip2  = flag.Bool("bzip2", false, "include 256.bzip2 (the paper excludes it)")
+		ascii  = flag.Bool("ascii", false, "render figures as log-scaled ASCII bars")
+	)
+	flag.Parse()
+	if !*all && *table == 0 && *figure == 0 && !*stats {
+		*all = true
+	}
+
+	fmt.Printf("generating corpus at scale %.2f …\n", *scale)
+	corpus := workload.Corpus(*scale)
+	note := "256.bzip2 excluded, as in the paper"
+	if *bzip2 {
+		corpus = append(corpus, workload.Bzip2(*scale))
+		note = "256.bzip2 included (-bzip2)"
+	}
+	n := 0
+	for _, b := range corpus {
+		n += len(b.Routines)
+	}
+	fmt.Printf("%d benchmarks, %d routines (%s)\n\n", len(corpus), n, note)
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "gvnbench:", err)
+		os.Exit(1)
+	}
+
+	if *all || *table == 1 {
+		rows, err := harness.Table1(corpus)
+		if err != nil {
+			fail(err)
+		}
+		if *csv {
+			fmt.Print(harness.Table1CSV(rows))
+		} else {
+			fmt.Println(harness.FormatTable1(rows))
+		}
+	}
+	if *all || *table == 2 {
+		rows, err := harness.Table2(corpus)
+		if err != nil {
+			fail(err)
+		}
+		if *csv {
+			fmt.Print(harness.Table2CSV(rows))
+		} else {
+			fmt.Println(harness.FormatTable2(rows))
+		}
+	}
+	emitFigure := func(fd *harness.FigureData) {
+		switch {
+		case *csv:
+			fmt.Print(harness.FigureCSV(fd))
+		case *ascii:
+			fmt.Println(harness.RenderFigureASCII(fd))
+		default:
+			fmt.Println(harness.FormatFigure(fd))
+		}
+	}
+	if *all || *figure == 10 {
+		fd, err := harness.Figure("Figure 10: practical optimistic vs Click emulation",
+			corpus, core.DefaultConfig(), core.ClickConfig())
+		if err != nil {
+			fail(err)
+		}
+		emitFigure(fd)
+	}
+	if *all || *figure == 11 {
+		fd, err := harness.Figure("Figure 11: practical optimistic vs Wegman–Zadeck emulation",
+			corpus, core.DefaultConfig(), core.SCCPConfig())
+		if err != nil {
+			fail(err)
+		}
+		emitFigure(fd)
+	}
+	if *all || *figure == 12 {
+		fd, err := harness.Figure("Figure 12: optimistic vs balanced value numbering",
+			corpus, core.DefaultConfig(), core.BalancedConfig())
+		if err != nil {
+			fail(err)
+		}
+		emitFigure(fd)
+	}
+	if *all || *stats {
+		ws, err := harness.MeasureStats(corpus)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.FormatStats(ws))
+	}
+}

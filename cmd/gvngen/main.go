@@ -1,0 +1,67 @@
+// Command gvngen emits the synthetic SPEC-shaped corpus as textual IR, for
+// inspection or for feeding to gvnopt:
+//
+//	gvngen -scale 0.1                 print the corpus to stdout
+//	gvngen -scale 0.1 -dir corpus/    one .ir file per benchmark
+//	gvngen -seed 7 -stmts 40          print a single random routine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pgvn/internal/workload"
+)
+
+func main() {
+	var (
+		scale  = flag.Float64("scale", 0.1, "corpus scale (1.0 ≈ 690 routines)")
+		dir    = flag.String("dir", "", "write one .ir file per benchmark into this directory")
+		single = flag.Bool("single", false, "generate one routine instead of the corpus")
+		seed   = flag.Int64("seed", 1, "seed for -single")
+		stmts  = flag.Int("stmts", 30, "statement budget for -single")
+		params = flag.Int("params", 3, "parameter count for -single")
+	)
+	flag.Parse()
+
+	if *single {
+		r := workload.Generate("generated", workload.GenConfig{
+			Seed: *seed, Stmts: *stmts, Params: *params, MaxLoopDepth: 2,
+		})
+		fmt.Print(r)
+		return
+	}
+
+	corpus := workload.Corpus(*scale)
+	if *dir == "" {
+		for _, b := range corpus {
+			fmt.Printf("// benchmark %s: %d routines\n", b.Name, len(b.Routines))
+			for _, r := range b.Routines {
+				fmt.Print(r)
+				fmt.Println()
+			}
+		}
+		return
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "gvngen:", err)
+		os.Exit(1)
+	}
+	for _, b := range corpus {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "// benchmark %s: %d routines\n", b.Name, len(b.Routines))
+		for _, r := range b.Routines {
+			sb.WriteString(r.String())
+			sb.WriteString("\n")
+		}
+		name := filepath.Join(*dir, strings.ReplaceAll(b.Name, ".", "_")+".ir")
+		if err := os.WriteFile(name, []byte(sb.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "gvngen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d routines)\n", name, len(b.Routines))
+	}
+}

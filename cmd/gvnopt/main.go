@@ -1,0 +1,173 @@
+// Command gvnopt parses routines in the textual IR language, converts them
+// to SSA form, runs predicated global value numbering and the optimizers,
+// and prints the optimized routines.
+//
+// Usage:
+//
+//	gvnopt [flags] [file.ir ...]       (reads stdin when no files given)
+//
+// Flags select the analysis mode and let individual analyses be disabled,
+// exposing the paper's compile-time/strength tradeoffs; -emulate selects a
+// published baseline (click, sccp, simpson). -dump prints the congruence
+// partition instead of transforming, and -stats reports the analysis work.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pgvn/internal/core"
+	"pgvn/internal/ir"
+	"pgvn/internal/opt"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "optimistic", "value numbering mode: optimistic, balanced or pessimistic")
+		emulate   = flag.String("emulate", "", "emulate a baseline: click, sccp or simpson (overrides analysis flags)")
+		noReassoc = flag.Bool("no-reassoc", false, "disable global reassociation")
+		noPredInf = flag.Bool("no-predinf", false, "disable predicate inference")
+		noValInf  = flag.Bool("no-valinf", false, "disable value inference")
+		noPhiPred = flag.Bool("no-phipred", false, "disable φ-predication")
+		dense     = flag.Bool("dense", false, "disable the sparse formulation")
+		complete  = flag.Bool("complete", false, "use the complete algorithm (reachable dominator tree)")
+		dump      = flag.Bool("dump", false, "print the congruence partition instead of optimizing")
+		explain   = flag.Bool("explain", false, "print per-value explanations instead of optimizing")
+		dot       = flag.Bool("dot", false, "print the analyzed CFG in GraphViz dot syntax instead of optimizing")
+		stats     = flag.Bool("stats", false, "print analysis statistics")
+		ssaOnly   = flag.Bool("ssa", false, "print the SSA form without optimizing")
+		pruned    = flag.Bool("pruned", false, "use pruned (liveness-based) SSA construction")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*mode, *emulate, *noReassoc, *noPredInf, *noValInf, *noPhiPred, *dense, *complete)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gvnopt:", err)
+		os.Exit(2)
+	}
+	placement := ssa.SemiPruned
+	if *pruned {
+		placement = ssa.Pruned
+	}
+
+	src, err := readInput(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gvnopt:", err)
+		os.Exit(1)
+	}
+	routines, err := parser.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gvnopt:", err)
+		os.Exit(1)
+	}
+	for _, r := range routines {
+		if err := ssa.Build(r, placement); err != nil {
+			fmt.Fprintln(os.Stderr, "gvnopt:", err)
+			os.Exit(1)
+		}
+		if *ssaOnly {
+			fmt.Print(r)
+			continue
+		}
+		res, err := core.Run(r, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gvnopt:", err)
+			os.Exit(1)
+		}
+		c := res.Count() // take strength counts before opt mutates r
+		switch {
+		case *dot:
+			fmt.Print(res.DOT())
+		case *explain:
+			r.Instrs(func(i *ir.Instr) {
+				if !i.HasValue() {
+					return
+				}
+				if _, isConst := res.ConstValue(i); isConst || len(res.ClassMembers(i)) > 1 {
+					fmt.Print(res.Explain(i))
+				}
+			})
+		case *dump:
+			fmt.Print(res.Dump())
+		default:
+			if _, err := opt.Apply(res); err != nil {
+				fmt.Fprintln(os.Stderr, "gvnopt:", err)
+				os.Exit(1)
+			}
+			fmt.Print(r)
+		}
+		if *stats {
+			s := res.Stats
+			fmt.Fprintf(os.Stderr,
+				"%s: %d passes, %d evals, %d touches; %d values, %d unreachable, %d constant, %d classes\n",
+				r.Name, s.Passes, s.InstrEvals, s.Touches,
+				c.Values, c.UnreachableValues, c.ConstantValues, c.Classes)
+		}
+	}
+}
+
+func buildConfig(mode, emulate string, noReassoc, noPredInf, noValInf, noPhiPred, dense, complete bool) (core.Config, error) {
+	var cfg core.Config
+	switch emulate {
+	case "":
+		cfg = core.DefaultConfig()
+	case "click":
+		cfg = core.ClickConfig()
+	case "sccp":
+		cfg = core.SCCPConfig()
+	case "simpson":
+		cfg = core.SimpsonConfig()
+	default:
+		return cfg, fmt.Errorf("unknown -emulate %q (want click, sccp or simpson)", emulate)
+	}
+	switch mode {
+	case "optimistic":
+		cfg.Mode = core.Optimistic
+	case "balanced":
+		cfg.Mode = core.Balanced
+	case "pessimistic":
+		cfg.Mode = core.Pessimistic
+	default:
+		return cfg, fmt.Errorf("unknown -mode %q", mode)
+	}
+	if noReassoc {
+		cfg.Reassociate = false
+	}
+	if noPredInf {
+		cfg.PredicateInference = false
+	}
+	if noValInf {
+		cfg.ValueInference = false
+	}
+	if noPhiPred {
+		cfg.PhiPredication = false
+	}
+	if dense {
+		cfg.Sparse = false
+	}
+	if complete {
+		cfg.Complete = true
+	}
+	return cfg, nil
+}
+
+func readInput(files []string) (string, error) {
+	if len(files) == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), err
+	}
+	var all []byte
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return "", err
+		}
+		all = append(all, data...)
+		all = append(all, '\n')
+	}
+	return string(all), nil
+}

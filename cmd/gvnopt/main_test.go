@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pgvn/internal/core"
+)
+
+func TestBuildConfigModes(t *testing.T) {
+	cases := []struct {
+		mode string
+		want core.Mode
+	}{
+		{"optimistic", core.Optimistic},
+		{"balanced", core.Balanced},
+		{"pessimistic", core.Pessimistic},
+	}
+	for _, c := range cases {
+		cfg, err := buildConfig(c.mode, "", false, false, false, false, false, false)
+		if err != nil {
+			t.Fatalf("%s: %v", c.mode, err)
+		}
+		if cfg.Mode != c.want {
+			t.Errorf("%s: mode = %v", c.mode, cfg.Mode)
+		}
+	}
+	if _, err := buildConfig("bogus", "", false, false, false, false, false, false); err == nil {
+		t.Errorf("bogus mode accepted")
+	}
+}
+
+func TestBuildConfigEmulations(t *testing.T) {
+	for _, em := range []string{"click", "sccp", "simpson"} {
+		cfg, err := buildConfig("optimistic", em, false, false, false, false, false, false)
+		if err != nil {
+			t.Fatalf("%s: %v", em, err)
+		}
+		if cfg.Reassociate {
+			t.Errorf("%s: emulation should not reassociate", em)
+		}
+	}
+	if _, err := buildConfig("optimistic", "wrong", false, false, false, false, false, false); err == nil {
+		t.Errorf("bad emulation accepted")
+	}
+}
+
+func TestBuildConfigToggles(t *testing.T) {
+	cfg, err := buildConfig("optimistic", "", true, true, true, true, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Reassociate || cfg.PredicateInference || cfg.ValueInference || cfg.PhiPredication {
+		t.Errorf("toggles not applied: %+v", cfg)
+	}
+	if cfg.Sparse {
+		t.Errorf("dense flag not applied")
+	}
+	if !cfg.Complete {
+		t.Errorf("complete flag not applied")
+	}
+}
+
+func TestReadInputFiles(t *testing.T) {
+	dir := t.TempDir()
+	f1 := filepath.Join(dir, "a.ir")
+	f2 := filepath.Join(dir, "b.ir")
+	if err := os.WriteFile(f1, []byte("AAA"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(f2, []byte("BBB"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readInput([]string{f1, f2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "AAA\nBBB\n" {
+		t.Errorf("readInput = %q", got)
+	}
+	if _, err := readInput([]string{filepath.Join(dir, "missing.ir")}); err == nil {
+		t.Errorf("missing file accepted")
+	}
+}

@@ -1,0 +1,126 @@
+// Command gvnrun parses, optimizes and *executes* routines under the
+// reference interpreter — the quickest way to see that optimization
+// preserves behaviour on real inputs:
+//
+//	gvnrun file.ir -- 3 4 5          run the (single) routine on arguments
+//	gvnrun -routine R file.ir -- 1 2  pick a routine by name
+//	gvnrun -compare file.ir -- 1 2    run original AND optimized, diff them
+//	gvnrun -no-opt file.ir -- 7       run without optimizing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"pgvn/internal/core"
+	"pgvn/internal/interp"
+	"pgvn/internal/ir"
+	"pgvn/internal/opt"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+)
+
+func main() {
+	var (
+		routine  = flag.String("routine", "", "routine to run (default: the only one)")
+		compare  = flag.Bool("compare", false, "run both original and optimized, compare results")
+		noOpt    = flag.Bool("no-opt", false, "skip optimization")
+		maxSteps = flag.Int("max-steps", 1_000_000, "interpreter step budget")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "gvnrun:", err)
+		os.Exit(1)
+	}
+	files, rawArgs := splitArgs(flag.Args())
+	if len(files) == 0 {
+		fail(fmt.Errorf("usage: gvnrun [flags] file.ir -- arg1 arg2 …"))
+	}
+	var src []byte
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fail(err)
+		}
+		src = append(src, data...)
+		src = append(src, '\n')
+	}
+	routines, err := parser.Parse(string(src))
+	if err != nil {
+		fail(err)
+	}
+	target := pickRoutine(routines, *routine)
+	if target == nil {
+		fail(fmt.Errorf("no routine %q in input", *routine))
+	}
+	args := make([]int64, len(rawArgs))
+	for k, s := range rawArgs {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			fail(fmt.Errorf("argument %q: %v", s, err))
+		}
+		args[k] = v
+	}
+	if len(args) != len(target.Params) {
+		fail(fmt.Errorf("%s takes %d arguments, got %d", target.Name, len(target.Params), len(args)))
+	}
+
+	original := target.Clone()
+	optimized := target
+	if err := ssa.Build(optimized, ssa.SemiPruned); err != nil {
+		fail(err)
+	}
+	if !*noOpt {
+		if _, _, err := opt.Optimize(optimized, core.DefaultConfig()); err != nil {
+			fail(err)
+		}
+	}
+	got, err := interp.Run(optimized, args, *maxSteps)
+	if err != nil {
+		fail(err)
+	}
+	if *compare {
+		want, err := interp.Run(original, args, *maxSteps)
+		if err != nil {
+			fail(err)
+		}
+		status := "MATCH"
+		if got != want {
+			status = "MISMATCH"
+		}
+		fmt.Printf("%s%v: original=%d optimized=%d  %s\n", target.Name, args, want, got, status)
+		if got != want {
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("%s%v = %d\n", target.Name, args, got)
+}
+
+// splitArgs separates file names from the post-“--” integer arguments.
+func splitArgs(argv []string) (files, args []string) {
+	for k, a := range argv {
+		if a == "--" {
+			return argv[:k], argv[k+1:]
+		}
+	}
+	return argv, nil
+}
+
+func pickRoutine(routines []*ir.Routine, name string) *ir.Routine {
+	if name == "" {
+		if len(routines) == 1 {
+			return routines[0]
+		}
+		return nil
+	}
+	for _, r := range routines {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}

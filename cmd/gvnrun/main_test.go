@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+
+	"pgvn/internal/parser"
+)
+
+func TestSplitArgs(t *testing.T) {
+	files, args := splitArgs([]string{"a.ir", "b.ir", "--", "1", "2"})
+	if len(files) != 2 || len(args) != 2 || args[0] != "1" {
+		t.Fatalf("splitArgs wrong: %v %v", files, args)
+	}
+	files, args = splitArgs([]string{"a.ir"})
+	if len(files) != 1 || args != nil {
+		t.Fatalf("splitArgs without -- wrong: %v %v", files, args)
+	}
+}
+
+func TestPickRoutine(t *testing.T) {
+	routines, err := parser.Parse(`
+func a(x) {
+e:
+  return x
+}
+func b(y) {
+e:
+  return y
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pickRoutine(routines, "b") == nil {
+		t.Errorf("named routine not found")
+	}
+	if pickRoutine(routines, "") != nil {
+		t.Errorf("ambiguous default accepted")
+	}
+	if pickRoutine(routines[:1], "") == nil {
+		t.Errorf("single default rejected")
+	}
+	if pickRoutine(routines, "zzz") != nil {
+		t.Errorf("missing routine found")
+	}
+}

@@ -1,0 +1,71 @@
+package pgvn_test
+
+import (
+	"fmt"
+	"log"
+
+	"pgvn"
+)
+
+// ExampleOptimizeSource optimizes a routine with a statically dead branch
+// and a commuted redundancy.
+func ExampleOptimizeSource() {
+	src := `
+func demo(a, b) {
+entry:
+  x = a + b
+  y = b + a
+  if 1 > 2 goto dead else live
+dead:
+  z = 42
+  goto out
+live:
+  z = x - y
+  goto out
+out:
+  return z
+}
+`
+	out, reports, err := pgvn.OptimizeSource(src, pgvn.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := reports[0]
+	fmt.Printf("always returns %d (const=%v)\n", rep.AlwaysReturns, rep.Const)
+	fmt.Printf("blocks removed: %d\n", rep.BlocksRemoved)
+	fmt.Print(out)
+	// Output:
+	// always returns 0 (const=true)
+	// blocks removed: 1
+	// func demo(a, b) {
+	// entry:
+	//   v25 = const 0
+	//   return v25
+	// }
+}
+
+// ExampleAnalyzeSource shows analysis-only reporting: the balanced mode
+// takes exactly one pass.
+func ExampleAnalyzeSource() {
+	src := `
+func count(n) {
+entry:
+  i = 0
+  goto head
+head:
+  if i < n goto body else exit
+body:
+  i = i + 1
+  goto head
+exit:
+  return i
+}
+`
+	reports, err := pgvn.AnalyzeSource(src, pgvn.Options{Mode: 1}) // Balanced
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("routine %s analyzed in %d pass\n", reports[0].Routine, reports[0].Passes)
+	// Output:
+	// routine count analyzed in 1 pass
+}

@@ -1,0 +1,3 @@
+module pgvn
+
+go 1.22

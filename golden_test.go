@@ -1,0 +1,40 @@
+package pgvn
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenFigure1 pins the exact optimized output of the paper's
+// Figure 1 routine. Run `go test -run Golden -update` after an intentional
+// output change.
+func TestGoldenFigure1(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "figure1.ir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, reports, err := OptimizeSource(string(src), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reports[0].Const || reports[0].AlwaysReturns != 1 {
+		t.Fatalf("R not proven to return 1: %+v", reports[0])
+	}
+	goldenPath := filepath.Join("testdata", "figure1.optimized.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if out != string(want) {
+		t.Errorf("optimized output drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", out, want)
+	}
+}

@@ -1,0 +1,192 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"pgvn/internal/cfg"
+	"pgvn/internal/ir"
+	"pgvn/internal/parser"
+)
+
+// loopSrc has a while loop with a conditional inside:
+//
+//	entry -> head -> body -> latch -> head (back edge)
+//	                 body -> latch
+//	         head -> exit
+const loopSrc = `
+func f(n) {
+entry:
+  i = 0
+  goto head
+head:
+  if i < n goto body else exit
+body:
+  if i == 3 goto skip else work
+work:
+  i = i + 1
+  goto latch
+skip:
+  i = i + 2
+  goto latch
+latch:
+  goto head
+exit:
+  return i
+}
+`
+
+func parse(t *testing.T, src string) *ir.Routine {
+	t.Helper()
+	r, err := parser.ParseRoutine(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return r
+}
+
+func blockByName(t *testing.T, r *ir.Routine, name string) *ir.Block {
+	t.Helper()
+	for _, b := range r.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	t.Fatalf("no block %q", name)
+	return nil
+}
+
+func TestReversePostOrder(t *testing.T) {
+	r := parse(t, loopSrc)
+	o := cfg.ReversePostOrder(r)
+	if len(o.Blocks) != 7 {
+		t.Fatalf("got %d blocks in RPO, want 7", len(o.Blocks))
+	}
+	if o.Blocks[0] != r.Entry() || o.RPO(r.Entry()) != 0 {
+		t.Fatalf("entry not first in RPO")
+	}
+	// Every edge except the back edge must go from lower to higher RPO.
+	for _, b := range r.Blocks {
+		for _, e := range b.Succs {
+			if e.To.Name == "head" && e.From.Name == "latch" {
+				if !o.IsBackEdge(e) {
+					t.Errorf("latch->head not classified as back edge")
+				}
+				continue
+			}
+			if o.RPO(e.From) >= o.RPO(e.To) {
+				t.Errorf("forward edge %v has RPO %d >= %d", e, o.RPO(e.From), o.RPO(e.To))
+			}
+			if o.IsBackEdge(e) {
+				t.Errorf("edge %v misclassified as back edge", e)
+			}
+		}
+	}
+	if got := len(o.BackEdges()); got != 1 {
+		t.Errorf("BackEdges count = %d, want 1", got)
+	}
+	if !o.HasLoops() {
+		t.Errorf("HasLoops = false, want true")
+	}
+}
+
+func TestRPOUnreachableBlocks(t *testing.T) {
+	r := parse(t, `
+func g(x) {
+entry:
+  goto out
+island:
+  goto out
+out:
+  return x
+}
+`)
+	o := cfg.ReversePostOrder(r)
+	island := blockByName(t, r, "island")
+	if o.Reachable(island) {
+		t.Errorf("island reported reachable")
+	}
+	if o.RPO(island) != -1 {
+		t.Errorf("island RPO = %d, want -1", o.RPO(island))
+	}
+	if len(o.Blocks) != 2 {
+		t.Errorf("RPO covers %d blocks, want 2", len(o.Blocks))
+	}
+	for _, e := range island.Succs {
+		if o.IsBackEdge(e) {
+			t.Errorf("edge from unreachable block classified as back edge")
+		}
+	}
+}
+
+func TestLoopConnectednessStraightLine(t *testing.T) {
+	r := parse(t, `
+func h(x) {
+entry:
+  y = x + 1
+  return y
+}
+`)
+	o := cfg.ReversePostOrder(r)
+	if c := o.LoopConnectedness(); c != 0 {
+		t.Errorf("straight-line connectedness = %d, want 0", c)
+	}
+	if o.HasLoops() {
+		t.Errorf("straight-line HasLoops = true")
+	}
+}
+
+func TestLoopConnectednessSingleLoop(t *testing.T) {
+	r := parse(t, loopSrc)
+	o := cfg.ReversePostOrder(r)
+	if c := o.LoopConnectedness(); c != 1 {
+		t.Errorf("single-loop connectedness = %d, want 1", c)
+	}
+}
+
+func TestLoopConnectednessNested(t *testing.T) {
+	r := parse(t, `
+func nest(n) {
+entry:
+  i = 0
+  goto ohead
+ohead:
+  if i < n goto obody else exit
+obody:
+  j = 0
+  goto ihead
+ihead:
+  if j < n goto ibody else olatch
+ibody:
+  j = j + 1
+  goto ihead
+olatch:
+  i = i + 1
+  goto ohead
+exit:
+  return i
+}
+`)
+	o := cfg.ReversePostOrder(r)
+	if c := o.LoopConnectedness(); c != 2 {
+		t.Errorf("nested-loop connectedness = %d, want 2", c)
+	}
+}
+
+func TestNaturalLoop(t *testing.T) {
+	r := parse(t, loopSrc)
+	o := cfg.ReversePostOrder(r)
+	be := o.BackEdges()[0]
+	body := cfg.NaturalLoop(be)
+	names := map[string]bool{}
+	for _, b := range body {
+		names[b.Name] = true
+	}
+	for _, want := range []string{"head", "body", "work", "skip", "latch"} {
+		if !names[want] {
+			t.Errorf("natural loop missing %s (got %v)", want, names)
+		}
+	}
+	if names["entry"] || names["exit"] {
+		t.Errorf("natural loop includes entry/exit: %v", names)
+	}
+}

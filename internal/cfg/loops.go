@@ -1,0 +1,149 @@
+package cfg
+
+import "pgvn/internal/ir"
+
+// Loop is one natural loop: the union of the natural loops of all back
+// edges sharing a header.
+type Loop struct {
+	// Header is the loop entry block (the back edges' destination).
+	Header *ir.Block
+	// Members are the loop body blocks (including the header), in
+	// deterministic discovery order.
+	Members []*ir.Block
+	// BackEdges are the latch edges forming the loop.
+	BackEdges []*ir.Edge
+	// Parent is the innermost enclosing loop, nil for top-level loops.
+	Parent *Loop
+	// Children are the directly nested loops.
+	Children []*Loop
+	// Depth is the nesting depth (1 for top-level loops).
+	Depth int
+
+	memberSet map[*ir.Block]bool
+}
+
+// Contains reports whether b belongs to the loop body.
+func (l *Loop) Contains(b *ir.Block) bool { return l.memberSet[b] }
+
+// Forest is the natural-loop nesting structure of a routine.
+type Forest struct {
+	// Roots are the top-level loops in header-RPO order.
+	Roots []*Loop
+	// ByHeader maps a header block to its loop.
+	ByHeader map[*ir.Block]*Loop
+	// innermost maps each block to its innermost containing loop.
+	innermost map[*ir.Block]*Loop
+}
+
+// LoopOf returns the innermost loop containing b, or nil.
+func (f *Forest) LoopOf(b *ir.Block) *Loop { return f.innermost[b] }
+
+// Depth returns the loop nesting depth of b (0 outside all loops).
+func (f *Forest) Depth(b *ir.Block) int {
+	if l := f.innermost[b]; l != nil {
+		return l.Depth
+	}
+	return 0
+}
+
+// Loops returns every loop in the forest, outermost first.
+func (f *Forest) Loops() []*Loop {
+	var all []*Loop
+	var walk func(l *Loop)
+	walk = func(l *Loop) {
+		all = append(all, l)
+		for _, c := range l.Children {
+			walk(c)
+		}
+	}
+	for _, r := range f.Roots {
+		walk(r)
+	}
+	return all
+}
+
+// BuildLoopForest identifies the natural loops of the routine from its RPO
+// back edges, merging loops that share a header and nesting them by body
+// containment. For reducible CFGs this is the classical loop forest;
+// irreducible regions contribute approximate loops (per back edge
+// destination) without breaking the structure.
+func BuildLoopForest(r *ir.Routine, o *Order) *Forest {
+	f := &Forest{
+		ByHeader:  map[*ir.Block]*Loop{},
+		innermost: map[*ir.Block]*Loop{},
+	}
+	// Gather loops per header, merging bodies.
+	var headers []*ir.Block
+	for _, b := range o.Blocks {
+		for _, e := range b.Succs {
+			if !o.IsBackEdge(e) {
+				continue
+			}
+			l := f.ByHeader[e.To]
+			if l == nil {
+				l = &Loop{Header: e.To, memberSet: map[*ir.Block]bool{}}
+				f.ByHeader[e.To] = l
+				headers = append(headers, e.To)
+			}
+			l.BackEdges = append(l.BackEdges, e)
+			for _, m := range NaturalLoop(e) {
+				if !l.memberSet[m] {
+					l.memberSet[m] = true
+					l.Members = append(l.Members, m)
+				}
+			}
+		}
+	}
+	// Nest: the parent of loop l is the smallest other loop strictly
+	// containing l's header (and body).
+	loopsOf := func(b *ir.Block) []*Loop {
+		var ls []*Loop
+		for _, h := range headers {
+			ls = append(ls, f.ByHeader[h])
+		}
+		out := ls[:0]
+		for _, l := range ls {
+			if l.memberSet[b] {
+				out = append(out, l)
+			}
+		}
+		return out
+	}
+	for _, h := range headers {
+		l := f.ByHeader[h]
+		var parent *Loop
+		for _, cand := range loopsOf(h) {
+			if cand == l {
+				continue
+			}
+			if parent == nil || parent.memberSet[cand.Header] && len(cand.Members) < len(parent.Members) {
+				parent = cand
+			}
+		}
+		l.Parent = parent
+		if parent != nil {
+			parent.Children = append(parent.Children, l)
+		} else {
+			f.Roots = append(f.Roots, l)
+		}
+	}
+	// Depths and innermost mapping, outermost first.
+	var setDepth func(l *Loop, d int)
+	setDepth = func(l *Loop, d int) {
+		l.Depth = d
+		for _, c := range l.Children {
+			setDepth(c, d+1)
+		}
+	}
+	for _, root := range f.Roots {
+		setDepth(root, 1)
+	}
+	for _, l := range f.Loops() {
+		for _, m := range l.Members {
+			if cur := f.innermost[m]; cur == nil || l.Depth > cur.Depth {
+				f.innermost[m] = l
+			}
+		}
+	}
+	return f
+}

@@ -1,0 +1,184 @@
+package cfg_test
+
+import (
+	"testing"
+
+	"pgvn/internal/cfg"
+)
+
+func TestLoopForestSingle(t *testing.T) {
+	r := parse(t, loopSrc)
+	o := cfg.ReversePostOrder(r)
+	f := cfg.BuildLoopForest(r, o)
+	if len(f.Roots) != 1 {
+		t.Fatalf("%d root loops, want 1", len(f.Roots))
+	}
+	l := f.Roots[0]
+	if l.Header.Name != "head" || l.Depth != 1 {
+		t.Fatalf("loop header %s depth %d", l.Header.Name, l.Depth)
+	}
+	for _, name := range []string{"head", "body", "work", "skip", "latch"} {
+		if !l.Contains(blockByName(t, r, name)) {
+			t.Errorf("loop missing %s", name)
+		}
+	}
+	if l.Contains(blockByName(t, r, "exit")) || l.Contains(r.Entry()) {
+		t.Errorf("loop contains non-members")
+	}
+	if f.Depth(blockByName(t, r, "body")) != 1 || f.Depth(r.Entry()) != 0 {
+		t.Errorf("depths wrong")
+	}
+	if len(l.BackEdges) != 1 {
+		t.Errorf("%d back edges", len(l.BackEdges))
+	}
+}
+
+func TestLoopForestNested(t *testing.T) {
+	r := parse(t, `
+func nest(n) {
+entry:
+  i = 0
+  goto ohead
+ohead:
+  if i < n goto obody else exit
+obody:
+  j = 0
+  goto ihead
+ihead:
+  if j < n goto ibody else olatch
+ibody:
+  j = j + 1
+  goto ihead
+olatch:
+  i = i + 1
+  goto ohead
+exit:
+  return i
+}
+`)
+	o := cfg.ReversePostOrder(r)
+	f := cfg.BuildLoopForest(r, o)
+	if len(f.Roots) != 1 {
+		t.Fatalf("%d roots, want 1", len(f.Roots))
+	}
+	outer := f.Roots[0]
+	if len(outer.Children) != 1 {
+		t.Fatalf("outer has %d children, want 1", len(outer.Children))
+	}
+	inner := outer.Children[0]
+	if inner.Header.Name != "ihead" || inner.Depth != 2 || inner.Parent != outer {
+		t.Fatalf("inner loop wrong: header=%s depth=%d", inner.Header.Name, inner.Depth)
+	}
+	ibody := blockByName(t, r, "ibody")
+	if f.LoopOf(ibody) != inner || f.Depth(ibody) != 2 {
+		t.Errorf("innermost mapping wrong for ibody")
+	}
+	olatch := blockByName(t, r, "olatch")
+	if f.LoopOf(olatch) != outer {
+		t.Errorf("olatch should belong to the outer loop only")
+	}
+	if got := len(f.Loops()); got != 2 {
+		t.Errorf("Loops() returned %d, want 2", got)
+	}
+}
+
+func TestLoopForestSharedHeader(t *testing.T) {
+	// Two latches to one header merge into a single loop.
+	r := parse(t, `
+func f(n) {
+entry:
+  i = 0
+  goto head
+head:
+  if i >= n goto exit else body
+body:
+  if i == 3 goto l1 else l2
+l1:
+  i = i + 1
+  goto head
+l2:
+  i = i + 2
+  goto head
+exit:
+  return i
+}
+`)
+	o := cfg.ReversePostOrder(r)
+	f := cfg.BuildLoopForest(r, o)
+	if len(f.Roots) != 1 {
+		t.Fatalf("%d roots, want 1 merged loop", len(f.Roots))
+	}
+	if n := len(f.Roots[0].BackEdges); n != 2 {
+		t.Errorf("merged loop has %d back edges, want 2", n)
+	}
+}
+
+func TestLoopForestNoLoops(t *testing.T) {
+	r := parse(t, `
+func f(a) {
+entry:
+  return a
+}
+`)
+	o := cfg.ReversePostOrder(r)
+	f := cfg.BuildLoopForest(r, o)
+	if len(f.Roots) != 0 || len(f.Loops()) != 0 {
+		t.Errorf("loops found in straight-line code")
+	}
+	if f.Depth(r.Entry()) != 0 || f.LoopOf(r.Entry()) != nil {
+		t.Errorf("entry wrongly inside a loop")
+	}
+}
+
+func TestLoopForestSequentialLoops(t *testing.T) {
+	r := parse(t, `
+func f(n) {
+entry:
+  i = 0
+  goto h1
+h1:
+  if i >= n goto mid else b1
+b1:
+  i = i + 1
+  goto h1
+mid:
+  j = 0
+  goto h2
+h2:
+  if j >= n goto exit else b2
+b2:
+  j = j + 1
+  goto h2
+exit:
+  return i + j
+}
+`)
+	o := cfg.ReversePostOrder(r)
+	f := cfg.BuildLoopForest(r, o)
+	if len(f.Roots) != 2 {
+		t.Fatalf("%d roots, want 2 sequential loops", len(f.Roots))
+	}
+	for _, l := range f.Roots {
+		if l.Depth != 1 || l.Parent != nil {
+			t.Errorf("sequential loop nested wrongly: %s depth %d", l.Header.Name, l.Depth)
+		}
+	}
+}
+
+func TestLoopForestAgreesWithConnectedness(t *testing.T) {
+	// Max forest depth must equal LoopConnectedness on reducible CFGs.
+	for _, src := range []string{loopSrc} {
+		r := parse(t, src)
+		o := cfg.ReversePostOrder(r)
+		f := cfg.BuildLoopForest(r, o)
+		max := 0
+		for _, l := range f.Loops() {
+			if l.Depth > max {
+				max = l.Depth
+			}
+		}
+		if c := o.LoopConnectedness(); c != max {
+			t.Errorf("connectedness %d != max forest depth %d", c, max)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package core implements the predicated sparse global value numbering
+// algorithm of Gargi (PLDI 2002) over SSA-form ir routines.
+//
+// The algorithm unifies, in a single sparse fixpoint over a TOUCHED
+// worklist: optimistic (or balanced, or pessimistic) value numbering,
+// constant folding and algebraic simplification, unreachable-code analysis,
+// global reassociation, predicate inference, value inference and
+// φ-predication. Every analysis can be toggled independently (Config), and
+// presets emulate the published baselines the paper compares against
+// (§2.9): Simpson's RPO/AWZ value numbering, Click's combined algorithm and
+// Wegman–Zadeck sparse conditional constant propagation.
+//
+// Entry point: Run(routine, config) → *Result.
+package core
+
+// Mode selects the initial assumption of the analysis (paper §1.1–§1.2).
+type Mode uint8
+
+// Analysis modes.
+const (
+	// Optimistic starts with only the entry block reachable and all
+	// values congruent to each other, iterating to a fixpoint. It is the
+	// strongest mode: it can ignore values carried by unreachable and
+	// back edges, detect loop-invariant cyclic values and find cyclic
+	// congruences.
+	Optimistic Mode = iota
+	// Balanced starts with optimistic reachability but pessimistic
+	// congruence: cyclic φ-functions are treated as unique values and
+	// the analysis terminates after a single pass. Almost as strong as
+	// Optimistic and almost as fast as Pessimistic in practice (§5).
+	Balanced
+	// Pessimistic assumes every block and edge reachable and values
+	// congruent only to themselves; a single pass, no unreachable-code
+	// detection.
+	Pessimistic
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Optimistic:
+		return "optimistic"
+	case Balanced:
+		return "balanced"
+	default:
+		return "pessimistic"
+	}
+}
+
+// Config selects the analyses the unified algorithm performs. The zero
+// Config is NOT useful; start from DefaultConfig or a preset.
+type Config struct {
+	// Mode is the initial assumption (optimistic/balanced/pessimistic).
+	Mode Mode
+	// Fold enables constant folding and algebraic simplification during
+	// symbolic evaluation.
+	Fold bool
+	// Reassociate enables global reassociation: forward propagation of
+	// defining expressions plus the commutative, associative and
+	// distributive laws (§2.2). Requires Fold.
+	Reassociate bool
+	// PredicateInference infers the value of a predicate computed in a
+	// block dominated by a related conditional-jump edge (§2.7).
+	PredicateInference bool
+	// ValueInference replaces a value used in a block dominated by an
+	// equality-predicate edge with the lower-ranking congruent value
+	// (§2.7).
+	ValueInference bool
+	// PhiPredication associates acyclic φ-functions with the predicates
+	// controlling the arrival of their arguments, enabling congruence of
+	// φs in different blocks (§2.8).
+	PhiPredication bool
+	// PhiArithmetic enables the Rüthing–Knoop–Steffen φ-transformation
+	// the paper's §6 proposes folding into global reassociation:
+	// φ(x₁,x₂) op φ(y₁,y₂) (congruent tags) rewrites to
+	// φ(x₁ op y₁, x₂ op y₂), capturing the Figure 14 congruences. An
+	// extension beyond the published algorithm; off by default.
+	PhiArithmetic bool
+	// JointDomination extends predicate inference to blocks with several
+	// reachable incoming edges whose predicates all decide the query the
+	// same way — the paper's §7 "joint domination by multiple congruent
+	// predicates" future work. Off by default.
+	JointDomination bool
+	// Sparse enables the sparse formulation: refinements re-touch only
+	// the affected instructions and blocks. When false the algorithm
+	// re-examines the whole routine after any change (the paper's dense
+	// baseline, Table 2 column A).
+	Sparse bool
+	// Complete selects the complete algorithm, which maintains the
+	// dominator tree of the currently reachable subgraph and so fully
+	// unifies predicate/value inference with unreachable-code analysis.
+	// When false the practical algorithm runs: the static dominator
+	// tree plus the single-reachable-incoming-edge special case, with no
+	// inference along paths containing back edges (§2.7).
+	Complete bool
+	// HashOnly replaces every non-constant symbolic expression with the
+	// value computed by the instruction itself, reducing the analysis to
+	// Wegman–Zadeck sparse conditional constant propagation (§2.9).
+	HashOnly bool
+	// ReassocLimit bounds the number of terms forward propagation may
+	// produce (paper footnote 4). 0 means the default (16).
+	ReassocLimit int
+	// MaxPasses bounds the number of RPO passes; 0 means an automatic
+	// bound derived from the loop connectedness. Run returns an error if
+	// the bound is exceeded (the paper proves O(C) passes suffice; the
+	// bound is a defensive backstop).
+	MaxPasses int
+	// AssumeAllReachable starts with every block and edge reachable,
+	// disabling unreachable-code analysis (used by the Simpson/AWZ
+	// emulation, whose algorithms have no reachability component).
+	AssumeAllReachable bool
+	// VerifySSA re-checks the SSA dominance property before analyzing.
+	// Run always rejects routines containing variable pseudo-
+	// instructions; the full (dominator-tree) verification is for
+	// debugging hand-built IR — ssa.Build output is already verified.
+	VerifySSA bool
+}
+
+// DefaultConfig is the full practical algorithm: optimistic, sparse, all
+// analyses enabled.
+func DefaultConfig() Config {
+	return Config{
+		Mode:               Optimistic,
+		Fold:               true,
+		Reassociate:        true,
+		PredicateInference: true,
+		ValueInference:     true,
+		PhiPredication:     true,
+		Sparse:             true,
+	}
+}
+
+// ExtendedConfig is DefaultConfig plus the paper's §6/§7 proposed
+// extensions: the Rüthing–Knoop–Steffen φ-arithmetic transformation and
+// joint-domination predicate inference.
+func ExtendedConfig() Config {
+	c := DefaultConfig()
+	c.PhiArithmetic = true
+	c.JointDomination = true
+	return c
+}
+
+// CompleteConfig is DefaultConfig with the complete algorithm's reachable
+// dominator tree.
+func CompleteConfig() Config {
+	c := DefaultConfig()
+	c.Complete = true
+	return c
+}
+
+// BalancedConfig is DefaultConfig in balanced mode.
+func BalancedConfig() Config {
+	c := DefaultConfig()
+	c.Mode = Balanced
+	return c
+}
+
+// PessimisticConfig is DefaultConfig in pessimistic mode.
+func PessimisticConfig() Config {
+	c := DefaultConfig()
+	c.Mode = Pessimistic
+	return c
+}
+
+// BasicConfig is the paper's Table 2 column E configuration: global
+// reassociation, predicate inference, value inference and φ-predication
+// disabled; optimistic value numbering with constant folding, algebraic
+// simplification and unreachable-code analysis remains.
+func BasicConfig() Config {
+	c := DefaultConfig()
+	c.Reassociate = false
+	c.PredicateInference = false
+	c.ValueInference = false
+	c.PhiPredication = false
+	return c
+}
+
+// DenseConfig is DefaultConfig with sparseness disabled (Table 2 column A).
+func DenseConfig() Config {
+	c := DefaultConfig()
+	c.Sparse = false
+	return c
+}
+
+// ClickConfig emulates Click's strongest algorithm: optimistic value
+// numbering unified with constant folding, algebraic simplification and
+// unreachable code elimination, but no global reassociation, predicate
+// inference, value inference or φ-predication (§2.9).
+func ClickConfig() Config {
+	return Config{
+		Mode:   Optimistic,
+		Fold:   true,
+		Sparse: true,
+	}
+}
+
+// SCCPConfig emulates Wegman and Zadeck's sparse conditional constant
+// propagation: ClickConfig with every non-constant expression replaced by
+// the defining instruction's own value (§2.9).
+func SCCPConfig() Config {
+	c := ClickConfig()
+	c.HashOnly = true
+	return c
+}
+
+// SimpsonConfig emulates Simpson's RPO algorithm (and thereby Alpern,
+// Wegman and Zadeck's partitioning): optimistic value numbering alone —
+// no folding, no unreachable-code analysis (every block and edge is
+// assumed reachable), no predicates.
+func SimpsonConfig() Config {
+	return Config{
+		Mode:               Optimistic,
+		Sparse:             true,
+		AssumeAllReachable: true,
+	}
+}
+
+// normalized fills in defaults.
+func (c Config) normalized() Config {
+	if c.ReassocLimit == 0 {
+		c.ReassocLimit = 16
+	}
+	if c.Reassociate {
+		c.Fold = true
+	}
+	return c
+}
+
+// usesPredicates reports whether edge/block predicates need computing.
+func (c Config) usesPredicates() bool {
+	return c.PredicateInference || c.ValueInference || c.PhiPredication
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"pgvn/internal/expr"
+	"pgvn/internal/ir"
+)
+
+// irInstrOutOfRange has an ID beyond any analysis table.
+var irInstrOutOfRange = ir.Instr{ID: 1 << 20}
+
+func TestModeString(t *testing.T) {
+	if Optimistic.String() != "optimistic" || Balanced.String() != "balanced" ||
+		Pessimistic.String() != "pessimistic" {
+		t.Errorf("mode names wrong")
+	}
+}
+
+func TestPresetShapes(t *testing.T) {
+	if c := BasicConfig(); c.Reassociate || c.PredicateInference || c.ValueInference ||
+		c.PhiPredication || !c.Fold || !c.Sparse {
+		t.Errorf("BasicConfig wrong: %+v", c)
+	}
+	if c := DenseConfig(); c.Sparse {
+		t.Errorf("DenseConfig still sparse")
+	}
+	if c := SCCPConfig(); !c.HashOnly || c.Reassociate {
+		t.Errorf("SCCPConfig wrong: %+v", c)
+	}
+	if c := SimpsonConfig(); !c.AssumeAllReachable || c.Fold {
+		t.Errorf("SimpsonConfig wrong: %+v", c)
+	}
+	if c := ExtendedConfig(); !c.PhiArithmetic || !c.JointDomination {
+		t.Errorf("ExtendedConfig wrong: %+v", c)
+	}
+	// normalized fills defaults and forces Fold under reassociation.
+	n := Config{Reassociate: true}.normalized()
+	if !n.Fold || n.ReassocLimit != 16 {
+		t.Errorf("normalized wrong: %+v", n)
+	}
+}
+
+func TestClassExprInspection(t *testing.T) {
+	res := analyze(t, `
+func f(a, b) {
+entry:
+  x = a + b
+  return x
+}
+`, DefaultConfig())
+	x := valueByName(t, res.Routine, "x")
+	e := res.classExpr(x)
+	if e == nil || e.Kind != expr.Sum {
+		t.Errorf("class expr of a+b = %v, want a sum", e)
+	}
+	if res.classExpr(&irInstrOutOfRange) != nil {
+		t.Errorf("out-of-range value should have nil class expr")
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"pgvn/internal/expr"
+	"pgvn/internal/ir"
+)
+
+// congruenceFind places value v into the congruence class of its symbolic
+// expression e (paper Figure 4, Perform congruence finding).
+func (a *analysis) congruenceFind(v *ir.Instr, e *expr.Expr) {
+	c0 := a.classOf[v.ID]
+	if e.IsBottom() {
+		// Still undetermined: v stays in INITIAL. A determined value
+		// never becomes ⊥ again (the lattice only descends), so seeing
+		// ⊥ for a classified value means its operands are transiently
+		// untouched; keep the existing class.
+		return
+	}
+
+	var c *class
+	if e.Kind == expr.Value {
+		// The expression reduced to an existing value: v joins that
+		// value's class (copies, φ reductions, inference results).
+		c = a.classOfAtom(e)
+		if c == nil {
+			return // leader went back to ⊥? treat as undetermined
+		}
+	} else {
+		key := e.Key()
+		c = a.table[key]
+		if c == nil {
+			c = &class{
+				members:   []*ir.Instr{v},
+				leaderVal: v,
+				expr:      e,
+				exprKey:   key,
+			}
+			if _, ok := e.IsConst(); ok {
+				c.leaderConst = e
+			}
+			a.table[key] = c
+			if c0 == c {
+				return
+			}
+			// v is the sole member of a fresh class; fall through to
+			// move it out of c0.
+			a.moveValue(v, c0, c, true)
+			return
+		}
+	}
+	if c == c0 {
+		delete(a.changed, v)
+		return
+	}
+	a.moveValue(v, c0, c, false)
+}
+
+// moveValue moves v from class c0 (possibly INITIAL, i.e. nil) to class c,
+// maintaining leaders, the TABLE, the CHANGED set and the TOUCHED set.
+// fresh marks c as newly created with v already among its members.
+func (a *analysis) moveValue(v *ir.Instr, c0, c *class, fresh bool) {
+	if !fresh {
+		c.members = append(c.members, v)
+	}
+	a.classOf[v.ID] = c
+	if a.isPredOp[v.ID] {
+		c.nPredOps++
+	}
+	if a.isEqOp[v.ID] {
+		c.nEqOps++
+	}
+
+	if c0 != nil {
+		if a.isPredOp[v.ID] {
+			c0.nPredOps--
+		}
+		if a.isEqOp[v.ID] {
+			c0.nEqOps--
+		}
+		// Remove v from its previous class.
+		for k, m := range c0.members {
+			if m == v {
+				last := len(c0.members) - 1
+				c0.members[k] = c0.members[last]
+				c0.members[last] = nil
+				c0.members = c0.members[:last]
+				break
+			}
+		}
+		if len(c0.members) == 0 {
+			// The class died; retire its TABLE entry (paper lines
+			// 48–51).
+			if a.table[c0.exprKey] == c0 {
+				delete(a.table, c0.exprKey)
+			}
+		} else if c0.leaderVal == v {
+			// v led c0: elect the lowest-ranking remaining member.
+			best := c0.members[0]
+			for _, m := range c0.members[1:] {
+				if a.rank[m.ID] < a.rank[best.ID] {
+					best = m
+				}
+			}
+			c0.leaderVal = best
+			// If the class leader is a constant the visible leader did
+			// not change; otherwise every member is indirectly changed
+			// and its defining instruction re-touched (lines 52–56).
+			if c0.leaderConst == nil {
+				for _, m := range c0.members {
+					a.changed[m] = true
+					a.touchInstr(m)
+				}
+				if !a.cfg.Sparse {
+					a.touchEverything()
+				}
+			}
+		}
+	}
+	// The value's class changed: its consumers must re-evaluate.
+	a.touchUsers(v)
+}

@@ -1,0 +1,438 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pgvn/internal/ir"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+)
+
+func TestTrivialRoutine(t *testing.T) {
+	res := analyze(t, `
+func f(a) {
+entry:
+  return 42
+}
+`, DefaultConfig())
+	if c, ok := res.ReturnConst(); !ok || c != 42 {
+		t.Fatalf("return = (%d,%v)", c, ok)
+	}
+	if res.Stats.Passes != 1 {
+		t.Errorf("trivial routine took %d passes", res.Stats.Passes)
+	}
+}
+
+func TestBranchBothTargetsSame(t *testing.T) {
+	// Both edges of the branch lead to the same block: the φ merges two
+	// values arriving from the same predecessor block over two edges.
+	res := analyze(t, `
+func f(c, a) {
+entry:
+  x = a + 1
+  if c > 0 goto join else join
+join:
+  return x
+}
+`, DefaultConfig())
+	if _, ok := res.ReturnConst(); ok {
+		t.Fatalf("a+1 is not constant")
+	}
+	// Both edges must be reachable (condition unknown).
+	for _, e := range res.Routine.Entry().Succs {
+		if !res.EdgeReachable(e) {
+			t.Errorf("edge %v unreachable", e)
+		}
+	}
+}
+
+func TestBranchBothTargetsSameWithPhi(t *testing.T) {
+	// x differs per edge is impossible here (same pred block), but a φ
+	// still gets one argument slot per edge; both carry the same def.
+	r, err := parser.ParseRoutine(`
+func f(c) {
+entry:
+  x = c * 2
+  if c > 0 goto join else join
+join:
+  y = x + 1
+  return y
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssa.Build(r, ssa.Minimal); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(r, DefaultConfig()); err != nil {
+		t.Fatalf("gvn: %v", err)
+	}
+}
+
+func TestSwitchDuplicateTargets(t *testing.T) {
+	res := analyze(t, `
+func f(s, a) {
+entry:
+  switch s [1: same, 2: same, default: other]
+same:
+  x = a + 1
+  goto out
+other:
+  x = a + 2
+  goto out
+out:
+  return x
+}
+`, DefaultConfig())
+	same := blockByName(t, res.Routine, "same")
+	if len(same.Preds) != 2 {
+		t.Fatalf("same has %d preds, want 2 (two case edges)", len(same.Preds))
+	}
+	if !res.BlockReachable(same) {
+		t.Errorf("same unreachable")
+	}
+}
+
+func TestNonSSAInputRejected(t *testing.T) {
+	r, err := parser.ParseRoutine(`
+func f(a) {
+entry:
+  x = a + 1
+  return x
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(r, DefaultConfig()); err == nil {
+		t.Fatalf("non-SSA routine accepted")
+	} else if !strings.Contains(err.Error(), "SSA") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestMaxPassesExceeded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPasses = 1
+	r, err := parser.ParseRoutine(`
+func f(n) {
+entry:
+  i = 0
+  goto head
+head:
+  if i < n goto body else exit
+body:
+  i = i + 1
+  goto head
+exit:
+  return i
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssa.Build(r, ssa.SemiPruned); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(r, cfg); err == nil {
+		t.Fatalf("expected non-convergence error with MaxPasses=1")
+	} else if !strings.Contains(err.Error(), "converge") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestTinyReassocLimitStillSound(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReassocLimit = 2
+	res := analyze(t, `
+func f(a, b, c, d) {
+entry:
+  x = a + b + c + d
+  y = d + c + b + a
+  z = x - y
+  return z
+}
+`, cfg)
+	// With the limit at 2 the four-term reassociation is cancelled; the
+	// congruence may be missed but no wrong constant may appear.
+	if c, ok := res.ReturnConst(); ok && c != 0 {
+		t.Fatalf("unsound constant %d under tiny reassoc limit", c)
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	res := analyze(t, `
+func f(a, b) {
+entry:
+  x = a + b
+  y = b + a
+  z = a + b
+  return z
+}
+`, DefaultConfig())
+	r := res.Routine
+	var adds []*ir.Instr
+	r.Instrs(func(i *ir.Instr) {
+		if i.Op == ir.OpAdd {
+			adds = append(adds, i)
+		}
+	})
+	members := res.ClassMembers(adds[0])
+	if len(members) != 3 {
+		t.Fatalf("class has %d members, want 3", len(members))
+	}
+	for k := 1; k < len(members); k++ {
+		if members[k-1].ID >= members[k].ID {
+			t.Fatalf("members not sorted by ID")
+		}
+	}
+	lead := res.Leader(adds[2])
+	if lead != adds[0] {
+		t.Errorf("leader should be the first (lowest-rank) add")
+	}
+	if !res.ValueReachable(adds[0]) {
+		t.Errorf("reachable value reported unreachable")
+	}
+	if !strings.Contains(res.Dump(), "members=") {
+		t.Errorf("Dump output malformed")
+	}
+}
+
+func TestReturnConstMultipleReturns(t *testing.T) {
+	// Two returns with the same constant.
+	res := analyze(t, `
+func f(c) {
+entry:
+  if c > 0 goto a else b
+a:
+  return 2 + 3
+b:
+  return 10 / 2
+}
+`, DefaultConfig())
+	if v, ok := res.ReturnConst(); !ok || v != 5 {
+		t.Errorf("same-constant returns: (%d,%v), want 5", v, ok)
+	}
+	// Two returns with different constants.
+	res2 := analyze(t, `
+func g(c) {
+entry:
+  if c > 0 goto a else b
+a:
+  return 1
+b:
+  return 2
+}
+`, DefaultConfig())
+	if _, ok := res2.ReturnConst(); ok {
+		t.Errorf("different constants must not merge")
+	}
+}
+
+// TestCompleteBeatsPractical builds the case where only the complete
+// algorithm's reachable dominator tree enables predicate inference: block
+// C is statically reachable from a dead branch arm, so its *static*
+// immediate dominator sits above the y == 5 guard, but its *reachable*
+// dominators pass through it.
+func TestCompleteBeatsPractical(t *testing.T) {
+	src := `
+func f(x, y) {
+entry:
+  if 1 > 2 goto deadA else p
+deadA:
+  goto c
+p:
+  if y == 5 goto b else out
+b:
+  if x == 0 goto b1 else b2
+b1:
+  goto c
+b2:
+  goto c
+c:
+  q = y > 4
+  return q
+out:
+  return 0
+}
+`
+	practical := analyze(t, src, DefaultConfig())
+	complete := analyze(t, src, CompleteConfig())
+	q1 := valueByName(t, practical.Routine, "q")
+	q2 := valueByName(t, complete.Routine, "q")
+	if _, ok := practical.ConstValue(q1); ok {
+		t.Errorf("practical algorithm unexpectedly decided q (static idom of c is entry)")
+	}
+	if c, ok := complete.ConstValue(q2); !ok || c != 1 {
+		t.Errorf("complete algorithm should decide q = 1, got (%d,%v)\n%s",
+			c, ok, complete.Dump())
+	}
+}
+
+// TestUniqueReachableEdgeRefinement: the practical algorithm's
+// single-reachable-incoming-edge check recovers dominance the static tree
+// misses when the other predecessor is dead.
+func TestUniqueReachableEdgeRefinement(t *testing.T) {
+	res := analyze(t, `
+func f(x, y) {
+entry:
+  if 1 > 2 goto deadA else p
+deadA:
+  goto c
+p:
+  if y == 5 goto c else out
+c:
+  q = y > 4
+  return q
+out:
+  return 0
+}
+`, DefaultConfig())
+	// c has two static preds (deadA, p) but only p->c is reachable; the
+	// practical walk takes that unique reachable edge and finds y == 5.
+	q := valueByName(t, res.Routine, "q")
+	if c, ok := res.ConstValue(q); !ok || c != 1 {
+		t.Errorf("practical unique-edge refinement failed: (%d,%v)\n%s", c, ok, res.Dump())
+	}
+}
+
+func TestDeadLoopNeverProcessed(t *testing.T) {
+	res := analyze(t, `
+func f(n) {
+entry:
+  if 2 < 1 goto deadhead else live
+deadhead:
+  goto deadbody
+deadbody:
+  goto deadhead
+live:
+  return n + 1
+}
+`, DefaultConfig())
+	for _, name := range []string{"deadhead", "deadbody"} {
+		if res.BlockReachable(blockByName(t, res.Routine, name)) {
+			t.Errorf("%s reachable", name)
+		}
+	}
+}
+
+func TestHashOnlyBalanced(t *testing.T) {
+	// SCCP emulation in balanced mode: constants through acyclic code
+	// only, single pass.
+	cfg := SCCPConfig()
+	cfg.Mode = Balanced
+	res := analyze(t, `
+func f(a) {
+entry:
+  x = 2 * 3
+  if x == 6 goto yes else no
+yes:
+  return x + 1
+no:
+  return 0
+}
+`, cfg)
+	if c, ok := res.ReturnConst(); !ok || c != 7 {
+		t.Errorf("balanced SCCP: (%d,%v), want 7", c, ok)
+	}
+	if res.Stats.Passes != 1 {
+		t.Errorf("balanced SCCP took %d passes", res.Stats.Passes)
+	}
+}
+
+func TestDeeplyNestedLoops(t *testing.T) {
+	res := analyze(t, `
+func f(n) {
+entry:
+  s = 0
+  i = 0
+  goto h1
+h1:
+  if i < n goto b1 else x1
+b1:
+  j = 0
+  goto h2
+h2:
+  if j < n goto b2 else x2
+b2:
+  k = 0
+  goto h3
+h3:
+  if k < n goto b3 else x3
+b3:
+  s = s + 0
+  k = k + 1
+  goto h3
+x3:
+  j = j + 1
+  goto h2
+x2:
+  i = i + 1
+  goto h1
+x1:
+  return s
+}
+`, DefaultConfig())
+	// s only ever accumulates zero: the return is the constant 0.
+	if c, ok := res.ReturnConst(); !ok || c != 0 {
+		t.Errorf("nested-loop invariant: (%d,%v), want 0\n%s", c, ok, res.Dump())
+	}
+}
+
+func TestNegationChains(t *testing.T) {
+	res := analyze(t, `
+func f(a) {
+entry:
+  x = -(-a)
+  y = a - -a
+  z = y - 2 * a
+  return z
+}
+`, DefaultConfig())
+	r := res.Routine
+	x := valueByName(t, r, "x")
+	if !res.Congruent(x, r.Params[0]) {
+		t.Errorf("-(-a) not congruent to a\n%s", res.Dump())
+	}
+	if c, ok := res.ReturnConst(); !ok || c != 0 {
+		t.Errorf("a - -a - 2a = (%d,%v), want 0", c, ok)
+	}
+}
+
+func TestPredicateThroughCopyChain(t *testing.T) {
+	// The branch condition is the comparison made two steps earlier; the
+	// edge predicate must still be reconstructed.
+	res := analyze(t, `
+func f(x) {
+entry:
+  c = x > 3
+  d = c + 0
+  if d goto inside else out
+inside:
+  p = x > 2
+  return p
+out:
+  return 0
+}
+`, DefaultConfig())
+	p := valueByName(t, res.Routine, "p")
+	if c, ok := res.ConstValue(p); !ok || c != 1 {
+		t.Errorf("x>2 under (x>3 via copies) = (%d,%v), want 1\n%s", c, ok, res.Dump())
+	}
+}
+
+func TestStatsTouchesMonotone(t *testing.T) {
+	// Dense mode must touch at least as much as sparse mode.
+	sparse := analyze(t, figure1Source, DefaultConfig())
+	dense := analyze(t, figure1Source, DenseConfig())
+	if dense.Stats.Touches < sparse.Stats.Touches {
+		t.Errorf("dense touches (%d) < sparse touches (%d)",
+			dense.Stats.Touches, sparse.Stats.Touches)
+	}
+	if dense.Stats.InstrEvals < sparse.Stats.InstrEvals {
+		t.Errorf("dense evals (%d) < sparse evals (%d)",
+			dense.Stats.InstrEvals, sparse.Stats.InstrEvals)
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"pgvn/internal/expr"
+	"pgvn/internal/ir"
+)
+
+// processOutgoingEdges re-evaluates the reachability and predicate of every
+// outgoing edge of block b (paper Figure 5).
+func (a *analysis) processOutgoingEdges(b *ir.Block) {
+	term := b.Terminator()
+	if term == nil || term.Op == ir.OpReturn {
+		return
+	}
+	for _, e := range b.Succs {
+		if a.evaluateEdgeReachability(term, e) && !a.edgeReach[e] {
+			a.markEdgeReachable(e)
+		}
+		if a.cfg.usesPredicates() {
+			p := a.evaluateEdgePredicate(term, e)
+			if p != nil {
+				if _, isConst := p.IsConst(); isConst {
+					p = nil // a constant predicate carries no information
+				} else if p.IsBottom() {
+					p = nil
+				}
+			}
+			if !samePred(a.edgePred[e], p) {
+				a.edgePred[e] = p
+				a.propagateChangeInEdge(e)
+			}
+		}
+	}
+}
+
+func samePred(a, b *expr.Expr) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Key() == b.Key()
+}
+
+// markEdgeReachable adds e to REACHABLE, making its destination reachable
+// (touching it wholesale) or re-touching the destination's φs, and
+// propagates the change (Figure 5 lines 04–15).
+func (a *analysis) markEdgeReachable(e *ir.Edge) {
+	a.edgeReach[e] = true
+	d := e.To
+	if !a.blockReach[d.ID] {
+		a.blockReach[d.ID] = true
+		a.touchBlock(d)
+		for _, i := range d.Instrs {
+			a.touchInstr(i)
+		}
+	} else {
+		for _, phi := range d.Phis() {
+			a.touchInstr(phi)
+		}
+		// The destination's predicate may change now that it has
+		// another reachable incoming edge.
+		a.touchBlock(d)
+	}
+	a.propagateChangeInEdge(e)
+	if a.incDom != nil {
+		a.incDom.InsertEdge(e)
+	}
+}
+
+// propagateChangeInEdge re-touches whatever a change in the reachability or
+// predicate of edge e may affect (Figure 5, Propagate change in edge).
+// The complete algorithm touches the instructions of blocks dominated by
+// the destination and the blocks that postdominate it; the practical
+// algorithm conservatively touches everything downstream of the
+// destination in RPO. Predicate-dependent analyses are the only consumers,
+// so nothing needs touching when they are all disabled (footnote 7 and
+// §2.9 emulations).
+func (a *analysis) propagateChangeInEdge(e *ir.Edge) {
+	if !a.cfg.usesPredicates() {
+		return
+	}
+	if !a.cfg.Sparse {
+		a.touchEverything()
+		return
+	}
+	d := e.To
+	if a.cfg.Complete {
+		for _, b := range a.order.Blocks {
+			if a.domTree.Contains(d) && a.domTree.Contains(b) && a.domTree.Dominates(d, b) {
+				a.touchBlock(b)
+				for _, i := range b.Instrs {
+					a.touchInstr(i)
+				}
+			} else if a.postTree.Dominates(b, d) {
+				a.touchBlock(b)
+			}
+		}
+		return
+	}
+	dRPO := a.order.RPO(d)
+	if dRPO < 0 {
+		return
+	}
+	for _, b := range a.order.Blocks[dRPO:] {
+		a.touchBlock(b)
+		for _, i := range b.Instrs {
+			a.touchInstr(i)
+		}
+	}
+}
+
+// evaluateEdgeReachability decides whether edge e is reachable given the
+// current value of its terminator's controlling expression. Unknown (⊥)
+// conditions optimistically keep edges unreachable — the branch will be
+// re-touched when the condition is determined.
+func (a *analysis) evaluateEdgeReachability(term *ir.Instr, e *ir.Edge) bool {
+	switch term.Op {
+	case ir.OpJump:
+		return true
+	case ir.OpBranch:
+		cond := a.leaderExpr(term.Args[0])
+		if cond.IsBottom() {
+			return false
+		}
+		if c, ok := cond.IsConst(); ok {
+			taken := 0
+			if c == 0 {
+				taken = 1
+			}
+			return e.OutIndex() == taken
+		}
+		return true
+	case ir.OpSwitch:
+		sel := a.leaderExpr(term.Args[0])
+		if sel.IsBottom() {
+			return false
+		}
+		if c, ok := sel.IsConst(); ok {
+			for k, cv := range term.Cases {
+				if cv == c {
+					return e.OutIndex() == k
+				}
+			}
+			return e.OutIndex() == len(term.Cases) // default
+		}
+		return true
+	}
+	return false
+}
+
+// evaluateEdgePredicate computes the canonical predicate expression of
+// edge e (paper §2.7/§2.8): the canonicalized condition for the true edge
+// of a conditional jump, its negation for the false edge, selector
+// equalities for switch cases and a conjunction of disequalities for the
+// switch default. Edges of unconditional jumps (or with undetermined
+// conditions) have no predicate.
+func (a *analysis) evaluateEdgePredicate(term *ir.Instr, e *ir.Edge) *expr.Expr {
+	switch term.Op {
+	case ir.OpBranch:
+		p := a.branchCondition(term)
+		if p == nil {
+			return nil
+		}
+		if e.OutIndex() == 1 {
+			if p.Kind != expr.Compare {
+				return nil
+			}
+			return expr.NegateCompare(p)
+		}
+		return p
+	case ir.OpSwitch:
+		sel := a.leaderExpr(term.Args[0])
+		if sel.IsBottom() {
+			return nil
+		}
+		if e.OutIndex() < len(term.Cases) {
+			return expr.NewCompare(ir.OpEq, expr.NewConst(term.Cases[e.OutIndex()]), sel)
+		}
+		// Default edge: selector differs from every case (§3's switch
+		// extension of φ-predication).
+		parts := make([]*expr.Expr, len(term.Cases))
+		for k, cv := range term.Cases {
+			parts[k] = expr.NewCompare(ir.OpNe, expr.NewConst(cv), sel)
+		}
+		return expr.NewAnd(parts...)
+	}
+	return nil
+}
+
+// branchCondition reconstructs the canonical comparison controlling a
+// conditional jump: the condition instruction's comparison re-evaluated
+// over current leaders, or (cond ≠ 0) for a branch on a non-comparison
+// value.
+func (a *analysis) branchCondition(term *ir.Instr) *expr.Expr {
+	cv := term.Args[0]
+	cl := a.leaderExpr(cv)
+	if cl.IsBottom() {
+		return nil
+	}
+	if _, ok := cl.IsConst(); ok {
+		return cl
+	}
+	// Re-evaluate the controlling comparison at the branch's block (the
+	// paper symbolically evaluates PREDICATE[E] in B), so the predicate
+	// uses current leaders improved by inference at B.
+	if cv.Op.IsCompare() {
+		x := a.operandAtom(cv.Args[0], term.Block)
+		y := a.operandAtom(cv.Args[1], term.Block)
+		if !x.IsBottom() && !y.IsBottom() {
+			return expr.NewCompare(cv.Op, x, y)
+		}
+	}
+	// A branch on a value whose class was defined by a comparison
+	// elsewhere (a copy or φ reduction of a predicate).
+	if c := a.classOf[cv.ID]; c != nil && c.expr != nil && c.expr.Kind == expr.Compare {
+		return c.expr
+	}
+	return expr.NewCompare(ir.OpNe, expr.NewConst(0), cl)
+}

@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"pgvn/internal/core"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+)
+
+// ExampleRun analyzes a routine whose loop-carried value is invariant —
+// the discovery that distinguishes optimistic value numbering.
+func ExampleRun() {
+	routine, err := parser.ParseRoutine(`
+func spin(n) {
+entry:
+  v = 7
+  i = 0
+  goto head
+head:
+  if i >= n goto exit else body
+body:
+  v = v * 1
+  i = i + 1
+  goto head
+exit:
+  return v
+}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ssa.Build(routine, ssa.SemiPruned); err != nil {
+		log.Fatal(err)
+	}
+
+	optimistic, err := core.Run(routine, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if v, ok := optimistic.ReturnConst(); ok {
+		fmt.Printf("optimistic: always returns %d\n", v)
+	}
+
+	balanced, err := core.Run(routine, core.BalancedConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, ok := balanced.ReturnConst(); !ok {
+		fmt.Printf("balanced: unknown (cyclic φs are unique), in %d pass\n",
+			balanced.Stats.Passes)
+	}
+	// Output:
+	// optimistic: always returns 7
+	// balanced: unknown (cyclic φs are unique), in 1 pass
+}

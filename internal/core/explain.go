@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pgvn/internal/expr"
+	"pgvn/internal/ir"
+)
+
+// Explain returns a human-readable account of what the analysis concluded
+// about value v: reachability, constancy, the class leader and members,
+// and the defining expression rendered over source-level value names.
+func (r *Result) Explain(v *ir.Instr) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (in %s): ", v.ValueName(), v.Block.Name)
+	c := r.class(v)
+	switch {
+	case !r.blockReach[v.Block.ID]:
+		sb.WriteString("in an unreachable block\n")
+		return sb.String()
+	case c == nil:
+		sb.WriteString("undetermined — never reached by the analysis\n")
+		return sb.String()
+	}
+	if cv, ok := r.ConstValue(v); ok {
+		fmt.Fprintf(&sb, "compile-time constant %d\n", cv)
+	} else {
+		fmt.Fprintf(&sb, "congruence class led by %s\n", c.leaderVal.ValueName())
+	}
+	if len(c.members) > 1 {
+		names := make([]string, 0, len(c.members))
+		for _, m := range r.ClassMembers(v) {
+			names = append(names, m.ValueName())
+		}
+		fmt.Fprintf(&sb, "  congruent values: %s\n", strings.Join(names, ", "))
+	}
+	if c.expr != nil {
+		fmt.Fprintf(&sb, "  defining expression: %s\n", r.RenderExpr(c.expr))
+	}
+	return sb.String()
+}
+
+// RenderExpr pretty-prints a symbolic expression with source-level value
+// names instead of internal IDs.
+func (r *Result) RenderExpr(e *expr.Expr) string {
+	var sb strings.Builder
+	r.renderExpr(&sb, e)
+	return sb.String()
+}
+
+func (r *Result) renderExpr(sb *strings.Builder, e *expr.Expr) {
+	name := func(id int) string {
+		if id >= 0 && id < len(r.byID) && r.byID[id] != nil {
+			return r.byID[id].ValueName()
+		}
+		return fmt.Sprintf("v%d", id)
+	}
+	switch e.Kind {
+	case expr.Bottom:
+		sb.WriteString("⊥")
+	case expr.Const:
+		fmt.Fprintf(sb, "%d", e.C)
+	case expr.Value:
+		sb.WriteString(name(int(e.C)))
+	case expr.Unique:
+		fmt.Fprintf(sb, "unique(%s)", name(int(e.C)))
+	case expr.BlockTag:
+		fmt.Fprintf(sb, "block#%d", e.C)
+	case expr.Sum:
+		for i, t := range e.Terms {
+			if i > 0 {
+				sb.WriteString(" + ")
+			}
+			if len(t.Factors) == 0 {
+				fmt.Fprintf(sb, "%d", t.Coeff)
+				continue
+			}
+			if t.Coeff != 1 {
+				fmt.Fprintf(sb, "%d·", t.Coeff)
+			}
+			for j, f := range t.Factors {
+				if j > 0 {
+					sb.WriteString("·")
+				}
+				sb.WriteString(name(f.ID))
+			}
+		}
+	case expr.Compare:
+		sb.WriteString("(")
+		r.renderExpr(sb, e.Args[0])
+		fmt.Fprintf(sb, " %s ", compareSymbol(e.Op))
+		r.renderExpr(sb, e.Args[1])
+		sb.WriteString(")")
+	case expr.Phi:
+		sb.WriteString("φ[")
+		r.renderExpr(sb, e.Args[0])
+		sb.WriteString("](")
+		for i, a := range e.Args[1:] {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			r.renderExpr(sb, a)
+		}
+		sb.WriteString(")")
+	case expr.And, expr.Or:
+		sep := " ∧ "
+		if e.Kind == expr.Or {
+			sep = " ∨ "
+		}
+		sb.WriteString("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				sb.WriteString(sep)
+			}
+			r.renderExpr(sb, a)
+		}
+		sb.WriteString(")")
+	case expr.Opaque:
+		if e.Op == ir.OpCall {
+			fmt.Fprintf(sb, "%s(", e.Name)
+		} else {
+			fmt.Fprintf(sb, "%s(", e.Op)
+		}
+		for i, a := range e.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			r.renderExpr(sb, a)
+		}
+		sb.WriteString(")")
+	default:
+		sb.WriteString(e.Key())
+	}
+}
+
+func compareSymbol(op ir.Op) string {
+	switch op {
+	case ir.OpEq:
+		return "="
+	case ir.OpNe:
+		return "≠"
+	case ir.OpLt:
+		return "<"
+	case ir.OpLe:
+		return "≤"
+	case ir.OpGt:
+		return ">"
+	case ir.OpGe:
+		return "≥"
+	}
+	return op.String()
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pgvn/internal/ir"
+)
+
+func TestExplainConstant(t *testing.T) {
+	res := analyze(t, `
+func f(a) {
+entry:
+  x = 2 + 3
+  y = x * a
+  return y
+}
+`, DefaultConfig())
+	x := valueByName(t, res.Routine, "x")
+	out := res.Explain(x)
+	if !strings.Contains(out, "compile-time constant 5") {
+		t.Errorf("Explain(x):\n%s", out)
+	}
+	y := valueByName(t, res.Routine, "y")
+	out = res.Explain(y)
+	if !strings.Contains(out, "defining expression: 5·a") {
+		t.Errorf("Explain(y):\n%s", out)
+	}
+}
+
+func TestExplainClassAndUnreachable(t *testing.T) {
+	res := analyze(t, `
+func f(a, b) {
+entry:
+  x = a + b
+  y = b + a
+  if 1 > 2 goto dead else live
+dead:
+  z = a * 9
+  goto live
+live:
+  return x
+}
+`, DefaultConfig())
+	x := valueByName(t, res.Routine, "x")
+	out := res.Explain(x)
+	if !strings.Contains(out, "congruent values:") || !strings.Contains(out, "a + b") {
+		t.Errorf("Explain(x):\n%s", out)
+	}
+	z := valueByName(t, res.Routine, "z")
+	out = res.Explain(z)
+	if !strings.Contains(out, "unreachable") {
+		t.Errorf("Explain(z):\n%s", out)
+	}
+}
+
+func TestRenderExprForms(t *testing.T) {
+	res := analyze(t, `
+func f(c, a, b) {
+entry:
+  if c < 0 goto l else r
+l:
+  p = a
+  goto m
+r:
+  p = b
+  goto m
+m:
+  q = p / a
+  w = g(p)
+  d = c < 0
+  return q
+}
+`, DefaultConfig())
+	r := res.Routine
+	q := valueByName(t, r, "q")
+	if out := res.RenderExpr(res.classExpr(q)); !strings.Contains(out, "div(") {
+		t.Errorf("div render: %q", out)
+	}
+	var call *ir.Instr
+	r.Instrs(func(i *ir.Instr) {
+		if i.Op == ir.OpCall {
+			call = i
+		}
+	})
+	if out := res.RenderExpr(res.classExpr(call)); !strings.Contains(out, "g(") {
+		t.Errorf("call render: %q", out)
+	}
+	d := valueByName(t, r, "d")
+	if out := res.RenderExpr(res.classExpr(d)); !strings.Contains(out, "<") && !strings.Contains(out, "≥") && !strings.Contains(out, "≤") {
+		t.Errorf("compare render: %q", out)
+	}
+	// The φ for p renders with its predicate tag.
+	var phi = phiInBlock(t, r, "m")
+	if out := res.RenderExpr(res.classExpr(phi)); !strings.Contains(out, "φ[") {
+		t.Errorf("φ render: %q", out)
+	}
+}

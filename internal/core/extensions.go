@@ -1,0 +1,150 @@
+package core
+
+// This file implements the paper's proposed extensions, both off by
+// default (see Config.PhiArithmetic and Config.JointDomination, bundled in
+// ExtendedConfig):
+//
+//   - §6 suggests incorporating the Rüthing–Knoop–Steffen transformation
+//     φ(x₁,x₂) op φ(y₁,y₂) → φ(x₁ op y₁, x₂ op y₂) into global
+//     reassociation, which captures both cases of the paper's Figure 14
+//     ("it remains to be seen whether this is practical");
+//   - §7 suggests extending predicate inference "to handle joint
+//     domination by multiple congruent predicates".
+
+import (
+	"pgvn/internal/expr"
+	"pgvn/internal/ir"
+)
+
+// phiArithmetic attempts the RKS rewrite for op(x, y) given the operands'
+// leader atoms. It succeeds only when at least one operand's class is
+// defined by a φ expression, every involved φ carries the same tag (same
+// block, or congruent block predicates — the φ-predication congruence
+// criterion), and every pairwise combination resolves to an existing atom
+// (a constant, or the leader of a class already in the TABLE). On success
+// the result is a φ expression that NewPhi may further reduce (Figure 14
+// case (b): φ(1+2, 2+1) → 3).
+func (a *analysis) phiArithmetic(op ir.Op, x, y *expr.Expr) *expr.Expr {
+	if !a.cfg.PhiArithmetic {
+		return nil
+	}
+	ex := a.phiExprOf(x)
+	ey := a.phiExprOf(y)
+	if ex == nil && ey == nil {
+		return nil
+	}
+	var tag *expr.Expr
+	n := 0
+	if ex != nil {
+		tag = ex.Args[0]
+		n = len(ex.Args) - 1
+	}
+	if ey != nil {
+		if ex != nil {
+			if ey.Args[0].Key() != tag.Key() || len(ey.Args) != len(ex.Args) {
+				return nil
+			}
+		} else {
+			tag = ey.Args[0]
+			n = len(ey.Args) - 1
+		}
+	}
+	args := make([]*expr.Expr, n)
+	for k := 0; k < n; k++ {
+		xa, ya := x, y
+		if ex != nil {
+			xa = ex.Args[k+1]
+		}
+		if ey != nil {
+			ya = ey.Args[k+1]
+		}
+		var comb *expr.Expr
+		switch op {
+		case ir.OpAdd:
+			comb = expr.AddExprs(xa, ya, a.cfg.ReassocLimit)
+		case ir.OpSub:
+			comb = expr.SubExprs(xa, ya, a.cfg.ReassocLimit)
+		case ir.OpMul:
+			comb = expr.MulExprs(xa, ya, a.cfg.ReassocLimit)
+		}
+		if comb == nil {
+			return nil
+		}
+		if args[k] = a.resolveToAtom(comb); args[k] == nil {
+			return nil
+		}
+	}
+	return expr.NewPhi(tag, args)
+}
+
+// phiExprOf returns the defining φ expression of the class behind a Value
+// atom, or nil.
+func (a *analysis) phiExprOf(atom *expr.Expr) *expr.Expr {
+	if atom.Kind != expr.Value {
+		return nil
+	}
+	c := a.classOf[atom.ValueID()]
+	if c == nil || c.expr == nil || c.expr.Kind != expr.Phi {
+		return nil
+	}
+	return c.expr
+}
+
+// resolveToAtom lowers a combined expression to an atom: constants and
+// value atoms stand as they are; a sum resolves through the TABLE to the
+// leader of an existing class. Anything else fails (nil), making the
+// rewrite conservative — it never invents classes for the combined
+// sub-expressions.
+func (a *analysis) resolveToAtom(e *expr.Expr) *expr.Expr {
+	switch e.Kind {
+	case expr.Const, expr.Value:
+		return e
+	case expr.Sum:
+		if c := a.table[e.Key()]; c != nil {
+			if c.leaderConst != nil {
+				return c.leaderConst
+			}
+			return expr.NewValue(c.leaderVal, a.rank[c.leaderVal.ID])
+		}
+	}
+	return nil
+}
+
+// jointDecide implements joint-domination predicate inference: when every
+// reachable incoming edge of b carries a predicate that decides p, and all
+// decisions agree, p is decided at b regardless of which edge control
+// arrived through. Back edges fail the check under the practical
+// algorithm, like single-edge inference.
+func (a *analysis) jointDecide(b *ir.Block, p *expr.Expr) (bool, bool) {
+	// The φ-predication block predicate, when available, is the sharper
+	// disjunction over full arrival paths; Implies handles the
+	// all-disjuncts-agree rule.
+	if bp := a.blockPred[b.ID]; bp != nil {
+		if val, ok := expr.Implies(bp, p); ok {
+			return val, ok
+		}
+	}
+	decided := false
+	var verdict bool
+	for _, e := range b.Preds {
+		if !a.edgeReach[e] {
+			continue
+		}
+		if !a.cfg.Complete && a.backEdge[e] {
+			return false, false
+		}
+		ep := a.edgePred[e]
+		if ep == nil {
+			return false, false
+		}
+		val, known := expr.Implies(ep, p)
+		if !known {
+			return false, false
+		}
+		if decided && val != verdict {
+			return false, false
+		}
+		decided, verdict = true, val
+	}
+	return verdict, decided
+}

@@ -1,0 +1,426 @@
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"pgvn/internal/cfg"
+	"pgvn/internal/dom"
+	"pgvn/internal/expr"
+	"pgvn/internal/ir"
+	"pgvn/internal/ssa"
+)
+
+// domOracle answers the dominance queries the analysis needs. The
+// practical algorithm uses the static *dom.Tree; the complete algorithm
+// uses *dom.Incremental, maintained as edges become reachable (§2.7).
+type domOracle interface {
+	Contains(*ir.Block) bool
+	IDom(*ir.Block) *ir.Block
+	Dominates(a, b *ir.Block) bool
+}
+
+// Stats records the work the analysis performed; §4–§5 of the paper report
+// these quantities for the SPEC corpus.
+type Stats struct {
+	// Passes is the number of RPO passes over the routine.
+	Passes int
+	// InstrEvals counts symbolic evaluations of value-producing
+	// instructions.
+	InstrEvals int
+	// Touches counts instruction/block touch operations (after
+	// deduplication).
+	Touches int
+	// ValueInfVisits / PredInfVisits count blocks visited while walking
+	// dominators during value and predicate inference; PhiPredVisits
+	// counts blocks visited while computing block predicates. Divided by
+	// InstrEvals they give the paper's §4 per-instruction averages.
+	ValueInfVisits, PredInfVisits, PhiPredVisits int
+}
+
+// class is one congruence class: a set of values with a leader (a constant
+// or a member value) and a defining expression.
+type class struct {
+	members     []*ir.Instr
+	leaderConst *expr.Expr // non-nil iff the leader is a constant
+	leaderVal   *ir.Instr  // representative member (valid even when constant)
+	expr        *expr.Expr // defining expression (EXPRESSION mapping)
+	exprKey     string     // TABLE key under which the class is registered
+
+	// §3 work filters: the number of members that appear as operands of
+	// branch predicates (predicate inference is useless otherwise) and
+	// of equality/disequality branch predicates (ditto for value
+	// inference).
+	nPredOps int
+	nEqOps   int
+}
+
+// analysis carries the whole algorithm state for one routine.
+type analysis struct {
+	cfg     Config
+	routine *ir.Routine
+	order   *cfg.Order
+	byID    []*ir.Instr // instruction lookup by ID
+	rank    []int       // RANK mapping, by instruction ID
+
+	domTree  domOracle // static (practical) or incremental reachable (complete)
+	postTree *dom.Tree
+
+	backEdge map[*ir.Edge]bool // BACKWARD
+	// hasBackIn[blockID] reports an incoming RPO back edge (cyclic φs).
+	hasBackIn []bool
+
+	classOf []*class // by value ID; nil = INITIAL (⊥)
+	table   map[string]*class
+	changed map[*ir.Instr]bool // CHANGED
+
+	// §3 inferenceable-operand marks, by value ID: the value appears as
+	// an operand of a branch predicate (isPredOp) or of an equality or
+	// disequality branch predicate / a switch selector (isEqOp).
+	isPredOp, isEqOp []bool
+
+	blockReach []bool // by block ID
+	edgeReach  map[*ir.Edge]bool
+
+	edgePred      map[*ir.Edge]*expr.Expr
+	blockPred     []*expr.Expr // by block ID
+	blockPredNull []bool       // permanently nullified (§3)
+	canonical     [][]*ir.Edge // CANONICAL incoming-edge order, by block ID
+
+	touchedInstr []bool // by instruction ID
+	touchedBlock []bool // by block ID
+	touchedCount int
+
+	// incDom is the complete algorithm's incremental reachable dominator
+	// tree (nil for the practical algorithm and when everything is
+	// assumed reachable).
+	incDom *dom.Incremental
+
+	// Value-inference memo (§3: multiple uses of an inferenceable value
+	// in one evaluation must agree, so the first walk's result is
+	// cached). Keyed by value ID, invalidated by bumping infGen.
+	infMemo []memoEntry
+	infGen  int
+
+	// φ-predication traversal scratch (reset per block-predicate
+	// computation).
+	ppInitialized map[int]bool
+	ppPartial     map[int]*expr.Expr
+	ppCanonical   []*ir.Edge
+	ppAborted     bool
+	ppTarget      *ir.Block
+
+	stats Stats
+}
+
+// Prebuilt carries CFG analyses the embedding compiler already maintains,
+// so their construction is not charged to the value numbering itself (in
+// the paper's setting, HLO maintains these). Any nil field is computed on
+// demand.
+type Prebuilt struct {
+	// Order is the routine's reverse post order.
+	Order *cfg.Order
+	// Dom is the static dominator tree (used by the practical
+	// algorithm).
+	Dom *dom.Tree
+	// Post is the postdominator tree (used by φ-predication).
+	Post *dom.Tree
+}
+
+// Run performs global value numbering on an SSA-form routine and returns
+// the discovered reachability, congruence and constant information. The
+// routine is not modified; use package opt to apply the results.
+func Run(r *ir.Routine, config Config) (*Result, error) {
+	return RunPrebuilt(r, config, nil)
+}
+
+// RunPrebuilt is Run with caller-supplied CFG analyses (see Prebuilt).
+func RunPrebuilt(r *ir.Routine, config Config, pre *Prebuilt) (*Result, error) {
+	config = config.normalized()
+	if !r.IsSSA() {
+		return nil, fmt.Errorf("core: %s is not in SSA form (run ssa.Build first)", r.Name)
+	}
+	if config.VerifySSA {
+		if err := ssa.Verify(r); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	if pre == nil {
+		pre = &Prebuilt{}
+	}
+	order := pre.Order
+	if order == nil {
+		order = cfg.ReversePostOrder(r)
+	}
+	a := &analysis{
+		cfg:       config,
+		routine:   r,
+		order:     order,
+		table:     make(map[string]*class),
+		changed:   make(map[*ir.Instr]bool),
+		edgeReach: make(map[*ir.Edge]bool),
+		edgePred:  make(map[*ir.Edge]*expr.Expr),
+	}
+	a.byID = make([]*ir.Instr, r.NumInstrIDs())
+	r.Instrs(func(i *ir.Instr) { a.byID[i.ID] = i })
+	a.assignRanks()
+	a.markInferenceable()
+
+	nb := r.NumBlockIDs()
+	a.blockReach = make([]bool, nb)
+	a.blockPred = make([]*expr.Expr, nb)
+	a.blockPredNull = make([]bool, nb)
+	a.canonical = make([][]*ir.Edge, nb)
+	a.hasBackIn = make([]bool, nb)
+	a.touchedInstr = make([]bool, r.NumInstrIDs())
+	a.touchedBlock = make([]bool, nb)
+	a.classOf = make([]*class, r.NumInstrIDs())
+	a.infMemo = make([]memoEntry, r.NumInstrIDs())
+
+	a.backEdge = make(map[*ir.Edge]bool)
+	for _, b := range a.order.Blocks {
+		for _, e := range b.Succs {
+			if a.order.IsBackEdge(e) {
+				a.backEdge[e] = true
+				a.hasBackIn[e.To.ID] = true
+			}
+		}
+	}
+
+	a.postTree = pre.Post
+	if a.postTree == nil {
+		a.postTree = dom.NewPost(r)
+	}
+	if config.Complete {
+		// The complete algorithm maintains the dominator tree of the
+		// currently reachable subgraph incrementally (§2.7).
+		a.incDom = dom.NewIncremental(r)
+		a.domTree = a.incDom
+	} else if pre.Dom != nil {
+		a.domTree = pre.Dom
+	} else {
+		a.domTree = dom.New(r)
+	}
+
+	// Initial assumption.
+	if config.Mode == Pessimistic || config.AssumeAllReachable {
+		for _, b := range a.order.Blocks {
+			a.blockReach[b.ID] = true
+			for _, e := range b.Succs {
+				if a.order.Reachable(e.To) {
+					a.edgeReach[e] = true
+				}
+			}
+		}
+		if config.Complete {
+			// Everything is reachable: the reachable dominator tree is
+			// the static tree.
+			a.domTree = dom.New(r)
+			a.incDom = nil
+		}
+		for _, b := range a.order.Blocks {
+			a.touchBlock(b)
+			for _, i := range b.Instrs {
+				a.touchInstr(i)
+			}
+		}
+	} else {
+		a.blockReach[r.Entry().ID] = true
+		a.touchBlock(r.Entry())
+		for _, i := range r.Entry().Instrs {
+			a.touchInstr(i)
+		}
+	}
+
+	// The paper bounds the pass count by the loop connectedness of the
+	// SSA *def-use* graph: an acyclic def-use path threading k
+	// loop-carried values needs up to k+O(1) passes. The number of CFG
+	// back edges bounds that connectedness from above.
+	maxPasses := config.MaxPasses
+	if maxPasses == 0 {
+		maxPasses = 16 + 3*len(a.backEdge)
+	}
+
+	for a.touchedCount > 0 {
+		a.stats.Passes++
+		if a.stats.Passes > maxPasses {
+			return nil, fmt.Errorf("core: %s did not converge after %d passes", r.Name, maxPasses)
+		}
+		for _, b := range a.order.Blocks {
+			if a.touchedBlock[b.ID] {
+				a.touchedBlock[b.ID] = false
+				a.touchedCount--
+				if a.blockReach[b.ID] && a.cfg.PhiPredication {
+					a.computePredicateOfBlock(b)
+				}
+			}
+			for _, i := range b.Instrs {
+				if !a.touchedInstr[i.ID] {
+					continue
+				}
+				a.touchedInstr[i.ID] = false
+				a.touchedCount--
+				if !a.blockReach[b.ID] {
+					continue
+				}
+				if i.HasValue() {
+					a.stats.InstrEvals++
+					a.infGen++ // new evaluation: fresh inference memo
+					e := a.evaluate(i)
+					a.congruenceFind(i, e)
+				} else if i.Op.IsTerminator() {
+					a.infGen++ // edge predicates evaluate at this block
+					a.processOutgoingEdges(b)
+				}
+			}
+			if a.touchedCount == 0 {
+				break // §3: terminate in the middle of a pass
+			}
+		}
+		if debugPasses {
+			var left []string
+			for _, b := range a.order.Blocks {
+				for _, i := range b.Instrs {
+					if a.touchedInstr[i.ID] {
+						left = append(left, fmt.Sprintf("%s@%s", i.ValueName(), b.Name))
+					}
+				}
+			}
+			fmt.Printf("  pass %d done, %d left: %v\n", a.stats.Passes, a.touchedCount, left)
+		}
+		if config.Mode != Optimistic {
+			break // balanced and pessimistic: a single pass
+		}
+	}
+	return a.result(), nil
+}
+
+// memoEntry is one slot of the per-evaluation value-inference cache.
+type memoEntry struct {
+	gen    int
+	result *expr.Expr
+}
+
+// markInferenceable precomputes the §3 work filters: a value is
+// predicate-inferenceable when it is an operand of any comparison (a
+// comparison may control a conditional jump, possibly through copies the
+// partition later collapses), and value-inferenceable when that comparison
+// is an equality or disequality, or the value selects a switch (whose case
+// edges carry equality predicates).
+func (a *analysis) markInferenceable() {
+	n := a.routine.NumInstrIDs()
+	a.isPredOp = make([]bool, n)
+	a.isEqOp = make([]bool, n)
+	for _, b := range a.routine.Blocks {
+		for _, i := range b.Instrs {
+			switch {
+			case i.Op.IsCompare():
+				for _, arg := range i.Args {
+					a.isPredOp[arg.ID] = true
+					if i.Op == ir.OpEq || i.Op == ir.OpNe {
+						a.isEqOp[arg.ID] = true
+					}
+				}
+			case i.Op == ir.OpSwitch:
+				sel := i.Args[0]
+				a.isPredOp[sel.ID] = true
+				a.isEqOp[sel.ID] = true
+			}
+		}
+	}
+}
+
+// assignRanks implements the paper's Assign ranks to values: values are
+// ranked 1.. in RPO definition order (constants, as expressions, rank 0).
+func (a *analysis) assignRanks() {
+	a.rank = make([]int, a.routine.NumInstrIDs())
+	rank := 0
+	for _, b := range a.order.Blocks {
+		for _, i := range b.Instrs {
+			if i.HasValue() {
+				rank++
+				a.rank[i.ID] = rank
+			}
+		}
+	}
+}
+
+// touchInstr adds i to TOUCHED (deduplicated). Instructions in blocks the
+// RPO never visits (statically unreachable islands) are ignored: the
+// driver could never wipe them, and their values stay in INITIAL anyway.
+func (a *analysis) touchInstr(i *ir.Instr) {
+	if a.order.RPO(i.Block) < 0 {
+		return
+	}
+	if !a.touchedInstr[i.ID] {
+		a.touchedInstr[i.ID] = true
+		a.touchedCount++
+		a.stats.Touches++
+	}
+}
+
+// touchBlock adds b to TOUCHED (deduplicated).
+func (a *analysis) touchBlock(b *ir.Block) {
+	if !a.touchedBlock[b.ID] {
+		a.touchedBlock[b.ID] = true
+		a.touchedCount++
+		a.stats.Touches++
+	}
+}
+
+// touchUsers touches the consumers of v, or the whole routine in dense
+// mode.
+func (a *analysis) touchUsers(v *ir.Instr) {
+	if !a.cfg.Sparse {
+		a.touchEverything()
+		return
+	}
+	for _, u := range v.Uses() {
+		a.touchInstr(u)
+	}
+}
+
+// touchEverything implements the dense (non-sparse) formulation: any
+// refinement reapplies the assumption to the entire routine.
+func (a *analysis) touchEverything() {
+	for _, b := range a.order.Blocks {
+		a.touchBlock(b)
+		for _, i := range b.Instrs {
+			a.touchInstr(i)
+		}
+	}
+}
+
+// idom returns the immediate dominator under the tree in use (reachable
+// tree for the complete algorithm, static tree for the practical one).
+func (a *analysis) idom(b *ir.Block) *ir.Block {
+	if !a.domTree.Contains(b) {
+		return nil
+	}
+	return a.domTree.IDom(b)
+}
+
+// leaderExpr returns the symbolic evaluation of value v: ⊥ while v is in
+// INITIAL, the leader constant, or a Value atom for the leader.
+func (a *analysis) leaderExpr(v *ir.Instr) *expr.Expr {
+	c := a.classOf[v.ID]
+	if c == nil {
+		return expr.Bot
+	}
+	if c.leaderConst != nil {
+		return c.leaderConst
+	}
+	return expr.NewValue(c.leaderVal, a.rank[c.leaderVal.ID])
+}
+
+// classOfExpr resolves the class a Value atom refers to.
+func (a *analysis) classOfAtom(e *expr.Expr) *class {
+	if e.Kind != expr.Value {
+		return nil
+	}
+	return a.classOf[e.ValueID()]
+}
+
+// debugPasses prints end-of-pass leftovers when PGVN_DEBUG is set
+// (temporary diagnostics).
+var debugPasses = os.Getenv("PGVN_DEBUG") != ""

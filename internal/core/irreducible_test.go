@@ -1,0 +1,67 @@
+package core
+
+import "testing"
+
+// irreducibleSrc is a classic irreducible region: the cycle a↔b is entered
+// at both a and b, so neither dominates the other and the loop has no
+// single header. Both paths make progress on i, so execution terminates.
+const irreducibleSrc = `
+func irr(c, n) {
+entry:
+  i = 0
+  if c > 0 goto a else b
+a:
+  i = i + 1
+  if i >= n goto out else b
+b:
+  i = i + 2
+  if i >= n goto out else a
+out:
+  return i
+}
+`
+
+func TestIrreducibleAnalyzes(t *testing.T) {
+	for _, cfg := range []Config{
+		DefaultConfig(), BalancedConfig(), PessimisticConfig(),
+		ClickConfig(), SCCPConfig(), CompleteConfig(), ExtendedConfig(),
+	} {
+		res := analyze(t, irreducibleSrc, cfg)
+		// Everything is reachable; nothing about i is constant.
+		for _, b := range res.Routine.Blocks {
+			if !res.BlockReachable(b) {
+				t.Errorf("%v: block %s unreachable", cfg.Mode, b.Name)
+			}
+		}
+		if _, ok := res.ReturnConst(); ok {
+			t.Errorf("%v: claimed constant return on an input-dependent routine", cfg.Mode)
+		}
+	}
+}
+
+// TestIrreducibleCongruence: values duplicated across the irreducible
+// region still get congruences where sound.
+func TestIrreducibleCongruence(t *testing.T) {
+	res := analyze(t, `
+func irr2(c, x) {
+entry:
+  p = x * 2
+  if c > 0 goto a else b
+a:
+  q = x * 2
+  if q > 10 goto out else b
+b:
+  r = 2 * x
+  if r > 20 goto out else a
+out:
+  return p
+}
+`, DefaultConfig())
+	r := res.Routine
+	p := valueByName(t, r, "p")
+	q := valueByName(t, r, "q")
+	rr := valueByName(t, r, "r")
+	if !res.Congruent(p, q) || !res.Congruent(p, rr) {
+		t.Errorf("x*2 not congruent across the irreducible region\n%s", res.Dump())
+	}
+}

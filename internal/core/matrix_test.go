@@ -1,0 +1,86 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgvn/internal/core"
+	"pgvn/internal/interp"
+	"pgvn/internal/opt"
+	"pgvn/internal/ssa"
+	"pgvn/internal/workload"
+)
+
+// TestConfigMatrix sweeps the full cross product of analysis toggles —
+// including combinations no preset uses — over a few generated routines,
+// checking convergence and interpreter equivalence after optimization.
+func TestConfigMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	bools := []bool{false, true}
+	var configs []core.Config
+	for _, mode := range []core.Mode{core.Optimistic, core.Balanced, core.Pessimistic} {
+		for _, fold := range bools {
+			for _, reassoc := range bools {
+				for _, pred := range bools {
+					for _, val := range bools {
+						for _, phi := range bools {
+							for _, sparse := range bools {
+								for _, complete := range bools {
+									configs = append(configs, core.Config{
+										Mode:               mode,
+										Fold:               fold,
+										Reassociate:        reassoc,
+										PredicateInference: pred,
+										ValueInference:     val,
+										PhiPredication:     phi,
+										Sparse:             sparse,
+										Complete:           complete,
+									})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// Extensions and emulation axes, sampled rather than crossed.
+	extra := []core.Config{
+		func() core.Config { c := core.ExtendedConfig(); c.PhiPredication = false; return c }(),
+		func() core.Config { c := core.ExtendedConfig(); c.Sparse = false; return c }(),
+		func() core.Config { c := core.SCCPConfig(); c.Complete = true; return c }(),
+		func() core.Config { c := core.SimpsonConfig(); c.Mode = core.Balanced; return c }(),
+		func() core.Config { c := core.DefaultConfig(); c.PhiArithmetic = true; return c }(),
+		func() core.Config { c := core.DefaultConfig(); c.JointDomination = true; return c }(),
+	}
+	configs = append(configs, extra...)
+	t.Logf("%d configurations", len(configs))
+
+	for seed := int64(0); seed < 3; seed++ {
+		orig := workload.Generate("mx", workload.GenConfig{
+			Seed: 7700 + seed, Stmts: 25, Params: 3, MaxLoopDepth: 2,
+		})
+		ssaForm := orig.Clone()
+		if err := ssa.Build(ssaForm, ssa.SemiPruned); err != nil {
+			t.Fatal(err)
+		}
+		for ci, cfg := range configs {
+			work := ssaForm.Clone()
+			if _, _, err := opt.Optimize(work, cfg); err != nil {
+				t.Fatalf("seed %d config %d (%+v): %v", seed, ci, cfg, err)
+			}
+			for trial := 0; trial < 2; trial++ {
+				args := make([]int64, 3)
+				for k := range args {
+					args[k] = rng.Int63n(20) - 6
+				}
+				want, err1 := interp.Run(orig, args, 300000)
+				got, err2 := interp.Run(work, args, 300000)
+				if err1 != nil || err2 != nil || got != want {
+					t.Fatalf("seed %d config %d (%+v) %v: (%d,%v) vs (%d,%v)",
+						seed, ci, cfg, args, got, err2, want, err1)
+				}
+			}
+		}
+	}
+}

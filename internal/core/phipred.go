@@ -1,0 +1,198 @@
+package core
+
+import (
+	"pgvn/internal/expr"
+	"pgvn/internal/ir"
+)
+
+// computePredicateOfBlock computes the predicate of block b0 (paper
+// Figure 8): an OR over the reachable incoming edges of b0, whose k'th
+// operand is the predicate controlling arrival through the k'th edge of
+// the CANONICAL order, built by traversing all reachable paths from b0's
+// immediate dominator. Two φs in different blocks whose block predicates
+// are congruent (and whose arguments are congruent in canonical order)
+// then receive identical hash keys.
+//
+// The traversal aborts on back edges; per §3 an aborted block predicate is
+// permanently nullified.
+func (a *analysis) computePredicateOfBlock(b0 *ir.Block) {
+	if a.blockPredNull[b0.ID] {
+		return
+	}
+	d0 := a.idom(b0)
+	if d0 == nil || !a.postTree.Dominates(b0, d0) {
+		a.setBlockPredicate(b0, nil, nil)
+		return
+	}
+	a.ppInitialized = make(map[int]bool)
+	a.ppPartial = make(map[int]*expr.Expr)
+	a.ppCanonical = nil
+	a.ppAborted = false
+	a.ppTarget = b0
+	a.computePartialPredicate(d0, nil, true)
+	if a.ppAborted {
+		// Abnormal termination: nullify permanently (§3).
+		a.blockPredNull[b0.ID] = true
+		a.setBlockPredicate(b0, nil, nil)
+		return
+	}
+	pred := a.ppPartial[b0.ID]
+	// Every reachable incoming edge of b0 must have been traversed,
+	// otherwise the predicate is incomplete (Figure 8 lines 46–49).
+	if len(a.ppCanonical) != a.reachableInCount(b0) {
+		pred = nil
+	}
+	if pred == nil {
+		a.setBlockPredicate(b0, nil, nil)
+		return
+	}
+	a.setBlockPredicate(b0, pred, a.ppCanonical)
+}
+
+// setBlockPredicate records a (possibly nil) block predicate and its
+// CANONICAL edge order, touching the block's φs when the predicate
+// changed.
+func (a *analysis) setBlockPredicate(b *ir.Block, pred *expr.Expr, canon []*ir.Edge) {
+	if samePred(a.blockPred[b.ID], pred) && sameEdges(a.canonical[b.ID], canon) {
+		return
+	}
+	a.blockPred[b.ID] = pred
+	a.canonical[b.ID] = canon
+	for _, phi := range b.Phis() {
+		a.touchInstr(phi)
+	}
+}
+
+func sameEdges(a, b []*ir.Edge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// reachableInCount counts b's reachable incoming edges.
+func (a *analysis) reachableInCount(b *ir.Block) int {
+	n := 0
+	for _, e := range b.Preds {
+		if a.edgeReach[e] {
+			n++
+		}
+	}
+	return n
+}
+
+// reachableOutCount counts b's reachable outgoing edges.
+func (a *analysis) reachableOutCount(b *ir.Block) int {
+	n := 0
+	for _, e := range b.Succs {
+		if a.edgeReach[e] {
+			n++
+		}
+	}
+	return n
+}
+
+// truePlaceholder stands in for an empty path predicate inside a raw OR.
+// The OR is built verbatim (no simplification) because its operand order
+// must correspond 1:1 with the CANONICAL edge order.
+var truePlaceholder = expr.NewConst(1)
+
+// computePartialPredicate implements Figure 8's recursive traversal. b is
+// the block being entered, pp the predicate of the path taken to reach it,
+// ignoreIncoming true for the region head (and postdominator shortcuts).
+func (a *analysis) computePartialPredicate(b *ir.Block, pp *expr.Expr, ignoreIncoming bool) {
+	if a.ppAborted {
+		return
+	}
+	a.stats.PhiPredVisits++
+	b0 := a.ppTarget
+	if ignoreIncoming || a.reachableInCount(b) < 2 {
+		a.ppPartial[b.ID] = pp
+	} else {
+		if !a.ppInitialized[b.ID] {
+			a.ppInitialized[b.ID] = true
+			a.ppPartial[b.ID] = &expr.Expr{Kind: expr.Or}
+		}
+		or := a.ppPartial[b.ID]
+		operand := pp
+		if operand == nil {
+			operand = truePlaceholder
+		}
+		or.Args = append(or.Args, operand)
+		if len(or.Args) < a.reachableInCount(b) {
+			return // wait for the remaining paths
+		}
+	}
+	if b == b0 {
+		return
+	}
+	// Single-entry single-exit shortcut: when b dominates its immediate
+	// postdominator d (≠ b0), the inner region cannot affect b0's
+	// predicate; jump straight to d.
+	if d := a.postTree.IDom(b); d != nil && d != b0 && a.dominatesForPred(b, d) && a.blockReach[d.ID] {
+		a.computePartialPredicate(d, a.ppPartial[b.ID], true)
+		return
+	}
+	for _, e := range a.canonicalOutgoing(b) {
+		if !a.edgeReach[e] {
+			continue
+		}
+		if a.backEdge[e] {
+			a.ppAborted = true
+			return
+		}
+		var ep *expr.Expr
+		switch {
+		case a.reachableOutCount(b) == 1:
+			ep = a.ppPartial[b.ID]
+		case a.ppPartial[b.ID] == nil:
+			ep = a.edgePred[e]
+		default:
+			ep = expr.NewAnd(a.ppPartial[b.ID], a.edgePred[e])
+		}
+		a.computePartialPredicate(e.To, ep, false)
+		if a.ppAborted {
+			return
+		}
+		if e.To == b0 {
+			a.ppCanonical = append(a.ppCanonical, e)
+		}
+	}
+}
+
+// dominatesForPred answers dominance queries for the traversal shortcut,
+// tolerating blocks outside the (reachable) dominator tree.
+func (a *analysis) dominatesForPred(x, y *ir.Block) bool {
+	if !a.domTree.Contains(x) || !a.domTree.Contains(y) {
+		return false
+	}
+	return a.domTree.Dominates(x, y)
+}
+
+// canonicalOutgoing orders b's outgoing edges canonically (§2.8): for a
+// two-way conditional the edge whose predicate has operator =, < or ≤
+// comes first, so structurally mirrored branches produce identical block
+// predicates.
+func (a *analysis) canonicalOutgoing(b *ir.Block) []*ir.Edge {
+	if len(b.Succs) != 2 {
+		return b.Succs
+	}
+	p0 := a.edgePred[b.Succs[0]]
+	p1 := a.edgePred[b.Succs[1]]
+	if p0 != nil && p1 != nil && p0.Kind == expr.Compare && p1.Kind == expr.Compare {
+		if !canonicalFirstOp(p0.Op) && canonicalFirstOp(p1.Op) {
+			return []*ir.Edge{b.Succs[1], b.Succs[0]}
+		}
+	}
+	return b.Succs
+}
+
+// canonicalFirstOp reports whether op may label the first outgoing edge.
+func canonicalFirstOp(op ir.Op) bool {
+	return op == ir.OpEq || op == ir.OpLt || op == ir.OpLe
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pgvn/internal/expr"
+	"pgvn/internal/ir"
+)
+
+// Result holds the outcome of global value numbering: reachability of
+// blocks and edges, the congruence partition, class leaders and constants,
+// plus the work statistics. It answers queries but does not modify the
+// routine; package opt turns a Result into transformations.
+type Result struct {
+	// Routine is the analyzed routine.
+	Routine *ir.Routine
+	// Config is the configuration the analysis ran with.
+	Config Config
+	// Stats records the work performed.
+	Stats Stats
+
+	blockReach []bool
+	edgeReach  map[*ir.Edge]bool
+	classOf    []*class
+	rank       []int
+	byID       []*ir.Instr
+	blockPred  []*expr.Expr
+	edgePred   map[*ir.Edge]*expr.Expr
+	canonical  [][]*ir.Edge
+}
+
+// result packages the analysis state.
+func (a *analysis) result() *Result {
+	return &Result{
+		Routine:    a.routine,
+		Config:     a.cfg,
+		Stats:      a.stats,
+		blockReach: a.blockReach,
+		edgeReach:  a.edgeReach,
+		classOf:    a.classOf,
+		rank:       a.rank,
+		byID:       a.byID,
+		blockPred:  a.blockPred,
+		edgePred:   a.edgePred,
+		canonical:  a.canonical,
+	}
+}
+
+// BlockReachable reports whether the analysis proved b reachable.
+func (r *Result) BlockReachable(b *ir.Block) bool { return r.blockReach[b.ID] }
+
+// EdgeReachable reports whether the analysis proved e reachable.
+func (r *Result) EdgeReachable(e *ir.Edge) bool { return r.edgeReach[e] }
+
+// class returns v's congruence class, or nil for undetermined values and
+// for instructions created after the analysis ran.
+func (r *Result) class(v *ir.Instr) *class {
+	if v.ID >= len(r.classOf) {
+		return nil
+	}
+	return r.classOf[v.ID]
+}
+
+// ValueReachable reports whether value v was ever determined: values left
+// in the INITIAL class are unreachable (paper §2.2).
+func (r *Result) ValueReachable(v *ir.Instr) bool { return r.class(v) != nil }
+
+// Congruent reports whether two values are in the same congruence class.
+// Undetermined (unreachable) values are congruent to nothing, not even
+// themselves.
+func (r *Result) Congruent(a, b *ir.Instr) bool {
+	ca, cb := r.class(a), r.class(b)
+	return ca != nil && ca == cb
+}
+
+// ConstValue reports whether v is congruent to a compile-time constant,
+// and if so which.
+func (r *Result) ConstValue(v *ir.Instr) (int64, bool) {
+	c := r.class(v)
+	if c == nil || c.leaderConst == nil {
+		return 0, false
+	}
+	return c.leaderConst.C, true
+}
+
+// Leader returns the representative value of v's congruence class (the
+// lowest-ranking member elected by the analysis), or nil for undetermined
+// values. When the class is constant the leader is still a member value;
+// use ConstValue for the constant itself.
+func (r *Result) Leader(v *ir.Instr) *ir.Instr {
+	c := r.class(v)
+	if c == nil {
+		return nil
+	}
+	return c.leaderVal
+}
+
+// ClassMembers returns the members of v's class sorted by instruction ID,
+// or nil for undetermined values.
+func (r *Result) ClassMembers(v *ir.Instr) []*ir.Instr {
+	c := r.class(v)
+	if c == nil {
+		return nil
+	}
+	out := append([]*ir.Instr(nil), c.members...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Counts are the per-routine strength metrics the paper's Figures 10–12
+// compare: more unreachable values is better, more constant values is
+// better, fewer congruence classes is better. Following §5, unreachable
+// values are counted as constant values too, correcting for constants that
+// are discovered to be unreachable.
+type Counts struct {
+	// UnreachableValues is the number of value-producing instructions
+	// proven unreachable (left in INITIAL or in unreachable blocks).
+	UnreachableValues int
+	// ConstantValues is the number of values congruent to a constant,
+	// plus the unreachable values (the paper's correction).
+	ConstantValues int
+	// Classes is the number of distinct congruence classes among
+	// determined values.
+	Classes int
+	// Values is the total number of value-producing instructions.
+	Values int
+}
+
+// Count computes the strength metrics of the analysis.
+func (r *Result) Count() Counts {
+	var c Counts
+	classes := make(map[*class]bool)
+	r.Routine.Instrs(func(i *ir.Instr) {
+		if !i.HasValue() {
+			return
+		}
+		c.Values++
+		cl := r.class(i)
+		if cl == nil || !r.blockReach[i.Block.ID] {
+			c.UnreachableValues++
+			c.ConstantValues++ // §5's correction
+			return
+		}
+		if cl.leaderConst != nil {
+			c.ConstantValues++
+		}
+		classes[cl] = true
+	})
+	c.Classes = len(classes)
+	return c
+}
+
+// Dump renders the partition for debugging: one line per congruence class
+// with leader, expression and members, plus unreachable blocks.
+func (r *Result) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "gvn %s (%s):\n", r.Routine.Name, r.Config.Mode)
+	seen := make(map[*class]bool)
+	r.Routine.Instrs(func(i *ir.Instr) {
+		if !i.HasValue() {
+			return
+		}
+		c := r.class(i)
+		if c == nil || seen[c] {
+			return
+		}
+		seen[c] = true
+		names := make([]string, 0, len(c.members))
+		for _, m := range r.ClassMembers(i) {
+			names = append(names, m.ValueName())
+		}
+		lead := "?"
+		if c.leaderConst != nil {
+			lead = fmt.Sprint(c.leaderConst.C)
+		} else if c.leaderVal != nil {
+			lead = c.leaderVal.ValueName()
+		}
+		exprStr := ""
+		if c.expr != nil {
+			exprStr = " expr=" + c.expr.Key()
+		}
+		fmt.Fprintf(&sb, "  class leader=%s%s members={%s}\n",
+			lead, exprStr, strings.Join(names, ", "))
+	})
+	for _, b := range r.Routine.Blocks {
+		if !r.blockReach[b.ID] {
+			fmt.Fprintf(&sb, "  unreachable block %s\n", b.Name)
+		}
+	}
+	return sb.String()
+}
+
+// ReturnConst reports whether every reachable return in the routine
+// returns the same compile-time constant, and which (the Figure 1 headline
+// query: routine R is guaranteed to always return 1).
+func (r *Result) ReturnConst() (int64, bool) {
+	var val int64
+	found := false
+	for _, b := range r.Routine.Blocks {
+		if !r.blockReach[b.ID] {
+			continue
+		}
+		t := b.Terminator()
+		if t == nil || t.Op != ir.OpReturn {
+			continue
+		}
+		c, ok := r.ConstValue(t.Args[0])
+		if !ok {
+			return 0, false
+		}
+		if found && c != val {
+			return 0, false
+		}
+		val, found = c, true
+	}
+	return val, found
+}
+
+// BlockPredicate returns the φ-predication predicate of block b rendered
+// over value names ("" when none was computed), plus the CANONICAL
+// incoming-edge order it corresponds to (§2.8).
+func (r *Result) BlockPredicate(b *ir.Block) (string, []*ir.Edge) {
+	p := r.blockPred[b.ID]
+	if p == nil {
+		return "", nil
+	}
+	return r.RenderExpr(p), r.canonical[b.ID]
+}
+
+// EdgePredicate returns the predicate of edge e rendered over value names,
+// or "" when the edge carries none (§2.7).
+func (r *Result) EdgePredicate(e *ir.Edge) string {
+	p := r.edgePred[e]
+	if p == nil {
+		return ""
+	}
+	return r.RenderExpr(p)
+}
+
+// DOT renders the analyzed routine's CFG in GraphViz dot syntax with
+// analysis overlays: blocks the analysis proved unreachable are filled
+// gray.
+func (r *Result) DOT() string {
+	return r.Routine.DOT(func(b *ir.Block) string {
+		if !r.BlockReachable(b) {
+			return `,fillcolor="gray85",style=filled`
+		}
+		return ""
+	})
+}
+
+// classExpr exposes a class's defining expression to package-internal
+// tests.
+func (r *Result) classExpr(v *ir.Instr) *expr.Expr {
+	if c := r.class(v); c != nil {
+		return c.expr
+	}
+	return nil
+}

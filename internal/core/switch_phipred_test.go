@@ -1,0 +1,110 @@
+package core
+
+import "testing"
+
+// TestPhiPredicationOverSwitch: two switch-dispatched merges over the same
+// selector with matching per-arm values must produce congruent φs — the
+// §3 switch extension of φ-predication, including the default edge's
+// conjunction-of-disequalities predicate.
+func TestPhiPredicationOverSwitch(t *testing.T) {
+	src := `
+func f(s, a, b) {
+entry:
+  switch s [1: p1, 2: p2, default: pd]
+p1:
+  x = a + 1
+  goto m1
+p2:
+  x = b * 2
+  goto m1
+pd:
+  x = a - b
+  goto m1
+m1:
+  switch s [1: q1, 2: q2, default: qd]
+q1:
+  y = a + 1
+  goto m2
+q2:
+  y = b * 2
+  goto m2
+qd:
+  y = a - b
+  goto m2
+m2:
+  return x - y
+}
+`
+	res := analyze(t, src, DefaultConfig())
+	if c, ok := res.ReturnConst(); !ok || c != 0 {
+		t.Errorf("mirrored switch merges: x-y = (%d,%v), want 0\n%s", c, ok, res.Dump())
+	}
+	// Without φ-predication the congruence disappears.
+	cfg := DefaultConfig()
+	cfg.PhiPredication = false
+	res2 := analyze(t, src, cfg)
+	if _, ok := res2.ReturnConst(); ok {
+		t.Errorf("congruence found without φ-predication?")
+	}
+}
+
+// TestPhiPredicationSwitchConstantSelector: a constant selector collapses
+// both switches; the φs fold away entirely.
+func TestPhiPredicationSwitchConstantSelector(t *testing.T) {
+	res := analyze(t, `
+func f(a, b) {
+entry:
+  s = 2
+  switch s [1: p1, 2: p2, default: pd]
+p1:
+  x = a + 1
+  goto m1
+p2:
+  x = b * 2
+  goto m1
+pd:
+  x = a - b
+  goto m1
+m1:
+  y = b * 2
+  z = x - y
+  return z
+}
+`, DefaultConfig())
+	if c, ok := res.ReturnConst(); !ok || c != 0 {
+		t.Errorf("constant-selector switch: (%d,%v), want 0\n%s", c, ok, res.Dump())
+	}
+	for _, name := range []string{"p1", "pd"} {
+		if res.BlockReachable(blockByName(t, res.Routine, name)) {
+			t.Errorf("%s should be unreachable", name)
+		}
+	}
+}
+
+// TestSwitchMixedWithBranches: a switch feeding a two-way diamond with the
+// same dominating selector information.
+func TestSwitchMixedWithBranches(t *testing.T) {
+	res := analyze(t, `
+func f(s) {
+entry:
+  switch s [5: five, default: other]
+five:
+  p = s + 1
+  return p
+other:
+  q = s == 5
+  return q
+}
+`, DefaultConfig())
+	r := res.Routine
+	// In five, s = 5 (value inference from the case-edge equality), so
+	// p = 6. In other, s ≠ 5, so q = 0.
+	p := valueByName(t, r, "p")
+	if c, ok := res.ConstValue(p); !ok || c != 6 {
+		t.Errorf("p = (%d,%v), want 6\n%s", c, ok, res.Dump())
+	}
+	q := valueByName(t, r, "q")
+	if c, ok := res.ConstValue(q); !ok || c != 0 {
+		t.Errorf("q = (%d,%v), want 0\n%s", c, ok, res.Dump())
+	}
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"pgvn/internal/expr"
+	"pgvn/internal/ir"
+)
+
+// evaluate performs symbolic evaluation of the expression computed by
+// value-producing instruction i (paper Figure 4): operands are replaced by
+// class leaders (improved by value inference), constant folding, algebraic
+// simplification and global reassociation are applied, φ-functions get the
+// unreachable-argument/same-argument/φ-predication treatment, and
+// predicates are subjected to predicate inference.
+//
+// It returns ⊥ while the value cannot be determined yet (an operand is
+// still in INITIAL, or every φ argument is ignorable).
+func (a *analysis) evaluate(i *ir.Instr) *expr.Expr {
+	b := i.Block
+	switch i.Op {
+	case ir.OpConst:
+		return expr.NewConst(i.Const)
+
+	case ir.OpParam:
+		return expr.NewUnique(i)
+
+	case ir.OpPhi:
+		return a.evaluatePhi(i)
+
+	case ir.OpCopy:
+		return a.operandAtom(i.Args[0], b)
+
+	case ir.OpNeg:
+		x := a.operandForAlgebra(i.Args[0], b)
+		if x.IsBottom() {
+			return a.hashOnly(i, expr.Bot)
+		}
+		if a.cfg.Fold {
+			if e := expr.NegExpr(x); e != nil {
+				return a.hashOnly(i, e)
+			}
+		}
+		return a.hashOnly(i, expr.NewOpaque(ir.OpNeg, "", []*expr.Expr{a.operandAtom(i.Args[0], b)}))
+
+	case ir.OpAdd, ir.OpSub, ir.OpMul:
+		xa := a.operandAtom(i.Args[0], b)
+		ya := a.operandAtom(i.Args[1], b)
+		if xa.IsBottom() || ya.IsBottom() {
+			return a.hashOnly(i, expr.Bot)
+		}
+		if a.cfg.Fold {
+			if pa := a.phiArithmetic(i.Op, xa, ya); pa != nil {
+				return a.hashOnly(i, pa)
+			}
+			x := a.operandForAlgebra(i.Args[0], b)
+			y := a.operandForAlgebra(i.Args[1], b)
+			var e *expr.Expr
+			switch i.Op {
+			case ir.OpAdd:
+				e = expr.AddExprs(x, y, a.cfg.ReassocLimit)
+			case ir.OpSub:
+				e = expr.SubExprs(x, y, a.cfg.ReassocLimit)
+			case ir.OpMul:
+				e = expr.MulExprs(x, y, a.cfg.ReassocLimit)
+			}
+			if e != nil {
+				return a.hashOnly(i, e)
+			}
+		}
+		return a.hashOnly(i, a.opaqueBinop(i, b))
+
+	case ir.OpDiv, ir.OpMod:
+		x := a.operandAtom(i.Args[0], b)
+		y := a.operandAtom(i.Args[1], b)
+		if x.IsBottom() || y.IsBottom() {
+			return a.hashOnly(i, expr.Bot)
+		}
+		if a.cfg.Fold {
+			return a.hashOnly(i, expr.NewOpaque(i.Op, "", []*expr.Expr{x, y}))
+		}
+		return a.hashOnly(i, a.opaqueBinop(i, b))
+
+	case ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+		return a.hashOnly(i, a.evaluateCompare(i))
+
+	case ir.OpCall:
+		args := make([]*expr.Expr, len(i.Args))
+		for k, v := range i.Args {
+			args[k] = a.operandAtom(v, b)
+			if args[k].IsBottom() {
+				return a.hashOnly(i, expr.Bot)
+			}
+		}
+		return a.hashOnly(i, expr.NewOpaque(ir.OpCall, i.Name, args))
+	}
+	// VarRead/VarWrite never reach here (SSA verified); defensive.
+	return expr.NewUnique(i)
+}
+
+// hashOnly implements the Wegman–Zadeck emulation (§2.9): non-constant
+// expressions are replaced by the instruction's own value, so only
+// constants are ever congruent.
+func (a *analysis) hashOnly(i *ir.Instr, e *expr.Expr) *expr.Expr {
+	if !a.cfg.HashOnly || e.IsBottom() {
+		return e
+	}
+	if _, isConst := e.IsConst(); isConst {
+		return e
+	}
+	return expr.NewUnique(i)
+}
+
+// opaqueBinop builds the no-folding expression for a binary operation:
+// operand order canonicalized for commutative operators (by rank) so that
+// pure optimistic value numbering still sees add(x,y) = add(y,x).
+func (a *analysis) opaqueBinop(i *ir.Instr, b *ir.Block) *expr.Expr {
+	x := a.operandAtom(i.Args[0], b)
+	y := a.operandAtom(i.Args[1], b)
+	if x.IsBottom() || y.IsBottom() {
+		return expr.Bot
+	}
+	if i.Op.IsCommutative() && atomRank(x) > atomRank(y) {
+		x, y = y, x
+	}
+	return expr.NewOpaque(i.Op, "", []*expr.Expr{x, y})
+}
+
+func atomRank(e *expr.Expr) int {
+	if e.Kind == expr.Const {
+		return 0
+	}
+	return e.Rank
+}
+
+// evaluateCompare handles the six comparison operators: operands via
+// value inference, difference-based folding through the reassociation
+// algebra ((x+1) < (x+2) folds), canonical predicate construction, then
+// predicate inference against dominating edges.
+func (a *analysis) evaluateCompare(i *ir.Instr) *expr.Expr {
+	b := i.Block
+	x := a.operandAtom(i.Args[0], b)
+	y := a.operandAtom(i.Args[1], b)
+	if x.IsBottom() || y.IsBottom() {
+		return expr.Bot
+	}
+	if a.cfg.Fold && a.cfg.Reassociate {
+		xs := a.operandForAlgebra(i.Args[0], b)
+		ys := a.operandForAlgebra(i.Args[1], b)
+		if !xs.IsBottom() && !ys.IsBottom() {
+			if d := expr.SubExprs(xs, ys, a.cfg.ReassocLimit); d != nil {
+				if c, ok := d.IsConst(); ok {
+					return expr.NewCompare(i.Op, expr.NewConst(c), expr.NewConst(0))
+				}
+			}
+		}
+	}
+	var e *expr.Expr
+	if a.cfg.Fold {
+		e = expr.NewCompare(i.Op, x, y)
+	} else {
+		// No folding: hash the comparison structurally (still with
+		// commutative canonicalization for = and ≠).
+		op := i.Op
+		if op.IsCommutative() && atomRank(x) > atomRank(y) {
+			x, y = y, x
+		}
+		e = expr.NewOpaque(op, "", []*expr.Expr{x, y})
+	}
+	if e.Kind == expr.Compare && a.cfg.PredicateInference {
+		e = a.inferValueOfPredicate(e, b)
+	}
+	return e
+}
+
+// evaluatePhi implements the φ treatment of Figure 4: cyclic φs are unique
+// under balanced/pessimistic numbering; arguments on unreachable edges are
+// ignored; arguments are improved by inference at their edges; the
+// argument order follows CANONICAL; the tag is the block predicate when
+// φ-predication produced one, otherwise the block itself; and a φ whose
+// remaining arguments agree reduces to that argument.
+func (a *analysis) evaluatePhi(i *ir.Instr) *expr.Expr {
+	b := i.Block
+	if a.cfg.Mode != Optimistic && a.hasBackIn[b.ID] {
+		return expr.NewUnique(i) // cyclic φ under balanced/pessimistic
+	}
+	edges := a.incomingOrder(b)
+	var args []*expr.Expr
+	for _, e := range edges {
+		if !a.edgeReach[e] {
+			continue
+		}
+		av := a.inferValueAtEdge(i.Args[e.InIndex()], e)
+		if av.IsBottom() {
+			// Optimistically ignore ⊥ (its definition will re-touch
+			// this φ when it becomes determined).
+			continue
+		}
+		args = append(args, av)
+	}
+	if len(args) == 0 {
+		return expr.Bot
+	}
+	e := expr.NewPhi(a.phiTag(b), args)
+	if e.Kind == expr.Value {
+		// §3: when an expression reduces to a variable, value inference
+		// can be reapplied to it (here: at the φ's own block).
+		e = a.inferAtomAtBlock(e, b)
+	}
+	return e
+}
+
+// phiTag returns the φ tag of a block: its predicate when φ-predication
+// computed one, else the block itself (preventing congruence of φs in
+// blocks whose predicates are unknown, §2.2).
+func (a *analysis) phiTag(b *ir.Block) *expr.Expr {
+	if a.cfg.PhiPredication {
+		if p := a.blockPred[b.ID]; p != nil {
+			return p
+		}
+	}
+	return expr.NewBlockTag(b)
+}
+
+// incomingOrder returns the block's reachable incoming edges in CANONICAL
+// order when φ-predication established one, otherwise in predecessor
+// order.
+func (a *analysis) incomingOrder(b *ir.Block) []*ir.Edge {
+	if a.cfg.PhiPredication {
+		if c := a.canonical[b.ID]; c != nil && a.blockPred[b.ID] != nil {
+			return c
+		}
+	}
+	return b.Preds
+}
+
+// operandAtom symbolically evaluates operand v as used in block b: value
+// inference (Figure 7) then the class leader.
+func (a *analysis) operandAtom(v *ir.Instr, b *ir.Block) *expr.Expr {
+	if a.cfg.ValueInference {
+		return a.inferValueAtBlock(v, b)
+	}
+	return a.leaderExpr(v)
+}
+
+// operandForAlgebra returns the view of operand v that participates in
+// reassociation: the constant leader, the defining sum-of-products under
+// forward propagation, or the leader atom.
+func (a *analysis) operandForAlgebra(v *ir.Instr, b *ir.Block) *expr.Expr {
+	atom := a.operandAtom(v, b)
+	if atom.IsBottom() {
+		return expr.Bot
+	}
+	if _, ok := atom.IsConst(); ok {
+		return atom
+	}
+	if !a.cfg.Reassociate || atom.Kind != expr.Value {
+		return atom
+	}
+	c := a.classOf[atom.ValueID()]
+	if c == nil || c.expr == nil {
+		return atom
+	}
+	// Forward propagation: substitute the defining expression when it is
+	// inside the algebra and small enough (footnote 4).
+	if c.expr.Kind == expr.Sum && len(c.expr.Terms) <= a.cfg.ReassocLimit {
+		return c.expr
+	}
+	return atom
+}

@@ -1,0 +1,61 @@
+package dom_test
+
+import (
+	"testing"
+
+	"pgvn/internal/dom"
+	"pgvn/internal/ir"
+	"pgvn/internal/workload"
+)
+
+func benchRoutine(b *testing.B, stmts int) *ir.Routine {
+	b.Helper()
+	return workload.Generate("bench", workload.GenConfig{
+		Seed: 42, Stmts: stmts, Params: 3, MaxLoopDepth: 2,
+	})
+}
+
+func BenchmarkDominators(b *testing.B) {
+	r := benchRoutine(b, 120)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		dom.New(r)
+	}
+}
+
+func BenchmarkPostDominators(b *testing.B) {
+	r := benchRoutine(b, 120)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		dom.NewPost(r)
+	}
+}
+
+func BenchmarkFrontier(b *testing.B) {
+	r := benchRoutine(b, 120)
+	t := dom.New(r)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		t.Frontier()
+	}
+}
+
+func BenchmarkIncrementalInsertAll(b *testing.B) {
+	r := benchRoutine(b, 120)
+	var edges []*ir.Edge
+	for _, blk := range r.Blocks {
+		edges = append(edges, blk.Succs...)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		inc := dom.NewIncremental(r)
+		// Insert in block order; sources become reachable as we go.
+		for pass := 0; pass < 2; pass++ {
+			for _, e := range edges {
+				if inc.Contains(e.From) {
+					inc.InsertEdge(e)
+				}
+			}
+		}
+	}
+}

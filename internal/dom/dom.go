@@ -1,0 +1,246 @@
+// Package dom computes dominator and postdominator trees, dominance
+// frontiers, and dominator trees restricted to the currently reachable
+// subgraph (used by the paper's "complete" algorithm).
+//
+// The construction is the iterative algorithm of Cooper, Harvey and
+// Kennedy, which is simple, robust and fast at compiler-middle-end scale.
+// Dominance queries are O(1) via an Euler-tour numbering of the tree.
+package dom
+
+import (
+	"pgvn/internal/ir"
+)
+
+// Tree is a dominator tree over the blocks of one routine. A Tree may
+// cover only a subgraph (see NewReachable); blocks outside the subgraph
+// have no dominator information and are reported as not contained.
+type Tree struct {
+	routine *ir.Routine
+	post    bool // true if this is a postdominator tree
+
+	// idom[blockID] is the immediate dominator; nil for the root and for
+	// blocks outside the covered subgraph. In a postdominator tree the
+	// root is the virtual exit, and blocks whose only "postdominator" is
+	// the virtual exit have a nil idom but are still contained.
+	idom []*ir.Block
+	// contained[blockID] reports membership in the covered subgraph.
+	contained []bool
+	// pre/postNum give the Euler-tour interval of each block in the tree
+	// (virtual exit excluded), for O(1) dominance queries.
+	preNum, postNum []int
+	// children[blockID] lists tree children in deterministic order.
+	children [][]*ir.Block
+	// rootBlocks lists the tree roots among real blocks: for a forward
+	// tree, just the entry; for a postdominator tree, the real-block
+	// children of the virtual exit.
+	rootBlocks []*ir.Block
+}
+
+// New computes the dominator tree of the routine's full CFG.
+func New(r *ir.Routine) *Tree {
+	return NewReachable(r, nil)
+}
+
+// NewReachable computes the dominator tree of the subgraph of the routine
+// containing only edges for which edgeIn returns true (all edges when
+// edgeIn is nil), starting from the entry block. Blocks not reachable
+// through such edges are excluded from the tree.
+func NewReachable(r *ir.Routine, edgeIn func(*ir.Edge) bool) *Tree {
+	t := &Tree{routine: r}
+	n := r.NumBlockIDs()
+
+	// RPO of the subgraph.
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	var order []*ir.Block
+	type frame struct {
+		b    *ir.Block
+		next int
+	}
+	seen := make([]bool, n)
+	stack := []frame{{b: r.Entry()}}
+	seen[r.Entry().ID] = true
+	var postOrd []*ir.Block
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.b.Succs) {
+			e := f.b.Succs[f.next]
+			f.next++
+			if edgeIn != nil && !edgeIn(e) {
+				continue
+			}
+			if !seen[e.To.ID] {
+				seen[e.To.ID] = true
+				stack = append(stack, frame{b: e.To})
+			}
+			continue
+		}
+		postOrd = append(postOrd, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	order = make([]*ir.Block, len(postOrd))
+	for i, b := range postOrd {
+		k := len(postOrd) - 1 - i
+		order[k] = b
+		rpoNum[b.ID] = k
+	}
+
+	// Iterative idom computation (Cooper–Harvey–Kennedy).
+	idom := make([]*ir.Block, n)
+	entry := r.Entry()
+	idom[entry.ID] = entry
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for rpoNum[a.ID] > rpoNum[b.ID] {
+				a = idom[a.ID]
+			}
+			for rpoNum[b.ID] > rpoNum[a.ID] {
+				b = idom[b.ID]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order[1:] {
+			var newIdom *ir.Block
+			for _, e := range b.Preds {
+				if edgeIn != nil && !edgeIn(e) {
+					continue
+				}
+				p := e.From
+				if rpoNum[p.ID] < 0 || idom[p.ID] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[b.ID] != newIdom {
+				idom[b.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[entry.ID] = nil // the root has no immediate dominator
+
+	t.idom = idom
+	t.contained = seen
+	t.rootBlocks = []*ir.Block{entry}
+	t.finish(order)
+	return t
+}
+
+// finish builds child lists and the Euler-tour numbering. order must list
+// contained blocks with parents before children (an RPO works for forward
+// trees; for postdominator trees the caller passes a reverse-graph RPO).
+func (t *Tree) finish(order []*ir.Block) {
+	n := len(t.idom)
+	t.children = make([][]*ir.Block, n)
+	for _, b := range order {
+		if p := t.idom[b.ID]; p != nil {
+			t.children[p.ID] = append(t.children[p.ID], b)
+		}
+	}
+	t.preNum = make([]int, n)
+	t.postNum = make([]int, n)
+	for i := range t.preNum {
+		t.preNum[i] = -1
+	}
+	clock := 0
+	type frame struct {
+		b    *ir.Block
+		next int
+	}
+	var stack []frame
+	for _, root := range t.rootBlocks {
+		stack = append(stack, frame{b: root})
+		t.preNum[root.ID] = clock
+		clock++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(t.children[f.b.ID]) {
+				c := t.children[f.b.ID][f.next]
+				f.next++
+				t.preNum[c.ID] = clock
+				clock++
+				stack = append(stack, frame{b: c})
+				continue
+			}
+			t.postNum[f.b.ID] = clock
+			clock++
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+// Contains reports whether b is part of the covered subgraph.
+func (t *Tree) Contains(b *ir.Block) bool { return t.contained[b.ID] }
+
+// IDom returns the immediate dominator of b, or nil if b is the root, is
+// outside the covered subgraph, or (in a postdominator tree) is immediately
+// postdominated by the virtual exit.
+func (t *Tree) IDom(b *ir.Block) *ir.Block { return t.idom[b.ID] }
+
+// Children returns b's children in the tree, in deterministic order. The
+// slice is shared; callers must not modify it.
+func (t *Tree) Children(b *ir.Block) []*ir.Block { return t.children[b.ID] }
+
+// Dominates reports whether a dominates b (reflexively) within the covered
+// subgraph. For postdominator trees it reads "a postdominates b".
+func (t *Tree) Dominates(a, b *ir.Block) bool {
+	if !t.contained[a.ID] || !t.contained[b.ID] {
+		return false
+	}
+	if t.preNum[a.ID] < 0 || t.preNum[b.ID] < 0 {
+		return false
+	}
+	return t.preNum[a.ID] <= t.preNum[b.ID] && t.postNum[b.ID] <= t.postNum[a.ID]
+}
+
+// StrictlyDominates reports whether a dominates b and a != b.
+func (t *Tree) StrictlyDominates(a, b *ir.Block) bool {
+	return a != b && t.Dominates(a, b)
+}
+
+// Frontier computes the dominance frontier of every contained block
+// (Cooper–Harvey–Kennedy "runner" formulation). The result is indexed by
+// block ID; entries for non-contained blocks are nil.
+func (t *Tree) Frontier() [][]*ir.Block {
+	n := len(t.idom)
+	df := make([][]*ir.Block, n)
+	inDF := make(map[[2]int]bool)
+	for _, b := range t.routine.Blocks {
+		if !t.contained[b.ID] {
+			continue
+		}
+		preds := 0
+		for _, e := range b.Preds {
+			if t.contained[e.From.ID] {
+				preds++
+			}
+		}
+		if preds < 2 {
+			continue
+		}
+		for _, e := range b.Preds {
+			runner := e.From
+			if !t.contained[runner.ID] {
+				continue
+			}
+			for runner != nil && runner != t.idom[b.ID] {
+				key := [2]int{runner.ID, b.ID}
+				if !inDF[key] {
+					inDF[key] = true
+					df[runner.ID] = append(df[runner.ID], b)
+				}
+				runner = t.idom[runner.ID]
+			}
+		}
+	}
+	return df
+}

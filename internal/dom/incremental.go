@@ -1,0 +1,195 @@
+package dom
+
+import "pgvn/internal/ir"
+
+// Incremental maintains the dominator tree of a growing reachable subgraph
+// under edge insertions — the data structure the paper's complete
+// algorithm needs ("the reachable dominator tree is built incrementally as
+// blocks and edges become reachable", §2.7, citing Sreedhar–Gao–Lee). The
+// update rule is the depth-based affected-set algorithm of Alstrup and
+// Lauridsen (as evaluated by Georgiadis et al.): inserting a reachable
+// edge (x, y) can only re-parent, onto nca(x, y), the vertices that are
+// reachable from y along vertices deeper than depth(nca)+1.
+//
+// Queries mirror *Tree: Contains, IDom, Dominates (Dominates walks
+// ancestors by depth, O(tree height)).
+type Incremental struct {
+	routine *ir.Routine
+	idom    []*ir.Block // by block ID; nil for the entry and unreachable
+	depth   []int       // by block ID; valid for reachable blocks
+	reach   []bool      // by block ID
+	edgeIn  map[*ir.Edge]bool
+}
+
+// NewIncremental starts with only the entry block reachable and no edges.
+func NewIncremental(r *ir.Routine) *Incremental {
+	n := r.NumBlockIDs()
+	t := &Incremental{
+		routine: r,
+		idom:    make([]*ir.Block, n),
+		depth:   make([]int, n),
+		reach:   make([]bool, n),
+		edgeIn:  make(map[*ir.Edge]bool),
+	}
+	t.reach[r.Entry().ID] = true
+	return t
+}
+
+// Contains reports whether b is reachable through the inserted edges.
+func (t *Incremental) Contains(b *ir.Block) bool { return t.reach[b.ID] }
+
+// IDom returns b's immediate dominator in the current subgraph (nil for
+// the entry and for unreachable blocks).
+func (t *Incremental) IDom(b *ir.Block) *ir.Block {
+	if !t.reach[b.ID] {
+		return nil
+	}
+	return t.idom[b.ID]
+}
+
+// Dominates reports whether a dominates b (reflexively) in the current
+// subgraph.
+func (t *Incremental) Dominates(a, b *ir.Block) bool {
+	if !t.reach[a.ID] || !t.reach[b.ID] {
+		return false
+	}
+	for b != nil && t.depth[b.ID] > t.depth[a.ID] {
+		b = t.idom[b.ID]
+	}
+	return a == b
+}
+
+// InsertEdge adds edge e to the subgraph, updating the tree. The edge's
+// source must already be reachable (the GVN driver only marks an edge
+// reachable while processing its source block). Re-inserting an edge is a
+// no-op.
+func (t *Incremental) InsertEdge(e *ir.Edge) {
+	if t.edgeIn[e] {
+		return
+	}
+	t.edgeIn[e] = true
+	x, y := e.From, e.To
+	if !t.reach[x.ID] {
+		return // recorded; becomes effective if x ever turns reachable
+	}
+	if !t.reach[y.ID] {
+		// y enters the subgraph with x as its sole reachable
+		// predecessor: idom(y) = x. Any edges out of y were not
+		// recorded yet (the driver processes blocks after marking them
+		// reachable), and recorded in-edges of y would have made it
+		// reachable earlier.
+		t.reach[y.ID] = true
+		t.idom[y.ID] = x
+		t.depth[y.ID] = t.depth[x.ID] + 1
+		return
+	}
+	nca := t.nca(x, y)
+	d := t.depth[nca.ID]
+	if t.depth[y.ID] <= d+1 {
+		// y's immediate dominator is nca (or shallower) already: the
+		// ancestor of y at depth(y)-1 is idom(y), and an ancestor nca
+		// at that depth must be it.
+		return
+	}
+	// Affected vertices re-parent onto nca; their dominator subtrees
+	// move with them (Sreedhar–Gao–Lee). Starting from y, a vertex w is
+	// affected when an edge leaves an affected subtree into it, it is
+	// deeper than depth(nca)+1, and it is not itself inside an already
+	// affected subtree (then its relative dominator chain survives).
+	children := t.childLists()
+	inAffectedSubtree := make(map[*ir.Block]bool)
+	var roots []*ir.Block
+	queue := []*ir.Block{y}
+	marked := map[*ir.Block]bool{y: true}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if inAffectedSubtree[v] {
+			continue // swallowed by an earlier root's subtree
+		}
+		roots = append(roots, v)
+		// Collect v's (old-tree) dominator subtree.
+		var subtree []*ir.Block
+		stack := []*ir.Block{v}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if inAffectedSubtree[u] {
+				continue
+			}
+			inAffectedSubtree[u] = true
+			subtree = append(subtree, u)
+			stack = append(stack, children[u.ID]...)
+		}
+		// Edges leaving the subtree may affect their targets.
+		for _, u := range subtree {
+			for _, out := range u.Succs {
+				if !t.edgeIn[out] {
+					continue
+				}
+				w := out.To
+				if marked[w] || inAffectedSubtree[w] || !t.reach[w.ID] || t.depth[w.ID] <= d+1 {
+					continue
+				}
+				marked[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	for _, v := range roots {
+		t.idom[v.ID] = nca
+	}
+	t.recomputeDepths()
+}
+
+// childLists builds the dominator-tree child lists from the idom links.
+func (t *Incremental) childLists() [][]*ir.Block {
+	children := make([][]*ir.Block, len(t.idom))
+	for _, b := range t.routine.Blocks {
+		if t.reach[b.ID] {
+			if p := t.idom[b.ID]; p != nil {
+				children[p.ID] = append(children[p.ID], b)
+			}
+		}
+	}
+	return children
+}
+
+// nca returns the nearest common ancestor of x and y in the tree.
+func (t *Incremental) nca(x, y *ir.Block) *ir.Block {
+	for t.depth[x.ID] > t.depth[y.ID] {
+		x = t.idom[x.ID]
+	}
+	for t.depth[y.ID] > t.depth[x.ID] {
+		y = t.idom[y.ID]
+	}
+	for x != y {
+		x = t.idom[x.ID]
+		y = t.idom[y.ID]
+	}
+	return x
+}
+
+// recomputeDepths rebuilds the depth array from the idom links (affected
+// subtrees may have moved arbitrarily far up).
+func (t *Incremental) recomputeDepths() {
+	children := make([][]*ir.Block, len(t.idom))
+	for _, b := range t.routine.Blocks {
+		if t.reach[b.ID] {
+			if p := t.idom[b.ID]; p != nil {
+				children[p.ID] = append(children[p.ID], b)
+			}
+		}
+	}
+	entry := t.routine.Entry()
+	t.depth[entry.ID] = 0
+	stack := []*ir.Block{entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range children[b.ID] {
+			t.depth[c.ID] = t.depth[b.ID] + 1
+			stack = append(stack, c)
+		}
+	}
+}

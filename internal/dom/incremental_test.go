@@ -1,0 +1,158 @@
+package dom_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgvn/internal/dom"
+	"pgvn/internal/ir"
+	"pgvn/internal/workload"
+)
+
+// checkAgainstRecompute compares the incremental tree with a from-scratch
+// reachable tree over the same edge set.
+func checkAgainstRecompute(t *testing.T, r *ir.Routine, inc *dom.Incremental, edges map[*ir.Edge]bool, step int) {
+	t.Helper()
+	ref := dom.NewReachable(r, func(e *ir.Edge) bool { return edges[e] })
+	for _, b := range r.Blocks {
+		if inc.Contains(b) != ref.Contains(b) {
+			t.Fatalf("step %d: containment of %s: inc=%v ref=%v",
+				step, b.Name, inc.Contains(b), ref.Contains(b))
+		}
+		if !ref.Contains(b) {
+			continue
+		}
+		if inc.IDom(b) != ref.IDom(b) {
+			t.Fatalf("step %d: idom(%s): inc=%v ref=%v", step, b.Name, inc.IDom(b), ref.IDom(b))
+		}
+	}
+	// Spot-check dominance queries.
+	for _, a := range r.Blocks {
+		for _, b := range r.Blocks {
+			if inc.Dominates(a, b) != ref.Dominates(a, b) {
+				t.Fatalf("step %d: Dominates(%s,%s) differs", step, a.Name, b.Name)
+			}
+		}
+	}
+}
+
+// insertionSequence mimics the GVN driver: repeatedly pick an uninserted
+// edge whose source is already reachable.
+func insertionSequence(rng *rand.Rand, r *ir.Routine) []*ir.Edge {
+	var seq []*ir.Edge
+	inserted := map[*ir.Edge]bool{}
+	reach := map[*ir.Block]bool{r.Entry(): true}
+	for {
+		var candidates []*ir.Edge
+		for _, b := range r.Blocks {
+			if !reach[b] {
+				continue
+			}
+			for _, e := range b.Succs {
+				if !inserted[e] {
+					candidates = append(candidates, e)
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			return seq
+		}
+		e := candidates[rng.Intn(len(candidates))]
+		inserted[e] = true
+		reach[e.To] = true
+		seq = append(seq, e)
+	}
+}
+
+func TestIncrementalMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for seed := int64(0); seed < 12; seed++ {
+		r := workload.Generate("g", workload.GenConfig{
+			Seed: 7000 + seed, Stmts: 25, Params: 2, MaxLoopDepth: 2,
+		})
+		inc := dom.NewIncremental(r)
+		edges := map[*ir.Edge]bool{}
+		for step, e := range insertionSequence(rng, r) {
+			inc.InsertEdge(e)
+			edges[e] = true
+			checkAgainstRecompute(t, r, inc, edges, step)
+		}
+	}
+}
+
+func TestIncrementalDiamond(t *testing.T) {
+	// Hand-built diamond with a late edge that hoists an idom.
+	h := ir.NewRoutine("h")
+	entry := h.Entry()
+	a := h.NewBlock("a")
+	b := h.NewBlock("b")
+	j := h.NewBlock("j")
+	x := h.AddParam("x")
+	h.Append(entry, ir.OpBranch, x)
+	eEA := h.AddEdge(entry, a)
+	eEB := h.AddEdge(entry, b)
+	h.Append(a, ir.OpJump)
+	eAJ := h.AddEdge(a, j)
+	h.Append(b, ir.OpJump)
+	eBJ := h.AddEdge(b, j)
+	h.Append(j, ir.OpReturn, x)
+
+	inc := dom.NewIncremental(h)
+	inc.InsertEdge(eEA)
+	inc.InsertEdge(eAJ)
+	if inc.IDom(j) != a {
+		t.Fatalf("after one path, idom(j) = %v, want a", inc.IDom(j))
+	}
+	inc.InsertEdge(eEB)
+	inc.InsertEdge(eBJ)
+	if inc.IDom(j) != entry {
+		t.Fatalf("after both paths, idom(j) = %v, want entry", inc.IDom(j))
+	}
+	if !inc.Dominates(entry, j) || inc.Dominates(a, j) {
+		t.Fatalf("dominance queries wrong after hoist")
+	}
+}
+
+func TestIncrementalBackEdge(t *testing.T) {
+	// Loop: entry -> head -> body -> head; back edge must not change the
+	// tree (head already dominates body).
+	h := ir.NewRoutine("h")
+	entry := h.Entry()
+	head := h.NewBlock("head")
+	body := h.NewBlock("body")
+	exit := h.NewBlock("exit")
+	x := h.AddParam("x")
+	h.Append(entry, ir.OpJump)
+	e1 := h.AddEdge(entry, head)
+	h.Append(head, ir.OpBranch, x)
+	e2 := h.AddEdge(head, body)
+	e3 := h.AddEdge(head, exit)
+	h.Append(body, ir.OpJump)
+	e4 := h.AddEdge(body, head)
+	h.Append(exit, ir.OpReturn, x)
+
+	inc := dom.NewIncremental(h)
+	for _, e := range []*ir.Edge{e1, e2, e4, e3} {
+		inc.InsertEdge(e)
+	}
+	if inc.IDom(head) != entry || inc.IDom(body) != head || inc.IDom(exit) != head {
+		t.Fatalf("loop tree wrong: idom(head)=%v idom(body)=%v idom(exit)=%v",
+			inc.IDom(head), inc.IDom(body), inc.IDom(exit))
+	}
+}
+
+func TestIncrementalReinsertionNoop(t *testing.T) {
+	h := ir.NewRoutine("h")
+	entry := h.Entry()
+	a := h.NewBlock("a")
+	x := h.AddParam("x")
+	h.Append(entry, ir.OpJump)
+	e := h.AddEdge(entry, a)
+	h.Append(a, ir.OpReturn, x)
+	inc := dom.NewIncremental(h)
+	inc.InsertEdge(e)
+	inc.InsertEdge(e)
+	if inc.IDom(a) != entry {
+		t.Fatalf("idom(a) = %v", inc.IDom(a))
+	}
+}

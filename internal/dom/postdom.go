@@ -1,0 +1,147 @@
+package dom
+
+import "pgvn/internal/ir"
+
+// NewPost computes the postdominator tree of the routine. A virtual exit
+// node is appended whose predecessors are all return blocks, so routines
+// with several returns are handled uniformly. Blocks that cannot reach any
+// return (e.g. bodies of infinite loops) are not contained in the tree and
+// never postdominate or get postdominated.
+//
+// On the returned tree, Dominates(a, b) reads "a postdominates b"; IDom
+// returns the immediate postdominator (nil when it is the virtual exit).
+func NewPost(r *ir.Routine) *Tree {
+	t := &Tree{routine: r, post: true}
+	n := r.NumBlockIDs()
+	virtual := n // index of the virtual exit in the int-based arrays
+	byID := make([]*ir.Block, n)
+	for _, b := range r.Blocks {
+		byID[b.ID] = b
+	}
+
+	var exits []*ir.Block
+	for _, b := range r.Blocks {
+		if term := b.Terminator(); term != nil && term.Op == ir.OpReturn {
+			exits = append(exits, b)
+		}
+	}
+
+	// Reverse-graph RPO from the virtual exit. Successor order in the
+	// reverse graph is the deterministic Preds order.
+	rpoNum := make([]int, n+1)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	seen := make([]bool, n+1)
+	seen[virtual] = true
+	revSuccs := func(id int) []*ir.Block {
+		if id == virtual {
+			return exits
+		}
+		b := byID[id]
+		preds := make([]*ir.Block, len(b.Preds))
+		for k, e := range b.Preds {
+			preds[k] = e.From
+		}
+		return preds
+	}
+	type frame struct {
+		id   int
+		next int
+	}
+	stack := []frame{{id: virtual}}
+	var postOrd []int
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		succ := revSuccs(f.id)
+		if f.next < len(succ) {
+			s := succ[f.next]
+			f.next++
+			if !seen[s.ID] {
+				seen[s.ID] = true
+				stack = append(stack, frame{id: s.ID})
+			}
+			continue
+		}
+		postOrd = append(postOrd, f.id)
+		stack = stack[:len(stack)-1]
+	}
+	orderIDs := make([]int, len(postOrd))
+	for i, id := range postOrd {
+		k := len(postOrd) - 1 - i
+		orderIDs[k] = id
+		rpoNum[id] = k
+	}
+
+	// CHK over the reverse graph with the virtual exit as root.
+	idom := make([]int, n+1)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[virtual] = virtual
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range orderIDs[1:] {
+			b := byID[id]
+			// Reverse-graph predecessors of b are its CFG successors,
+			// plus the virtual exit if b is a return block.
+			newIdom := -1
+			consider := func(p int) {
+				if rpoNum[p] < 0 || idom[p] < 0 {
+					return
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			for _, e := range b.Succs {
+				consider(e.To.ID)
+			}
+			if term := b.Terminator(); term != nil && term.Op == ir.OpReturn {
+				consider(virtual)
+			}
+			if newIdom >= 0 && idom[id] != newIdom {
+				idom[id] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	t.idom = make([]*ir.Block, n)
+	t.contained = make([]bool, n)
+	for _, id := range orderIDs {
+		if id == virtual {
+			continue
+		}
+		t.contained[id] = true
+		if p := idom[id]; p != virtual && p >= 0 {
+			t.idom[id] = byID[p]
+		}
+	}
+	var order []*ir.Block
+	for _, id := range orderIDs {
+		if id == virtual {
+			continue
+		}
+		b := byID[id]
+		order = append(order, b)
+		if t.idom[id] == nil {
+			t.rootBlocks = append(t.rootBlocks, b)
+		}
+	}
+	t.finish(order)
+	return t
+}

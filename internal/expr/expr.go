@@ -1,0 +1,544 @@
+// Package expr implements the canonical symbolic expressions manipulated by
+// the global value numbering algorithm: rank-ordered sums of products for
+// global reassociation (paper §2.2), canonicalized comparison predicates
+// with an implication oracle (predicate inference, §2.7), AND/OR predicate
+// trees for φ-predication (§2.8), and φ expressions.
+//
+// Expressions are immutable after construction and are interned by a
+// canonical string key: two expressions are structurally equal exactly when
+// their keys are equal, so the GVN TABLE can be an ordinary map.
+//
+// Arithmetic follows the shared semantics of package interp: int64
+// wraparound, x/0 == x%0 == 0, comparisons yield 1 or 0.
+package expr
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pgvn/internal/ir"
+)
+
+// Kind discriminates the expression forms.
+type Kind uint8
+
+// Expression kinds.
+const (
+	// Bottom is ⊥, the undetermined value of the INITIAL congruence
+	// class: the optimistic "no information yet".
+	Bottom Kind = iota
+	// Const is an integer constant.
+	Const
+	// Value is a reference to an IR value (always a class leader).
+	Value
+	// Sum is a canonical sum of products.
+	Sum
+	// Compare is a canonicalized comparison predicate.
+	Compare
+	// Phi is a φ expression: a tag (Block or predicate) plus arguments.
+	Phi
+	// And and Or are predicate trees for φ-predication.
+	And
+	// Or is the disjunction counterpart of And.
+	Or
+	// Opaque wraps operations outside the reassociation algebra (div,
+	// mod, call) applied to atomic operands.
+	Opaque
+	// BlockTag identifies a basic block (the φ tag when the block has no
+	// predicate).
+	BlockTag
+	// Unique marks a value as congruent only to itself (cyclic φs under
+	// balanced/pessimistic value numbering).
+	Unique
+)
+
+// Expr is one immutable symbolic expression.
+type Expr struct {
+	// Kind discriminates which fields are meaningful.
+	Kind Kind
+	// Op is the comparison operator for Compare and the IR opcode for
+	// Opaque.
+	Op ir.Op
+	// Name is the callee name for Opaque calls.
+	Name string
+	// C is the constant for Const, the value ID for Value and Unique,
+	// and the block ID for BlockTag.
+	C int64
+	// Rank orders Value atoms (paper §2.2: constants rank 0, values by
+	// RPO definition order).
+	Rank int
+	// Terms is the ordered term list for Sum.
+	Terms []Term
+	// Args holds operands for Compare (2), Phi (tag first, then the
+	// arguments in canonical edge order), And, Or and Opaque.
+	Args []*Expr
+
+	key string // memoized canonical key
+}
+
+// Term is one product in a Sum: Coeff × Factors[0] × Factors[1] × …
+type Term struct {
+	// Coeff is the integer coefficient; never 0 in a canonical Sum.
+	Coeff int64
+	// Factors are value references sorted by (rank, id); a value
+	// appearing k times denotes its k'th power.
+	Factors []ValueRef
+}
+
+// ValueRef identifies one value inside a Term.
+type ValueRef struct {
+	// ID is the value's instruction ID.
+	ID int
+	// Rank is the value's GVN rank.
+	Rank int
+}
+
+// Bot is the shared ⊥ expression.
+var Bot = &Expr{Kind: Bottom, key: "bot"}
+
+// smallConsts interns the constants the analysis materializes constantly
+// (loop bounds, comparison results, folded arithmetic).
+var smallConsts = func() [1153]*Expr {
+	var cache [1153]*Expr
+	for i := range cache {
+		c := int64(i - 128)
+		cache[i] = &Expr{Kind: Const, C: c, key: "c" + strconv.FormatInt(c, 10)}
+	}
+	return cache
+}()
+
+// NewConst returns the constant expression c (interned for small values).
+func NewConst(c int64) *Expr {
+	if c >= -128 && c <= 1024 {
+		return smallConsts[c+128]
+	}
+	return &Expr{Kind: Const, C: c}
+}
+
+// NewValue returns an atom referencing the value v with the given rank.
+func NewValue(v *ir.Instr, rank int) *Expr {
+	return &Expr{Kind: Value, C: int64(v.ID), Rank: rank}
+}
+
+// NewUnique returns the unique expression of value v: congruent to nothing
+// but itself.
+func NewUnique(v *ir.Instr) *Expr {
+	return &Expr{Kind: Unique, C: int64(v.ID)}
+}
+
+// NewBlockTag returns the tag expression of block b.
+func NewBlockTag(b *ir.Block) *Expr {
+	return &Expr{Kind: BlockTag, C: int64(b.ID)}
+}
+
+// IsConst reports whether e is a constant, returning its value.
+func (e *Expr) IsConst() (int64, bool) {
+	if e.Kind == Const {
+		return e.C, true
+	}
+	return 0, false
+}
+
+// IsBottom reports whether e is ⊥.
+func (e *Expr) IsBottom() bool { return e.Kind == Bottom }
+
+// IsTrue and IsFalse report definite boolean constants.
+func (e *Expr) IsTrue() bool { return e.Kind == Const && e.C != 0 }
+
+// IsFalse reports whether e is the constant 0.
+func (e *Expr) IsFalse() bool { return e.Kind == Const && e.C == 0 }
+
+// ValueID returns the referenced value ID for Value and Unique atoms, and
+// -1 otherwise.
+func (e *Expr) ValueID() int {
+	if e.Kind == Value || e.Kind == Unique {
+		return int(e.C)
+	}
+	return -1
+}
+
+// Key returns the canonical interning key. Equal keys ⇔ structurally equal
+// expressions.
+func (e *Expr) Key() string {
+	if e.key == "" {
+		var sb strings.Builder
+		e.writeKey(&sb)
+		e.key = sb.String()
+	}
+	return e.key
+}
+
+func writeInt(sb *strings.Builder, prefix byte, v int64) {
+	var buf [20]byte
+	sb.WriteByte(prefix)
+	sb.Write(strconv.AppendInt(buf[:0], v, 10))
+}
+
+func (e *Expr) writeKey(sb *strings.Builder) {
+	switch e.Kind {
+	case Bottom:
+		sb.WriteString("bot")
+	case Const:
+		writeInt(sb, 'c', e.C)
+	case Value:
+		writeInt(sb, 'v', e.C)
+	case Unique:
+		writeInt(sb, 'u', e.C)
+	case BlockTag:
+		writeInt(sb, 'b', e.C)
+	case Sum:
+		sb.WriteString("s(")
+		for i, t := range e.Terms {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			var buf [20]byte
+			sb.Write(strconv.AppendInt(buf[:0], t.Coeff, 10))
+			for _, f := range t.Factors {
+				sb.WriteByte('*')
+				writeInt(sb, 'v', int64(f.ID))
+			}
+		}
+		sb.WriteByte(')')
+	case Compare:
+		sb.WriteString(e.Op.String())
+		sb.WriteByte('(')
+		e.Args[0].writeKey(sb)
+		sb.WriteByte(',')
+		e.Args[1].writeKey(sb)
+		sb.WriteByte(')')
+	case Phi:
+		sb.WriteString("phi(")
+		for i, a := range e.Args {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			a.writeKey(sb)
+		}
+		sb.WriteByte(')')
+	case And, Or:
+		if e.Kind == And {
+			sb.WriteString("and(")
+		} else {
+			sb.WriteString("or(")
+		}
+		for i, a := range e.Args {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			a.writeKey(sb)
+		}
+		sb.WriteByte(')')
+	case Opaque:
+		sb.WriteString(e.Op.String())
+		sb.WriteByte(':')
+		sb.WriteString(e.Name)
+		sb.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			a.writeKey(sb)
+		}
+		sb.WriteByte(')')
+	default:
+		panic("expr: unknown kind in key")
+	}
+}
+
+// String renders the expression for diagnostics; it is the canonical key.
+func (e *Expr) String() string { return e.Key() }
+
+// asSum views e as a Sum term list. The bool result is false when e is not
+// representable in the reassociation algebra (⊥, predicates, φs, opaques
+// are not; those participate as atoms only when the caller converts them
+// to Value atoms first).
+func asSum(e *Expr) ([]Term, bool) {
+	switch e.Kind {
+	case Const:
+		if e.C == 0 {
+			return nil, true
+		}
+		return []Term{{Coeff: e.C}}, true
+	case Value:
+		return []Term{{Coeff: 1, Factors: []ValueRef{{ID: int(e.C), Rank: e.Rank}}}}, true
+	case Sum:
+		return e.Terms, true
+	}
+	return nil, false
+}
+
+// compareFactors orders factor lists by (rank, id) lexicographically, then
+// by length.
+func compareFactors(a, b []ValueRef) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i].Rank != b[i].Rank {
+			return a[i].Rank - b[i].Rank
+		}
+		if a[i].ID != b[i].ID {
+			return a[i].ID - b[i].ID
+		}
+	}
+	return len(a) - len(b)
+}
+
+// normalizeSum sorts terms (sign-insensitively, per the paper), merges
+// equal factor lists, drops zero coefficients, and lowers degenerate sums
+// to Const or Value.
+func normalizeSum(terms []Term) *Expr {
+	sorted := append([]Term(nil), terms...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return compareFactors(sorted[i].Factors, sorted[j].Factors) < 0
+	})
+	merged := sorted[:0]
+	for _, t := range sorted {
+		if n := len(merged); n > 0 && compareFactors(merged[n-1].Factors, t.Factors) == 0 {
+			merged[n-1].Coeff += t.Coeff
+			continue
+		}
+		merged = append(merged, t)
+	}
+	out := merged[:0]
+	for _, t := range merged {
+		if t.Coeff != 0 {
+			out = append(out, t)
+		}
+	}
+	switch {
+	case len(out) == 0:
+		return NewConst(0)
+	case len(out) == 1 && len(out[0].Factors) == 0:
+		return NewConst(out[0].Coeff)
+	case len(out) == 1 && out[0].Coeff == 1 && len(out[0].Factors) == 1:
+		f := out[0].Factors[0]
+		return &Expr{Kind: Value, C: int64(f.ID), Rank: f.Rank}
+	}
+	return &Expr{Kind: Sum, Terms: append([]Term(nil), out...)}
+}
+
+// AddExprs returns a+b in canonical form, or nil if either operand is
+// outside the algebra or the result would exceed limit terms (forward
+// propagation cancelled, paper footnote 4).
+func AddExprs(a, b *Expr, limit int) *Expr {
+	ta, ok := asSum(a)
+	if !ok {
+		return nil
+	}
+	tb, ok := asSum(b)
+	if !ok {
+		return nil
+	}
+	if len(ta)+len(tb) > limit {
+		return nil
+	}
+	return normalizeSum(append(append([]Term(nil), ta...), tb...))
+}
+
+// negTerms returns the negation of a term list.
+func negTerms(ts []Term) []Term {
+	out := make([]Term, len(ts))
+	for i, t := range ts {
+		out[i] = Term{Coeff: -t.Coeff, Factors: t.Factors}
+	}
+	return out
+}
+
+// SubExprs returns a-b in canonical form, or nil (see AddExprs).
+func SubExprs(a, b *Expr, limit int) *Expr {
+	ta, ok := asSum(a)
+	if !ok {
+		return nil
+	}
+	tb, ok := asSum(b)
+	if !ok {
+		return nil
+	}
+	if len(ta)+len(tb) > limit {
+		return nil
+	}
+	return normalizeSum(append(append([]Term(nil), ta...), negTerms(tb)...))
+}
+
+// NegExpr returns -a in canonical form, or nil.
+func NegExpr(a *Expr) *Expr {
+	ta, ok := asSum(a)
+	if !ok {
+		return nil
+	}
+	return normalizeSum(negTerms(ta))
+}
+
+// MulExprs returns a*b in canonical form by distributing multiplication
+// over addition, or nil if outside the algebra or beyond limit terms.
+func MulExprs(a, b *Expr, limit int) *Expr {
+	ta, ok := asSum(a)
+	if !ok {
+		return nil
+	}
+	tb, ok := asSum(b)
+	if !ok {
+		return nil
+	}
+	if len(ta)*len(tb) > limit {
+		return nil
+	}
+	var out []Term
+	for _, x := range ta {
+		for _, y := range tb {
+			fs := make([]ValueRef, 0, len(x.Factors)+len(y.Factors))
+			fs = append(fs, x.Factors...)
+			fs = append(fs, y.Factors...)
+			sort.Slice(fs, func(i, j int) bool {
+				if fs[i].Rank != fs[j].Rank {
+					return fs[i].Rank < fs[j].Rank
+				}
+				return fs[i].ID < fs[j].ID
+			})
+			out = append(out, Term{Coeff: x.Coeff * y.Coeff, Factors: fs})
+		}
+	}
+	return normalizeSum(out)
+}
+
+// NewOpaque builds an opaque expression (div, mod, call) over atomic
+// operands, applying the safe algebraic simplifications that are valid
+// under the shared x/0 == x%0 == 0 semantics:
+//
+//	c1 / c2, c1 % c2   → folded
+//	x / 1 → x;  0 / x → 0;  x / x is NOT simplified (0/0 == 0 ≠ 1)
+//	x % 1 → 0;  0 % x → 0;  x % x → 0 (0%0 == 0 too)
+func NewOpaque(op ir.Op, name string, args []*Expr) *Expr {
+	if op == ir.OpDiv || op == ir.OpMod {
+		a, b := args[0], args[1]
+		ca, aConst := a.IsConst()
+		cb, bConst := b.IsConst()
+		switch {
+		case aConst && bConst:
+			return NewConst(foldDivMod(op, ca, cb))
+		case aConst && ca == 0:
+			return NewConst(0)
+		case bConst && cb == 1:
+			if op == ir.OpDiv {
+				return a
+			}
+			return NewConst(0)
+		case op == ir.OpMod && sameAtom(a, b):
+			return NewConst(0)
+		}
+	}
+	return &Expr{Kind: Opaque, Op: op, Name: name, Args: append([]*Expr(nil), args...)}
+}
+
+func foldDivMod(op ir.Op, a, b int64) int64 {
+	if b == 0 {
+		return 0
+	}
+	if a == math.MinInt64 && b == -1 {
+		if op == ir.OpDiv {
+			return math.MinInt64
+		}
+		return 0
+	}
+	if op == ir.OpDiv {
+		return a / b
+	}
+	return a % b
+}
+
+// sameAtom reports whether a and b are the same Value atom or equal
+// constants.
+func sameAtom(a, b *Expr) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case Value, Const, Unique, BlockTag:
+		return a.C == b.C
+	}
+	return a.Key() == b.Key()
+}
+
+// NewPhi builds a φ expression with the given tag and arguments (already
+// in canonical edge order). If every argument is the same atom the φ
+// reduces to that argument.
+func NewPhi(tag *Expr, args []*Expr) *Expr {
+	if len(args) > 0 {
+		same := true
+		for _, a := range args[1:] {
+			if !sameAtom(a, args[0]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			return args[0]
+		}
+	}
+	all := make([]*Expr, 0, len(args)+1)
+	all = append(all, tag)
+	all = append(all, args...)
+	return &Expr{Kind: Phi, Args: all}
+}
+
+// NewAnd conjoins predicate expressions, flattening nested Ands and
+// dropping constant-true operands. A constant-false operand collapses the
+// whole conjunction to false. Operand order is preserved (it is already
+// canonical by construction).
+func NewAnd(ops ...*Expr) *Expr {
+	var flat []*Expr
+	for _, o := range ops {
+		if o == nil {
+			continue
+		}
+		if o.IsTrue() {
+			continue
+		}
+		if o.IsFalse() {
+			return NewConst(0)
+		}
+		if o.Kind == And {
+			flat = append(flat, o.Args...)
+			continue
+		}
+		flat = append(flat, o)
+	}
+	switch len(flat) {
+	case 0:
+		return NewConst(1)
+	case 1:
+		return flat[0]
+	}
+	return &Expr{Kind: And, Args: flat}
+}
+
+// NewOr disjoins predicate expressions in the given (canonical) order.
+// Constant-false operands drop out; a constant-true operand collapses the
+// disjunction to true.
+func NewOr(ops ...*Expr) *Expr {
+	var flat []*Expr
+	for _, o := range ops {
+		if o == nil {
+			continue
+		}
+		if o.IsFalse() {
+			continue
+		}
+		if o.IsTrue() {
+			return NewConst(1)
+		}
+		flat = append(flat, o)
+	}
+	switch len(flat) {
+	case 0:
+		return NewConst(0)
+	case 1:
+		return flat[0]
+	}
+	return &Expr{Kind: Or, Args: flat}
+}

@@ -1,0 +1,201 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pgvn/internal/ir"
+)
+
+var compareOps = []ir.Op{ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe}
+
+func evalCompare(op ir.Op, a, b int64) bool {
+	switch op {
+	case ir.OpEq:
+		return a == b
+	case ir.OpNe:
+		return a != b
+	case ir.OpLt:
+		return a < b
+	case ir.OpLe:
+		return a <= b
+	case ir.OpGt:
+		return a > b
+	case ir.OpGe:
+		return a >= b
+	}
+	return false
+}
+
+// TestQuickCompareCanonicalizationSemantics: NewCompare must preserve the
+// truth value of a comparison for every concrete assignment.
+func TestQuickCompareCanonicalizationSemantics(t *testing.T) {
+	x := mkval(1, 1)
+	f := func(opIdx uint8, c, vx int64, constLeft bool) bool {
+		op := compareOps[int(opIdx)%len(compareOps)]
+		var e *Expr
+		var want bool
+		if constLeft {
+			e = NewCompare(op, NewConst(c), x)
+			want = evalCompare(op, c, vx)
+		} else {
+			e = NewCompare(op, x, NewConst(c))
+			want = evalCompare(op, vx, c)
+		}
+		switch e.Kind {
+		case Const:
+			return (e.C != 0) == want
+		case Compare:
+			// Evaluate the canonical form: operands are a constant and
+			// the atom x, in either position.
+			get := func(a *Expr) int64 {
+				if cv, ok := a.IsConst(); ok {
+					return cv
+				}
+				return vx
+			}
+			return evalCompare(e.Op, get(e.Args[0]), get(e.Args[1])) == want
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNegateCompareSemantics: the negation must flip the truth value
+// on every assignment.
+func TestQuickNegateCompareSemantics(t *testing.T) {
+	x, y := mkval(1, 1), mkval(2, 2)
+	f := func(opIdx uint8, vx, vy int64) bool {
+		op := compareOps[int(opIdx)%len(compareOps)]
+		e := NewCompare(op, x, y)
+		if e.Kind != Compare {
+			return true // folded (x==y identity cases can't happen here)
+		}
+		n := NegateCompare(e)
+		evalAtoms := func(c *Expr) bool {
+			get := func(a *Expr) int64 {
+				if cv, ok := a.IsConst(); ok {
+					return cv
+				}
+				if a.ValueID() == 1 {
+					return vx
+				}
+				return vy
+			}
+			return evalCompare(c.Op, get(c.Args[0]), get(c.Args[1]))
+		}
+		return evalAtoms(e) != evalAtoms(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickImpliesSoundness samples the implication oracle over
+// constant-vs-value predicates: whenever Implies decides q under p, every
+// concrete x satisfying p must give q the decided value.
+func TestQuickImpliesSoundness(t *testing.T) {
+	x := mkval(1, 1)
+	rng := rand.New(rand.NewSource(11))
+	checked, decided := 0, 0
+	for trial := 0; trial < 20000; trial++ {
+		op1 := compareOps[rng.Intn(len(compareOps))]
+		op2 := compareOps[rng.Intn(len(compareOps))]
+		c1 := int64(rng.Intn(21) - 10)
+		c2 := int64(rng.Intn(21) - 10)
+		p := NewCompare(op1, NewConst(c1), x)
+		q := NewCompare(op2, NewConst(c2), x)
+		if p.Kind != Compare || q.Kind != Compare {
+			continue
+		}
+		val, known := Implies(p, q)
+		checked++
+		if !known {
+			continue
+		}
+		decided++
+		// Sample xs around the constants plus extremes.
+		for dx := int64(-15); dx <= 15; dx++ {
+			for _, vx := range []int64{dx, c1 + dx, c2 + dx} {
+				pHolds := evalCompare(p.Op, constOf(t, p.Args[0]), vx)
+				if !pHolds {
+					continue
+				}
+				qVal := evalCompare(q.Op, constOf(t, q.Args[0]), vx)
+				if qVal != val {
+					t.Fatalf("Implies(%v, %v) = %v but x=%d gives p true, q=%v",
+						p, q, val, vx, qVal)
+				}
+			}
+		}
+	}
+	if checked == 0 || decided == 0 {
+		t.Fatalf("degenerate sampling: checked=%d decided=%d", checked, decided)
+	}
+	t.Logf("sampled %d pairs, %d decided", checked, decided)
+}
+
+func constOf(t *testing.T, e *Expr) int64 {
+	t.Helper()
+	c, ok := e.IsConst()
+	if !ok {
+		t.Fatalf("expected constant, got %v", e)
+	}
+	return c
+}
+
+// TestQuickSameOperandImplication covers the relation-set path: both
+// predicates over the same value pair.
+func TestQuickSameOperandImplication(t *testing.T) {
+	x, y := mkval(1, 1), mkval(2, 2)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 5000; trial++ {
+		op1 := compareOps[rng.Intn(len(compareOps))]
+		op2 := compareOps[rng.Intn(len(compareOps))]
+		p := NewCompare(op1, x, y)
+		q := NewCompare(op2, x, y)
+		val, known := Implies(p, q)
+		if !known {
+			continue
+		}
+		for vx := int64(-4); vx <= 4; vx++ {
+			for vy := int64(-4); vy <= 4; vy++ {
+				if !evalCompare(op1, vx, vy) {
+					continue
+				}
+				if evalCompare(op2, vx, vy) != val {
+					t.Fatalf("Implies(%v,%v)=%v violated at (%d,%d)", p, q, val, vx, vy)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickSumNormalizationStable: normalizing a sum twice (by re-adding
+// zero) is the identity, and key equality is reflexive under permutation
+// of construction order.
+func TestQuickSumNormalizationStable(t *testing.T) {
+	f := func(coeffs [4]int8) bool {
+		vals := []*Expr{mkval(1, 1), mkval(2, 2), mkval(3, 3), mkval(4, 4)}
+		build := func(order []int) *Expr {
+			acc := NewConst(0)
+			for _, k := range order {
+				term := MulExprs(vals[k], NewConst(int64(coeffs[k])), limit)
+				acc = AddExprs(acc, term, limit)
+			}
+			return acc
+		}
+		a := build([]int{0, 1, 2, 3})
+		b := build([]int{3, 1, 0, 2})
+		if a.Key() != b.Key() {
+			return false
+		}
+		return AddExprs(a, NewConst(0), limit).Key() == a.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderFigureASCII draws the improvement distribution as log-scaled ASCII
+// bar charts, mirroring the paper's log-log scatter figures: one bar per
+// improvement level, bar length proportional to log₂(routine count).
+func RenderFigureASCII(fd *FigureData) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %d routines\n", fd.Title, fd.Routines)
+	renderSeries(&sb, "unreachable values", fd.Unreachable)
+	renderSeries(&sb, "constant values", fd.Constants)
+	renderSeries(&sb, "congruence classes", fd.Classes)
+	return sb.String()
+}
+
+func renderSeries(sb *strings.Builder, name string, m map[int]int) {
+	fmt.Fprintf(sb, "  %s:\n", name)
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		n := m[k]
+		bar := strings.Repeat("#", barLen(n))
+		fmt.Fprintf(sb, "   %+4d │%-20s %d\n", k, bar, n)
+	}
+}
+
+// barLen maps a count to a log₂-scaled bar length (the paper's figures use
+// log axes because the distributions are heavily skewed toward 0).
+func barLen(n int) int {
+	l := 1
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	if l > 20 {
+		l = 20
+	}
+	return l
+}
+
+// FigureCSV renders the distribution as CSV (series,improvement,routines),
+// for external plotting.
+func FigureCSV(fd *FigureData) string {
+	var sb strings.Builder
+	sb.WriteString("series,improvement,routines\n")
+	write := func(name string, m map[int]int) {
+		keys := make([]int, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%s,%d,%d\n", name, k, m[k])
+		}
+	}
+	write("unreachable", fd.Unreachable)
+	write("constants", fd.Constants)
+	write("classes", fd.Classes)
+	return sb.String()
+}
+
+// Table1CSV renders Table 1 as CSV for external processing.
+func Table1CSV(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("benchmark,hlo_opt_ns,gvn_opt_ns,hlo_bal_ns,gvn_bal_ns,hlo_pes_ns,gvn_pes_ns,routines,paper_gvn_opt_ms\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			r.Benchmark,
+			r.HLOOpt.Nanoseconds(), r.GVNOpt.Nanoseconds(),
+			r.HLOBal.Nanoseconds(), r.GVNBal.Nanoseconds(),
+			r.HLOPes.Nanoseconds(), r.GVNPes.Nanoseconds(),
+			r.RoutineCount, r.PaperGVNOptMillis)
+	}
+	return sb.String()
+}
+
+// Table2CSV renders Table 2 as CSV.
+func Table2CSV(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("benchmark,dense_ns,sparse_ns,basic_ns\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s,%d,%d,%d\n",
+			r.Benchmark, r.Dense.Nanoseconds(), r.Sparse.Nanoseconds(), r.Basic.Nanoseconds())
+	}
+	return sb.String()
+}

@@ -1,0 +1,77 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pgvn/internal/harness"
+)
+
+func sampleFigure() *harness.FigureData {
+	return &harness.FigureData{
+		Title:       "sample",
+		Unreachable: map[int]int{0: 100, 3: 2},
+		Constants:   map[int]int{0: 50, 1: 30, 7: 1},
+		Classes:     map[int]int{0: 90, 2: 12},
+		Routines:    102,
+	}
+}
+
+func TestRenderFigureASCII(t *testing.T) {
+	out := harness.RenderFigureASCII(sampleFigure())
+	for _, want := range []string{"sample — 102 routines", "unreachable values:", "+0 │", "+7 │"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+	// Bars are log-scaled: 100 routines should produce a longer bar than
+	// 2 routines but far shorter than 100 characters.
+	lines := strings.Split(out, "\n")
+	var bar100, bar2 int
+	for _, l := range lines {
+		if strings.Contains(l, " 100") && strings.Contains(l, "│") {
+			bar100 = strings.Count(l, "#")
+		}
+		if strings.Contains(l, "+3") {
+			bar2 = strings.Count(l, "#")
+		}
+	}
+	if bar100 <= bar2 || bar100 > 20 {
+		t.Errorf("log scaling wrong: bar(100)=%d bar(2)=%d", bar100, bar2)
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	out := harness.FigureCSV(sampleFigure())
+	if !strings.HasPrefix(out, "series,improvement,routines\n") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	for _, want := range []string{"unreachable,0,100", "constants,7,1", "classes,2,12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	rows := []harness.Table1Row{{
+		Benchmark: "164.gzip",
+		HLOOpt:    2 * time.Millisecond, GVNOpt: time.Millisecond,
+		HLOBal: time.Millisecond, GVNBal: time.Millisecond,
+		HLOPes: time.Millisecond, GVNPes: time.Millisecond,
+		RoutineCount: 9, PaperGVNOptMillis: 2653,
+	}}
+	out := harness.Table1CSV(rows)
+	if !strings.Contains(out, "164.gzip,2000000,1000000") || !strings.Contains(out, ",2653\n") {
+		t.Errorf("Table1 CSV wrong:\n%s", out)
+	}
+	rows2 := []harness.Table2Row{{
+		Benchmark: "181.mcf",
+		Dense:     3 * time.Millisecond, Sparse: 2 * time.Millisecond, Basic: time.Millisecond,
+	}}
+	out2 := harness.Table2CSV(rows2)
+	if !strings.Contains(out2, "181.mcf,3000000,2000000,1000000") {
+		t.Errorf("Table2 CSV wrong:\n%s", out2)
+	}
+}

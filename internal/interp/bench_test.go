@@ -1,0 +1,62 @@
+package interp_test
+
+import (
+	"testing"
+
+	"pgvn/internal/interp"
+	"pgvn/internal/parser"
+)
+
+func BenchmarkRunLoop(b *testing.B) {
+	r, err := parser.ParseRoutine(`
+func gauss(n) {
+entry:
+  s = 0
+  i = 0
+  goto head
+head:
+  if i > n goto exit else body
+body:
+  s = s + i
+  i = i + 1
+  goto head
+exit:
+  return s
+}
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := interp.Run(r, []int64{1000}, 1000000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunTrace(b *testing.B) {
+	r, err := parser.ParseRoutine(`
+func f(n) {
+entry:
+  i = 0
+  goto head
+head:
+  if i >= n goto exit else body
+body:
+  i = i + 1
+  goto head
+exit:
+  return i
+}
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := interp.RunTrace(r, []int64{200}, 100000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package interp_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgvn/internal/interp"
+	"pgvn/internal/ir"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+)
+
+func parse(t *testing.T, src string) *ir.Routine {
+	t.Helper()
+	r, err := parser.ParseRoutine(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return r
+}
+
+func TestArithmetic(t *testing.T) {
+	r := parse(t, `
+func f(a, b) {
+entry:
+  x = a * 3 + b / 2 - b % 3
+  y = -x
+  return y
+}
+`)
+	got, err := interp.Run(r, []int64{5, 9}, 1000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := -(int64(5)*3 + 9/2 - 9%3)
+	if got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+}
+
+func TestDivModByZero(t *testing.T) {
+	r := parse(t, `
+func f(a) {
+entry:
+  x = a / 0
+  y = a % 0
+  return x + y
+}
+`)
+	got, err := interp.Run(r, []int64{17}, 1000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 0 {
+		t.Fatalf("x/0 + x%%0 = %d, want 0", got)
+	}
+}
+
+func TestDivOverflow(t *testing.T) {
+	r := parse(t, `
+func f(a, b) {
+entry:
+  return a / b
+}
+`)
+	got, err := interp.Run(r, []int64{-1 << 63, -1}, 100)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != -1<<63 {
+		t.Fatalf("MinInt64 / -1 = %d, want MinInt64 (wraparound)", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	r := parse(t, `
+func f(a, b) {
+entry:
+  return (a < b) * 32 + (a <= b) * 16 + (a == b) * 8 + (a != b) * 4 + (a > b) * 2 + (a >= b)
+}
+`)
+	cases := []struct{ a, b, want int64 }{
+		{1, 2, 32 + 16 + 4},
+		{2, 2, 16 + 8 + 1},
+		{3, 2, 4 + 2 + 1},
+	}
+	for _, c := range cases {
+		got, err := interp.Run(r, []int64{c.a, c.b}, 1000)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if got != c.want {
+			t.Errorf("cmp(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	r := parse(t, `
+func sum(n) {
+entry:
+  s = 0
+  i = 1
+  goto head
+head:
+  if i <= n goto body else exit
+body:
+  s = s + i
+  i = i + 1
+  goto head
+exit:
+  return s
+}
+`)
+	got, err := interp.Run(r, []int64{10}, 10000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 55 {
+		t.Fatalf("sum(10) = %d, want 55", got)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	r := parse(t, `
+func spin(x) {
+entry:
+  goto a
+a:
+  goto b
+b:
+  goto a
+}
+`)
+	_, err := interp.Run(r, []int64{0}, 100)
+	if err != interp.ErrStepLimit {
+		t.Fatalf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestSwitchDispatch(t *testing.T) {
+	r := parse(t, `
+func f(s) {
+entry:
+  switch s [1: one, 2: two, default: other]
+one:
+  return 100
+two:
+  return 200
+other:
+  return 300
+}
+`)
+	for _, c := range []struct{ in, want int64 }{{1, 100}, {2, 200}, {7, 300}} {
+		got, err := interp.Run(r, []int64{c.in}, 100)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if got != c.want {
+			t.Errorf("switch(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCallDeterminism(t *testing.T) {
+	r := parse(t, `
+func f(a) {
+entry:
+  x = g(a)
+  y = g(a)
+  return x - y
+}
+`)
+	got, err := interp.Run(r, []int64{42}, 100)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 0 {
+		t.Fatalf("identical calls differ: %d", got)
+	}
+	if interp.CallResult("g", []int64{1}) == interp.CallResult("h", []int64{1}) {
+		t.Fatalf("different callees collide")
+	}
+	if interp.CallResult("g", []int64{1}) == interp.CallResult("g", []int64{2}) {
+		t.Fatalf("different args collide")
+	}
+}
+
+func TestUndefinedVariableIsZero(t *testing.T) {
+	r := parse(t, `
+func f(a) {
+entry:
+  return neverwritten + a
+}
+`)
+	got, err := interp.Run(r, []int64{5}, 100)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got != 5 {
+		t.Fatalf("undefined var read = %d, want 0", got-5)
+	}
+}
+
+func TestTraceRecordsBlocksAndEdges(t *testing.T) {
+	r := parse(t, `
+func f(n) {
+entry:
+  i = 0
+  goto head
+head:
+  if i < n goto body else exit
+body:
+  i = i + 1
+  goto head
+exit:
+  return i
+}
+`)
+	tr, err := interp.RunTrace(r, []int64{3}, 10000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if tr.Return != 3 {
+		t.Fatalf("return = %d, want 3", tr.Return)
+	}
+	var head, body *ir.Block
+	for _, b := range r.Blocks {
+		switch b.Name {
+		case "head":
+			head = b
+		case "body":
+			body = b
+		}
+	}
+	if tr.Blocks[head.ID] != 4 {
+		t.Errorf("head entered %d times, want 4", tr.Blocks[head.ID])
+	}
+	if tr.Blocks[body.ID] != 3 {
+		t.Errorf("body entered %d times, want 3", tr.Blocks[body.ID])
+	}
+}
+
+// TestSSAPreservesSemantics is the differential check between the non-SSA
+// and SSA forms across a set of routines and random inputs.
+func TestSSAPreservesSemantics(t *testing.T) {
+	sources := []string{
+		`
+func swapsum(a, b, c) {
+entry:
+  t = a
+  a = b
+  b = t
+  if c > 0 goto pos else neg
+pos:
+  x = a * 2 + b
+  goto out
+neg:
+  x = b * 2 + a
+  goto out
+out:
+  return x + t
+}
+`, `
+func gauss(n) {
+entry:
+  s = 0
+  i = 0
+  goto head
+head:
+  if i > n goto exit else body
+body:
+  s = s + i
+  i = i + 1
+  goto head
+exit:
+  return s
+}
+`, `
+func collatzish(n) {
+entry:
+  steps = 0
+  goto head
+head:
+  if n <= 1 goto exit else body
+body:
+  steps = steps + 1
+  if n % 2 == 0 goto even else odd
+even:
+  n = n / 2
+  goto head
+odd:
+  n = 3 * n + 1
+  goto head
+exit:
+  return steps
+}
+`, `
+func phiswap(n) {
+entry:
+  x = 1
+  y = 2
+  i = 0
+  goto head
+head:
+  if i >= n goto exit else body
+body:
+  t = x
+  x = y
+  y = t
+  i = i + 1
+  goto head
+exit:
+  return x * 10 + y
+}
+`,
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, src := range sources {
+		orig := parse(t, src)
+		conv := orig.Clone()
+		if err := ssa.Build(conv, ssa.SemiPruned); err != nil {
+			t.Fatalf("%s: ssa: %v", orig.Name, err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			args := make([]int64, len(orig.Params))
+			for k := range args {
+				args[k] = rng.Int63n(40) - 10
+			}
+			want, err1 := interp.Run(orig, args, 100000)
+			got, err2 := interp.Run(conv, args, 100000)
+			if (err1 != nil) != (err2 != nil) {
+				t.Fatalf("%s%v: error divergence: %v vs %v", orig.Name, args, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if got != want {
+				t.Fatalf("%s%v: SSA changed result: %d vs %d\n%s", orig.Name, args, got, want, conv)
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package ir
+
+// Clone returns a deep copy of the routine: fresh blocks, edges and
+// instructions with identical IDs, names, constants and structure. The
+// benchmark harness uses it to run several GVN configurations on identical
+// inputs.
+func (r *Routine) Clone() *Routine {
+	nr := &Routine{
+		Name:        r.Name,
+		nextInstrID: r.nextInstrID,
+		nextBlockID: r.nextBlockID,
+	}
+	blockMap := make(map[*Block]*Block, len(r.Blocks))
+	instrMap := make(map[*Instr]*Instr, r.NumInstrs())
+	for _, b := range r.Blocks {
+		nb := &Block{ID: b.ID, Name: b.Name, Routine: nr}
+		nr.Blocks = append(nr.Blocks, nb)
+		blockMap[b] = nb
+	}
+	for _, b := range r.Blocks {
+		nb := blockMap[b]
+		for _, i := range b.Instrs {
+			ni := &Instr{
+				ID:    i.ID,
+				Op:    i.Op,
+				Block: nb,
+				Const: i.Const,
+				Name:  i.Name,
+			}
+			if len(i.Cases) > 0 {
+				ni.Cases = append([]int64(nil), i.Cases...)
+			}
+			nb.Instrs = append(nb.Instrs, ni)
+			instrMap[i] = ni
+		}
+	}
+	// Wire arguments and use lists.
+	for _, b := range r.Blocks {
+		for _, i := range b.Instrs {
+			ni := instrMap[i]
+			for _, a := range i.Args {
+				na := instrMap[a]
+				ni.Args = append(ni.Args, na)
+				if na != nil {
+					na.addUse(ni)
+				}
+			}
+		}
+	}
+	// Wire edges.
+	for _, b := range r.Blocks {
+		nb := blockMap[b]
+		for _, e := range b.Succs {
+			ne := &Edge{
+				From:     nb,
+				To:       blockMap[e.To],
+				outIndex: e.outIndex,
+				inIndex:  e.inIndex,
+			}
+			nb.Succs = append(nb.Succs, ne)
+		}
+	}
+	for _, b := range r.Blocks {
+		nb := blockMap[b]
+		nb.Preds = make([]*Edge, len(b.Preds))
+		for k, e := range b.Preds {
+			nb.Preds[k] = blockMap[e.From].Succs[e.outIndex]
+		}
+	}
+	for _, p := range r.Params {
+		nr.Params = append(nr.Params, instrMap[p])
+	}
+	return nr
+}

@@ -1,0 +1,144 @@
+package ir
+
+import "testing"
+
+func TestRetargetEdgePreservesSuccOrder(t *testing.T) {
+	r := NewRoutine("f")
+	entry := r.Entry()
+	a := r.NewBlock("a")
+	b := r.NewBlock("b")
+	c := r.NewBlock("c")
+	x := r.AddParam("x")
+	r.Append(entry, OpBranch, x)
+	r.AddEdge(entry, a) // true target
+	r.AddEdge(entry, b) // false target
+	r.Append(a, OpReturn, x)
+	r.Append(b, OpReturn, x)
+	r.Append(c, OpReturn, x)
+
+	// Retarget the false edge to c: the true edge must stay at index 0.
+	r.RetargetEdge(entry.Succs[1], c)
+	if entry.Succs[0].To != a || entry.Succs[1].To != c {
+		t.Fatalf("successor order broken: %v, %v", entry.Succs[0].To, entry.Succs[1].To)
+	}
+	if len(b.Preds) != 0 {
+		t.Fatalf("b still has predecessors")
+	}
+	if len(c.Preds) != 1 || c.Preds[0].From != entry {
+		t.Fatalf("c predecessors wrong")
+	}
+	if err := r.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestRetargetEdgePhiSlots(t *testing.T) {
+	r := NewRoutine("f")
+	entry := r.Entry()
+	a := r.NewBlock("a")
+	join := r.NewBlock("join")
+	other := r.NewBlock("other")
+	x := r.AddParam("x")
+	one := r.ConstInt(entry, 1)
+	two := r.ConstInt(entry, 2)
+	r.Append(entry, OpBranch, x)
+	r.AddEdge(entry, a)
+	r.AddEdge(entry, join)
+	r.Append(a, OpJump)
+	r.AddEdge(a, join)
+
+	phi := r.InsertPhi(join)
+	phi.SetArg(0, one) // from entry
+	phi.SetArg(1, two) // from a
+	r.Append(join, OpReturn, phi)
+
+	// The old φ slot for the moved edge must disappear; other gains one.
+	otherPhi := r.InsertPhi(other)
+	r.Append(other, OpReturn, x)
+	r.RetargetEdge(a.Succs[0], other)
+	if len(phi.Args) != 1 || phi.Args[0] != one {
+		t.Fatalf("join φ args wrong after retarget: %v", phi.Args)
+	}
+	if len(otherPhi.Args) != 1 || otherPhi.Args[0] != nil {
+		t.Fatalf("other φ should have gained one nil slot: %v", otherPhi.Args)
+	}
+	otherPhi.SetArg(0, two)
+	if err := r.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestMergeBlocks(t *testing.T) {
+	r := NewRoutine("f")
+	entry := r.Entry()
+	tail := r.NewBlock("tail")
+	x := r.AddParam("x")
+	sum := r.Append(entry, OpAdd, x, x)
+	r.Append(entry, OpJump)
+	r.AddEdge(entry, tail)
+	prod := r.Append(tail, OpMul, sum, x)
+	r.Append(tail, OpReturn, prod)
+
+	r.MergeBlocks(entry, tail)
+	if len(r.Blocks) != 1 {
+		t.Fatalf("%d blocks after merge", len(r.Blocks))
+	}
+	if prod.Block != entry {
+		t.Fatalf("moved instruction has stale block")
+	}
+	if term := entry.Terminator(); term == nil || term.Op != OpReturn {
+		t.Fatalf("terminator after merge: %v", term)
+	}
+	if err := r.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestMergeBlocksInheritsSuccessors(t *testing.T) {
+	r := NewRoutine("f")
+	entry := r.Entry()
+	mid := r.NewBlock("mid")
+	l := r.NewBlock("l")
+	q := r.NewBlock("q")
+	x := r.AddParam("x")
+	r.Append(entry, OpJump)
+	r.AddEdge(entry, mid)
+	r.Append(mid, OpBranch, x)
+	r.AddEdge(mid, l)
+	r.AddEdge(mid, q)
+	r.Append(l, OpReturn, x)
+	r.Append(q, OpReturn, x)
+
+	r.MergeBlocks(entry, mid)
+	if len(entry.Succs) != 2 || entry.Succs[0].To != l || entry.Succs[1].To != q {
+		t.Fatalf("successors not inherited in order")
+	}
+	for k, e := range entry.Succs {
+		if e.From != entry || e.OutIndex() != k {
+			t.Fatalf("edge bookkeeping broken")
+		}
+	}
+	if err := r.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestMergeBlocksPanicsOnBadShape(t *testing.T) {
+	r := NewRoutine("f")
+	entry := r.Entry()
+	a := r.NewBlock("a")
+	b := r.NewBlock("b")
+	x := r.AddParam("x")
+	r.Append(entry, OpBranch, x)
+	r.AddEdge(entry, a)
+	r.AddEdge(entry, b)
+	r.Append(a, OpReturn, x)
+	r.Append(b, OpReturn, x)
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MergeBlocks accepted a branch source")
+		}
+	}()
+	r.MergeBlocks(entry, a)
+}

@@ -1,0 +1,121 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// sprintInstr renders one instruction in the textual IR syntax.
+func sprintInstr(i *Instr) string {
+	var sb strings.Builder
+	writeInstr(&sb, i)
+	return sb.String()
+}
+
+func writeInstr(sb *strings.Builder, i *Instr) {
+	arg := func(k int) string {
+		if i.Args[k] == nil {
+			return "<nil>"
+		}
+		return i.Args[k].ValueName()
+	}
+	if i.HasValue() {
+		sb.WriteString(i.ValueName())
+		sb.WriteString(" = ")
+	}
+	switch i.Op {
+	case OpConst:
+		fmt.Fprintf(sb, "const %d", i.Const)
+	case OpParam:
+		sb.WriteString("param")
+	case OpCopy:
+		fmt.Fprintf(sb, "copy %s", arg(0))
+	case OpNeg:
+		fmt.Fprintf(sb, "neg %s", arg(0))
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		fmt.Fprintf(sb, "%s %s, %s", i.Op, arg(0), arg(1))
+	case OpPhi:
+		sb.WriteString("phi [")
+		for k := range i.Args {
+			if k > 0 {
+				sb.WriteString(", ")
+			}
+			if i.Block != nil && k < len(i.Block.Preds) {
+				fmt.Fprintf(sb, "%s: %s", i.Block.Preds[k].From.Name, arg(k))
+			} else {
+				sb.WriteString(arg(k))
+			}
+		}
+		sb.WriteString("]")
+	case OpCall:
+		fmt.Fprintf(sb, "call %s(", i.Name)
+		for k := range i.Args {
+			if k > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(arg(k))
+		}
+		sb.WriteString(")")
+	case OpVarRead:
+		fmt.Fprintf(sb, "varread %s", i.Name)
+	case OpVarWrite:
+		fmt.Fprintf(sb, "varwrite %s, %s", i.Name, arg(0))
+	case OpJump:
+		fmt.Fprintf(sb, "goto %s", succName(i, 0))
+	case OpBranch:
+		fmt.Fprintf(sb, "if %s goto %s else %s", arg(0), succName(i, 0), succName(i, 1))
+	case OpSwitch:
+		fmt.Fprintf(sb, "switch %s [", arg(0))
+		for k, c := range i.Cases {
+			if k > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(sb, "%d: %s", c, succName(i, k))
+		}
+		if len(i.Cases) > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(sb, "default: %s]", succName(i, len(i.Cases)))
+	case OpReturn:
+		fmt.Fprintf(sb, "return %s", arg(0))
+	default:
+		fmt.Fprintf(sb, "%s ?", i.Op)
+	}
+}
+
+func succName(i *Instr, k int) string {
+	if i.Block == nil || k >= len(i.Block.Succs) {
+		return "<nosucc>"
+	}
+	return i.Block.Succs[k].To.Name
+}
+
+// String renders the whole routine in the textual IR syntax accepted by
+// package parser.
+func (r *Routine) String() string {
+	var sb strings.Builder
+	sb.WriteString("func ")
+	sb.WriteString(r.Name)
+	sb.WriteString("(")
+	for k, p := range r.Params {
+		if k > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(p.ValueName())
+	}
+	sb.WriteString(") {\n")
+	for _, b := range r.Blocks {
+		sb.WriteString(b.Name)
+		sb.WriteString(":\n")
+		for _, i := range b.Instrs {
+			if i.Op == OpParam {
+				continue // params are printed in the signature
+			}
+			sb.WriteString("  ")
+			writeInstr(&sb, i)
+			sb.WriteString("\n")
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

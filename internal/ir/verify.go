@@ -1,0 +1,175 @@
+package ir
+
+import "fmt"
+
+// Verify checks the structural invariants of the routine and returns the
+// first violation found, or nil if the routine is well formed.
+//
+// Checked invariants:
+//   - Blocks[0] is the entry block and has no predecessors.
+//   - every non-empty block ends in exactly one terminator, and no
+//     terminator appears elsewhere;
+//   - φs appear only at the front of a block and have one argument per
+//     incoming edge;
+//   - edge indices are consistent with Succs/Preds positions;
+//   - terminators have the right number of successors;
+//   - argument counts match opcodes, and arguments are value-producing
+//     instructions belonging to this routine;
+//   - use lists exactly mirror argument lists;
+//   - parameters appear only at the front of the entry block.
+func (r *Routine) Verify() error {
+	if len(r.Blocks) == 0 {
+		return fmt.Errorf("%s: no blocks", r.Name)
+	}
+	if len(r.Entry().Preds) != 0 {
+		return fmt.Errorf("%s: entry block has predecessors", r.Name)
+	}
+	inRoutine := make(map[*Instr]bool)
+	for _, b := range r.Blocks {
+		for _, i := range b.Instrs {
+			inRoutine[i] = true
+		}
+	}
+	useCount := make(map[*Instr]int)
+	for _, b := range r.Blocks {
+		if err := r.verifyBlock(b, inRoutine, useCount); err != nil {
+			return err
+		}
+	}
+	// Use lists must exactly mirror argument references.
+	for _, b := range r.Blocks {
+		for _, i := range b.Instrs {
+			if len(i.uses) != useCount[i] {
+				return fmt.Errorf("%s: %s has %d recorded uses, %d actual",
+					r.Name, i.ValueName(), len(i.uses), useCount[i])
+			}
+			for _, u := range i.uses {
+				if !inRoutine[u] {
+					return fmt.Errorf("%s: %s used by foreign instruction", r.Name, i.ValueName())
+				}
+			}
+		}
+	}
+	for k, p := range r.Params {
+		if p.Op != OpParam {
+			return fmt.Errorf("%s: param %d is %s", r.Name, k, p.Op)
+		}
+		if k >= len(r.Entry().Instrs) || r.Entry().Instrs[k] != p {
+			return fmt.Errorf("%s: param %s not at front of entry", r.Name, p.ValueName())
+		}
+	}
+	return nil
+}
+
+func (r *Routine) verifyBlock(b *Block, inRoutine map[*Instr]bool, useCount map[*Instr]int) error {
+	if b.Routine != r {
+		return fmt.Errorf("%s: block %s belongs to another routine", r.Name, b.Name)
+	}
+	for k, e := range b.Succs {
+		if e.From != b || e.outIndex != k {
+			return fmt.Errorf("%s: block %s succ %d has bad edge indices", r.Name, b.Name, k)
+		}
+		if e.To.Preds[e.inIndex] != e {
+			return fmt.Errorf("%s: edge %s not mirrored in dest preds", r.Name, e)
+		}
+	}
+	for k, e := range b.Preds {
+		if e.To != b || e.inIndex != k {
+			return fmt.Errorf("%s: block %s pred %d has bad edge indices", r.Name, b.Name, k)
+		}
+	}
+	seenNonPhi := false
+	for idx, i := range b.Instrs {
+		if i.Block != b {
+			return fmt.Errorf("%s: %s in block %s has Block=%v", r.Name, i.ValueName(), b.Name, i.Block)
+		}
+		if i.Op.IsTerminator() && idx != len(b.Instrs)-1 {
+			return fmt.Errorf("%s: terminator %s not last in block %s", r.Name, i, b.Name)
+		}
+		if i.Op == OpPhi {
+			if seenNonPhi {
+				return fmt.Errorf("%s: φ after non-φ in block %s", r.Name, b.Name)
+			}
+			if len(i.Args) != len(b.Preds) {
+				return fmt.Errorf("%s: φ %s has %d args for %d preds",
+					r.Name, i.ValueName(), len(i.Args), len(b.Preds))
+			}
+		} else {
+			seenNonPhi = true
+		}
+		if err := verifyArity(i); err != nil {
+			return fmt.Errorf("%s: block %s: %v", r.Name, b.Name, err)
+		}
+		for _, a := range i.Args {
+			if a == nil {
+				return fmt.Errorf("%s: %s has nil argument", r.Name, i)
+			}
+			if !inRoutine[a] {
+				return fmt.Errorf("%s: %s uses foreign value", r.Name, i)
+			}
+			if !a.HasValue() {
+				return fmt.Errorf("%s: %s uses non-value %s", r.Name, i, a)
+			}
+			useCount[a]++
+		}
+		if i.Op == OpParam && b != r.Entry() {
+			return fmt.Errorf("%s: param outside entry block", r.Name)
+		}
+	}
+	switch t := b.Terminator(); {
+	case t == nil && len(b.Instrs) > 0:
+		return fmt.Errorf("%s: block %s lacks a terminator", r.Name, b.Name)
+	case t != nil:
+		want := -1
+		switch t.Op {
+		case OpJump:
+			want = 1
+		case OpBranch:
+			want = 2
+		case OpReturn:
+			want = 0
+		case OpSwitch:
+			want = len(t.Cases) + 1
+		}
+		if want >= 0 && len(b.Succs) != want {
+			return fmt.Errorf("%s: block %s has %d successors, %s wants %d",
+				r.Name, b.Name, len(b.Succs), t.Op, want)
+		}
+	}
+	return nil
+}
+
+func verifyArity(i *Instr) error {
+	want := -1
+	switch i.Op {
+	case OpConst, OpParam, OpVarRead:
+		want = 0
+	case OpCopy, OpNeg, OpVarWrite, OpReturn, OpBranch, OpSwitch:
+		want = 1
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		want = 2
+	case OpJump:
+		want = 0
+	case OpPhi, OpCall:
+		want = -1 // variadic
+	case OpInvalid:
+		return fmt.Errorf("invalid opcode on %s", i.ValueName())
+	}
+	if want >= 0 && len(i.Args) != want {
+		return fmt.Errorf("%s has %d args, want %d", i, len(i.Args), want)
+	}
+	return nil
+}
+
+// IsSSA reports whether the routine contains no VarRead/VarWrite
+// pseudo-instructions, i.e. has been converted to SSA form.
+func (r *Routine) IsSSA() bool {
+	for _, b := range r.Blocks {
+		for _, i := range b.Instrs {
+			if i.Op == OpVarRead || i.Op == OpVarWrite {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,57 @@
+package opt_test
+
+import (
+	"testing"
+
+	"pgvn/internal/core"
+	"pgvn/internal/interp"
+	"pgvn/internal/opt"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+)
+
+// FuzzOptimizeEquivalence parses arbitrary program text; whenever it is a
+// valid routine, the full pipeline must terminate without panicking and
+// the optimized routine must agree with the original on a few fixed
+// inputs (step-limited, so non-terminating programs are tolerated).
+func FuzzOptimizeEquivalence(f *testing.F) {
+	seeds := []string{
+		"func f(x) {\ne:\n  return x + 0\n}",
+		"func f(a, b) {\ne:\n  x = a * b\n  if x == 0 goto t else u\nt:\n  return 1\nu:\n  return x\n}",
+		"func f(n) {\ne:\n  i = 0\n  goto h\nh:\n  if i < n goto b else x\nb:\n  i = i + 1\n  goto h\nx:\n  return i\n}",
+		"func f(s) {\ne:\n  switch s [1: a, 2: b, default: c]\na:\n  return 1\nb:\n  return 2\nc:\n  return s % s\n}",
+		"func f(x, y) {\ne:\n  if x == y goto t else u\nt:\n  z = x - y\n  return z\nu:\n  return y / x\n}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	inputs := [][]int64{{0}, {1}, {-3}, {7}}
+	f.Fuzz(func(t *testing.T, src string) {
+		orig, err := parser.ParseRoutine(src)
+		if err != nil {
+			return
+		}
+		work := orig.Clone()
+		if err := ssa.Build(work, ssa.SemiPruned); err != nil {
+			t.Fatalf("ssa rejected parsed routine: %v\n%q", err, src)
+		}
+		if _, _, err := opt.Optimize(work, core.DefaultConfig()); err != nil {
+			t.Fatalf("optimize failed: %v\n%q", err, src)
+		}
+		for _, base := range inputs {
+			args := make([]int64, len(orig.Params))
+			for k := range args {
+				args[k] = base[0] + int64(k)
+			}
+			want, err1 := interp.Run(orig, args, 30000)
+			got, err2 := interp.Run(work, args, 30000)
+			if err1 != nil || err2 != nil {
+				continue // step limit (infinite loops are legal input)
+			}
+			if got != want {
+				t.Fatalf("optimization changed behaviour on %v: %d != %d\n%q\noptimized:\n%s",
+					args, got, want, src, work)
+			}
+		}
+	})
+}

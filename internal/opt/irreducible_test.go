@@ -1,0 +1,53 @@
+package opt_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgvn/internal/core"
+	"pgvn/internal/interp"
+	"pgvn/internal/opt"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+)
+
+// irreducibleSrc is a classic irreducible region (cycle a↔b entered at
+// both a and b); see the analysis-side tests in internal/core.
+const irreducibleSrc = `
+func irr(c, n) {
+entry:
+  i = 0
+  if c > 0 goto a else b
+a:
+  i = i + 1
+  if i >= n goto out else b
+b:
+  i = i + 2
+  if i >= n goto out else a
+out:
+  return i
+}
+`
+
+func TestIrreducibleOptimizedEquivalence(t *testing.T) {
+	orig, err := parser.ParseRoutine(irreducibleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := orig.Clone()
+	if err := ssa.Build(work, ssa.SemiPruned); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := opt.Optimize(work, core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		args := []int64{rng.Int63n(5) - 2, rng.Int63n(20)}
+		want, err1 := interp.Run(orig, args, 100000)
+		got, err2 := interp.Run(work, args, 100000)
+		if err1 != nil || err2 != nil || got != want {
+			t.Fatalf("irr(%v): (%d,%v) vs (%d,%v)\n%s", args, got, err2, want, err1, work)
+		}
+	}
+}

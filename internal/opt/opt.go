@@ -1,0 +1,278 @@
+// Package opt applies the results of global value numbering to a routine:
+// unreachable code elimination, constant propagation, copy propagation and
+// dominator-based redundancy elimination, followed by dead code
+// elimination. These are the optimizations the paper lists as consumers of
+// the GVN partition (§2).
+//
+// All transformations preserve the interpreter-observable behaviour of the
+// routine; the differential tests in this package and in internal/workload
+// check that on random inputs.
+package opt
+
+import (
+	"fmt"
+
+	"pgvn/internal/core"
+	"pgvn/internal/dom"
+	"pgvn/internal/ir"
+)
+
+// Stats reports what Apply changed.
+type Stats struct {
+	// BlocksRemoved counts unreachable blocks deleted.
+	BlocksRemoved int
+	// EdgesRemoved counts unreachable edges deleted.
+	EdgesRemoved int
+	// ConstantsPropagated counts values rewritten to constants.
+	ConstantsPropagated int
+	// RedundanciesReplaced counts uses redirected to class leaders.
+	RedundanciesReplaced int
+	// InstrsRemoved counts dead instructions deleted.
+	InstrsRemoved int
+	// BlocksSimplified counts blocks removed by control-flow
+	// simplification (forwarding-block bypass and straight-line merge).
+	BlocksSimplified int
+}
+
+// Optimize runs global value numbering with the given configuration and
+// applies every enabled transformation. It returns the GVN result and the
+// transformation statistics.
+func Optimize(r *ir.Routine, cfg core.Config) (*core.Result, Stats, error) {
+	res, err := core.Run(r, cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st, err := Apply(res)
+	return res, st, err
+}
+
+// Apply transforms the analyzed routine in place using the GVN result.
+func Apply(res *core.Result) (Stats, error) {
+	var st Stats
+	r := res.Routine
+	st.BlocksRemoved, st.EdgesRemoved = EliminateUnreachable(res)
+	st.ConstantsPropagated = PropagateConstants(res)
+	st.RedundanciesReplaced = EliminateRedundancies(res)
+	st.InstrsRemoved = EliminateDeadCode(r)
+	st.BlocksSimplified = SimplifyCFG(r)
+	if err := r.Verify(); err != nil {
+		return st, fmt.Errorf("opt: routine broken after optimization: %w", err)
+	}
+	return st, nil
+}
+
+// EliminateUnreachable removes edges and blocks the analysis proved
+// unreachable, rewrites branches and switches left with a single successor
+// into jumps, and folds single-argument φs. It returns the number of
+// blocks and edges removed.
+func EliminateUnreachable(res *core.Result) (blocks, edges int) {
+	r := res.Routine
+	// Remove unreachable out-edges of reachable blocks.
+	for _, b := range r.Blocks {
+		if !res.BlockReachable(b) {
+			continue
+		}
+		for k := len(b.Succs) - 1; k >= 0; k-- {
+			e := b.Succs[k]
+			if !res.EdgeReachable(e) {
+				r.RemoveEdge(e)
+				edges++
+			}
+		}
+		simplifyTerminator(r, b)
+	}
+	// Disconnect and delete unreachable blocks.
+	var dead []*ir.Block
+	for _, b := range r.Blocks {
+		if !res.BlockReachable(b) {
+			dead = append(dead, b)
+		}
+	}
+	for _, b := range dead {
+		for len(b.Succs) > 0 {
+			r.RemoveEdge(b.Succs[0])
+			edges++
+		}
+		for len(b.Preds) > 0 {
+			r.RemoveEdge(b.Preds[0])
+			edges++
+		}
+	}
+	for _, b := range dead {
+		r.RemoveBlock(b)
+		blocks++
+	}
+	// Fold φs left with a single argument.
+	for _, b := range r.Blocks {
+		for _, phi := range append([]*ir.Instr(nil), b.Phis()...) {
+			if len(phi.Args) == 1 {
+				arg := phi.Args[0]
+				phi.ReplaceUses(arg)
+				r.RemoveInstr(phi)
+			}
+		}
+	}
+	return blocks, edges
+}
+
+// simplifyTerminator rewrites a branch or switch whose outgoing edges have
+// collapsed to one into an unconditional jump.
+func simplifyTerminator(r *ir.Routine, b *ir.Block) {
+	term := b.Terminator()
+	if term == nil {
+		return
+	}
+	switch term.Op {
+	case ir.OpBranch:
+		if len(b.Succs) == 1 {
+			term.SetArg(0, nil)
+			term.Args = nil
+			term.Op = ir.OpJump
+		}
+	case ir.OpSwitch:
+		if len(b.Succs) == 1 {
+			term.SetArg(0, nil)
+			term.Args = nil
+			term.Cases = nil
+			term.Op = ir.OpJump
+		}
+	}
+}
+
+// PropagateConstants rewrites every value congruent to a constant into a
+// direct reference to one materialized constant per class (placed in the
+// entry block, which dominates all uses). Values that already are the
+// right constant are left alone. It returns the number of values
+// rewritten.
+func PropagateConstants(res *core.Result) int {
+	r := res.Routine
+	made := map[int64]*ir.Instr{}
+	count := 0
+	constFor := func(c int64) *ir.Instr {
+		if ci := made[c]; ci != nil {
+			return ci
+		}
+		entry := r.Entry()
+		pos := len(r.Params)
+		var ci *ir.Instr
+		if pos < len(entry.Instrs) {
+			ci = r.InsertBefore(entry.Instrs[pos], ir.OpConst)
+		} else {
+			ci = r.Append(entry, ir.OpConst)
+		}
+		ci.Const = c
+		made[c] = ci
+		return ci
+	}
+	// Collect targets first: rewriting while iterating would confuse the
+	// traversal.
+	type job struct {
+		v *ir.Instr
+		c int64
+	}
+	var jobs []job
+	r.Instrs(func(i *ir.Instr) {
+		if !i.HasValue() || i.Op == ir.OpParam {
+			return
+		}
+		if c, ok := res.ConstValue(i); ok {
+			if i.Op == ir.OpConst && i.Const == c {
+				return
+			}
+			jobs = append(jobs, job{i, c})
+		}
+	})
+	for _, j := range jobs {
+		if j.v.NumUses() == 0 {
+			continue // dead; DCE will remove it
+		}
+		j.v.ReplaceUses(constFor(j.c))
+		count++
+	}
+	return count
+}
+
+// EliminateRedundancies redirects uses of every value to its congruence
+// class leader whenever the leader's definition strictly precedes the
+// value's definition in the dominator order (classic GVN-based redundancy
+// elimination / copy propagation). It returns the number of values whose
+// uses were redirected.
+func EliminateRedundancies(res *core.Result) int {
+	r := res.Routine
+	tree := dom.New(r)
+	pos := map[*ir.Instr]int{}
+	for _, b := range r.Blocks {
+		for k, i := range b.Instrs {
+			pos[i] = k
+		}
+	}
+	precedes := func(a, b *ir.Instr) bool {
+		if a.Block == b.Block {
+			return pos[a] < pos[b]
+		}
+		return tree.StrictlyDominates(a.Block, b.Block)
+	}
+	count := 0
+	r.Instrs(func(i *ir.Instr) {
+		if !i.HasValue() || i.NumUses() == 0 {
+			return
+		}
+		leader := res.Leader(i)
+		if leader == nil || leader == i {
+			return
+		}
+		// The leader may have been deleted by unreachable-code removal
+		// or rewritten; only use it if it still defines a value here.
+		if leader.Block == nil || leader.Block.Routine != r {
+			return
+		}
+		if precedes(leader, i) {
+			i.ReplaceUses(leader)
+			count++
+		}
+	})
+	return count
+}
+
+// EliminateDeadCode removes pure value-producing instructions that no
+// terminator transitively needs (parameters excluded). Liveness is
+// mark-and-sweep from terminator operands, so webs of φs that only feed
+// each other around a loop die too. It returns the number of instructions
+// removed.
+func EliminateDeadCode(r *ir.Routine) int {
+	live := make(map[*ir.Instr]bool)
+	var mark func(i *ir.Instr)
+	mark = func(i *ir.Instr) {
+		if live[i] {
+			return
+		}
+		live[i] = true
+		for _, a := range i.Args {
+			mark(a)
+		}
+	}
+	r.Instrs(func(i *ir.Instr) {
+		if i.Op.IsTerminator() {
+			for _, a := range i.Args {
+				mark(a)
+			}
+		}
+	})
+	var dead []*ir.Instr
+	r.Instrs(func(i *ir.Instr) {
+		if i.HasValue() && i.Op != ir.OpParam && !live[i] {
+			dead = append(dead, i)
+		}
+	})
+	// Detach all dead instructions from each other before removal (a dead
+	// φ web has internal uses in arbitrary order).
+	for _, i := range dead {
+		for k := range i.Args {
+			i.SetArg(k, nil)
+		}
+	}
+	for _, i := range dead {
+		r.RemoveInstr(i)
+	}
+	return len(dead)
+}

@@ -1,0 +1,203 @@
+package opt_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgvn/internal/core"
+	"pgvn/internal/interp"
+	"pgvn/internal/ir"
+	"pgvn/internal/opt"
+	"pgvn/internal/ssa"
+	"pgvn/internal/workload"
+)
+
+func TestSwitchOnConstantBecomesJump(t *testing.T) {
+	r, st := optimize(t, `
+func f(a) {
+entry:
+  s = 2
+  switch s [1: one, 2: two, default: other]
+one:
+  return 100
+two:
+  return a
+other:
+  return 300
+}
+`, core.DefaultConfig())
+	if countOp(r, ir.OpSwitch) != 0 {
+		t.Errorf("switch on constant not rewritten:\n%s", r)
+	}
+	if st.BlocksRemoved != 2 {
+		t.Errorf("BlocksRemoved = %d, want 2 (one, other)", st.BlocksRemoved)
+	}
+	got, err := interp.Run(r, []int64{7}, 100)
+	if err != nil || got != 7 {
+		t.Errorf("f(7) = (%d,%v), want 7", got, err)
+	}
+}
+
+func TestPhiFoldingCascade(t *testing.T) {
+	// Removing the dead arm folds the first φ, which feeds the second.
+	r, _ := optimize(t, `
+func f(a) {
+entry:
+  if 1 == 1 goto live else dead
+live:
+  x = a + 1
+  goto m1
+dead:
+  x = a + 2
+  goto m1
+m1:
+  if 2 == 2 goto live2 else dead2
+live2:
+  y = x
+  goto m2
+dead2:
+  y = 0
+  goto m2
+m2:
+  return y
+}
+`, core.DefaultConfig())
+	if n := countOp(r, ir.OpPhi); n != 0 {
+		t.Errorf("%d φs remain after folding cascade:\n%s", n, r)
+	}
+	got, err := interp.Run(r, []int64{5}, 100)
+	if err != nil || got != 6 {
+		t.Errorf("f(5) = (%d,%v), want 6", got, err)
+	}
+}
+
+func TestUnusedParamsSurvive(t *testing.T) {
+	// Parameters are part of the signature: DCE must not delete them.
+	r, _ := optimize(t, `
+func f(a, b, c) {
+entry:
+  return 5
+}
+`, core.DefaultConfig())
+	if len(r.Params) != 3 {
+		t.Errorf("params deleted: %d remain", len(r.Params))
+	}
+	if err := r.Verify(); err != nil {
+		t.Errorf("verify: %v", err)
+	}
+}
+
+func TestOptimizeWholeCorpus(t *testing.T) {
+	// Every corpus routine must optimize to a structurally valid,
+	// behaviourally identical routine under the default configuration.
+	rng := rand.New(rand.NewSource(17))
+	scale := 0.08
+	if testing.Short() {
+		scale = 0.02
+	}
+	for _, b := range workload.Corpus(scale) {
+		for _, orig := range b.Routines {
+			work := orig.Clone()
+			if err := ssa.Build(work, ssa.SemiPruned); err != nil {
+				t.Fatalf("%s: %v", orig.Name, err)
+			}
+			if _, _, err := opt.Optimize(work, core.DefaultConfig()); err != nil {
+				t.Fatalf("%s: %v", orig.Name, err)
+			}
+			if err := work.Verify(); err != nil {
+				t.Fatalf("%s: post-opt verify: %v", orig.Name, err)
+			}
+			for trial := 0; trial < 3; trial++ {
+				args := make([]int64, len(orig.Params))
+				for k := range args {
+					args[k] = rng.Int63n(20) - 6
+				}
+				want, err1 := interp.Run(orig, args, 300000)
+				got, err2 := interp.Run(work, args, 300000)
+				if err1 != nil || err2 != nil || got != want {
+					t.Fatalf("%s%v: (%d,%v) vs (%d,%v)", orig.Name, args, got, err2, want, err1)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimizationShrinksCorpus(t *testing.T) {
+	// In aggregate, optimization must reduce instruction count (the
+	// generator plants redundancies; if nothing shrinks the passes are
+	// not firing).
+	before, after := 0, 0
+	for _, b := range workload.Corpus(0.05) {
+		for _, orig := range b.Routines {
+			work := orig.Clone()
+			if err := ssa.Build(work, ssa.SemiPruned); err != nil {
+				t.Fatal(err)
+			}
+			before += work.NumInstrs()
+			if _, _, err := opt.Optimize(work, core.DefaultConfig()); err != nil {
+				t.Fatal(err)
+			}
+			after += work.NumInstrs()
+		}
+	}
+	if after >= before {
+		t.Fatalf("optimization did not shrink the corpus: %d -> %d", before, after)
+	}
+	t.Logf("corpus instructions: %d -> %d (-%0.1f%%)", before, after,
+		100*float64(before-after)/float64(before))
+}
+
+func TestStrongerConfigNeverGrows(t *testing.T) {
+	// The full algorithm must never leave more instructions than the
+	// Click emulation on the same routine (its partition refines less).
+	for _, b := range workload.Corpus(0.04) {
+		for _, orig := range b.Routines {
+			ssaForm := orig.Clone()
+			if err := ssa.Build(ssaForm, ssa.SemiPruned); err != nil {
+				t.Fatal(err)
+			}
+			full := ssaForm.Clone()
+			click := ssaForm.Clone()
+			if _, _, err := opt.Optimize(full, core.DefaultConfig()); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := opt.Optimize(click, core.ClickConfig()); err != nil {
+				t.Fatal(err)
+			}
+			if full.NumInstrs() > click.NumInstrs() {
+				t.Fatalf("%s: full algorithm left more instructions (%d) than Click (%d)",
+					orig.Name, full.NumInstrs(), click.NumInstrs())
+			}
+		}
+	}
+}
+
+func TestApplyStatsConsistent(t *testing.T) {
+	r := prepare(t, `
+func f(a) {
+entry:
+  x = a + 0
+  y = a + 0
+  z = x - y
+  if z == 0 goto always else never
+always:
+  return 1
+never:
+  return 2
+}
+`)
+	_, st, err := opt.Optimize(r, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlocksRemoved != 1 {
+		t.Errorf("BlocksRemoved = %d, want 1 (never)", st.BlocksRemoved)
+	}
+	if st.InstrsRemoved == 0 {
+		t.Errorf("no dead instructions removed")
+	}
+	got, err := interp.Run(r, []int64{3}, 100)
+	if err != nil || got != 1 {
+		t.Errorf("f(3) = (%d,%v), want 1", got, err)
+	}
+}

@@ -1,0 +1,378 @@
+package opt_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgvn/internal/core"
+	"pgvn/internal/interp"
+	"pgvn/internal/ir"
+	"pgvn/internal/opt"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+)
+
+func prepare(t *testing.T, src string) *ir.Routine {
+	t.Helper()
+	r, err := parser.ParseRoutine(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := ssa.Build(r, ssa.SemiPruned); err != nil {
+		t.Fatalf("ssa: %v", err)
+	}
+	return r
+}
+
+func optimize(t *testing.T, src string, cfg core.Config) (*ir.Routine, opt.Stats) {
+	t.Helper()
+	r := prepare(t, src)
+	_, st, err := opt.Optimize(r, cfg)
+	if err != nil {
+		t.Fatalf("optimize: %v\n%s", err, r)
+	}
+	return r, st
+}
+
+func countOp(r *ir.Routine, op ir.Op) int {
+	n := 0
+	r.Instrs(func(i *ir.Instr) {
+		if i.Op == op {
+			n++
+		}
+	})
+	return n
+}
+
+func TestDeadBranchRemoved(t *testing.T) {
+	r, st := optimize(t, `
+func f(a) {
+entry:
+  c = 3
+  if c == 3 goto yes else no
+yes:
+  x = 10
+  goto merge
+no:
+  x = 20
+  goto merge
+merge:
+  return x + 1
+}
+`, core.DefaultConfig())
+	if st.BlocksRemoved != 1 {
+		t.Errorf("BlocksRemoved = %d, want 1", st.BlocksRemoved)
+	}
+	// CFG simplification then collapses the remaining straight line.
+	if len(r.Blocks) != 1 {
+		t.Errorf("%d blocks remain, want 1\n%s", len(r.Blocks), r)
+	}
+	if st.BlocksSimplified != 2 {
+		t.Errorf("BlocksSimplified = %d, want 2", st.BlocksSimplified)
+	}
+	if countOp(r, ir.OpBranch) != 0 {
+		t.Errorf("branch not rewritten to jump\n%s", r)
+	}
+	if countOp(r, ir.OpPhi) != 0 {
+		t.Errorf("single-arg φ not folded\n%s", r)
+	}
+	// Result must be a constant return of 11.
+	got, err := interp.Run(r, []int64{0}, 1000)
+	if err != nil || got != 11 {
+		t.Errorf("optimized f(0) = (%d,%v), want 11", got, err)
+	}
+}
+
+func TestRedundancyElimination(t *testing.T) {
+	r, _ := optimize(t, `
+func f(a, b) {
+entry:
+  x = a + b
+  y = b + a
+  z = x - y
+  w = a + b
+  return z + w
+}
+`, core.DefaultConfig())
+	// x, y, w collapse to one add; z becomes 0; return ≅ x.
+	if n := countOp(r, ir.OpAdd); n != 1 {
+		t.Errorf("%d adds remain, want 1\n%s", n, r)
+	}
+	if n := countOp(r, ir.OpSub); n != 0 {
+		t.Errorf("subtraction not removed\n%s", r)
+	}
+	got, err := interp.Run(r, []int64{3, 4}, 100)
+	if err != nil || got != 7 {
+		t.Errorf("f(3,4) = (%d,%v), want 7", got, err)
+	}
+}
+
+func TestConstantPropagationRewrite(t *testing.T) {
+	r, st := optimize(t, `
+func f(a) {
+entry:
+  x = 2 + 3
+  y = x * a
+  z = x - 5
+  return y + z
+}
+`, core.DefaultConfig())
+	if st.ConstantsPropagated == 0 {
+		t.Errorf("no constants propagated")
+	}
+	// z = 0, so return = y = 5*a; the subtraction must be gone.
+	if countOp(r, ir.OpSub) != 0 {
+		t.Errorf("x-5 not removed\n%s", r)
+	}
+	got, err := interp.Run(r, []int64{6}, 100)
+	if err != nil || got != 30 {
+		t.Errorf("f(6) = (%d,%v), want 30", got, err)
+	}
+}
+
+func TestLoopOptimization(t *testing.T) {
+	// The loop-invariant cyclic value folds to 0; the loop itself stays
+	// (it controls termination).
+	r, _ := optimize(t, `
+func f(n) {
+entry:
+  i = 0
+  k = 0
+  goto head
+head:
+  if k < n goto body else exit
+body:
+  i = i * 1
+  k = k + 1
+  goto head
+exit:
+  return i
+}
+`, core.DefaultConfig())
+	for _, n := range []int64{0, 1, 5} {
+		got, err := interp.Run(r, []int64{n}, 10000)
+		if err != nil || got != 0 {
+			t.Errorf("f(%d) = (%d,%v), want 0", n, got, err)
+		}
+	}
+	if countOp(r, ir.OpMul) != 0 {
+		t.Errorf("i*1 not eliminated\n%s", r)
+	}
+}
+
+func TestFigure1Optimized(t *testing.T) {
+	r, _ := optimize(t, `
+func R(X, Y, Z) {
+b1:
+  I = 1
+  J = 1
+  goto b2
+b2:
+  if J > 9 goto b18 else b3
+b3:
+  J = J + 1
+  if I != 1 goto b4 else b5
+b4:
+  I = 2
+  goto b5
+b5:
+  if Y == X goto b6 else b17
+b6:
+  P = 0
+  if X >= 1 goto b7 else b11
+b7:
+  if I != 1 goto b8 else b9
+b8:
+  P = 2
+  goto b11
+b9:
+  if X <= 9 goto b10 else b11
+b10:
+  P = I
+  goto b11
+b11:
+  Q = 0
+  if I <= Y goto b12 else b14
+b12:
+  if Y <= 9 goto b13 else b14
+b13:
+  Q = 1
+  goto b14
+b14:
+  if Z > I goto b15 else b16
+b15:
+  I = P + (X + 2) + (Z < 1) - (I + Y) - Q
+  goto b16
+b16:
+  goto b17
+b17:
+  goto b2
+b18:
+  return I
+}
+`, core.DefaultConfig())
+	// The return is the constant 1 for arbitrary inputs.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		args := []int64{rng.Int63n(30) - 10, rng.Int63n(30) - 10, rng.Int63n(30) - 10}
+		got, err := interp.Run(r, args, 100000)
+		if err != nil || got != 1 {
+			t.Fatalf("optimized R%v = (%d,%v), want 1\n%s", args, got, err, r)
+		}
+	}
+	// The unreachable definitions (I=2 in b4, P=2 in b8) must be gone.
+	for _, b := range r.Blocks {
+		if b.Name == "b4" || b.Name == "b8" {
+			t.Errorf("unreachable block %s survived\n%s", b.Name, r)
+		}
+	}
+}
+
+// TestDifferentialOptimization runs a battery of routines through every
+// configuration and checks interpreter equivalence on random inputs.
+func TestDifferentialOptimization(t *testing.T) {
+	sources := []string{
+		`
+func p1(a, b, c) {
+entry:
+  x = a * b + c
+  if x > 10 goto big else small
+big:
+  y = x - a * b
+  goto out
+small:
+  y = c
+  goto out
+out:
+  return y
+}
+`, `
+func p2(n) {
+entry:
+  s = 0
+  i = 0
+  goto head
+head:
+  if i >= n goto exit else body
+body:
+  s = s + i * i
+  i = i + 1
+  goto head
+exit:
+  return s
+}
+`, `
+func p3(a, b) {
+entry:
+  if a == b goto same else diff
+same:
+  x = a - b
+  y = x * 100
+  goto out
+diff:
+  y = a + b
+  goto out
+out:
+  return y
+}
+`, `
+func p4(s, v) {
+entry:
+  switch s [0: z, 1: o, default: d]
+z:
+  r = v * 0
+  goto out
+o:
+  r = v / 1
+  goto out
+d:
+  r = v % v
+  goto out
+out:
+  return r
+}
+`, `
+func p5(a, b, c) {
+entry:
+  t1 = a + b
+  t2 = t1 + c
+  t3 = c + b
+  t4 = t3 + a
+  d = t2 - t4
+  if d == 0 goto zero else nonzero
+zero:
+  return 1
+nonzero:
+  return 0
+}
+`,
+	}
+	configs := map[string]core.Config{
+		"default":     core.DefaultConfig(),
+		"balanced":    core.BalancedConfig(),
+		"pessimistic": core.PessimisticConfig(),
+		"basic":       core.BasicConfig(),
+		"dense":       core.DenseConfig(),
+		"click":       core.ClickConfig(),
+		"sccp":        core.SCCPConfig(),
+		"simpson":     core.SimpsonConfig(),
+		"complete":    core.CompleteConfig(),
+		"extended":    core.ExtendedConfig(),
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, src := range sources {
+		orig := prepare(t, src)
+		for name, cfg := range configs {
+			optimized := orig.Clone()
+			if _, _, err := opt.Optimize(optimized, cfg); err != nil {
+				t.Fatalf("%s/%s: %v", orig.Name, name, err)
+			}
+			for trial := 0; trial < 40; trial++ {
+				args := make([]int64, len(orig.Params))
+				for k := range args {
+					args[k] = rng.Int63n(60) - 20
+				}
+				want, err1 := interp.Run(orig, args, 200000)
+				got, err2 := interp.Run(optimized, args, 200000)
+				if (err1 != nil) != (err2 != nil) {
+					t.Fatalf("%s/%s%v: error divergence %v vs %v", orig.Name, name, args, err1, err2)
+				}
+				if err1 == nil && got != want {
+					t.Fatalf("%s/%s%v: %d != %d\noriginal:\n%s\noptimized:\n%s",
+						orig.Name, name, args, got, want, orig, optimized)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	src := `
+func f(a, b) {
+entry:
+  x = a + b
+  y = a + b
+  z = 3 * 4
+  if z == 12 goto yes else no
+yes:
+  w = x - y
+  goto out
+no:
+  w = 99
+  goto out
+out:
+  return w
+}
+`
+	r := prepare(t, src)
+	if _, _, err := opt.Optimize(r, core.DefaultConfig()); err != nil {
+		t.Fatalf("first optimize: %v", err)
+	}
+	before := r.String()
+	if _, _, err := opt.Optimize(r, core.DefaultConfig()); err != nil {
+		t.Fatalf("second optimize: %v", err)
+	}
+	if after := r.String(); after != before {
+		t.Errorf("optimization not idempotent:\n%s\nvs\n%s", before, after)
+	}
+}

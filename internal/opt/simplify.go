@@ -1,0 +1,93 @@
+package opt
+
+import "pgvn/internal/ir"
+
+// SimplifyCFG tidies control flow after the main optimizations:
+//
+//  1. forwarding blocks (containing only an unconditional jump) are
+//     bypassed — their predecessors retarget to the jump's destination,
+//     with φ arguments replicated per retargeted edge;
+//  2. a block with a single successor whose successor has a single
+//     predecessor (and no φs) is merged with it.
+//
+// It iterates to a fixpoint and returns the number of blocks removed.
+// The routine stays in SSA form.
+func SimplifyCFG(r *ir.Routine) int {
+	removed := 0
+	for changed := true; changed; {
+		changed = false
+		if bypassForwardingBlock(r) {
+			removed++
+			changed = true
+			continue
+		}
+		if mergeStraightLine(r) {
+			removed++
+			changed = true
+		}
+	}
+	return removed
+}
+
+// bypassForwardingBlock finds one jump-only block and removes it.
+func bypassForwardingBlock(r *ir.Routine) bool {
+	for _, f := range r.Blocks {
+		if f == r.Entry() || len(f.Instrs) != 1 || len(f.Preds) == 0 {
+			continue
+		}
+		term := f.Terminator()
+		if term == nil || term.Op != ir.OpJump {
+			continue
+		}
+		t := f.Succs[0].To
+		if t == f {
+			continue // self loop
+		}
+		// φ arguments in t that arrive via f must remain expressible
+		// after retargeting: each of f's predecessors delivers the same
+		// value, which is fine because the argument is defined above f.
+		// However, if a predecessor P already has an edge to t AND t has
+		// φs, retargeting adds a second P→t edge with its own slot —
+		// that is still valid SSA (slots are per-edge).
+		//
+		// One genuinely unsafe case: the φ argument for the f-edge is
+		// defined in f itself — impossible, f holds only a jump.
+		fEdge := t.Preds[f.Succs[0].InIndex()]
+		phiArgs := map[*ir.Instr]*ir.Instr{}
+		for _, phi := range t.Phis() {
+			phiArgs[phi] = phi.Args[fEdge.InIndex()]
+		}
+		preds := append([]*ir.Edge(nil), f.Preds...)
+		for _, e := range preds {
+			r.RetargetEdge(e, t)
+			for phi, arg := range phiArgs {
+				phi.SetArg(e.InIndex(), arg)
+			}
+		}
+		// f now has no predecessors; unlink and delete it.
+		r.RemoveEdge(f.Succs[0])
+		r.RemoveInstr(term)
+		r.RemoveBlock(f)
+		return true
+	}
+	return false
+}
+
+// mergeStraightLine finds one (p, t) pair to merge.
+func mergeStraightLine(r *ir.Routine) bool {
+	for _, p := range r.Blocks {
+		if len(p.Succs) != 1 {
+			continue
+		}
+		t := p.Succs[0].To
+		if t == p || t == r.Entry() || len(t.Preds) != 1 || len(t.Phis()) > 0 {
+			continue
+		}
+		if term := p.Terminator(); term == nil || term.Op != ir.OpJump {
+			continue
+		}
+		r.MergeBlocks(p, t)
+		return true
+	}
+	return false
+}

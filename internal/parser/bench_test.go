@@ -1,0 +1,40 @@
+package parser
+
+import "testing"
+
+func BenchmarkParse(b *testing.B) {
+	src := largeSource(200)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func largeSource(blocks int) string {
+	src := "func big(a, b, c) {\nentry:\n  x = a * b + c\n  goto b0\n"
+	for k := 0; k < blocks; k++ {
+		next := "done"
+		if k+1 < blocks {
+			next = "b" + itoa(k+1)
+		}
+		src += "b" + itoa(k) + ":\n  x = x + a * " + itoa(k%7) + " - b / (c + " + itoa(k%5+1) + ")\n  goto " + next + "\n"
+	}
+	return src + "done:\n  return x\n}\n"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,93 @@
+package ssa
+
+import (
+	"fmt"
+
+	"pgvn/internal/ir"
+)
+
+// Destruct translates a routine out of SSA form: every φ is replaced by a
+// variable — the φ's predecessors write the corresponding argument into
+// the variable (VarWrite at the end of the predecessor, before its
+// terminator) and the φ itself becomes a read (VarRead at the φ's
+// position). The result is executable by the interpreter and can be fed
+// back through Build for a round trip.
+//
+// The classic lost-copy and swap problems do not arise in this scheme:
+// the writes store *SSA values* (evaluated before any of the inserted
+// writes run), and the reads happen at the head of the successor block
+// before anything overwrites the variables for the next iteration.
+//
+// Critical edges into φ blocks (edges whose source has several successors
+// and whose destination has several predecessors) are split first:
+// without the split, a predecessor branching twice into the same φ block
+// would write both argument values and the last write would win.
+func Destruct(r *ir.Routine) error {
+	if !r.IsSSA() {
+		return fmt.Errorf("ssa: Destruct: %s is not in SSA form", r.Name)
+	}
+	splitCriticalEdges(r)
+	type phiInfo struct {
+		phi  *ir.Instr
+		name string
+	}
+	var phis []phiInfo
+	for _, b := range r.Blocks {
+		for _, phi := range b.Phis() {
+			phis = append(phis, phiInfo{phi, fmt.Sprintf("phi%d", phi.ID)})
+		}
+	}
+	// Insert the predecessor writes first (they read the φ arguments,
+	// which must keep their use lists intact until now).
+	for _, pi := range phis {
+		b := pi.phi.Block
+		for k, e := range b.Preds {
+			arg := pi.phi.Args[k]
+			pred := e.From
+			term := pred.Terminator()
+			if term == nil {
+				return fmt.Errorf("ssa: Destruct: predecessor %s lacks a terminator", pred.Name)
+			}
+			w := r.InsertBefore(term, ir.OpVarWrite, arg)
+			w.Name = pi.name
+		}
+	}
+	// Replace each φ by a read of its variable.
+	for _, pi := range phis {
+		read := r.InsertBefore(pi.phi, ir.OpVarRead)
+		read.Name = pi.name
+		pi.phi.ReplaceUses(read)
+		r.RemoveInstr(pi.phi)
+	}
+	return r.Verify()
+}
+
+// splitCriticalEdges inserts a forwarding block on every critical edge
+// into a block with φs, so each φ argument gets a dedicated insertion
+// point.
+func splitCriticalEdges(r *ir.Routine) {
+	blocks := append([]*ir.Block(nil), r.Blocks...)
+	for _, b := range blocks {
+		phis := b.Phis()
+		if len(phis) == 0 || len(b.Preds) < 2 {
+			continue
+		}
+		edges := append([]*ir.Edge(nil), b.Preds...)
+		for _, e := range edges {
+			if len(e.From.Succs) < 2 {
+				continue
+			}
+			args := make([]*ir.Instr, len(phis))
+			for k, phi := range phis {
+				args[k] = phi.Args[e.InIndex()]
+			}
+			split := r.NewBlock("")
+			r.RetargetEdge(e, split) // drops the φ slots for e
+			r.Append(split, ir.OpJump)
+			ne := r.AddEdge(split, b) // appends fresh nil slots
+			for k, phi := range phis {
+				phi.SetArg(ne.InIndex(), args[k])
+			}
+		}
+	}
+}

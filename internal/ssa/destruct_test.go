@@ -1,0 +1,171 @@
+package ssa_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgvn/internal/core"
+	"pgvn/internal/interp"
+	"pgvn/internal/ir"
+	"pgvn/internal/opt"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+	"pgvn/internal/workload"
+)
+
+func TestDestructSimpleMerge(t *testing.T) {
+	r := build(t, `
+func f(c, a, b) {
+entry:
+  if c > 0 goto l else r
+l:
+  x = a
+  goto out
+r:
+  x = b
+  goto out
+out:
+  return x
+}
+`, ssa.SemiPruned)
+	if err := ssa.Destruct(r); err != nil {
+		t.Fatalf("destruct: %v", err)
+	}
+	if r.IsSSA() {
+		// IsSSA means no pseudo-instructions; after destruction of a φ
+		// there must be some.
+		t.Fatalf("no pseudo-instructions after destruction:\n%s", r)
+	}
+	if n := countOp(r, ir.OpPhi); n != 0 {
+		t.Fatalf("%d φs survive destruction", n)
+	}
+	for _, args := range [][]int64{{1, 10, 20}, {0, 10, 20}} {
+		got, err := interp.Run(r, args, 100)
+		want := args[1]
+		if args[0] <= 0 {
+			want = args[2]
+		}
+		if err != nil || got != want {
+			t.Fatalf("f(%v) = (%d,%v), want %d", args, got, err, want)
+		}
+	}
+}
+
+func TestDestructSwapLoop(t *testing.T) {
+	// The classic φ-swap: x and y exchange every iteration.
+	r := build(t, `
+func f(n) {
+entry:
+  x = 1
+  y = 2
+  i = 0
+  goto head
+head:
+  if i >= n goto exit else body
+body:
+  t = x
+  x = y
+  y = t
+  i = i + 1
+  goto head
+exit:
+  return x * 10 + y
+}
+`, ssa.SemiPruned)
+	if err := ssa.Destruct(r); err != nil {
+		t.Fatalf("destruct: %v", err)
+	}
+	for n, want := range map[int64]int64{0: 12, 1: 21, 2: 12, 5: 21} {
+		got, err := interp.Run(r, []int64{n}, 10000)
+		if err != nil || got != want {
+			t.Fatalf("f(%d) = (%d,%v), want %d\n%s", n, got, err, want, r)
+		}
+	}
+}
+
+func TestDestructSelfReferencingPhi(t *testing.T) {
+	r := build(t, `
+func f(n) {
+entry:
+  s = 0
+  i = 0
+  goto head
+head:
+  if i >= n goto exit else body
+body:
+  s = s + i
+  i = i + 1
+  goto head
+exit:
+  return s
+}
+`, ssa.SemiPruned)
+	if err := ssa.Destruct(r); err != nil {
+		t.Fatalf("destruct: %v", err)
+	}
+	got, err := interp.Run(r, []int64{5}, 10000)
+	if err != nil || got != 10 {
+		t.Fatalf("f(5) = (%d,%v), want 10", got, err)
+	}
+}
+
+func TestDestructRejectsNonSSA(t *testing.T) {
+	r, err := parser.ParseRoutine(`
+func f(a) {
+entry:
+  x = a + 1
+  return x
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssa.Destruct(r); err == nil {
+		t.Fatalf("non-SSA input accepted")
+	}
+}
+
+// TestDestructRoundTrip: build → destruct → build again must preserve
+// semantics across the generated corpus; full pipeline: optimize in SSA,
+// destruct, and compare against the original.
+func TestDestructRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for seed := int64(0); seed < 15; seed++ {
+		orig := workload.Generate("g", workload.GenConfig{
+			Seed: 4200 + seed, Stmts: 30, Params: 3, MaxLoopDepth: 2,
+		})
+		work := orig.Clone()
+		if err := ssa.Build(work, ssa.SemiPruned); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, _, err := opt.Optimize(work, core.DefaultConfig()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := ssa.Destruct(work); err != nil {
+			t.Fatalf("seed %d: destruct: %v", seed, err)
+		}
+		// And back into SSA once more.
+		again := work.Clone()
+		if err := ssa.Build(again, ssa.SemiPruned); err != nil {
+			t.Fatalf("seed %d: rebuild: %v", seed, err)
+		}
+		if err := ssa.Verify(again); err != nil {
+			t.Fatalf("seed %d: rebuild verify: %v", seed, err)
+		}
+		for trial := 0; trial < 4; trial++ {
+			args := make([]int64, len(orig.Params))
+			for k := range args {
+				args[k] = rng.Int63n(20) - 6
+			}
+			want, err0 := interp.Run(orig, args, 300000)
+			got1, err1 := interp.Run(work, args, 300000)
+			got2, err2 := interp.Run(again, args, 300000)
+			if err0 != nil || err1 != nil || err2 != nil {
+				t.Fatalf("seed %d%v: errors %v %v %v", seed, args, err0, err1, err2)
+			}
+			if got1 != want || got2 != want {
+				t.Fatalf("seed %d%v: %d / %d, want %d", seed, args, got1, got2, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package ssa
+
+import "pgvn/internal/ir"
+
+// liveness holds per-variable, per-block liveness for the pruned and
+// semi-pruned φ-placement strategies. Variables are identified by the
+// dense indices assigned in Build.
+type liveness struct {
+	r       *ir.Routine
+	nvars   int
+	words   int
+	use     map[int][]uint64 // upward-exposed reads, by block ID
+	def     map[int][]uint64 // writes, by block ID
+	in, out map[int][]uint64 // live-in / live-out, by block ID
+}
+
+func newLiveness(r *ir.Routine, vars map[string]int) *liveness {
+	lv := &liveness{
+		r:     r,
+		nvars: len(vars),
+		words: (len(vars) + 63) / 64,
+		use:   map[int][]uint64{},
+		def:   map[int][]uint64{},
+		in:    map[int][]uint64{},
+		out:   map[int][]uint64{},
+	}
+	for _, b := range r.Blocks {
+		use := make([]uint64, lv.words)
+		def := make([]uint64, lv.words)
+		for _, i := range b.Instrs {
+			switch i.Op {
+			case ir.OpVarRead:
+				v := vars[i.Name]
+				if def[v/64]&(1<<(v%64)) == 0 {
+					use[v/64] |= 1 << (v % 64)
+				}
+			case ir.OpVarWrite, ir.OpParam:
+				v := vars[i.Name]
+				def[v/64] |= 1 << (v % 64)
+			}
+		}
+		lv.use[b.ID] = use
+		lv.def[b.ID] = def
+		lv.in[b.ID] = make([]uint64, lv.words)
+		lv.out[b.ID] = make([]uint64, lv.words)
+	}
+	// Backward iterative dataflow to a fixed point.
+	for changed := true; changed; {
+		changed = false
+		for k := len(r.Blocks) - 1; k >= 0; k-- {
+			b := r.Blocks[k]
+			out := lv.out[b.ID]
+			for _, e := range b.Succs {
+				sin := lv.in[e.To.ID]
+				for w := range out {
+					out[w] |= sin[w]
+				}
+			}
+			in := lv.in[b.ID]
+			use, def := lv.use[b.ID], lv.def[b.ID]
+			for w := range in {
+				nw := use[w] | (out[w] &^ def[w])
+				if nw != in[w] {
+					in[w] = nw
+					changed = true
+				}
+			}
+		}
+	}
+	return lv
+}
+
+// liveIn reports whether variable v is live on entry to block b.
+func (lv *liveness) liveIn(b *ir.Block, v int) bool {
+	return lv.in[b.ID][v/64]&(1<<(v%64)) != 0
+}
+
+// globals returns, per variable, whether the variable is upward-exposed in
+// any block — Briggs' "global names", the semi-pruned placement filter.
+func (lv *liveness) globals() []bool {
+	g := make([]bool, lv.nvars)
+	for _, use := range lv.use {
+		for v := 0; v < lv.nvars; v++ {
+			if use[v/64]&(1<<(v%64)) != 0 {
+				g[v] = true
+			}
+		}
+	}
+	return g
+}

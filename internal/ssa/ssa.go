@@ -1,0 +1,248 @@
+// Package ssa converts routines from the non-SSA variable form produced by
+// the parser and the workload generator into SSA form, following Cytron,
+// Ferrante, Rosen, Wegman and Zadeck: φ-functions are placed on iterated
+// dominance frontiers of definition sites and uses are renamed by a
+// dominator-tree walk.
+//
+// Three φ-placement strategies are offered. Minimal places a φ at every
+// iterated-dominance-frontier block of every definition. SemiPruned
+// restricts placement to variables live across some block boundary.
+// Pruned additionally requires the variable to be live-in at the φ's block
+// (Choi, Cytron and Ferrante's sparse form — the paper's §3 notes pruned
+// SSA can reduce the effectiveness of global value numbering, which our
+// ablation benchmark measures).
+package ssa
+
+import (
+	"fmt"
+	"sort"
+
+	"pgvn/internal/dom"
+	"pgvn/internal/ir"
+)
+
+// Placement selects the φ-placement strategy.
+type Placement int
+
+// Placement strategies.
+const (
+	// SemiPruned places φs only for variables that live across a block
+	// boundary. It is the default.
+	SemiPruned Placement = iota
+	// Minimal places φs at all iterated dominance frontiers.
+	Minimal
+	// Pruned places φs only where the variable is live-in.
+	Pruned
+)
+
+// Build converts r to SSA form in place: VarRead/VarWrite
+// pseudo-instructions are replaced by direct SSA value references and
+// φ-instructions. Reads of never-written variables resolve to a constant 0
+// materialized in the entry block. Build returns an error if the routine
+// is structurally invalid.
+func Build(r *ir.Routine, placement Placement) error {
+	if err := r.Verify(); err != nil {
+		return fmt.Errorf("ssa: pre-build verify: %w", err)
+	}
+	tree := dom.New(r)
+
+	// Collect variables and their definition sites. Parameters define
+	// their names at the entry block.
+	vars := map[string]int{} // name -> dense index
+	var names []string
+	varIndex := func(name string) int {
+		idx, ok := vars[name]
+		if !ok {
+			idx = len(names)
+			vars[name] = idx
+			names = append(names, name)
+		}
+		return idx
+	}
+	defBlocks := map[int][]*ir.Block{} // var index -> blocks with defs
+	defSeen := map[[2]int]bool{}
+	addDef := func(v int, b *ir.Block) {
+		if !defSeen[[2]int{v, b.ID}] {
+			defSeen[[2]int{v, b.ID}] = true
+			defBlocks[v] = append(defBlocks[v], b)
+		}
+	}
+	for _, b := range r.Blocks {
+		for _, i := range b.Instrs {
+			switch i.Op {
+			case ir.OpVarWrite:
+				addDef(varIndex(i.Name), b)
+			case ir.OpVarRead:
+				varIndex(i.Name)
+			case ir.OpParam:
+				addDef(varIndex(i.Name), b)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil // already SSA (or no variables at all)
+	}
+
+	live := newLiveness(r, vars)
+	globals := live.globals()
+
+	// φ-placement on iterated dominance frontiers.
+	df := tree.Frontier()
+	phiVar := map[*ir.Instr]int{} // φ instruction -> var index
+	for v := range names {
+		if placement != Minimal && !globals[v] {
+			continue
+		}
+		placed := map[*ir.Block]bool{}
+		work := append([]*ir.Block(nil), defBlocks[v]...)
+		inWork := map[*ir.Block]bool{}
+		for _, b := range work {
+			inWork[b] = true
+		}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, y := range df[b.ID] {
+				if placed[y] {
+					continue
+				}
+				if placement == Pruned && !live.liveIn(y, v) {
+					continue
+				}
+				placed[y] = true
+				phi := r.InsertPhi(y)
+				phi.Name = fmt.Sprintf("%s_%d", names[v], phi.ID)
+				phiVar[phi] = v
+				if !inWork[y] {
+					inWork[y] = true
+					work = append(work, y)
+				}
+			}
+		}
+	}
+
+	// Renaming: dominator-tree walk with one definition stack per var.
+	stacks := make([][]*ir.Instr, len(names))
+	var undefZero *ir.Instr // lazily created constant 0 for undefined reads
+	currentDef := func(v int) *ir.Instr {
+		if s := stacks[v]; len(s) > 0 {
+			return s[len(s)-1]
+		}
+		if undefZero == nil {
+			entry := r.Entry()
+			pos := len(r.Params)
+			var anchor *ir.Instr
+			if pos < len(entry.Instrs) {
+				anchor = entry.Instrs[pos]
+			}
+			if anchor != nil {
+				undefZero = r.InsertBefore(anchor, ir.OpConst)
+			} else {
+				undefZero = r.Append(entry, ir.OpConst)
+			}
+			undefZero.Const = 0
+			undefZero.Name = "undef0"
+		}
+		return undefZero
+	}
+	var dead []*ir.Instr
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		pushed := make(map[int]int)
+		// Snapshot: resolving an undefined read materializes a constant
+		// in the entry block, which must not disturb this iteration.
+		for _, i := range append([]*ir.Instr(nil), b.Instrs...) {
+			switch i.Op {
+			case ir.OpPhi:
+				if v, ok := phiVar[i]; ok {
+					stacks[v] = append(stacks[v], i)
+					pushed[v]++
+				}
+			case ir.OpParam:
+				v := vars[i.Name]
+				stacks[v] = append(stacks[v], i)
+				pushed[v]++
+			case ir.OpVarRead:
+				def := currentDef(vars[i.Name])
+				i.ReplaceUses(def)
+				dead = append(dead, i)
+			case ir.OpVarWrite:
+				v := vars[i.Name]
+				def := i.Args[0]
+				if def.Name == "" {
+					def.Name = fmt.Sprintf("%s_%d", i.Name, def.ID)
+				}
+				stacks[v] = append(stacks[v], def)
+				pushed[v]++
+				dead = append(dead, i)
+			}
+		}
+		for _, e := range b.Succs {
+			for _, phi := range e.To.Phis() {
+				v, ok := phiVar[phi]
+				if !ok {
+					continue // pre-existing φ, already SSA
+				}
+				phi.SetArg(e.InIndex(), currentDef(v))
+			}
+		}
+		for _, c := range tree.Children(b) {
+			walk(c)
+		}
+		for v, n := range pushed {
+			stacks[v] = stacks[v][:len(stacks[v])-n]
+		}
+	}
+	walk(r.Entry())
+
+	// Fill φ slots on statically unreachable predecessors (the walk never
+	// visits them) and delete the pseudo-instructions. Unreachable blocks
+	// may still contain VarRead/VarWrite; point them at constants so the
+	// routine verifies — GVN will prove them unreachable anyway.
+	for _, b := range r.Blocks {
+		if tree.Contains(b) {
+			continue
+		}
+		for _, i := range b.Instrs {
+			switch i.Op {
+			case ir.OpVarRead:
+				i.ReplaceUses(currentDef(vars[i.Name])) // stacks empty: const 0
+				dead = append(dead, i)
+			case ir.OpVarWrite:
+				dead = append(dead, i)
+			}
+		}
+	}
+	for _, phi := range allPhis(r) {
+		if _, ok := phiVar[phi]; !ok {
+			continue
+		}
+		for k, a := range phi.Args {
+			if a == nil {
+				phi.SetArg(k, currentDef(phiVar[phi]))
+			}
+		}
+	}
+	// Delete in reverse creation order so uses are gone before defs.
+	sort.Slice(dead, func(i, j int) bool { return dead[i].ID > dead[j].ID })
+	for _, i := range dead {
+		if i.NumUses() > 0 {
+			// A VarRead with remaining uses can only mean ReplaceUses
+			// missed something; fail loudly.
+			return fmt.Errorf("ssa: pseudo-instruction %v still has uses", i)
+		}
+		r.RemoveInstr(i)
+	}
+	if err := r.Verify(); err != nil {
+		return fmt.Errorf("ssa: post-build verify: %w", err)
+	}
+	return nil
+}
+
+func allPhis(r *ir.Routine) []*ir.Instr {
+	var phis []*ir.Instr
+	for _, b := range r.Blocks {
+		phis = append(phis, b.Phis()...)
+	}
+	return phis
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"fmt"
+
+	"pgvn/internal/ir"
+)
+
+// Benchmark is one named workload: a bag of routines sized to mimic the
+// relative weight of one SPEC CINT2000 C benchmark in the paper's Table 1.
+type Benchmark struct {
+	// Name is the SPEC benchmark name.
+	Name string
+	// Routines are the generated routines, in non-SSA form.
+	Routines []*ir.Routine
+}
+
+// profile shapes one benchmark: the routine count is proportional to the
+// paper's per-benchmark optimistic-GVN time (Table 1 column B, ms), so the
+// corpus reproduces the relative sizes of the suite.
+type profile struct {
+	name     string
+	paperGVN int // ms, Table 1 column B
+	routines int // at scale 1.0
+	stmts    int // average statements per routine
+	loops    int // max loop depth
+}
+
+// profiles lists the ten benchmarks the paper reports (256.bzip2 was
+// excluded there for an unrelated compiler bug; Corpus generates it via
+// Bzip2 for completeness but the harness excludes it from the tables,
+// matching the paper).
+var profiles = []profile{
+	{"164.gzip", 2653, 9, 30, 2},
+	{"175.vpr", 5119, 17, 30, 2},
+	{"176.gcc", 91848, 280, 35, 2},
+	{"181.mcf", 577, 3, 25, 2},
+	{"186.crafty", 10445, 34, 35, 2},
+	{"197.parser", 6001, 20, 30, 2},
+	{"253.perlbmk", 35416, 110, 35, 2},
+	{"254.gap", 36422, 115, 33, 2},
+	{"255.vortex", 17777, 58, 32, 1},
+	{"300.twolf", 12425, 40, 33, 2},
+}
+
+// PaperGVNTimes returns the paper's Table 1 column B (optimistic GVN, ms)
+// keyed by benchmark name, for the EXPERIMENTS.md comparison.
+func PaperGVNTimes() map[string]int {
+	out := make(map[string]int, len(profiles))
+	for _, p := range profiles {
+		out[p.name] = p.paperGVN
+	}
+	return out
+}
+
+// Corpus generates the full ten-benchmark corpus at the given scale
+// (scale 1.0 ≈ 690 routines; benchmarks use smaller scales for quick
+// runs). Generation is deterministic.
+func Corpus(scale float64) []Benchmark {
+	var out []Benchmark
+	for pi, p := range profiles {
+		n := int(float64(p.routines)*scale + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		b := Benchmark{Name: p.name}
+		for k := 0; k < n; k++ {
+			// Vary routine sizes around the profile average: a mix of
+			// small leaves and a few large routines, like real suites.
+			seed := int64(pi*100003 + k*7919 + 1)
+			size := p.stmts/2 + (k*13)%(p.stmts+10)
+			params := 1 + k%4
+			r := Generate(fmt.Sprintf("%s_r%d", sanitize(p.name), k), GenConfig{
+				Seed:         seed,
+				Stmts:        size,
+				Params:       params,
+				MaxLoopDepth: p.loops,
+			})
+			b.Routines = append(b.Routines, r)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Bzip2 generates the excluded benchmark (see profiles); callers that want
+// the full suite can append it themselves.
+func Bzip2(scale float64) Benchmark {
+	n := int(12*scale + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	b := Benchmark{Name: "256.bzip2"}
+	for k := 0; k < n; k++ {
+		b.Routines = append(b.Routines, Generate(fmt.Sprintf("bzip2_r%d", k), GenConfig{
+			Seed:         int64(990001 + k*7919),
+			Stmts:        30,
+			Params:       1 + k%3,
+			MaxLoopDepth: 2,
+		}))
+	}
+	return b
+}
+
+func sanitize(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '.' {
+			c = '_'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

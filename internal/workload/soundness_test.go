@@ -1,0 +1,278 @@
+package workload_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgvn/internal/core"
+	"pgvn/internal/interp"
+	"pgvn/internal/ir"
+	"pgvn/internal/opt"
+	"pgvn/internal/ssa"
+	"pgvn/internal/workload"
+)
+
+const maxSteps = 400000
+
+// randomArgs generates interpreter inputs.
+func randomArgs(rng *rand.Rand, n int) []int64 {
+	args := make([]int64, n)
+	for k := range args {
+		args[k] = rng.Int63n(25) - 8
+	}
+	return args
+}
+
+// TestGeneratedRoutinesAreValid checks the generator's structural output.
+func TestGeneratedRoutinesAreValid(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		r := workload.Generate("g", workload.GenConfig{
+			Seed: seed, Stmts: 40, Params: 3, MaxLoopDepth: 2,
+		})
+		if err := r.Verify(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := ssa.Build(r, ssa.SemiPruned); err != nil {
+			t.Fatalf("seed %d: ssa: %v", seed, err)
+		}
+		if err := ssa.Verify(r); err != nil {
+			t.Fatalf("seed %d: ssa verify: %v", seed, err)
+		}
+	}
+}
+
+// TestGeneratedRoutinesTerminate checks the counted-loop guarantee.
+func TestGeneratedRoutinesTerminate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for seed := int64(0); seed < 25; seed++ {
+		r := workload.Generate("g", workload.GenConfig{
+			Seed: seed, Stmts: 50, Params: 2, MaxLoopDepth: 3,
+		})
+		for trial := 0; trial < 5; trial++ {
+			if _, err := interp.Run(r, randomArgs(rng, 2), maxSteps); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestSoundnessAgainstInterpreter is the flagship differential property
+// test: across generated routines and every configuration, the GVN claims
+// must hold on real executions —
+//
+//  1. a value congruent to constant c evaluates to c on every execution;
+//  2. blocks and edges proven unreachable never execute;
+//  3. values congruent to each other and defined in the same block
+//     produce identical value sequences;
+//  4. the fully optimized routine is interpreter-equivalent to the
+//     original.
+func TestSoundnessAgainstInterpreter(t *testing.T) {
+	configs := map[string]core.Config{
+		"default":     core.DefaultConfig(),
+		"balanced":    core.BalancedConfig(),
+		"pessimistic": core.PessimisticConfig(),
+		"basic":       core.BasicConfig(),
+		"click":       core.ClickConfig(),
+		"sccp":        core.SCCPConfig(),
+		"simpson":     core.SimpsonConfig(),
+		"complete":    core.CompleteConfig(),
+		"dense":       core.DenseConfig(),
+		"extended":    core.ExtendedConfig(),
+	}
+	rng := rand.New(rand.NewSource(99))
+	nRoutines := 30
+	if testing.Short() {
+		nRoutines = 8
+	}
+	for seed := int64(0); seed < int64(nRoutines); seed++ {
+		orig := workload.Generate("g", workload.GenConfig{
+			Seed: 1000 + seed, Stmts: 35, Params: 3, MaxLoopDepth: 2,
+		})
+		ssaForm := orig.Clone()
+		if err := ssa.Build(ssaForm, ssa.SemiPruned); err != nil {
+			t.Fatalf("seed %d: ssa: %v", seed, err)
+		}
+		for name, cfg := range configs {
+			cfg.VerifySSA = true // keep the paranoid checks in the soundness suite
+			work := ssaForm.Clone()
+			res, err := core.Run(work, cfg)
+			if err != nil {
+				t.Fatalf("seed %d/%s: gvn: %v", seed, name, err)
+			}
+			optimized := work.Clone()
+			// Re-run on the clone so the Result refers to its instrs.
+			resOpt, err := core.Run(optimized, cfg)
+			if err != nil {
+				t.Fatalf("seed %d/%s: gvn(clone): %v", seed, name, err)
+			}
+			if _, err := opt.Apply(resOpt); err != nil {
+				t.Fatalf("seed %d/%s: opt: %v", seed, name, err)
+			}
+			for trial := 0; trial < 6; trial++ {
+				args := randomArgs(rng, len(orig.Params))
+				tr, err1 := interp.RunTrace(work, args, maxSteps)
+				if err1 != nil {
+					t.Fatalf("seed %d/%s: interp: %v", seed, name, err1)
+				}
+				checkClaims(t, name, seed, res, tr, args)
+				got, err2 := interp.Run(optimized, args, maxSteps)
+				if err2 != nil || got != tr.Return {
+					t.Fatalf("seed %d/%s%v: optimized = (%d,%v), want %d\noriginal:\n%s\noptimized:\n%s",
+						seed, name, args, got, err2, tr.Return, work, optimized)
+				}
+			}
+		}
+	}
+}
+
+// checkClaims validates claims 1–3 against one execution trace.
+func checkClaims(t *testing.T, cfg string, seed int64, res *core.Result, tr *interp.Trace, args []int64) {
+	t.Helper()
+	r := res.Routine
+	r.Instrs(func(i *ir.Instr) {
+		if !i.HasValue() {
+			return
+		}
+		runs := tr.Values[i]
+		if c, ok := res.ConstValue(i); ok {
+			for _, v := range runs {
+				if v != c {
+					t.Fatalf("seed %d/%s%v: %s claimed ≅ %d but evaluated to %d",
+						seed, cfg, args, i.ValueName(), c, v)
+				}
+			}
+		}
+		if !res.BlockReachable(i.Block) && len(runs) > 0 {
+			t.Fatalf("seed %d/%s%v: value %s in unreachable block %s executed",
+				seed, cfg, args, i.ValueName(), i.Block.Name)
+		}
+	})
+	for _, b := range r.Blocks {
+		if !res.BlockReachable(b) && tr.Blocks[b.ID] > 0 {
+			t.Fatalf("seed %d/%s%v: unreachable block %s entered %d times",
+				seed, cfg, args, b.Name, tr.Blocks[b.ID])
+		}
+		for _, e := range b.Succs {
+			if !res.EdgeReachable(e) && tr.Edges[e] > 0 {
+				t.Fatalf("seed %d/%s%v: unreachable edge %v taken", seed, cfg, args, e)
+			}
+		}
+		// Claim 3: same-block congruent values march in lockstep.
+		for x := 0; x < len(b.Instrs); x++ {
+			for y := x + 1; y < len(b.Instrs); y++ {
+				vi, vj := b.Instrs[x], b.Instrs[y]
+				if !vi.HasValue() || !vj.HasValue() || !res.Congruent(vi, vj) {
+					continue
+				}
+				si, sj := tr.Values[vi], tr.Values[vj]
+				if len(si) != len(sj) {
+					t.Fatalf("seed %d/%s%v: congruent same-block values %s,%s ran %d vs %d times",
+						seed, cfg, args, vi.ValueName(), vj.ValueName(), len(si), len(sj))
+				}
+				for k := range si {
+					if si[k] != sj[k] {
+						t.Fatalf("seed %d/%s%v: congruent values %s,%s diverged: %d vs %d (iteration %d)",
+							seed, cfg, args, vi.ValueName(), vj.ValueName(), si[k], sj[k], k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCorpusShape sanity-checks the SPEC-shaped corpus.
+func TestCorpusShape(t *testing.T) {
+	corpus := workload.Corpus(0.1)
+	if len(corpus) != 10 {
+		t.Fatalf("%d benchmarks, want 10", len(corpus))
+	}
+	names := map[string]bool{}
+	total := 0
+	var gcc, mcf int
+	for _, b := range corpus {
+		names[b.Name] = true
+		total += len(b.Routines)
+		switch b.Name {
+		case "176.gcc":
+			gcc = len(b.Routines)
+		case "181.mcf":
+			mcf = len(b.Routines)
+		}
+		for _, r := range b.Routines {
+			if err := r.Verify(); err != nil {
+				t.Fatalf("%s/%s: %v", b.Name, r.Name, err)
+			}
+		}
+	}
+	if !names["164.gzip"] || !names["300.twolf"] {
+		t.Errorf("missing benchmark names: %v", names)
+	}
+	if gcc <= mcf {
+		t.Errorf("gcc (%d routines) should dwarf mcf (%d)", gcc, mcf)
+	}
+	if total < 10 {
+		t.Errorf("corpus too small: %d routines", total)
+	}
+}
+
+// TestCorpusDeterminism: the corpus must be bit-for-bit reproducible.
+func TestCorpusDeterminism(t *testing.T) {
+	a := workload.Corpus(0.05)
+	b := workload.Corpus(0.05)
+	for k := range a {
+		if len(a[k].Routines) != len(b[k].Routines) {
+			t.Fatalf("%s: routine counts differ", a[k].Name)
+		}
+		for j := range a[k].Routines {
+			if a[k].Routines[j].String() != b[k].Routines[j].String() {
+				t.Fatalf("%s routine %d differs between generations", a[k].Name, j)
+			}
+		}
+	}
+}
+
+// TestCorpusExercisesAnalyses: across the corpus, the full algorithm must
+// find strictly more than the baselines in aggregate — otherwise the
+// workloads don't exercise the paper's analyses and the figures would be
+// flat.
+func TestCorpusExercisesAnalyses(t *testing.T) {
+	corpus := workload.Corpus(0.05)
+	var full, click, sccp core.Counts
+	for _, b := range corpus {
+		for _, r := range b.Routines {
+			s := r.Clone()
+			if err := ssa.Build(s, ssa.SemiPruned); err != nil {
+				t.Fatalf("ssa: %v", err)
+			}
+			for target, cfg := range map[*core.Counts]core.Config{
+				&full:  core.DefaultConfig(),
+				&click: core.ClickConfig(),
+				&sccp:  core.SCCPConfig(),
+			} {
+				work := s.Clone()
+				res, err := core.Run(work, cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", r.Name, err)
+				}
+				c := res.Count()
+				target.UnreachableValues += c.UnreachableValues
+				target.ConstantValues += c.ConstantValues
+				target.Classes += c.Classes
+				target.Values += c.Values
+			}
+		}
+	}
+	if full.ConstantValues <= click.ConstantValues {
+		t.Errorf("full algorithm should find more constants than Click emulation: %d vs %d",
+			full.ConstantValues, click.ConstantValues)
+	}
+	if full.Classes >= click.Classes {
+		t.Errorf("full algorithm should produce fewer classes than Click emulation: %d vs %d",
+			full.Classes, click.Classes)
+	}
+	if click.ConstantValues < sccp.ConstantValues {
+		t.Errorf("Click emulation should be at least as strong as SCCP: %d vs %d",
+			click.ConstantValues, sccp.ConstantValues)
+	}
+	t.Logf("aggregate: full=%+v click=%+v sccp=%+v", full, click, sccp)
+}

@@ -1,0 +1,196 @@
+// Package pgvn is the top-level facade of the predicated sparse global
+// value numbering library — a complete implementation of Karthik Gargi's
+// "A Sparse Algorithm for Predicated Global Value Numbering" (PLDI 2002).
+//
+// The facade offers a source-in/source-out workflow over the textual IR:
+//
+//	out, report, err := pgvn.OptimizeSource(src, pgvn.Options{})
+//
+// Full control — IR construction, SSA placement choices, per-analysis
+// toggles, congruence queries, the benchmark harness — lives in the
+// internal packages; see README.md for the map.
+package pgvn
+
+import (
+	"fmt"
+	"strings"
+
+	"pgvn/internal/core"
+	"pgvn/internal/ir"
+	"pgvn/internal/opt"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+)
+
+// Options configures the facade. The zero value requests the full
+// practical algorithm (optimistic, sparse, every analysis enabled).
+type Options struct {
+	// Mode selects optimistic (default), balanced or pessimistic value
+	// numbering.
+	Mode core.Mode
+	// Emulate selects a published baseline instead of the full
+	// algorithm: "click", "sccp" or "simpson" (see core's §2.9 presets).
+	Emulate string
+	// DisableReassociation, DisablePredicateInference,
+	// DisableValueInference and DisablePhiPredication switch off the
+	// corresponding unified analysis.
+	DisableReassociation, DisablePredicateInference bool
+	// DisableValueInference switches off value inference.
+	DisableValueInference bool
+	// DisablePhiPredication switches off φ-predication.
+	DisablePhiPredication bool
+	// Complete selects the complete algorithm (reachable dominator
+	// tree) instead of the practical one.
+	Complete bool
+	// PrunedSSA uses pruned (liveness-based) φ-placement.
+	PrunedSSA bool
+}
+
+func (o Options) config() (core.Config, error) {
+	var cfg core.Config
+	switch o.Emulate {
+	case "":
+		cfg = core.DefaultConfig()
+	case "click":
+		cfg = core.ClickConfig()
+	case "sccp":
+		cfg = core.SCCPConfig()
+	case "simpson":
+		cfg = core.SimpsonConfig()
+	default:
+		return cfg, fmt.Errorf("pgvn: unknown emulation %q", o.Emulate)
+	}
+	cfg.Mode = o.Mode
+	if o.DisableReassociation {
+		cfg.Reassociate = false
+	}
+	if o.DisablePredicateInference {
+		cfg.PredicateInference = false
+	}
+	if o.DisableValueInference {
+		cfg.ValueInference = false
+	}
+	if o.DisablePhiPredication {
+		cfg.PhiPredication = false
+	}
+	cfg.Complete = o.Complete
+	return cfg, nil
+}
+
+func (o Options) placement() ssa.Placement {
+	if o.PrunedSSA {
+		return ssa.Pruned
+	}
+	return ssa.SemiPruned
+}
+
+// Report summarizes what the analysis found and the transformations
+// applied, per routine.
+type Report struct {
+	// Routine is the routine name.
+	Routine string
+	// Passes is the number of RPO passes the analysis took.
+	Passes int
+	// Values, UnreachableValues, ConstantValues and Classes are the
+	// strength metrics of the analysis (before transformation).
+	Values, UnreachableValues, ConstantValues, Classes int
+	// BlocksRemoved through InstrsRemoved mirror opt.Stats.
+	BlocksRemoved, EdgesRemoved         int
+	ConstantsPropagated                 int
+	RedundanciesReplaced, InstrsRemoved int
+	// AlwaysReturns holds the constant the routine is proven to always
+	// return, when Const is true.
+	AlwaysReturns int64
+	// Const reports whether AlwaysReturns is meaningful.
+	Const bool
+}
+
+// OptimizeSource parses one or more routines in the textual IR language,
+// runs the analysis and every transformation, and returns the optimized
+// program text plus one Report per routine.
+func OptimizeSource(src string, o Options) (string, []Report, error) {
+	cfg, err := o.config()
+	if err != nil {
+		return "", nil, err
+	}
+	routines, err := parser.Parse(src)
+	if err != nil {
+		return "", nil, err
+	}
+	var out strings.Builder
+	var reports []Report
+	for _, r := range routines {
+		rep, err := optimizeRoutine(r, cfg, o.placement())
+		if err != nil {
+			return "", nil, err
+		}
+		reports = append(reports, rep)
+		out.WriteString(r.String())
+	}
+	return out.String(), reports, nil
+}
+
+// AnalyzeSource runs the analysis without transforming, returning one
+// Report per routine (the transformation counters stay zero).
+func AnalyzeSource(src string, o Options) ([]Report, error) {
+	cfg, err := o.config()
+	if err != nil {
+		return nil, err
+	}
+	routines, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var reports []Report
+	for _, r := range routines {
+		if err := ssa.Build(r, o.placement()); err != nil {
+			return nil, err
+		}
+		res, err := core.Run(r, cfg)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, reportOf(res, opt.Stats{}))
+	}
+	return reports, nil
+}
+
+func optimizeRoutine(r *ir.Routine, cfg core.Config, placement ssa.Placement) (Report, error) {
+	if err := ssa.Build(r, placement); err != nil {
+		return Report{}, err
+	}
+	res, err := core.Run(r, cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := reportOf(res, opt.Stats{})
+	st, err := opt.Apply(res)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.BlocksRemoved = st.BlocksRemoved
+	rep.EdgesRemoved = st.EdgesRemoved
+	rep.ConstantsPropagated = st.ConstantsPropagated
+	rep.RedundanciesReplaced = st.RedundanciesReplaced
+	rep.InstrsRemoved = st.InstrsRemoved
+	return rep, nil
+}
+
+func reportOf(res *core.Result, st opt.Stats) Report {
+	c := res.Count()
+	rep := Report{
+		Routine:              res.Routine.Name,
+		Passes:               res.Stats.Passes,
+		Values:               c.Values,
+		UnreachableValues:    c.UnreachableValues,
+		ConstantValues:       c.ConstantValues,
+		Classes:              c.Classes,
+		BlocksRemoved:        st.BlocksRemoved,
+		EdgesRemoved:         st.EdgesRemoved,
+		ConstantsPropagated:  st.ConstantsPropagated,
+		RedundanciesReplaced: st.RedundanciesReplaced,
+		InstrsRemoved:        st.InstrsRemoved,
+	}
+	rep.AlwaysReturns, rep.Const = res.ReturnConst()
+	return rep
+}

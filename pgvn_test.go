@@ -1,0 +1,163 @@
+package pgvn
+
+import (
+	"strings"
+	"testing"
+)
+
+const facadeSrc = `
+func f(a, b) {
+entry:
+  x = a + b
+  y = b + a
+  if 2 > 3 goto dead else live
+dead:
+  z = 77
+  goto out
+live:
+  z = x - y
+  goto out
+out:
+  return z
+}
+`
+
+func TestOptimizeSource(t *testing.T) {
+	out, reports, err := OptimizeSource(facadeSrc, Options{})
+	if err != nil {
+		t.Fatalf("OptimizeSource: %v", err)
+	}
+	if len(reports) != 1 {
+		t.Fatalf("%d reports", len(reports))
+	}
+	rep := reports[0]
+	if rep.Routine != "f" || rep.Passes < 1 {
+		t.Errorf("report header wrong: %+v", rep)
+	}
+	if !rep.Const || rep.AlwaysReturns != 0 {
+		t.Errorf("should prove return 0: %+v", rep)
+	}
+	if rep.BlocksRemoved != 1 {
+		t.Errorf("BlocksRemoved = %d, want 1", rep.BlocksRemoved)
+	}
+	if strings.Contains(out, "dead:") {
+		t.Errorf("dead block survived:\n%s", out)
+	}
+	if !strings.Contains(out, "func f(a, b)") {
+		t.Errorf("output not a printable routine:\n%s", out)
+	}
+}
+
+func TestAnalyzeSourceDoesNotTransform(t *testing.T) {
+	reports, err := AnalyzeSource(facadeSrc, Options{})
+	if err != nil {
+		t.Fatalf("AnalyzeSource: %v", err)
+	}
+	rep := reports[0]
+	if rep.BlocksRemoved != 0 || rep.InstrsRemoved != 0 {
+		t.Errorf("analysis-only report has transformation counts: %+v", rep)
+	}
+	if rep.UnreachableValues == 0 {
+		t.Errorf("analysis missed the dead block: %+v", rep)
+	}
+}
+
+func TestOptionsEmulations(t *testing.T) {
+	for _, em := range []string{"click", "sccp", "simpson"} {
+		if _, _, err := OptimizeSource(facadeSrc, Options{Emulate: em}); err != nil {
+			t.Errorf("emulation %q: %v", em, err)
+		}
+	}
+	if _, _, err := OptimizeSource(facadeSrc, Options{Emulate: "nope"}); err == nil {
+		t.Errorf("unknown emulation accepted")
+	}
+}
+
+func TestOptionsDisableAnalyses(t *testing.T) {
+	// With reassociation off, x and y are still congruent (commutative
+	// hashing) so z is still 0; with SCCP emulation the congruence is
+	// gone and z is unknown.
+	_, reports, err := OptimizeSource(facadeSrc, Options{DisableReassociation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reports[0].Const {
+		t.Errorf("commutative congruence should survive without reassociation")
+	}
+	_, reports, err = OptimizeSource(facadeSrc, Options{Emulate: "sccp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Const {
+		t.Errorf("SCCP emulation should not prove x-y constant")
+	}
+}
+
+func TestMultipleRoutines(t *testing.T) {
+	src := facadeSrc + `
+func g(n) {
+start:
+  return n * 0
+}
+`
+	out, reports, err := OptimizeSource(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 || reports[1].Routine != "g" {
+		t.Fatalf("reports: %+v", reports)
+	}
+	if !reports[1].Const || reports[1].AlwaysReturns != 0 {
+		t.Errorf("n*0 not proven 0: %+v", reports[1])
+	}
+	if !strings.Contains(out, "func g(n)") {
+		t.Errorf("second routine missing from output")
+	}
+}
+
+func TestParseErrorsPropagate(t *testing.T) {
+	if _, _, err := OptimizeSource("func {", Options{}); err == nil {
+		t.Errorf("parse error not propagated")
+	}
+	if _, err := AnalyzeSource("", Options{}); err == nil {
+		t.Errorf("empty input not rejected")
+	}
+}
+
+func TestModesThroughFacade(t *testing.T) {
+	// A loop whose cyclic value is invariant: optimistic proves the
+	// return constant, balanced must not.
+	src := `
+func h(n) {
+entry:
+  i = 5
+  k = 0
+  goto head
+head:
+  if k < n goto body else exit
+body:
+  i = i * 1
+  k = k + 1
+  goto head
+exit:
+  return i
+}
+`
+	reports, err := AnalyzeSource(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reports[0].Const || reports[0].AlwaysReturns != 5 {
+		t.Errorf("optimistic should prove return 5: %+v", reports[0])
+	}
+	reports, err = AnalyzeSource(src, Options{Mode: 1 /* Balanced */})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0].Const {
+		t.Errorf("balanced should not prove the cyclic value constant")
+	}
+	if reports[0].Passes != 1 {
+		t.Errorf("balanced passes = %d, want 1", reports[0].Passes)
+	}
+}

@@ -1,0 +1,178 @@
+package pgvn_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pgvn/internal/core"
+	"pgvn/internal/interp"
+	"pgvn/internal/ir"
+	"pgvn/internal/opt"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+)
+
+// loadRealistic parses testdata/realistic.ir.
+func loadRealistic(t *testing.T) []*ir.Routine {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", "realistic.ir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	routines, err := parser.Parse(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return routines
+}
+
+// TestRealisticCorpusDifferential optimizes every hand-written routine and
+// checks interpreter equivalence on random inputs.
+func TestRealisticCorpusDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, orig := range loadRealistic(t) {
+		work := orig.Clone()
+		if err := ssa.Build(work, ssa.SemiPruned); err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		if _, _, err := opt.Optimize(work, core.DefaultConfig()); err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		for trial := 0; trial < 60; trial++ {
+			args := make([]int64, len(orig.Params))
+			for k := range args {
+				args[k] = rng.Int63n(60) - 20
+			}
+			want, err1 := interp.Run(orig, args, 500000)
+			got, err2 := interp.Run(work, args, 500000)
+			if (err1 != nil) != (err2 != nil) {
+				t.Fatalf("%s%v: error divergence %v vs %v", orig.Name, args, err1, err2)
+			}
+			if err1 == nil && got != want {
+				t.Fatalf("%s%v: %d != %d\n%s", orig.Name, args, got, want, work)
+			}
+		}
+	}
+}
+
+// TestRealisticDiscoveries asserts the specific facts the corpus comments
+// promise.
+func TestRealisticDiscoveries(t *testing.T) {
+	byName := map[string]*ir.Routine{}
+	for _, r := range loadRealistic(t) {
+		byName[r.Name] = r
+	}
+	analyzeNamed := func(name string) *core.Result {
+		t.Helper()
+		r := byName[name].Clone()
+		if err := ssa.Build(r, ssa.SemiPruned); err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(r, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// dbl: the whole expression folds to 0.
+	if c, ok := analyzeNamed("dbl").ReturnConst(); !ok || c != 0 {
+		t.Errorf("dbl return = (%d,%v), want 0", c, ok)
+	}
+
+	// absdiff: chk folds to 0 but r stays input-dependent.
+	resAbs := analyzeNamed("absdiff")
+	if _, ok := resAbs.ReturnConst(); ok {
+		t.Errorf("absdiff wrongly proven constant")
+	}
+	chkConst := false
+	resAbs.Routine.Instrs(func(i *ir.Instr) {
+		if c, ok := resAbs.ConstValue(i); ok && c == 0 && i.Op == ir.OpAdd {
+			chkConst = true
+		}
+	})
+	if !chkConst {
+		t.Errorf("absdiff: d1+d2 not folded to 0")
+	}
+
+	// classify: every arm including the default stays reachable (the
+	// selector can be negative).
+	resClass := analyzeNamed("classify")
+	for _, b := range resClass.Routine.Blocks {
+		if !resClass.BlockReachable(b) {
+			t.Errorf("classify: %s wrongly unreachable", b.Name)
+		}
+	}
+
+	// strhash: the seed*1+0 copy joins seed's class.
+	resHash := analyzeNamed("strhash")
+	var seedParam *ir.Instr
+	for _, p := range resHash.Routine.Params {
+		if p.Name == "seed" {
+			seedParam = p
+		}
+	}
+	joined := false
+	for _, m := range resHash.ClassMembers(seedParam) {
+		if m != seedParam {
+			joined = true
+		}
+	}
+	if !joined {
+		t.Errorf("strhash: seed*1+0 did not join seed's class")
+	}
+
+	// clamp3: on the atlo arm, value inference rewrites lo to the
+	// lower-ranking congruent v (the paper's dominance bias), so the
+	// r = lo + 0 arm joins v's class.
+	resClamp := analyzeNamed("clamp3")
+	var v *ir.Instr
+	for _, p := range resClamp.Routine.Params {
+		if p.Name == "v" {
+			v = p
+		}
+	}
+	vJoined := false
+	for _, m := range resClamp.ClassMembers(v) {
+		if m.Op == ir.OpAdd {
+			vJoined = true
+		}
+	}
+	if !vJoined {
+		t.Errorf("clamp3: the guarded arms did not join v's class: %v",
+			resClamp.ClassMembers(v))
+	}
+
+	// gcd: no bogus constants; the bad-arg path returns 0 and the happy
+	// path is input-dependent.
+	if _, ok := analyzeNamed("gcd").ReturnConst(); ok {
+		t.Errorf("gcd wrongly proven constant")
+	}
+}
+
+// TestRealisticGcdBehaviour pins gcd's actual semantics end to end.
+func TestRealisticGcdBehaviour(t *testing.T) {
+	var gcdR *ir.Routine
+	for _, r := range loadRealistic(t) {
+		if r.Name == "gcd" {
+			gcdR = r.Clone()
+		}
+	}
+	if err := ssa.Build(gcdR, ssa.SemiPruned); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := opt.Optimize(gcdR, core.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ a, b, want int64 }{
+		{12, 18, 6}, {7, 7, 7}, {35, 14, 7}, {1, 999, 1}, {0, 5, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		got, err := interp.Run(gcdR, []int64{c.a, c.b}, 1000000)
+		if err != nil || got != c.want {
+			t.Errorf("gcd(%d,%d) = (%d,%v), want %d", c.a, c.b, got, err, c.want)
+		}
+	}
+}
