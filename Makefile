@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test vet fmt-check fmt race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt-check fails when any file needs gofmt; fmt rewrites in place.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+fmt:
+	gofmt -w .
+
+# race runs the full suite under the race detector; the driver package
+# (the concurrent subsystem) is named first so its failures surface
+# early.
+race:
+	$(GO) test -race ./internal/driver ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+check: build vet fmt-check test race

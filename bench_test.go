@@ -9,6 +9,9 @@
 //	BenchmarkFigure1PaperExample  the Figure 1/2 headline routine
 //	BenchmarkFigure9Ladder        the §4 value-inference worst case
 //	BenchmarkAblation*            design-choice ablations (DESIGN.md §6)
+//	BenchmarkDriver*              the batch driver: sequential vs
+//	                              parallel vs warm-cache over the full
+//	                              corpus
 //
 // Strength benchmarks attach their aggregate improvements as custom
 // metrics (so `go test -bench` output carries the figure data), and `go
@@ -16,10 +19,13 @@
 package pgvn
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"pgvn/internal/core"
+	"pgvn/internal/driver"
 	"pgvn/internal/ir"
 	"pgvn/internal/opt"
 	"pgvn/internal/parser"
@@ -340,6 +346,70 @@ func BenchmarkAblationExtensions(b *testing.B) {
 			b.ReportMetric(float64(c.ConstantValues), "constants")
 			b.ReportMetric(float64(c.Classes), "classes")
 		})
+	}
+}
+
+// driverCorpus flattens the full-scale workload corpus in its original
+// non-SSA form; the driver clones and converts per routine, so the same
+// slice serves every iteration.
+func driverCorpus(b *testing.B) []*ir.Routine {
+	b.Helper()
+	var routines []*ir.Routine
+	for _, bm := range workload.Corpus(1.0) {
+		routines = append(routines, bm.Routines...)
+	}
+	return routines
+}
+
+// benchDriver runs full batches at the given worker count, reporting the
+// observed CPU/wall parallelism.
+func benchDriver(b *testing.B, jobs int, cache *driver.Cache) {
+	routines := driverCorpus(b)
+	d := driver.New(driver.Config{Core: core.DefaultConfig(), Jobs: jobs, Cache: cache})
+	b.ResetTimer()
+	var batch *driver.Batch
+	for n := 0; n < b.N; n++ {
+		batch = d.Run(context.Background(), routines)
+		if err := batch.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(batch.Stats.CPU)/float64(batch.Stats.Wall), "cpu/wall")
+	b.ReportMetric(float64(len(routines))*float64(b.N)/b.Elapsed().Seconds(), "routines/s")
+}
+
+// BenchmarkDriverSequential is the one-worker baseline over the full
+// corpus (~690 routines at scale 1.0).
+func BenchmarkDriverSequential(b *testing.B) {
+	benchDriver(b, 1, nil)
+}
+
+// BenchmarkDriverParallel runs the same batch on a GOMAXPROCS pool; on a
+// multi-core machine the speedup over BenchmarkDriverSequential tracks
+// the core count, since routines are embarrassingly independent.
+func BenchmarkDriverParallel(b *testing.B) {
+	benchDriver(b, runtime.GOMAXPROCS(0), nil)
+}
+
+// BenchmarkDriverWarmCache measures re-optimization of an unchanged
+// corpus through a primed content-addressed cache: every routine hits,
+// and the batch cost collapses to hashing plus reassembly.
+func BenchmarkDriverWarmCache(b *testing.B) {
+	routines := driverCorpus(b)
+	cache := driver.NewCache()
+	d := driver.New(driver.Config{Core: core.DefaultConfig(), Jobs: runtime.GOMAXPROCS(0), Cache: cache})
+	if err := d.Run(context.Background(), routines).Err(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		batch := d.Run(context.Background(), routines)
+		if err := batch.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if batch.Stats.CacheHits != len(routines) {
+			b.Fatalf("cold routine in warm batch: %+v", batch.Stats)
+		}
 	}
 }
 

@@ -9,13 +9,17 @@
 //	gvnbench -stats         §4/§5 work statistics
 //	gvnbench -all           everything above
 //
-// -scale shrinks or grows the corpus (1.0 ≈ 690 routines).
+// -scale shrinks or grows the corpus (1.0 ≈ 690 routines). -j fans the
+// measurements out over a worker pool (0 = GOMAXPROCS; results are
+// deterministic at any -j) and -cache shares a content-addressed
+// analysis cache across the figures and statistics.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"pgvn/internal/core"
 	"pgvn/internal/harness"
@@ -32,10 +36,19 @@ func main() {
 		csv    = flag.Bool("csv", false, "emit CSV instead of formatted tables")
 		bzip2  = flag.Bool("bzip2", false, "include 256.bzip2 (the paper excludes it)")
 		ascii  = flag.Bool("ascii", false, "render figures as log-scaled ASCII bars")
+		jobs   = flag.Int("j", 0, "measurement worker pool size (0 = GOMAXPROCS)")
+		cache  = flag.Bool("cache", false, "share an analysis cache across figures and statistics")
 	)
 	flag.Parse()
 	if !*all && *table == 0 && *figure == 0 && !*stats {
 		*all = true
+	}
+	harness.SetJobs(*jobs)
+	harness.SetAnalysisCache(*cache)
+	if *jobs <= 0 {
+		fmt.Printf("driver: %d workers (GOMAXPROCS)\n", runtime.GOMAXPROCS(0))
+	} else {
+		fmt.Printf("driver: %d workers\n", *jobs)
 	}
 
 	fmt.Printf("generating corpus at scale %.2f …\n", *scale)
@@ -118,5 +131,8 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(harness.FormatStats(ws))
+	}
+	if hits, misses, entries, ok := harness.AnalysisCacheStats(); ok {
+		fmt.Printf("analysis cache: %d hits, %d misses, %d entries\n", hits, misses, entries)
 	}
 }

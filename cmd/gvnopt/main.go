@@ -10,104 +10,167 @@
 // exposing the paper's compile-time/strength tradeoffs; -emulate selects a
 // published baseline (click, sccp, simpson). -dump prints the congruence
 // partition instead of transforming, and -stats reports the analysis work.
+// -j runs routines on a worker pool (0 = GOMAXPROCS) and -cache memoizes
+// per-routine results; output order and bytes are identical at any -j.
+//
+// Output is atomic: nothing is written to stdout until every routine has
+// succeeded, and any failure exits with status 1 — a late error can no
+// longer leave partial output behind.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"pgvn/internal/core"
+	"pgvn/internal/driver"
 	"pgvn/internal/ir"
-	"pgvn/internal/opt"
 	"pgvn/internal/parser"
 	"pgvn/internal/ssa"
 )
 
 func main() {
-	var (
-		mode      = flag.String("mode", "optimistic", "value numbering mode: optimistic, balanced or pessimistic")
-		emulate   = flag.String("emulate", "", "emulate a baseline: click, sccp or simpson (overrides analysis flags)")
-		noReassoc = flag.Bool("no-reassoc", false, "disable global reassociation")
-		noPredInf = flag.Bool("no-predinf", false, "disable predicate inference")
-		noValInf  = flag.Bool("no-valinf", false, "disable value inference")
-		noPhiPred = flag.Bool("no-phipred", false, "disable φ-predication")
-		dense     = flag.Bool("dense", false, "disable the sparse formulation")
-		complete  = flag.Bool("complete", false, "use the complete algorithm (reachable dominator tree)")
-		dump      = flag.Bool("dump", false, "print the congruence partition instead of optimizing")
-		explain   = flag.Bool("explain", false, "print per-value explanations instead of optimizing")
-		dot       = flag.Bool("dot", false, "print the analyzed CFG in GraphViz dot syntax instead of optimizing")
-		stats     = flag.Bool("stats", false, "print analysis statistics")
-		ssaOnly   = flag.Bool("ssa", false, "print the SSA form without optimizing")
-		pruned    = flag.Bool("pruned", false, "use pruned (liveness-based) SSA construction")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
+// run is the testable entry point: it parses flags and input, runs the
+// requested pipeline, and returns the process exit status. Optimized
+// output is buffered and flushed only when the whole batch succeeded, so
+// a mid-batch failure yields status 1 and no partial stdout.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gvnopt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		mode      = fs.String("mode", "optimistic", "value numbering mode: optimistic, balanced or pessimistic")
+		emulate   = fs.String("emulate", "", "emulate a baseline: click, sccp or simpson (overrides analysis flags)")
+		noReassoc = fs.Bool("no-reassoc", false, "disable global reassociation")
+		noPredInf = fs.Bool("no-predinf", false, "disable predicate inference")
+		noValInf  = fs.Bool("no-valinf", false, "disable value inference")
+		noPhiPred = fs.Bool("no-phipred", false, "disable φ-predication")
+		dense     = fs.Bool("dense", false, "disable the sparse formulation")
+		complete  = fs.Bool("complete", false, "use the complete algorithm (reachable dominator tree)")
+		dump      = fs.Bool("dump", false, "print the congruence partition instead of optimizing")
+		explain   = fs.Bool("explain", false, "print per-value explanations instead of optimizing")
+		dot       = fs.Bool("dot", false, "print the analyzed CFG in GraphViz dot syntax instead of optimizing")
+		stats     = fs.Bool("stats", false, "print analysis statistics")
+		ssaOnly   = fs.Bool("ssa", false, "print the SSA form without optimizing")
+		pruned    = fs.Bool("pruned", false, "use pruned (liveness-based) SSA construction")
+		jobs      = fs.Int("j", 0, "optimize routines on a worker pool of this size (0 = GOMAXPROCS)")
+		cache     = fs.Bool("cache", false, "memoize per-routine results in a content-addressed cache")
+		maxPasses = fs.Int("maxpasses", 0, "bound the RPO passes per routine; error past the bound (0 = automatic)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	cfg, err := buildConfig(*mode, *emulate, *noReassoc, *noPredInf, *noValInf, *noPhiPred, *dense, *complete)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gvnopt:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "gvnopt:", err)
+		return 2
 	}
+	cfg.MaxPasses = *maxPasses
 	placement := ssa.SemiPruned
 	if *pruned {
 		placement = ssa.Pruned
 	}
 
-	src, err := readInput(flag.Args())
+	src, err := readInput(fs.Args(), stdin)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gvnopt:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "gvnopt:", err)
+		return 1
 	}
 	routines, err := parser.Parse(src)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gvnopt:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "gvnopt:", err)
+		return 1
 	}
+
+	var out bytes.Buffer
+	if *ssaOnly || *dump || *explain || *dot {
+		if err := runInspect(&out, stderr, routines, cfg, placement,
+			*ssaOnly, *dump, *explain, *dot, *stats); err != nil {
+			fmt.Fprintln(stderr, "gvnopt:", err)
+			return 1
+		}
+	} else {
+		var c *driver.Cache
+		if *cache {
+			c = driver.NewCache()
+		}
+		d := driver.New(driver.Config{Core: cfg, Placement: placement, Jobs: *jobs, Cache: c})
+		batch := d.Run(context.Background(), routines)
+		for _, rr := range batch.Results {
+			if rr.Err != nil {
+				fmt.Fprintln(stderr, "gvnopt:", rr.Err)
+				continue
+			}
+			out.WriteString(rr.Text)
+			if *stats {
+				writeStats(stderr, rr.Name, rr.Report.Stats, rr.Report.Counts)
+			}
+		}
+		if *stats {
+			fmt.Fprintln(stderr, "batch:", batch.Stats.String())
+		}
+		if batch.Stats.Failed > 0 {
+			return 1
+		}
+	}
+	if _, err := io.Copy(stdout, &out); err != nil {
+		fmt.Fprintln(stderr, "gvnopt:", err)
+		return 1
+	}
+	return 0
+}
+
+// runInspect handles the analysis-inspection modes (-ssa, -dump,
+// -explain, -dot), which need the live core.Result and so stay on the
+// sequential path. Output goes to the buffer; the first failure aborts.
+func runInspect(out *bytes.Buffer, stderr io.Writer, routines []*ir.Routine,
+	cfg core.Config, placement ssa.Placement, ssaOnly, dump, explain, dot, stats bool) error {
 	for _, r := range routines {
 		if err := ssa.Build(r, placement); err != nil {
-			fmt.Fprintln(os.Stderr, "gvnopt:", err)
-			os.Exit(1)
+			return err
 		}
-		if *ssaOnly {
-			fmt.Print(r)
+		if ssaOnly {
+			fmt.Fprint(out, r)
 			continue
 		}
 		res, err := core.Run(r, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gvnopt:", err)
-			os.Exit(1)
+			return err
 		}
-		c := res.Count() // take strength counts before opt mutates r
 		switch {
-		case *dot:
-			fmt.Print(res.DOT())
-		case *explain:
+		case dot:
+			out.WriteString(res.DOT())
+		case explain:
 			r.Instrs(func(i *ir.Instr) {
 				if !i.HasValue() {
 					return
 				}
 				if _, isConst := res.ConstValue(i); isConst || len(res.ClassMembers(i)) > 1 {
-					fmt.Print(res.Explain(i))
+					out.WriteString(res.Explain(i))
 				}
 			})
-		case *dump:
-			fmt.Print(res.Dump())
-		default:
-			if _, err := opt.Apply(res); err != nil {
-				fmt.Fprintln(os.Stderr, "gvnopt:", err)
-				os.Exit(1)
-			}
-			fmt.Print(r)
+		case dump:
+			out.WriteString(res.Dump())
 		}
-		if *stats {
-			s := res.Stats
-			fmt.Fprintf(os.Stderr,
-				"%s: %d passes, %d evals, %d touches; %d values, %d unreachable, %d constant, %d classes\n",
-				r.Name, s.Passes, s.InstrEvals, s.Touches,
-				c.Values, c.UnreachableValues, c.ConstantValues, c.Classes)
+		if stats {
+			writeStats(stderr, r.Name, res.Stats, res.Count())
 		}
 	}
+	return nil
+}
+
+// writeStats prints the per-routine -stats line.
+func writeStats(w io.Writer, name string, s core.Stats, c core.Counts) {
+	fmt.Fprintf(w,
+		"%s: %d passes, %d evals, %d touches; %d values, %d unreachable, %d constant, %d classes\n",
+		name, s.Passes, s.InstrEvals, s.Touches,
+		c.Values, c.UnreachableValues, c.ConstantValues, c.Classes)
 }
 
 func buildConfig(mode, emulate string, noReassoc, noPredInf, noValInf, noPhiPred, dense, complete bool) (core.Config, error) {
@@ -155,9 +218,9 @@ func buildConfig(mode, emulate string, noReassoc, noPredInf, noValInf, noPhiPred
 	return cfg, nil
 }
 
-func readInput(files []string) (string, error) {
+func readInput(files []string, stdin io.Reader) (string, error) {
 	if len(files) == 0 {
-		data, err := io.ReadAll(os.Stdin)
+		data, err := io.ReadAll(stdin)
 		return string(data), err
 	}
 	var all []byte

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"pgvn/internal/core"
@@ -72,14 +74,143 @@ func TestReadInputFiles(t *testing.T) {
 	if err := os.WriteFile(f2, []byte("BBB"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, err := readInput([]string{f1, f2})
+	got, err := readInput([]string{f1, f2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got != "AAA\nBBB\n" {
 		t.Errorf("readInput = %q", got)
 	}
-	if _, err := readInput([]string{filepath.Join(dir, "missing.ir")}); err == nil {
+	if _, err := readInput([]string{filepath.Join(dir, "missing.ir")}, nil); err == nil {
 		t.Errorf("missing file accepted")
+	}
+	got, err = readInput(nil, strings.NewReader("CCC"))
+	if err != nil || got != "CCC" {
+		t.Errorf("readInput(stdin) = %q, %v", got, err)
+	}
+}
+
+const goodSrc = `
+func ok(a) {
+entry:
+  x = a + 0
+  return x
+}
+`
+
+// loopSrc needs several optimistic passes, so -maxpasses 1 makes it fail
+// after the first routine already succeeded — a mid-batch failure.
+const loopSrc = `
+func spin(n) {
+entry:
+  i = 5
+  k = 0
+  goto head
+head:
+  if k < n goto body else exit
+body:
+  i = i * 1
+  k = k + 1
+  goto head
+exit:
+  return i
+}
+`
+
+// gvnopt runs the command against stdin source and returns (exit, stdout,
+// stderr).
+func gvnopt(t *testing.T, src string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, strings.NewReader(src), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestRunFailureExitsNonZero is the regression test for mid-batch
+// failures: any failing routine must produce exit status 1 and, because
+// output is buffered, no partial output on stdout.
+func TestRunFailureExitsNonZero(t *testing.T) {
+	code, out, errb := gvnopt(t, goodSrc+loopSrc, "-maxpasses", "1")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb)
+	}
+	if out != "" {
+		t.Errorf("partial output leaked to stdout:\n%s", out)
+	}
+	if !strings.Contains(errb, "spin") {
+		t.Errorf("stderr does not name the failing routine: %s", errb)
+	}
+	// Same batch without the bound succeeds whole.
+	code, out, errb = gvnopt(t, goodSrc+loopSrc)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, errb)
+	}
+	if !strings.Contains(out, "func ok(a)") || !strings.Contains(out, "func spin(n)") {
+		t.Errorf("missing routines in output:\n%s", out)
+	}
+}
+
+func TestRunParseErrorExitsNonZero(t *testing.T) {
+	code, out, _ := gvnopt(t, "func {")
+	if code != 1 || out != "" {
+		t.Errorf("exit = %d, stdout = %q; want 1 and empty", code, out)
+	}
+	if code, _, _ := gvnopt(t, goodSrc, "-emulate", "bogus"); code != 2 {
+		t.Errorf("bad flag value: exit = %d, want 2", code)
+	}
+}
+
+// TestRunJobsDeterministic checks stdout is byte-identical at any -j and
+// with the cache on.
+func TestRunJobsDeterministic(t *testing.T) {
+	src := goodSrc + loopSrc + `
+func third(a, b) {
+entry:
+  s = a + b
+  t = b + a
+  return s - t
+}
+`
+	_, want, _ := gvnopt(t, src, "-j", "1")
+	if want == "" {
+		t.Fatal("no baseline output")
+	}
+	for _, args := range [][]string{{"-j", "8"}, {"-j", "0"}, {"-j", "3", "-cache"}} {
+		code, got, errb := gvnopt(t, src, args...)
+		if code != 0 {
+			t.Fatalf("%v: exit %d (%s)", args, code, errb)
+		}
+		if got != want {
+			t.Errorf("%v: output differs from -j 1", args)
+		}
+	}
+}
+
+// TestRunStats checks the -stats lines and the batch summary reach
+// stderr, not stdout.
+func TestRunStats(t *testing.T) {
+	code, out, errb := gvnopt(t, goodSrc, "-stats")
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if strings.Contains(out, "passes") {
+		t.Errorf("stats leaked to stdout")
+	}
+	if !strings.Contains(errb, "ok: ") || !strings.Contains(errb, "passes") {
+		t.Errorf("missing per-routine stats line: %s", errb)
+	}
+	if !strings.Contains(errb, "batch:") {
+		t.Errorf("missing batch summary: %s", errb)
+	}
+}
+
+// TestRunInspectModes smoke-tests the sequential inspection paths still
+// work through the buffered writer.
+func TestRunInspectModes(t *testing.T) {
+	for _, args := range [][]string{{"-ssa"}, {"-dump"}, {"-dot"}} {
+		code, out, errb := gvnopt(t, goodSrc, args...)
+		if code != 0 || out == "" {
+			t.Errorf("%v: exit %d, %d output bytes (%s)", args, code, len(out), errb)
+		}
 	}
 }

@@ -1,0 +1,320 @@
+// Package driver is the batch optimization engine: it turns the
+// per-routine pipeline (SSA construction → core.Run → opt.Apply) into a
+// concurrent, cached, fault-isolated run over many routines.
+//
+//   - A bounded worker pool (Config.Jobs, default GOMAXPROCS) drains a
+//     routine queue.
+//   - An optional content-addressed Cache memoizes results keyed by the
+//     routine's canonical text plus the configuration fingerprint.
+//   - A panicking or failing routine becomes a structured RoutineError in
+//     its slot; the rest of the batch completes.
+//   - Context cancellation stops dispatch; routines never started are
+//     marked failed with the context error.
+//   - Results are reassembled in input order, so a parallel run is
+//     byte-identical to a sequential one.
+//
+// Input routines are never mutated: every worker operates on a clone.
+package driver
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"pgvn/internal/core"
+	"pgvn/internal/ir"
+	"pgvn/internal/opt"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+)
+
+// defaultSlowest is how many routines Stats.Slowest keeps.
+const defaultSlowest = 5
+
+// Config configures a Driver.
+type Config struct {
+	// Core is the value numbering configuration.
+	Core core.Config
+	// Placement is the SSA φ-placement strategy (the zero value is
+	// semi-pruned, matching the facade default).
+	Placement ssa.Placement
+	// Jobs is the worker pool size; <= 0 selects GOMAXPROCS.
+	Jobs int
+	// Cache, when non-nil, memoizes per-routine results across batches
+	// and Drivers.
+	Cache *Cache
+	// AnalyzeOnly skips the transformations: the Report is produced but
+	// the routine is not rewritten and Text stays empty.
+	AnalyzeOnly bool
+	// SlowestN bounds Stats.Slowest; 0 means the default (5).
+	SlowestN int
+}
+
+// jobs resolves the effective worker count.
+func (c Config) jobs() int {
+	if c.Jobs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Jobs
+}
+
+// fingerprint canonicalizes everything that affects a routine's result,
+// so the cache never conflates two configurations. core.Config is a flat
+// struct of scalars, so %#v is a stable, total rendering.
+func (c Config) fingerprint() string {
+	return fmt.Sprintf("%#v|placement=%d|analyzeonly=%t", c.Core, c.Placement, c.AnalyzeOnly)
+}
+
+// Driver runs the optimization pipeline over batches of routines.
+type Driver struct {
+	cfg Config
+	fp  string
+	// preProcess, when set (tests only), runs on the cloned routine
+	// before the pipeline — the fault-injection hook.
+	preProcess func(*ir.Routine)
+}
+
+// New returns a Driver for the configuration.
+func New(cfg Config) *Driver {
+	return &Driver{cfg: cfg, fp: cfg.fingerprint()}
+}
+
+// Run optimizes every routine and returns the batch outcome. See the
+// package comment for the guarantees (ordering, isolation, cancellation,
+// input immutability). Run never returns an error itself: per-routine
+// failures live in the results, and Batch.Err surfaces the first one.
+func (d *Driver) Run(ctx context.Context, routines []*ir.Routine) *Batch {
+	start := time.Now()
+	b := &Batch{Results: make([]RoutineResult, len(routines))}
+	jobs := d.cfg.jobs()
+	if jobs > len(routines) {
+		jobs = len(routines)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	queue := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				b.Results[i] = d.one(i, routines[i])
+			}
+		}()
+	}
+	canceled := func(from int) {
+		for k := from; k < len(routines); k++ {
+			b.Results[k] = RoutineResult{
+				Index: k,
+				Name:  routines[k].Name,
+				Err: &RoutineError{
+					Index:   k,
+					Routine: routines[k].Name,
+					Stage:   "queue",
+					Err:     ctx.Err(),
+				},
+			}
+		}
+	}
+dispatch:
+	for i := range routines {
+		// The explicit Err check makes an already-canceled context
+		// deterministic: select would otherwise race a ready worker
+		// against the done channel.
+		if ctx.Err() != nil {
+			canceled(i)
+			break
+		}
+		select {
+		case <-ctx.Done():
+			canceled(i)
+			break dispatch
+		case queue <- i:
+		}
+	}
+	close(queue)
+	wg.Wait()
+	d.aggregate(b, time.Since(start))
+	return b
+}
+
+// RunSource parses src and runs the batch. A parse error aborts before
+// any routine work — parsing is whole-input, so there is no partial
+// batch to salvage.
+func (d *Driver) RunSource(ctx context.Context, src string) (*Batch, error) {
+	routines, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return d.Run(ctx, routines), nil
+}
+
+// one runs the pipeline for a single routine, converting a panic into a
+// RoutineError so one bad routine cannot take down the batch.
+func (d *Driver) one(idx int, r *ir.Routine) (rr RoutineResult) {
+	start := time.Now()
+	rr = RoutineResult{Index: idx, Name: r.Name}
+	defer func() {
+		rr.Duration = time.Since(start)
+		if p := recover(); p != nil {
+			rr.Err = &RoutineError{
+				Index:   idx,
+				Routine: r.Name,
+				Stage:   "panic",
+				Err:     fmt.Errorf("panic: %v", p),
+				Stack:   string(debug.Stack()),
+			}
+		}
+	}()
+	var key cacheKey
+	if d.cfg.Cache != nil {
+		key = d.cfg.Cache.key(d.fp, r.String())
+		if text, rep, ok := d.cfg.Cache.lookup(key); ok {
+			rr.Text, rr.Report, rr.CacheHit = text, rep, true
+			return rr
+		}
+	}
+	work := r.Clone()
+	if d.preProcess != nil {
+		d.preProcess(work)
+	}
+	if err := ssa.Build(work, d.cfg.Placement); err != nil {
+		rr.Err = &RoutineError{Index: idx, Routine: r.Name, Stage: "ssa", Err: err}
+		return rr
+	}
+	res, err := core.Run(work, d.cfg.Core)
+	if err != nil {
+		rr.Err = &RoutineError{Index: idx, Routine: r.Name, Stage: "gvn", Err: err}
+		return rr
+	}
+	// Counts and ReturnConst read the live routine: take them before
+	// opt.Apply rewrites it.
+	rr.Report = Report{Stats: res.Stats, Counts: res.Count()}
+	rr.Report.AlwaysReturns, rr.Report.Const = res.ReturnConst()
+	if !d.cfg.AnalyzeOnly {
+		st, err := opt.Apply(res)
+		if err != nil {
+			rr.Err = &RoutineError{Index: idx, Routine: r.Name, Stage: "opt", Err: err}
+			return rr
+		}
+		rr.Report.Opt = st
+		rr.Text = work.String()
+	}
+	if d.cfg.Cache != nil {
+		d.cfg.Cache.store(key, rr.Text, rr.Report)
+	}
+	return rr
+}
+
+// aggregate fills the batch statistics.
+func (d *Driver) aggregate(b *Batch, wall time.Duration) {
+	st := &b.Stats
+	st.Routines = len(b.Results)
+	st.Wall = wall
+	for i := range b.Results {
+		rr := &b.Results[i]
+		st.CPU += rr.Duration
+		if rr.Err != nil {
+			st.Failed++
+		}
+		if d.cfg.Cache != nil && rr.Err == nil {
+			if rr.CacheHit {
+				st.CacheHits++
+			} else {
+				st.CacheMisses++
+			}
+		}
+	}
+	n := d.cfg.SlowestN
+	if n <= 0 {
+		n = defaultSlowest
+	}
+	if n > len(b.Results) {
+		n = len(b.Results)
+	}
+	order := make([]int, len(b.Results))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		a, c := &b.Results[order[x]], &b.Results[order[y]]
+		if a.Duration != c.Duration {
+			return a.Duration > c.Duration
+		}
+		return a.Index < c.Index
+	})
+	for _, i := range order[:n] {
+		rr := &b.Results[i]
+		st.Slowest = append(st.Slowest, SlowRoutine{Index: rr.Index, Name: rr.Name, Duration: rr.Duration})
+	}
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to jobs concurrent
+// workers (jobs <= 0 selects GOMAXPROCS), recovering panics into errors.
+// Every index runs regardless of other failures — no fail-fast — so the
+// returned error, the lowest-index failure, is deterministic under any
+// schedule. Context cancellation stops dispatch; indices never started
+// report the context error. It is the pool primitive the harness uses
+// for timing sweeps, where the work function owns its measurements.
+func ForEach(ctx context.Context, n, jobs int, fn func(i int) error) error {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	errs := make([]error, n)
+	call := func(i int) (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("task %d: panic: %v\n%s", i, p, debug.Stack())
+			}
+		}()
+		return fn(i)
+	}
+	queue := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range queue {
+				errs[i] = call(i)
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			for k := i; k < n; k++ {
+				errs[k] = ctx.Err()
+			}
+			break
+		}
+		select {
+		case <-ctx.Done():
+			for k := i; k < n; k++ {
+				errs[k] = ctx.Err()
+			}
+			break dispatch
+		case queue <- i:
+		}
+	}
+	close(queue)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package driver
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pgvn/internal/core"
+	"pgvn/internal/opt"
+)
+
+// Report is the per-routine summary the pipeline produces: the analysis
+// work statistics and strength counts (taken before the transformations
+// rewrite the routine), the transformation counters, and the
+// constant-return headline query.
+type Report struct {
+	// Stats is the analysis work record (passes, evaluations, visits).
+	Stats core.Stats
+	// Counts are the pre-transformation strength metrics.
+	Counts core.Counts
+	// Opt counts the transformations applied (zero under AnalyzeOnly).
+	Opt opt.Stats
+	// AlwaysReturns holds the constant the routine is proven to always
+	// return, when Const is true.
+	AlwaysReturns int64
+	// Const reports whether AlwaysReturns is meaningful.
+	Const bool
+}
+
+// RoutineError is a structured per-routine failure: the batch keeps
+// going, the failing routine carries its error. Stage identifies the
+// pipeline step that failed ("queue" for routines never started because
+// the context was canceled, "ssa", "gvn", "opt", or "panic").
+type RoutineError struct {
+	// Index is the routine's position in the batch input.
+	Index int
+	// Routine is the routine name.
+	Routine string
+	// Stage is the pipeline step that failed.
+	Stage string
+	// Err is the underlying error (for panics, the recovered value).
+	Err error
+	// Stack holds the goroutine stack when Stage is "panic".
+	Stack string
+}
+
+func (e *RoutineError) Error() string {
+	return fmt.Sprintf("routine %s (#%d) failed in %s: %v", e.Routine, e.Index, e.Stage, e.Err)
+}
+
+func (e *RoutineError) Unwrap() error { return e.Err }
+
+// RoutineResult is one routine's outcome, at its input position.
+type RoutineResult struct {
+	// Index is the routine's position in the batch input.
+	Index int
+	// Name is the routine name.
+	Name string
+	// Text is the optimized routine rendered in the textual IR (empty
+	// under AnalyzeOnly or on failure).
+	Text string
+	// Report summarizes the analysis and transformations.
+	Report Report
+	// CacheHit reports whether the result came from the cache.
+	CacheHit bool
+	// Duration is the wall time this routine spent in its worker.
+	Duration time.Duration
+	// Err is non-nil when the routine failed; the rest of the batch is
+	// unaffected.
+	Err *RoutineError
+}
+
+// SlowRoutine names one of the slowest routines of a batch.
+type SlowRoutine struct {
+	Index    int
+	Name     string
+	Duration time.Duration
+}
+
+// Stats aggregates a batch.
+type Stats struct {
+	// Routines is the batch size.
+	Routines int
+	// Failed counts routines that ended with a RoutineError.
+	Failed int
+	// CacheHits and CacheMisses count cache outcomes for this batch
+	// (both zero when the driver has no cache).
+	CacheHits, CacheMisses int
+	// Wall is the end-to-end batch time; CPU is the sum of per-routine
+	// worker times. CPU/Wall approximates the parallel speedup.
+	Wall, CPU time.Duration
+	// Slowest lists the slowest routines, longest first.
+	Slowest []SlowRoutine
+}
+
+// String renders the aggregate in one line.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d routines in %v (cpu %v)", s.Routines, s.Wall, s.CPU)
+	if s.Failed > 0 {
+		fmt.Fprintf(&sb, ", %d failed", s.Failed)
+	}
+	if s.CacheHits+s.CacheMisses > 0 {
+		fmt.Fprintf(&sb, ", cache %d/%d hits", s.CacheHits, s.CacheHits+s.CacheMisses)
+	}
+	return sb.String()
+}
+
+// Batch is the outcome of one Driver.Run: per-routine results in input
+// order plus aggregate statistics.
+type Batch struct {
+	Results []RoutineResult
+	Stats   Stats
+}
+
+// Text concatenates the optimized text of every routine in input order;
+// failed routines contribute nothing. Because results are reassembled by
+// input index, a parallel batch renders byte-identical to a sequential
+// one.
+func (b *Batch) Text() string {
+	var sb strings.Builder
+	for i := range b.Results {
+		sb.WriteString(b.Results[i].Text)
+	}
+	return sb.String()
+}
+
+// Errors returns the per-routine failures in input order.
+func (b *Batch) Errors() []*RoutineError {
+	var errs []*RoutineError
+	for i := range b.Results {
+		if b.Results[i].Err != nil {
+			errs = append(errs, b.Results[i].Err)
+		}
+	}
+	return errs
+}
+
+// Err returns the lowest-index failure, or nil when every routine
+// succeeded. The choice is by input position, not completion order, so
+// the reported error is deterministic under any schedule.
+func (b *Batch) Err() error {
+	for i := range b.Results {
+		if b.Results[i].Err != nil {
+			return b.Results[i].Err
+		}
+	}
+	return nil
+}

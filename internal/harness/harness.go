@@ -6,19 +6,80 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	cfg2 "pgvn/internal/cfg"
 	"pgvn/internal/core"
 	"pgvn/internal/dom"
+	"pgvn/internal/driver"
 	"pgvn/internal/ir"
 	"pgvn/internal/opt"
 	"pgvn/internal/ssa"
 	"pgvn/internal/workload"
 )
+
+// Concurrency: measurements fan out over package driver's worker pool.
+// Timing sweeps measure inside each worker and aggregate per-routine
+// durations in input order, so the reported sums are schedule-independent;
+// strength measurements go through driver.Run, whose results are
+// reassembled by input index. Both are therefore deterministic at any
+// worker count (wall-clock noise aside).
+
+// jobs is the worker pool size used by every measurement; 0 or 1 means
+// sequential (the historical behavior and the test default).
+var jobs atomic.Int32
+
+// SetJobs sets the worker pool size for sweeps, figures and statistics
+// (n <= 0 selects GOMAXPROCS). Timing tables measured with several
+// workers on a loaded machine carry more scheduler noise; per-routine
+// minimum-of-reps still suppresses most of it.
+func SetJobs(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	jobs.Store(int32(n))
+}
+
+// jobsNow returns the effective pool size.
+func jobsNow() int {
+	if j := jobs.Load(); j > 0 {
+		return int(j)
+	}
+	return 1
+}
+
+// analysisCache, when enabled, memoizes analysis-only results across
+// figures and statistics. Within one `gvnbench -all` run the default
+// configuration is analyzed four times over the same corpus (Figures
+// 10–12 and the work statistics); the cache collapses those to one.
+// Timing sweeps never consult it — cached timings would be meaningless.
+var analysisCache atomic.Pointer[driver.Cache]
+
+// SetAnalysisCache enables or disables the shared analysis cache.
+func SetAnalysisCache(on bool) {
+	if on {
+		analysisCache.Store(driver.NewCache())
+	} else {
+		analysisCache.Store(nil)
+	}
+}
+
+// AnalysisCacheStats reports the shared cache's lifetime counters; ok is
+// false when the cache is disabled.
+func AnalysisCacheStats() (hits, misses uint64, entries int, ok bool) {
+	c := analysisCache.Load()
+	if c == nil {
+		return 0, 0, 0, false
+	}
+	hits, misses, entries = c.Stats()
+	return hits, misses, entries, true
+}
 
 // pipeline runs the full "HLO" pipeline on one routine and reports the
 // total time and the GVN-only time.
@@ -48,14 +109,34 @@ func pipeline(r *ir.Routine, cfg core.Config) (total, gvn time.Duration, res *co
 	return total, gvn, res, nil
 }
 
-// analyzeOnly runs SSA construction and the analysis on a clone, leaving
-// the routine untouched (used where strength is counted, not time).
-func analyzeOnly(r *ir.Routine, cfg core.Config) (*core.Result, error) {
-	work := r.Clone()
-	if err := ssa.Build(work, ssa.SemiPruned); err != nil {
+// flatten lists a corpus's routines in corpus order.
+func flatten(corpus []workload.Benchmark) []*ir.Routine {
+	var out []*ir.Routine
+	for _, b := range corpus {
+		out = append(out, b.Routines...)
+	}
+	return out
+}
+
+// analyzeCorpus runs the analysis-only pipeline over the routines on the
+// driver's worker pool (with the shared cache, when enabled) and returns
+// per-routine reports in input order.
+func analyzeCorpus(routines []*ir.Routine, cfg core.Config) ([]driver.Report, error) {
+	d := driver.New(driver.Config{
+		Core:        cfg,
+		Jobs:        jobsNow(),
+		Cache:       analysisCache.Load(),
+		AnalyzeOnly: true,
+	})
+	batch := d.Run(context.Background(), routines)
+	if err := batch.Err(); err != nil {
 		return nil, err
 	}
-	return core.Run(work, cfg)
+	reports := make([]driver.Report, len(batch.Results))
+	for i := range batch.Results {
+		reports[i] = batch.Results[i].Report
+	}
+	return reports, nil
 }
 
 // Table1Row is one benchmark's row of the paper's Table 1.
@@ -81,17 +162,31 @@ func ratio(a, b time.Duration) float64 {
 const timingReps = 3
 
 // sweep measures one configuration over a benchmark's routines, returning
-// total HLO and GVN times (minimum over timingReps repetitions).
+// total HLO and GVN times (minimum over timingReps repetitions). Routines
+// of one repetition fan out over the driver's pool; each worker measures
+// its own routine, and the per-routine durations are summed in input
+// order, so the aggregate is independent of the schedule.
 func sweep(b workload.Benchmark, cfg core.Config) (hlo, gvn time.Duration, err error) {
+	n := len(b.Routines)
+	totals := make([]time.Duration, n)
+	gvns := make([]time.Duration, n)
 	for rep := 0; rep < timingReps; rep++ {
-		var h, g time.Duration
-		for _, r := range b.Routines {
+		err := driver.ForEach(context.Background(), n, jobsNow(), func(i int) error {
+			r := b.Routines[i]
 			total, gvnT, _, perr := pipeline(r, cfg)
 			if perr != nil {
-				return 0, 0, fmt.Errorf("%s/%s: %w", b.Name, r.Name, perr)
+				return fmt.Errorf("%s/%s: %w", b.Name, r.Name, perr)
 			}
-			h += total
-			g += gvnT
+			totals[i], gvns[i] = total, gvnT
+			return nil
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		var h, g time.Duration
+		for i := 0; i < n; i++ {
+			h += totals[i]
+			g += gvns[i]
 		}
 		if rep == 0 || h < hlo {
 			hlo = h
@@ -234,24 +329,23 @@ func Figure(title string, corpus []workload.Benchmark, cfgA, cfgB core.Config) (
 		Constants:   map[int]int{},
 		Classes:     map[int]int{},
 	}
-	for _, b := range corpus {
-		for _, r := range b.Routines {
-			// Counts must be taken on the un-optimized routine, so run
-			// the analysis only (pipeline would mutate the routine).
-			resA, err := analyzeOnly(r, cfgA)
-			if err != nil {
-				return nil, err
-			}
-			resB, err := analyzeOnly(r, cfgB)
-			if err != nil {
-				return nil, err
-			}
-			ca, cb := resA.Count(), resB.Count()
-			fd.Unreachable[ca.UnreachableValues-cb.UnreachableValues]++
-			fd.Constants[ca.ConstantValues-cb.ConstantValues]++
-			fd.Classes[cb.Classes-ca.Classes]++ // fewer classes is better
-			fd.Routines++
-		}
+	// Counts must be taken on un-optimized routines, so both sides run
+	// analysis-only batches (the driver clones; inputs stay pristine).
+	routines := flatten(corpus)
+	repsA, err := analyzeCorpus(routines, cfgA)
+	if err != nil {
+		return nil, err
+	}
+	repsB, err := analyzeCorpus(routines, cfgB)
+	if err != nil {
+		return nil, err
+	}
+	for i := range routines {
+		ca, cb := repsA[i].Counts, repsB[i].Counts
+		fd.Unreachable[ca.UnreachableValues-cb.UnreachableValues]++
+		fd.Constants[ca.ConstantValues-cb.ConstantValues]++
+		fd.Classes[cb.Classes-ca.Classes]++ // fewer classes is better
+		fd.Routines++
 	}
 	return fd, nil
 }
@@ -295,26 +389,23 @@ type WorkStats struct {
 // MeasureStats runs the full practical algorithm over the corpus and
 // aggregates its work statistics.
 func MeasureStats(corpus []workload.Benchmark) (*WorkStats, error) {
+	reports, err := analyzeCorpus(flatten(corpus), core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
 	ws := &WorkStats{}
-	for _, b := range corpus {
-		for _, r := range b.Routines {
-			res, err := analyzeOnly(r, core.DefaultConfig())
-			if err != nil {
-				return nil, err
-			}
-			ws.Routines++
-			ws.Passes += res.Stats.Passes
-			if res.Stats.Passes > ws.MaxPasses {
-				ws.MaxPasses = res.Stats.Passes
-			}
-			ws.InstrEvals += res.Stats.InstrEvals
-			ws.ValueVisits += res.Stats.ValueInfVisits
-			ws.PredVisits += res.Stats.PredInfVisits
-			ws.PhiVisits += res.Stats.PhiPredVisits
-			c := res.Count()
-			ws.TotalValues += c.Values
-			ws.TotalClasses += c.Classes
+	for _, rep := range reports {
+		ws.Routines++
+		ws.Passes += rep.Stats.Passes
+		if rep.Stats.Passes > ws.MaxPasses {
+			ws.MaxPasses = rep.Stats.Passes
 		}
+		ws.InstrEvals += rep.Stats.InstrEvals
+		ws.ValueVisits += rep.Stats.ValueInfVisits
+		ws.PredVisits += rep.Stats.PredInfVisits
+		ws.PhiVisits += rep.Stats.PhiPredVisits
+		ws.TotalValues += rep.Counts.Values
+		ws.TotalClasses += rep.Counts.Classes
 	}
 	return ws, nil
 }

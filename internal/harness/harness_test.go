@@ -100,6 +100,55 @@ func TestFigureImprovements(t *testing.T) {
 	}
 }
 
+// TestParallelCachedMeasurementsDeterministic checks figures and
+// statistics are identical whether measured sequentially or on a cached
+// 8-worker pool.
+func TestParallelCachedMeasurementsDeterministic(t *testing.T) {
+	corpus := smallCorpus()
+	reset := func() {
+		harness.SetJobs(1)
+		harness.SetAnalysisCache(false)
+	}
+	defer reset()
+
+	reset()
+	seqFig, err := harness.Figure("fig", corpus, core.DefaultConfig(), core.ClickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqStats, err := harness.MeasureStats(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	harness.SetJobs(8)
+	harness.SetAnalysisCache(true)
+	parFig, err := harness.Figure("fig", corpus, core.DefaultConfig(), core.ClickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parStats, err := harness.MeasureStats(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if harness.FormatFigure(seqFig) != harness.FormatFigure(parFig) {
+		t.Errorf("figure differs between sequential and parallel+cached runs")
+	}
+	if *seqStats != *parStats {
+		t.Errorf("work stats differ: %+v vs %+v", seqStats, parStats)
+	}
+	hits, misses, entries, ok := harness.AnalysisCacheStats()
+	if !ok || entries == 0 {
+		t.Fatalf("analysis cache unused: hits=%d misses=%d entries=%d ok=%t", hits, misses, entries, ok)
+	}
+	// MeasureStats re-analyzes the default configuration the figure
+	// already analyzed, so every one of its lookups must hit.
+	if hits == 0 {
+		t.Errorf("no cache hits across figure + stats: misses=%d", misses)
+	}
+}
+
 func TestMeasureStats(t *testing.T) {
 	ws, err := harness.MeasureStats(smallCorpus())
 	if err != nil {

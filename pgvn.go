@@ -12,10 +12,12 @@
 package pgvn
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"pgvn/internal/core"
+	"pgvn/internal/driver"
 	"pgvn/internal/ir"
 	"pgvn/internal/opt"
 	"pgvn/internal/parser"
@@ -44,6 +46,12 @@ type Options struct {
 	Complete bool
 	// PrunedSSA uses pruned (liveness-based) φ-placement.
 	PrunedSSA bool
+	// Jobs routes OptimizeSource through the concurrent batch driver:
+	// routines are optimized on up to Jobs workers (negative selects
+	// GOMAXPROCS) and reassembled in input order, so the output is
+	// byte-identical to the sequential path. 0 keeps the
+	// single-goroutine path.
+	Jobs int
 }
 
 func (o Options) config() (core.Config, error) {
@@ -117,6 +125,9 @@ func OptimizeSource(src string, o Options) (string, []Report, error) {
 	if err != nil {
 		return "", nil, err
 	}
+	if o.Jobs != 0 {
+		return optimizeParallel(routines, cfg, o)
+	}
 	var out strings.Builder
 	var reports []Report
 	for _, r := range routines {
@@ -128,6 +139,40 @@ func OptimizeSource(src string, o Options) (string, []Report, error) {
 		out.WriteString(r.String())
 	}
 	return out.String(), reports, nil
+}
+
+// optimizeParallel runs the batch driver over the routines. The driver
+// reassembles results in input order, so this path is byte-identical to
+// the sequential one.
+func optimizeParallel(routines []*ir.Routine, cfg core.Config, o Options) (string, []Report, error) {
+	jobs := o.Jobs
+	if jobs < 0 {
+		jobs = 0 // driver interprets <= 0 as GOMAXPROCS
+	}
+	d := driver.New(driver.Config{Core: cfg, Placement: o.placement(), Jobs: jobs})
+	batch := d.Run(context.Background(), routines)
+	if err := batch.Err(); err != nil {
+		return "", nil, err
+	}
+	reports := make([]Report, len(batch.Results))
+	for i, rr := range batch.Results {
+		reports[i] = Report{
+			Routine:              rr.Name,
+			Passes:               rr.Report.Stats.Passes,
+			Values:               rr.Report.Counts.Values,
+			UnreachableValues:    rr.Report.Counts.UnreachableValues,
+			ConstantValues:       rr.Report.Counts.ConstantValues,
+			Classes:              rr.Report.Counts.Classes,
+			BlocksRemoved:        rr.Report.Opt.BlocksRemoved,
+			EdgesRemoved:         rr.Report.Opt.EdgesRemoved,
+			ConstantsPropagated:  rr.Report.Opt.ConstantsPropagated,
+			RedundanciesReplaced: rr.Report.Opt.RedundanciesReplaced,
+			InstrsRemoved:        rr.Report.Opt.InstrsRemoved,
+			AlwaysReturns:        rr.Report.AlwaysReturns,
+			Const:                rr.Report.Const,
+		}
+	}
+	return batch.Text(), reports, nil
 }
 
 // AnalyzeSource runs the analysis without transforming, returning one
@@ -150,7 +195,7 @@ func AnalyzeSource(src string, o Options) ([]Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		reports = append(reports, reportOf(res, opt.Stats{}))
+		reports = append(reports, reportOf(analysisOf(res), opt.Stats{}))
 	}
 	return reports, nil
 }
@@ -163,34 +208,49 @@ func optimizeRoutine(r *ir.Routine, cfg core.Config, placement ssa.Placement) (R
 	if err != nil {
 		return Report{}, err
 	}
-	rep := reportOf(res, opt.Stats{})
+	// Counts and ReturnConst read the live routine, so the analysis half
+	// of the report is snapshotted before opt.Apply rewrites it.
+	snap := analysisOf(res)
 	st, err := opt.Apply(res)
 	if err != nil {
 		return Report{}, err
 	}
-	rep.BlocksRemoved = st.BlocksRemoved
-	rep.EdgesRemoved = st.EdgesRemoved
-	rep.ConstantsPropagated = st.ConstantsPropagated
-	rep.RedundanciesReplaced = st.RedundanciesReplaced
-	rep.InstrsRemoved = st.InstrsRemoved
-	return rep, nil
+	return reportOf(snap, st), nil
 }
 
-func reportOf(res *core.Result, st opt.Stats) Report {
-	c := res.Count()
-	rep := Report{
-		Routine:              res.Routine.Name,
-		Passes:               res.Stats.Passes,
-		Values:               c.Values,
-		UnreachableValues:    c.UnreachableValues,
-		ConstantValues:       c.ConstantValues,
-		Classes:              c.Classes,
+// analysisSnapshot is the pre-transformation half of a Report.
+type analysisSnapshot struct {
+	routine string
+	passes  int
+	counts  core.Counts
+	ret     int64
+	isConst bool
+}
+
+func analysisOf(res *core.Result) analysisSnapshot {
+	s := analysisSnapshot{
+		routine: res.Routine.Name,
+		passes:  res.Stats.Passes,
+		counts:  res.Count(),
+	}
+	s.ret, s.isConst = res.ReturnConst()
+	return s
+}
+
+func reportOf(s analysisSnapshot, st opt.Stats) Report {
+	return Report{
+		Routine:              s.routine,
+		Passes:               s.passes,
+		Values:               s.counts.Values,
+		UnreachableValues:    s.counts.UnreachableValues,
+		ConstantValues:       s.counts.ConstantValues,
+		Classes:              s.counts.Classes,
 		BlocksRemoved:        st.BlocksRemoved,
 		EdgesRemoved:         st.EdgesRemoved,
 		ConstantsPropagated:  st.ConstantsPropagated,
 		RedundanciesReplaced: st.RedundanciesReplaced,
 		InstrsRemoved:        st.InstrsRemoved,
+		AlwaysReturns:        s.ret,
+		Const:                s.isConst,
 	}
-	rep.AlwaysReturns, rep.Const = res.ReturnConst()
-	return rep
 }

@@ -115,6 +115,39 @@ start:
 	}
 }
 
+func TestOptimizeSourceJobs(t *testing.T) {
+	src := facadeSrc + `
+func g(n) {
+start:
+  return n * 0
+}
+`
+	seqOut, seqReports, err := OptimizeSource(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{1, 8, -1} {
+		out, reports, err := OptimizeSource(src, Options{Jobs: jobs})
+		if err != nil {
+			t.Fatalf("Jobs=%d: %v", jobs, err)
+		}
+		if out != seqOut {
+			t.Errorf("Jobs=%d output differs from sequential:\n%s\nvs\n%s", jobs, out, seqOut)
+		}
+		if len(reports) != len(seqReports) {
+			t.Fatalf("Jobs=%d: %d reports, want %d", jobs, len(reports), len(seqReports))
+		}
+		for i := range reports {
+			if reports[i] != seqReports[i] {
+				t.Errorf("Jobs=%d report %d differs: %+v vs %+v", jobs, i, reports[i], seqReports[i])
+			}
+		}
+	}
+	if _, _, err := OptimizeSource("func {", Options{Jobs: 4}); err == nil {
+		t.Errorf("parallel path swallowed a parse error")
+	}
+}
+
 func TestParseErrorsPropagate(t *testing.T) {
 	if _, _, err := OptimizeSource("func {", Options{}); err == nil {
 		t.Errorf("parse error not propagated")
