@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"testing"
 
+	"pgvn/internal/check"
 	"pgvn/internal/core"
 	"pgvn/internal/driver"
 	"pgvn/internal/ir"
@@ -412,6 +413,34 @@ func BenchmarkDriverWarmCache(b *testing.B) {
 		}
 	}
 }
+
+// benchDriverChecked runs one-worker batches at the given verification
+// tier over the full corpus, isolating the per-tier overhead from
+// parallelism effects. Compare against BenchmarkDriverSequential.
+func benchDriverChecked(b *testing.B, level check.Level) {
+	routines := driverCorpus(b)
+	d := driver.New(driver.Config{Core: core.DefaultConfig(), Jobs: 1, Check: level})
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if err := d.Run(context.Background(), routines).Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(routines))*float64(b.N)/b.Elapsed().Seconds(), "routines/s")
+}
+
+// BenchmarkDriverCheckOff is the zero-overhead guard: with checking off
+// (the zero value) the driver must match BenchmarkDriverSequential, as
+// no verification code runs on the hot path.
+func BenchmarkDriverCheckOff(b *testing.B) { benchDriverChecked(b, check.Off) }
+
+// BenchmarkDriverCheckFast measures the structural sandwich plus the
+// analysis-result validation.
+func BenchmarkDriverCheckFast(b *testing.B) { benchDriverChecked(b, check.Fast) }
+
+// BenchmarkDriverCheckFull adds the dvnt second opinion and the bounded
+// translation validation — the full self-verifying pipeline.
+func BenchmarkDriverCheckFull(b *testing.B) { benchDriverChecked(b, check.Full) }
 
 // BenchmarkOptimizePipeline measures the end-to-end optimize path
 // (analysis plus transformation), the library's expected usage.

@@ -21,6 +21,7 @@ import (
 	"os"
 	"runtime"
 
+	"pgvn/internal/check"
 	"pgvn/internal/core"
 	"pgvn/internal/harness"
 	"pgvn/internal/workload"
@@ -38,13 +39,23 @@ func main() {
 		ascii  = flag.Bool("ascii", false, "render figures as log-scaled ASCII bars")
 		jobs   = flag.Int("j", 0, "measurement worker pool size (0 = GOMAXPROCS)")
 		cache  = flag.Bool("cache", false, "share an analysis cache across figures and statistics")
+		chk    = flag.String("check", "off", "verify analysis results during figure/stats measurements: off, fast or full (timing sweeps stay unchecked)")
 	)
 	flag.Parse()
 	if !*all && *table == 0 && *figure == 0 && !*stats {
 		*all = true
 	}
+	level, err := check.ParseLevel(*chk)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gvnbench:", err)
+		os.Exit(2)
+	}
 	harness.SetJobs(*jobs)
 	harness.SetAnalysisCache(*cache)
+	harness.SetCheck(level)
+	if level != check.Off {
+		fmt.Printf("verification: %s tier on figure/stats measurements\n", level)
+	}
 	if *jobs <= 0 {
 		fmt.Printf("driver: %d workers (GOMAXPROCS)\n", runtime.GOMAXPROCS(0))
 	} else {

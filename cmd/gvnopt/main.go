@@ -12,6 +12,10 @@
 // partition instead of transforming, and -stats reports the analysis work.
 // -j runs routines on a worker pool (0 = GOMAXPROCS) and -cache memoizes
 // per-routine results; output order and bytes are identical at any -j.
+// -check runs the self-verification layer between every pipeline stage
+// (off/fast/full); a violation fails the routine with a structured
+// diagnostic and the batch exits 1. -inject-fault deliberately corrupts
+// each analysis result to demonstrate the checker end to end.
 //
 // Output is atomic: nothing is written to stdout until every routine has
 // succeeded, and any failure exits with status 1 — a late error can no
@@ -26,6 +30,7 @@ import (
 	"io"
 	"os"
 
+	"pgvn/internal/check"
 	"pgvn/internal/core"
 	"pgvn/internal/driver"
 	"pgvn/internal/ir"
@@ -62,8 +67,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		jobs      = fs.Int("j", 0, "optimize routines on a worker pool of this size (0 = GOMAXPROCS)")
 		cache     = fs.Bool("cache", false, "memoize per-routine results in a content-addressed cache")
 		maxPasses = fs.Int("maxpasses", 0, "bound the RPO passes per routine; error past the bound (0 = automatic)")
+		checkFlag = fs.String("check", "off", "self-verification tier: off, fast (structural sandwich + analysis validation) or full (adds second-opinion value numbering and translation validation)")
+		fault     = fs.String("inject-fault", "", "corrupt every routine's analysis result with the named fault before checking (demonstrates -check; see core.Faults)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	level, err := check.ParseLevel(*checkFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "gvnopt:", err)
+		return 2
+	}
+	injected, err := core.ParseFault(*fault)
+	if err != nil {
+		fmt.Fprintln(stderr, "gvnopt:", err)
 		return 2
 	}
 	cfg, err := buildConfig(*mode, *emulate, *noReassoc, *noPredInf, *noValInf, *noPhiPred, *dense, *complete)
@@ -91,7 +108,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var out bytes.Buffer
 	if *ssaOnly || *dump || *explain || *dot {
 		if err := runInspect(&out, stderr, routines, cfg, placement,
-			*ssaOnly, *dump, *explain, *dot, *stats); err != nil {
+			*ssaOnly, *dump, *explain, *dot, *stats, level); err != nil {
 			fmt.Fprintln(stderr, "gvnopt:", err)
 			return 1
 		}
@@ -100,7 +117,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if *cache {
 			c = driver.NewCache()
 		}
-		d := driver.New(driver.Config{Core: cfg, Placement: placement, Jobs: *jobs, Cache: c})
+		d := driver.New(driver.Config{Core: cfg, Placement: placement, Jobs: *jobs, Cache: c,
+			Check: level, Fault: injected})
 		batch := d.Run(context.Background(), routines)
 		for _, rr := range batch.Results {
 			if rr.Err != nil {
@@ -130,10 +148,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 // -explain, -dot), which need the live core.Result and so stay on the
 // sequential path. Output goes to the buffer; the first failure aborts.
 func runInspect(out *bytes.Buffer, stderr io.Writer, routines []*ir.Routine,
-	cfg core.Config, placement ssa.Placement, ssaOnly, dump, explain, dot, stats bool) error {
+	cfg core.Config, placement ssa.Placement, ssaOnly, dump, explain, dot, stats bool,
+	level check.Level) error {
 	for _, r := range routines {
 		if err := ssa.Build(r, placement); err != nil {
 			return err
+		}
+		if level != check.Off {
+			if e := check.Structural(r, "ssa"); e != nil {
+				return e
+			}
 		}
 		if ssaOnly {
 			fmt.Fprint(out, r)
@@ -142,6 +166,9 @@ func runInspect(out *bytes.Buffer, stderr io.Writer, routines []*ir.Routine,
 		res, err := core.Run(r, cfg)
 		if err != nil {
 			return err
+		}
+		if e := check.Analyze(res, level); e != nil {
+			return e
 		}
 		switch {
 		case dot:

@@ -1,0 +1,157 @@
+package check
+
+import (
+	"fmt"
+
+	"pgvn/internal/core"
+	"pgvn/internal/expr"
+	"pgvn/internal/ir"
+)
+
+// Analysis validates the internal consistency of a core.Result against
+// the routine it analyzed (the fast tier's analysis-result rules):
+//
+//   - reachability bookkeeping: a reachable edge has both endpoints
+//     reachable, and a non-entry block is reachable exactly when it has
+//     a reachable incoming edge (RuleReachEdge / RuleBogusUnreachable);
+//   - classification totality: every value-producing instruction in a
+//     reachable block is classified (RuleUnclassified);
+//   - leader integrity: every class leader is a member of its own class,
+//     and membership is symmetric (RuleLeaderIntegrity);
+//   - φ-predication bookkeeping: a block predicate exists only with a
+//     CANONICAL edge order that exactly enumerates the block's reachable
+//     incoming edges, and an OR over at least that many operands when
+//     the block merges several reachable edges (RulePhiPredicate).
+//
+// Note leader *dominance* is deliberately not a Result invariant: the
+// analysis may elect a leader in a sibling block (congruence is a
+// property of values, not of placement), and EliminateRedundancies
+// guards every substitution with its own dominance test. The dominance
+// rule is therefore enforced after opt.Apply by Dominance.
+func Analysis(res *core.Result) []Violation {
+	var vs []Violation
+	r := res.Routine
+	entry := r.Entry()
+	for _, b := range r.Blocks {
+		reachableIn := 0
+		for _, e := range b.Preds {
+			if res.EdgeReachable(e) {
+				reachableIn++
+				if !res.BlockReachable(e.From) || !res.BlockReachable(e.To) {
+					vs = append(vs, Violation{
+						Rule:   RuleReachEdge,
+						Detail: fmt.Sprintf("edge %v is reachable but an endpoint is not", e),
+					})
+				}
+			}
+		}
+		switch {
+		case b == entry:
+			// The entry block's reachability is axiomatic.
+		case res.BlockReachable(b) && reachableIn == 0:
+			vs = append(vs, Violation{
+				Rule:   RuleReachEdge,
+				Detail: fmt.Sprintf("block %s is reachable but has no reachable incoming edge", b.Name),
+			})
+		case !res.BlockReachable(b) && reachableIn > 0:
+			vs = append(vs, Violation{
+				Rule:   RuleBogusUnreachable,
+				Detail: fmt.Sprintf("block %s is marked unreachable but has %d reachable incoming edge(s)", b.Name, reachableIn),
+			})
+		}
+		vs = append(vs, phiPredicate(res, b, reachableIn)...)
+		if !res.BlockReachable(b) {
+			continue
+		}
+		for _, i := range b.Instrs {
+			if !i.HasValue() {
+				continue
+			}
+			if !res.ValueReachable(i) {
+				vs = append(vs, Violation{
+					Rule:   RuleUnclassified,
+					Detail: fmt.Sprintf("value %s in reachable block %s is unclassified", i.ValueName(), b.Name),
+				})
+				continue
+			}
+			vs = append(vs, leaderIntegrity(res, i)...)
+		}
+	}
+	return vs
+}
+
+// leaderIntegrity checks v's class from v's point of view.
+func leaderIntegrity(res *core.Result, v *ir.Instr) []Violation {
+	var vs []Violation
+	leader := res.Leader(v)
+	if leader == nil {
+		return []Violation{{
+			Rule:   RuleLeaderIntegrity,
+			Detail: fmt.Sprintf("classified value %s has no leader", v.ValueName()),
+		}}
+	}
+	if !res.Congruent(v, leader) {
+		vs = append(vs, Violation{
+			Rule:   RuleLeaderIntegrity,
+			Detail: fmt.Sprintf("value %s is not congruent to its own leader %s", v.ValueName(), leader.ValueName()),
+		})
+	}
+	foundSelf, foundLeader := false, false
+	for _, m := range res.ClassMembers(v) {
+		foundSelf = foundSelf || m == v
+		foundLeader = foundLeader || m == leader
+	}
+	if !foundSelf {
+		vs = append(vs, Violation{
+			Rule:   RuleLeaderIntegrity,
+			Detail: fmt.Sprintf("value %s is missing from its own class member list", v.ValueName()),
+		})
+	}
+	if !foundLeader {
+		vs = append(vs, Violation{
+			Rule:   RuleLeaderIntegrity,
+			Detail: fmt.Sprintf("leader %s of %s is not a member of the class it leads", leader.ValueName(), v.ValueName()),
+		})
+	}
+	return vs
+}
+
+// phiPredicate checks the φ-predication bookkeeping of one block (§2.8):
+// the predicate and CANONICAL order are set together, the CANONICAL
+// order is an exact enumeration of the reachable incoming edges, and a
+// merge of n ≥ 2 reachable edges carries an OR of at least n operands.
+func phiPredicate(res *core.Result, b *ir.Block, reachableIn int) []Violation {
+	pred, canon := res.PredicateInfo(b)
+	if pred == nil && canon == nil {
+		return nil
+	}
+	bad := func(format string, args ...any) []Violation {
+		return []Violation{{Rule: RulePhiPredicate, Detail: fmt.Sprintf("block %s: ", b.Name) + fmt.Sprintf(format, args...)}}
+	}
+	if (pred == nil) != (canon == nil) {
+		return bad("predicate and CANONICAL order must be set together (pred=%v, %d edges)", pred != nil, len(canon))
+	}
+	if !res.BlockReachable(b) {
+		return bad("unreachable block carries a predicate")
+	}
+	if len(canon) != reachableIn {
+		return bad("CANONICAL order has %d edges, block has %d reachable incoming edges", len(canon), reachableIn)
+	}
+	seen := make(map[*ir.Edge]bool, len(canon))
+	for _, e := range canon {
+		if e.To != b {
+			return bad("CANONICAL order contains foreign edge %v", e)
+		}
+		if !res.EdgeReachable(e) {
+			return bad("CANONICAL order contains unreachable edge %v", e)
+		}
+		if seen[e] {
+			return bad("CANONICAL order lists edge %v twice", e)
+		}
+		seen[e] = true
+	}
+	if reachableIn >= 2 && (pred.Kind != expr.Or || len(pred.Args) < reachableIn) {
+		return bad("predicate over %d reachable edges is not an OR of at least %d operands", reachableIn, reachableIn)
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+// Package check is the pipeline's self-verification layer: translation
+// validation and analysis-soundness checking for predicated global value
+// numbering.
+//
+// Three tiers (Level):
+//
+//   - Off: no checking (the production default; zero overhead).
+//   - Fast: structural pass-sandwich verification (ir.Verify/ssa.Verify
+//     between every pipeline stage), analysis-result validation over
+//     core.Result (reachability bookkeeping, classification totality,
+//     leader integrity, φ-predication bookkeeping), and an independent
+//     use-def dominance re-verification after opt.Apply.
+//   - Full: Fast plus an independent pessimistic value numbering
+//     (internal/dvnt) as a second opinion on the congruence partition,
+//     and bounded translation validation with the reference interpreter
+//     (internal/interp) on a deterministic input matrix: constant claims
+//     must hold on real executions and the optimized routine must be
+//     behaviour-equivalent to the original.
+//
+// A failed check is reported as *Error carrying structured Violations,
+// each tagged with a stable Rule identifier; the driver turns these into
+// per-routine RoutineErrors so one unsound routine cannot poison a batch.
+package check
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Level selects how much verification the pipeline performs.
+type Level uint8
+
+// Verification tiers.
+const (
+	// Off disables all checking.
+	Off Level = iota
+	// Fast enables the structural pass sandwich and the analysis-result
+	// validation (no interpreter, no second-opinion value numbering).
+	Fast
+	// Full enables everything: Fast plus the dvnt cross-check and
+	// bounded translation validation with the interpreter.
+	Full
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case Off:
+		return "off"
+	case Fast:
+		return "fast"
+	default:
+		return "full"
+	}
+}
+
+// ParseLevel parses a level name as accepted by the -check flags; the
+// empty string means Off.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "", "off":
+		return Off, nil
+	case "fast":
+		return Fast, nil
+	case "full":
+		return Full, nil
+	}
+	return Off, fmt.Errorf("unknown check level %q (want off, fast or full)", s)
+}
+
+// Rule identifiers, one per checker rule. Tests and diagnostics refer to
+// violations by these stable names.
+const (
+	// RuleStructural is an ir.Verify/ssa.Verify failure between stages.
+	RuleStructural = "structural"
+	// RuleReachEdge is an edge marked reachable whose endpoints are not
+	// both reachable, or a reachable block with no reachable in-edge.
+	RuleReachEdge = "reach-edge"
+	// RuleBogusUnreachable is a block marked unreachable that has a
+	// reachable incoming edge.
+	RuleBogusUnreachable = "bogus-unreachable"
+	// RuleUnclassified is a value in a reachable block left unclassified.
+	RuleUnclassified = "unclassified-reachable"
+	// RuleLeaderIntegrity is a class whose leader is not one of its own
+	// members (or a member whose class does not contain it).
+	RuleLeaderIntegrity = "leader-integrity"
+	// RuleLeaderDominance is a post-transformation use not dominated by
+	// its definition: the only rewrites EliminateRedundancies performs
+	// are leader substitutions, so a dominance break means a leader was
+	// substituted where it does not dominate the use.
+	RuleLeaderDominance = "leader-dominance"
+	// RulePhiPredicate is inconsistent φ-predication bookkeeping: a block
+	// predicate whose CANONICAL edge order does not exactly cover the
+	// block's reachable incoming edges.
+	RulePhiPredicate = "phi-predicate"
+	// RuleDVNTCongruence is a partition conflict with the independent
+	// pessimistic value numbering: the optimistic partition is not a
+	// coarsening of the dvnt partition (or merges values dvnt proves to
+	// be distinct constants).
+	RuleDVNTCongruence = "dvnt-congruence"
+	// RuleDVNTConst is a constant contradiction with dvnt: both analyses
+	// prove a value constant but disagree on which, or the core misses a
+	// constant dvnt proves under a configuration that folds.
+	RuleDVNTConst = "dvnt-const"
+	// RuleInterpConst is a constant claim contradicted by an execution.
+	RuleInterpConst = "interp-const"
+	// RuleInterpReach is an unreachability claim contradicted by an
+	// execution (a block or edge proven unreachable was executed).
+	RuleInterpReach = "interp-reach"
+	// RuleInterpCongruence is a same-block congruence claim contradicted
+	// by an execution (the values did not march in lockstep).
+	RuleInterpCongruence = "interp-congruence"
+	// RuleInterpBehavior is a behaviour divergence between the original
+	// and the optimized routine on the input matrix.
+	RuleInterpBehavior = "interp-behavior"
+)
+
+// Violation is one checker finding.
+type Violation struct {
+	// Rule is the stable rule identifier (Rule* constants).
+	Rule string
+	// Detail describes the specific violation.
+	Detail string
+}
+
+// String renders the violation.
+func (v Violation) String() string { return "[" + v.Rule + "] " + v.Detail }
+
+// Error is a structured per-routine check failure.
+type Error struct {
+	// Routine is the routine name.
+	Routine string
+	// Stage is the pipeline stage the check ran after ("parse", "ssa",
+	// "gvn" or "opt").
+	Stage string
+	// Violations are the findings, in discovery order.
+	Violations []Violation
+}
+
+// Error renders the failure with up to three violations spelled out.
+func (e *Error) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "check: %s after %s: %d violation(s)", e.Routine, e.Stage, len(e.Violations))
+	for k, v := range e.Violations {
+		if k == 3 {
+			fmt.Fprintf(&sb, "; … %d more", len(e.Violations)-k)
+			break
+		}
+		sb.WriteString("; ")
+		sb.WriteString(v.String())
+	}
+	return sb.String()
+}
+
+// wrap packages violations as an *Error, or nil when there are none.
+func wrap(routine, stage string, vs []Violation) *Error {
+	if len(vs) == 0 {
+		return nil
+	}
+	return &Error{Routine: routine, Stage: stage, Violations: vs}
+}

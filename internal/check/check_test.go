@@ -1,0 +1,284 @@
+package check_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"pgvn/internal/check"
+	"pgvn/internal/core"
+	"pgvn/internal/ir"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+	"pgvn/internal/workload"
+)
+
+func TestParseLevel(t *testing.T) {
+	for _, tt := range []struct {
+		in   string
+		want check.Level
+	}{
+		{"", check.Off}, {"off", check.Off}, {"fast", check.Fast}, {"full", check.Full},
+	} {
+		got, err := check.ParseLevel(tt.in)
+		if err != nil || got != tt.want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", tt.in, got, err, tt.want)
+		}
+		if tt.in != "" && got.String() != tt.in {
+			t.Errorf("Level(%q).String() = %q", tt.in, got.String())
+		}
+	}
+	if _, err := check.ParseLevel("paranoid"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestErrorRendering(t *testing.T) {
+	e := &check.Error{Routine: "f", Stage: "gvn", Violations: []check.Violation{
+		{Rule: check.RuleReachEdge, Detail: "v1"},
+		{Rule: check.RuleUnclassified, Detail: "v2"},
+		{Rule: check.RuleLeaderIntegrity, Detail: "v3"},
+		{Rule: check.RulePhiPredicate, Detail: "v4"},
+		{Rule: check.RulePhiPredicate, Detail: "v5"},
+	}}
+	s := e.Error()
+	for _, want := range []string{"check: f after gvn: 5 violation(s)", "[reach-edge] v1", "[leader-integrity] v3", "… 2 more"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("error %q missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "v4") {
+		t.Errorf("error %q spells out more than three violations", s)
+	}
+}
+
+func TestInputsMatrix(t *testing.T) {
+	zero := check.Inputs(0)
+	if len(zero) != 1 || zero[0] != nil {
+		t.Errorf("Inputs(0) = %v, want one empty argument vector", zero)
+	}
+	in := check.Inputs(3)
+	if len(in) != 8 {
+		t.Fatalf("Inputs(3) has %d vectors, want 8", len(in))
+	}
+	for k, v := range in {
+		if len(v) != 3 {
+			t.Errorf("Inputs(3)[%d] has %d args", k, len(v))
+		}
+	}
+	again := fmt.Sprint(check.Inputs(3))
+	if fmt.Sprint(in) != again {
+		t.Error("Inputs is not deterministic")
+	}
+}
+
+// analyze parses src, converts to SSA and runs the core analysis.
+func analyze(t *testing.T, src string, cfg core.Config) *core.Result {
+	t.Helper()
+	r, err := parser.ParseRoutine(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := ssa.Build(r, ssa.SemiPruned); err != nil {
+		t.Fatalf("ssa.Build: %v", err)
+	}
+	res, err := core.Run(r, cfg)
+	if err != nil {
+		t.Fatalf("core.Run: %v", err)
+	}
+	return res
+}
+
+// Diamond with a congruent pair across sibling branches (x ≅ y) and a
+// reachable join; serves leader-hoist, drop-class and fake-unreachable.
+const diamondSrc = `
+func f(a, b) {
+entry:
+  if a < b goto l else r
+l:
+  x = a + b
+  p = x * 2
+  goto j
+r:
+  y = a + b
+  q = y * 3
+  goto j
+j:
+  return a
+}
+`
+
+// Var-merging diamond whose join φ gets a block predicate.
+const phiSrc = `
+func g(a, b) {
+entry:
+  if a < b goto l else r
+l:
+  v = a + 1
+  goto j
+r:
+  v = b + 2
+  goto j
+j:
+  return v
+}
+`
+
+// Straight line with a multi-member non-constant class {x, y}.
+const classSrc = `
+func s(a, b) {
+entry:
+  x = a + b
+  y = a + b
+  z = x * y
+  return z
+}
+`
+
+// Straight line whose classes include proven constants.
+const constSrc = `
+func c(a) {
+entry:
+  x = 2 + 3
+  return x
+}
+`
+
+// noVI is the default configuration with value inference disabled, the
+// gate under which the optimistic partition must be a coarsening of the
+// independent pessimistic value numbering.
+func noVI() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.ValueInference = false
+	return cfg
+}
+
+// TestSeededFaults seeds each fault kind into a healthy analysis and
+// demands the dedicated checker convicts it under the expected rule. The
+// same checker must be silent before injection, so a pass can never be
+// the checker flagging everything.
+func TestSeededFaults(t *testing.T) {
+	tests := []struct {
+		fault   core.Fault
+		rule    string
+		src     string
+		cfg     core.Config
+		checker func(*core.Result) []check.Violation
+	}{
+		{core.FaultLeaderHoist, check.RuleLeaderDominance, diamondSrc, core.DefaultConfig(),
+			func(res *core.Result) []check.Violation { return check.Dominance(res.Routine) }},
+		{core.FaultDropClass, check.RuleUnclassified, diamondSrc, core.DefaultConfig(), check.Analysis},
+		{core.FaultFakeUnreachable, check.RuleBogusUnreachable, diamondSrc, core.DefaultConfig(), check.Analysis},
+		{core.FaultPhiPredMismatch, check.RulePhiPredicate, phiSrc, core.DefaultConfig(), check.Analysis},
+		{core.FaultSplitClass, check.RuleDVNTCongruence, classSrc, noVI(), check.CrossCheck},
+		{core.FaultWrongConst, check.RuleInterpConst, constSrc, core.DefaultConfig(), check.Claims},
+	}
+	for _, tt := range tests {
+		t.Run(string(tt.fault), func(t *testing.T) {
+			res := analyze(t, tt.src, tt.cfg)
+			if vs := tt.checker(res); len(vs) != 0 {
+				t.Fatalf("checker not silent before injection: %v", vs)
+			}
+			if err := res.Inject(tt.fault); err != nil {
+				t.Fatalf("inject: %v", err)
+			}
+			vs := tt.checker(res)
+			if len(vs) == 0 {
+				t.Fatalf("fault %s not detected", tt.fault)
+			}
+			for _, v := range vs {
+				if v.Rule == tt.rule {
+					return
+				}
+			}
+			t.Fatalf("fault %s detected under the wrong rule(s): %v (want %s)", tt.fault, vs, tt.rule)
+		})
+	}
+}
+
+// TestAnalyzeWrapsViolations checks the Analyze entry point stages and
+// packages findings, and stays nil when checking is off.
+func TestAnalyzeWrapsViolations(t *testing.T) {
+	res := analyze(t, diamondSrc, core.DefaultConfig())
+	if e := check.Analyze(res, check.Full); e != nil {
+		t.Fatalf("healthy analysis flagged: %v", e)
+	}
+	if err := res.Inject(core.FaultDropClass); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	if e := check.Analyze(res, check.Off); e != nil {
+		t.Fatalf("Analyze(Off) must not check: %v", e)
+	}
+	e := check.Analyze(res, check.Fast)
+	if e == nil {
+		t.Fatal("Analyze(Fast) missed a dropped class")
+	}
+	if e.Stage != "gvn" || e.Routine != "f" || len(e.Violations) == 0 {
+		t.Fatalf("malformed error: %+v", e)
+	}
+}
+
+// TestPipelineCleanOnHealthyRoutine is the end-to-end sanity for the
+// Pipeline oracle on the small fixtures.
+func TestPipelineCleanOnHealthyRoutine(t *testing.T) {
+	for _, src := range []string{diamondSrc, phiSrc, classSrc, constSrc} {
+		r, err := parser.ParseRoutine(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if err := check.Pipeline(r, core.DefaultConfig(), ssa.SemiPruned, check.Full); err != nil {
+			t.Errorf("%s: %v", r.Name, err)
+		}
+		if !r.IsSSA() {
+			continue
+		}
+		t.Errorf("%s: Pipeline mutated its input routine", r.Name)
+	}
+}
+
+// TestFullTierCorpus runs the full verification tier over the synthetic
+// workload corpus and the checked-in testdata routines under every
+// configuration preset: the complete pipeline must come back clean.
+func TestFullTierCorpus(t *testing.T) {
+	scale := 0.1
+	if testing.Short() {
+		scale = 0.02
+	}
+	var routines []*ir.Routine
+	for _, b := range workload.Corpus(scale) {
+		routines = append(routines, b.Routines...)
+	}
+	for _, f := range []string{"../../testdata/figure1.ir", "../../testdata/realistic.ir"} {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("read %s: %v", f, err)
+		}
+		rs, err := parser.Parse(string(data))
+		if err != nil {
+			t.Fatalf("parse %s: %v", f, err)
+		}
+		routines = append(routines, rs...)
+	}
+	configs := map[string]core.Config{
+		"default":     core.DefaultConfig(),
+		"extended":    core.ExtendedConfig(),
+		"complete":    core.CompleteConfig(),
+		"balanced":    core.BalancedConfig(),
+		"pessimistic": core.PessimisticConfig(),
+		"basic":       core.BasicConfig(),
+		"dense":       core.DenseConfig(),
+		"click":       core.ClickConfig(),
+		"sccp":        core.SCCPConfig(),
+		"simpson":     core.SimpsonConfig(),
+	}
+	for name, cfg := range configs {
+		t.Run(name, func(t *testing.T) {
+			for _, r := range routines {
+				if err := check.Pipeline(r, cfg, ssa.SemiPruned, check.Full); err != nil {
+					t.Fatalf("%s: %v", r.Name, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,111 @@
+package check
+
+import (
+	"fmt"
+
+	"pgvn/internal/core"
+	"pgvn/internal/dvnt"
+	"pgvn/internal/ir"
+)
+
+// CrossCheck validates the congruence partition against an independent
+// second opinion: internal/dvnt, the pessimistic dominator-tree value
+// numbering of Briggs/Cooper/Simpson. The two implementations share no
+// analysis code, so agreement is strong evidence of soundness.
+//
+// Two unconditional contradiction rules hold under every configuration:
+//
+//   - if both analyses prove a value constant, the constants must agree
+//     (RuleDVNTConst);
+//   - a core congruence class must not merge two values dvnt proves to
+//     be distinct constants (RuleDVNTCongruence) — both analyses are
+//     sound, so such a merge convicts the optimistic partition.
+//
+// Two subsumption rules apply only when the configuration is at least as
+// strong as dvnt on dvnt's own turf:
+//
+//   - with constant folding enabled, every dvnt constant must also be a
+//     core constant (RuleDVNTConst);
+//   - with the full optimistic algorithm minus value inference, the
+//     optimistic partition must be a coarsening of the dvnt partition:
+//     dvnt-congruent values land in one core class (RuleDVNTCongruence).
+//     Value inference is excluded because it substitutes edge-specific
+//     facts into defining expressions, legally re-cutting classes dvnt
+//     merges (the documented trade-off in internal/dvnt's tests).
+func CrossCheck(res *core.Result) []Violation {
+	r := res.Routine
+	dres, err := dvnt.Run(r)
+	if err != nil {
+		return []Violation{{Rule: RuleDVNTCongruence, Detail: "dvnt second opinion failed: " + err.Error()}}
+	}
+	cfg := res.Config
+	constSubsume := cfg.Fold
+	coarsening := cfg.Mode == core.Optimistic && cfg.Fold && cfg.Reassociate &&
+		!cfg.HashOnly && !cfg.ValueInference
+
+	var vs []Violation
+	groups := make(map[*ir.Instr][]*ir.Instr) // dvnt representative → core-classified members
+	seenClass := make(map[*ir.Instr]bool)     // core class, by leader
+	r.Instrs(func(i *ir.Instr) {
+		if !i.HasValue() || !res.BlockReachable(i.Block) || !res.ValueReachable(i) {
+			return
+		}
+		if dc, ok := dres.ConstOf(i); ok {
+			if cc, ok2 := res.ConstValue(i); ok2 && cc != dc {
+				vs = append(vs, Violation{
+					Rule:   RuleDVNTConst,
+					Detail: fmt.Sprintf("%s: core proves constant %d, dvnt proves %d", i.ValueName(), cc, dc),
+				})
+			} else if !ok2 && constSubsume {
+				vs = append(vs, Violation{
+					Rule:   RuleDVNTConst,
+					Detail: fmt.Sprintf("%s: dvnt proves constant %d but the folding core found none", i.ValueName(), dc),
+				})
+			}
+		}
+		groups[dres.Rep(i)] = append(groups[dres.Rep(i)], i)
+		if leader := res.Leader(i); leader != nil && !seenClass[leader] {
+			seenClass[leader] = true
+			vs = append(vs, classConstConflict(res, dres, i)...)
+		}
+	})
+	if coarsening {
+		for _, members := range groups {
+			for _, m := range members[1:] {
+				if !res.Congruent(members[0], m) {
+					vs = append(vs, Violation{
+						Rule: RuleDVNTCongruence,
+						Detail: fmt.Sprintf("dvnt proves %s ≅ %s but the optimistic partition splits them",
+							members[0].ValueName(), m.ValueName()),
+					})
+				}
+			}
+		}
+	}
+	return vs
+}
+
+// classConstConflict reports a core class that merges values dvnt proves
+// to be distinct constants.
+func classConstConflict(res *core.Result, dres *dvnt.Result, v *ir.Instr) []Violation {
+	var first *ir.Instr
+	var firstC int64
+	for _, m := range res.ClassMembers(v) {
+		dc, ok := dres.ConstOf(m)
+		if !ok {
+			continue
+		}
+		if first == nil {
+			first, firstC = m, dc
+			continue
+		}
+		if dc != firstC {
+			return []Violation{{
+				Rule: RuleDVNTCongruence,
+				Detail: fmt.Sprintf("class of %s merges %s (dvnt constant %d) with %s (dvnt constant %d)",
+					v.ValueName(), first.ValueName(), firstC, m.ValueName(), dc),
+			}}
+		}
+	}
+	return nil
+}

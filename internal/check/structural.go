@@ -1,0 +1,28 @@
+package check
+
+import (
+	"pgvn/internal/ir"
+	"pgvn/internal/ssa"
+)
+
+// Structural runs the pass-sandwich structural verification appropriate
+// for the routine's current form: ir.Verify before SSA construction,
+// ssa.Verify (which subsumes ir.Verify and adds the dominance property)
+// once the routine is in SSA form. It returns nil when the routine is
+// well formed.
+//
+// The analysis never mutates the routine, so running Structural both
+// before and after core.Run turns any accidental mutation by the
+// analysis into a stage-attributed failure.
+func Structural(r *ir.Routine, stage string) *Error {
+	var err error
+	if r.IsSSA() {
+		err = ssa.Verify(r)
+	} else {
+		err = r.Verify()
+	}
+	if err == nil {
+		return nil
+	}
+	return wrap(r.Name, stage, []Violation{{Rule: RuleStructural, Detail: err.Error()}})
+}

@@ -1,0 +1,184 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+
+	"pgvn/internal/core"
+	"pgvn/internal/interp"
+	"pgvn/internal/ir"
+)
+
+// maxInterpSteps bounds each translation-validation execution. Routines
+// that exceed it on some input are skipped for that input (a bounded
+// check proves nothing about non-terminating executions), never failed.
+const maxInterpSteps = 200000
+
+// Inputs returns the deterministic argument matrix translation
+// validation executes: a handful of uniform, staggered and mixed-sign
+// vectors chosen to take both branch polarities, hit zero/negative
+// divisor paths and drive small loops a few iterations.
+func Inputs(n int) [][]int64 {
+	if n == 0 {
+		return [][]int64{nil}
+	}
+	mixed := [][]int64{
+		{3, -3, 0, 5, -7, 2},
+		{-2, 9, 1, -1, 4, 0},
+	}
+	var out [][]int64
+	for _, base := range []int64{0, 1, 2, -1, 7, -8} {
+		v := make([]int64, n)
+		for k := range v {
+			v[k] = base + int64(k)
+		}
+		out = append(out, v)
+	}
+	for _, m := range mixed {
+		v := make([]int64, n)
+		for k := range v {
+			v[k] = m[k%len(m)]
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Claims validates the analysis claims against real executions of the
+// analyzed routine on the input matrix (the full tier's first
+// translation-validation half):
+//
+//   - a value congruent to constant c evaluates to c whenever it
+//     executes (RuleInterpConst);
+//   - blocks and edges proven unreachable never execute
+//     (RuleInterpReach);
+//   - congruent values defined in the same block produce identical
+//     value sequences (RuleInterpCongruence). Same-block congruences
+//     are the directly observable ones: both values execute exactly
+//     when their block does, so their traces must march in lockstep.
+//
+// Inputs on which execution fails (step limit) are skipped.
+func Claims(res *core.Result) []Violation {
+	r := res.Routine
+	var vs []Violation
+	for _, args := range Inputs(len(r.Params)) {
+		tr, err := interp.RunTrace(r, args, maxInterpSteps)
+		if err != nil {
+			continue
+		}
+		vs = append(vs, claimsOnTrace(res, tr, args)...)
+		if len(vs) > 0 {
+			break // one witness input is enough
+		}
+	}
+	return vs
+}
+
+// claimsOnTrace checks one execution trace.
+func claimsOnTrace(res *core.Result, tr *interp.Trace, args []int64) []Violation {
+	var vs []Violation
+	r := res.Routine
+	// The interpreter pre-binds parameters rather than executing them, so
+	// they never appear in the value trace; synthesize the sequence a
+	// parameter observes — its argument, once, when the entry block runs.
+	seqOf := func(i *ir.Instr) []int64 {
+		if i.Op == ir.OpParam && tr.Blocks[r.Entry().ID] > 0 {
+			for k, p := range r.Params {
+				if p == i {
+					return args[k : k+1]
+				}
+			}
+		}
+		return tr.Values[i]
+	}
+	r.Instrs(func(i *ir.Instr) {
+		if !i.HasValue() {
+			return
+		}
+		runs := seqOf(i)
+		if c, ok := res.ConstValue(i); ok {
+			for _, v := range runs {
+				if v != c {
+					vs = append(vs, Violation{
+						Rule: RuleInterpConst,
+						Detail: fmt.Sprintf("%s claimed ≅ %d but evaluated to %d on %v",
+							i.ValueName(), c, v, args),
+					})
+					break
+				}
+			}
+		}
+		if !res.BlockReachable(i.Block) && len(runs) > 0 {
+			vs = append(vs, Violation{
+				Rule: RuleInterpReach,
+				Detail: fmt.Sprintf("value %s in unreachable block %s executed on %v",
+					i.ValueName(), i.Block.Name, args),
+			})
+		}
+	})
+	for _, b := range r.Blocks {
+		if !res.BlockReachable(b) && tr.Blocks[b.ID] > 0 {
+			vs = append(vs, Violation{
+				Rule:   RuleInterpReach,
+				Detail: fmt.Sprintf("unreachable block %s entered %d time(s) on %v", b.Name, tr.Blocks[b.ID], args),
+			})
+		}
+		for _, e := range b.Succs {
+			if !res.EdgeReachable(e) && tr.Edges[e] > 0 {
+				vs = append(vs, Violation{
+					Rule:   RuleInterpReach,
+					Detail: fmt.Sprintf("unreachable edge %v taken on %v", e, args),
+				})
+			}
+		}
+		for x := 0; x < len(b.Instrs); x++ {
+			for y := x + 1; y < len(b.Instrs); y++ {
+				vi, vj := b.Instrs[x], b.Instrs[y]
+				if !vi.HasValue() || !vj.HasValue() || !res.Congruent(vi, vj) {
+					continue
+				}
+				si, sj := seqOf(vi), seqOf(vj)
+				diverged := len(si) != len(sj)
+				for k := 0; !diverged && k < len(si); k++ {
+					diverged = si[k] != sj[k]
+				}
+				if diverged {
+					vs = append(vs, Violation{
+						Rule: RuleInterpCongruence,
+						Detail: fmt.Sprintf("congruent same-block values %s, %s diverged on %v",
+							vi.ValueName(), vj.ValueName(), args),
+					})
+				}
+			}
+		}
+	}
+	return vs
+}
+
+// Behavior validates that the optimized routine is observationally
+// equivalent to the original on the input matrix (the full tier's
+// second translation-validation half): same return value, or the same
+// failure. Inputs on which either side hits the step limit are skipped.
+func Behavior(orig, optimized *ir.Routine) []Violation {
+	for _, args := range Inputs(len(orig.Params)) {
+		want, err1 := interp.Run(orig, args, maxInterpSteps)
+		got, err2 := interp.Run(optimized, args, maxInterpSteps)
+		if errors.Is(err1, interp.ErrStepLimit) || errors.Is(err2, interp.ErrStepLimit) {
+			continue
+		}
+		if (err1 == nil) != (err2 == nil) {
+			return []Violation{{
+				Rule: RuleInterpBehavior,
+				Detail: fmt.Sprintf("on %v the original returned (%d, %v) but the optimized routine returned (%d, %v)",
+					args, want, err1, got, err2),
+			}}
+		}
+		if err1 == nil && got != want {
+			return []Violation{{
+				Rule:   RuleInterpBehavior,
+				Detail: fmt.Sprintf("on %v the optimized routine returned %d, want %d", args, got, want),
+			}}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+
+	"pgvn/internal/dom"
+	"pgvn/internal/expr"
+	"pgvn/internal/ir"
+)
+
+// Fault identifies a seeded corruption of an analysis Result (or, for
+// FaultLeaderHoist, of the analyzed routine). Faults exist to validate
+// the verification layer: each simulates one class of analysis or
+// transformation bug, and internal/check must detect every one. The
+// driver exposes them so an end-to-end corrupted run demonstrably fails
+// with a structured diagnostic (gvnopt -inject-fault).
+type Fault string
+
+// The seeded fault kinds, one per checker rule family.
+const (
+	// FaultNone injects nothing.
+	FaultNone Fault = ""
+	// FaultLeaderHoist rewrites one use to a congruent value that does
+	// not dominate it — the miscompile a redundancy eliminator commits
+	// when it substitutes a leader without checking dominance.
+	FaultLeaderHoist Fault = "leader-hoist"
+	// FaultDropClass unclassifies one value in a reachable block, as if
+	// the fixpoint had skipped it.
+	FaultDropClass Fault = "drop-class"
+	// FaultFakeUnreachable marks a block with reachable incoming edges
+	// unreachable, inviting the optimizer to delete live code.
+	FaultFakeUnreachable Fault = "fake-unreachable"
+	// FaultPhiPredMismatch truncates a block's CANONICAL edge order so
+	// the φ-predicate no longer covers every reachable incoming edge.
+	FaultPhiPredMismatch Fault = "phipred-mismatch"
+	// FaultSplitClass splits one member out of a multi-member congruence
+	// class, so the partition is no longer a coarsening of the
+	// independent pessimistic value numbering.
+	FaultSplitClass Fault = "split-class"
+	// FaultWrongConst perturbs a class's constant by one, a folding bug
+	// an execution immediately contradicts.
+	FaultWrongConst Fault = "wrong-const"
+)
+
+// Faults lists every injectable fault kind.
+var Faults = []Fault{
+	FaultLeaderHoist, FaultDropClass, FaultFakeUnreachable,
+	FaultPhiPredMismatch, FaultSplitClass, FaultWrongConst,
+}
+
+// ParseFault parses a fault name as accepted by -inject-fault; the empty
+// string means FaultNone.
+func ParseFault(s string) (Fault, error) {
+	f := Fault(s)
+	if f == FaultNone {
+		return FaultNone, nil
+	}
+	for _, k := range Faults {
+		if f == k {
+			return f, nil
+		}
+	}
+	return FaultNone, fmt.Errorf("unknown fault %q (want one of %v)", s, Faults)
+}
+
+// Inject seeds the fault into the Result (FaultLeaderHoist mutates the
+// analyzed routine instead). It returns an error when the routine offers
+// no applicable site — injection must be loud, never a silent no-op, or
+// a checker test would vacuously pass.
+func (r *Result) Inject(f Fault) error {
+	switch f {
+	case FaultNone:
+		return nil
+	case FaultLeaderHoist:
+		return r.injectLeaderHoist()
+	case FaultDropClass:
+		return r.injectDropClass()
+	case FaultFakeUnreachable:
+		return r.injectFakeUnreachable()
+	case FaultPhiPredMismatch:
+		return r.injectPhiPredMismatch()
+	case FaultSplitClass:
+		return r.injectSplitClass()
+	case FaultWrongConst:
+		return r.injectWrongConst()
+	}
+	return fmt.Errorf("core: unknown fault %q", f)
+}
+
+// injectLeaderHoist finds a use of a value v and a congruent value m
+// that does not dominate that use, and substitutes m — exactly the
+// rewrite a dominance-blind EliminateRedundancies would perform.
+func (r *Result) injectLeaderHoist() error {
+	tree := dom.New(r.Routine)
+	pos := make(map[*ir.Instr]int)
+	for _, b := range r.Routine.Blocks {
+		for k, i := range b.Instrs {
+			pos[i] = k
+		}
+	}
+	dominatesUse := func(def, user *ir.Instr, argIdx int) bool {
+		useBlock := user.Block
+		if user.Op == ir.OpPhi {
+			useBlock = user.Block.Preds[argIdx].From
+			if def.Block == useBlock {
+				return true
+			}
+			return tree.Dominates(def.Block, useBlock)
+		}
+		if def.Block == useBlock {
+			return pos[def] < pos[user]
+		}
+		return tree.StrictlyDominates(def.Block, useBlock)
+	}
+	for _, b := range r.Routine.Blocks {
+		for _, v := range b.Instrs {
+			if !v.HasValue() {
+				continue
+			}
+			for _, m := range r.ClassMembers(v) {
+				if m == v {
+					continue
+				}
+				for _, u := range v.Uses() {
+					for argIdx, a := range u.Args {
+						if a == v && !dominatesUse(m, u, argIdx) {
+							u.SetArg(argIdx, m)
+							return nil
+						}
+					}
+				}
+			}
+		}
+	}
+	return fmt.Errorf("core: %s has no congruent pair with a non-dominated use to hoist", r.Routine.Name)
+}
+
+// injectDropClass unclassifies the first classified value in a reachable
+// block.
+func (r *Result) injectDropClass() error {
+	for _, b := range r.Routine.Blocks {
+		if !r.blockReach[b.ID] {
+			continue
+		}
+		for _, i := range b.Instrs {
+			if i.HasValue() && r.classOf[i.ID] != nil {
+				r.classOf[i.ID] = nil
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("core: %s has no classified value to drop", r.Routine.Name)
+}
+
+// injectFakeUnreachable marks the first reachable non-entry block with a
+// reachable incoming edge as unreachable, leaving the edges untouched.
+func (r *Result) injectFakeUnreachable() error {
+	for _, b := range r.Routine.Blocks[1:] {
+		if !r.blockReach[b.ID] {
+			continue
+		}
+		for _, e := range b.Preds {
+			if r.edgeReach[e] {
+				r.blockReach[b.ID] = false
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("core: %s has no reachable block with a reachable incoming edge", r.Routine.Name)
+}
+
+// injectPhiPredMismatch truncates the first computed CANONICAL order.
+func (r *Result) injectPhiPredMismatch() error {
+	for _, b := range r.Routine.Blocks {
+		if r.blockPred[b.ID] != nil && len(r.canonical[b.ID]) > 0 {
+			r.canonical[b.ID] = r.canonical[b.ID][:len(r.canonical[b.ID])-1]
+			return nil
+		}
+	}
+	return fmt.Errorf("core: %s has no block predicate to corrupt", r.Routine.Name)
+}
+
+// injectSplitClass moves the last member of the first multi-member class
+// into a fresh singleton class, keeping both classes internally
+// consistent — only the cross-check against an independent value
+// numbering can convict the split.
+func (r *Result) injectSplitClass() error {
+	for _, b := range r.Routine.Blocks {
+		if !r.blockReach[b.ID] {
+			continue
+		}
+		for _, i := range b.Instrs {
+			c := r.class(i)
+			if c == nil || len(c.members) < 2 {
+				continue
+			}
+			m := c.members[len(c.members)-1]
+			c.members = c.members[:len(c.members)-1]
+			if c.leaderVal == m {
+				c.leaderVal = c.members[0]
+			}
+			split := &class{members: []*ir.Instr{m}, leaderVal: m, expr: c.expr, exprKey: c.exprKey}
+			if c.leaderConst != nil {
+				split.leaderConst = c.leaderConst
+			}
+			r.classOf[m.ID] = split
+			return nil
+		}
+	}
+	return fmt.Errorf("core: %s has no multi-member class to split", r.Routine.Name)
+}
+
+// injectWrongConst perturbs the first constant class by one.
+func (r *Result) injectWrongConst() error {
+	seen := make(map[*class]bool)
+	for _, b := range r.Routine.Blocks {
+		if !r.blockReach[b.ID] {
+			continue
+		}
+		for _, i := range b.Instrs {
+			c := r.class(i)
+			if c == nil || seen[c] || c.leaderConst == nil {
+				continue
+			}
+			seen[c] = true
+			c.leaderConst = expr.NewConst(c.leaderConst.C + 1)
+			return nil
+		}
+	}
+	return fmt.Errorf("core: %s has no constant class to perturb", r.Routine.Name)
+}

@@ -229,6 +229,17 @@ func (r *Result) BlockPredicate(b *ir.Block) (string, []*ir.Edge) {
 	return r.RenderExpr(p), r.canonical[b.ID]
 }
 
+// PredicateInfo returns the raw φ-predication state of block b: the
+// block predicate expression and the CANONICAL incoming-edge order it
+// was built over, both nil when none was computed. BlockPredicate is the
+// rendered convenience form; the raw form exists for the verification
+// layer (internal/check), which validates the bookkeeping invariants —
+// the predicate and order are set together, and the order exactly
+// enumerates the reachable incoming edges.
+func (r *Result) PredicateInfo(b *ir.Block) (*expr.Expr, []*ir.Edge) {
+	return r.blockPred[b.ID], r.canonical[b.ID]
+}
+
 // EdgePredicate returns the predicate of edge e rendered over value names,
 // or "" when the edge carries none (§2.7).
 func (r *Result) EdgePredicate(e *ir.Edge) string {

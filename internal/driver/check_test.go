@@ -1,0 +1,143 @@
+package driver
+
+// Tests for the driver's verification integration: checked batches stay
+// byte-identical to unchecked ones, seeded faults surface as structured
+// stage-"check" RoutineErrors, and the check level and fault participate
+// in the cache key so checked and unchecked results never mix.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pgvn/internal/check"
+	"pgvn/internal/core"
+	"pgvn/internal/ir"
+	"pgvn/internal/parser"
+)
+
+// TestCheckedBatchClean runs a fully-checked batch over the corpus: no
+// routine may fail, and the output must be byte-identical to an
+// unchecked batch — verification observes, never perturbs.
+func TestCheckedBatchClean(t *testing.T) {
+	routines := corpusRoutines(t, 0.1)
+	plain := New(Config{Core: core.DefaultConfig(), Jobs: 4}).Run(context.Background(), routines)
+	checked := New(Config{Core: core.DefaultConfig(), Jobs: 4, Check: check.Full}).Run(context.Background(), routines)
+	if err := checked.Err(); err != nil {
+		t.Fatalf("checked batch failed: %v", err)
+	}
+	if plain.Text() != checked.Text() {
+		t.Fatal("checking changed the batch output")
+	}
+}
+
+func parseFixture(t *testing.T, src string) []*ir.Routine {
+	t.Helper()
+	r, err := parser.ParseRoutine(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return []*ir.Routine{r}
+}
+
+const driverDiamond = `
+func f(a, b) {
+entry:
+  if a < b goto l else r
+l:
+  x = a + b
+  p = x * 2
+  goto j
+r:
+  y = a + b
+  q = y * 3
+  goto j
+j:
+  return a
+}
+`
+
+// TestFaultBecomesStructuredError seeds a fault under each tier that can
+// see it and demands a stage-"check" RoutineError wrapping the
+// *check.Error with the expected rule.
+func TestFaultBecomesStructuredError(t *testing.T) {
+	tests := []struct {
+		fault core.Fault
+		level check.Level
+		rule  string
+	}{
+		{core.FaultDropClass, check.Fast, check.RuleUnclassified},
+		{core.FaultFakeUnreachable, check.Fast, check.RuleBogusUnreachable},
+		{core.FaultLeaderHoist, check.Fast, check.RuleStructural}, // ssa.Verify in the gvn sandwich sees the broken dominance first
+	}
+	for _, tt := range tests {
+		t.Run(string(tt.fault), func(t *testing.T) {
+			d := New(Config{Core: core.DefaultConfig(), Check: tt.level, Fault: tt.fault})
+			b := d.Run(context.Background(), parseFixture(t, driverDiamond))
+			rr := b.Results[0]
+			if rr.Err == nil {
+				t.Fatal("faulted routine did not fail")
+			}
+			if rr.Err.Stage != "check" {
+				t.Fatalf("failed in stage %q, want check (err: %v)", rr.Err.Stage, rr.Err)
+			}
+			var ce *check.Error
+			if !errors.As(rr.Err, &ce) {
+				t.Fatalf("error does not wrap *check.Error: %v", rr.Err)
+			}
+			found := false
+			for _, v := range ce.Violations {
+				found = found || v.Rule == tt.rule
+			}
+			if !found {
+				t.Fatalf("violations %v do not include rule %s", ce.Violations, tt.rule)
+			}
+			if b.Stats.Failed != 1 {
+				t.Fatalf("Stats.Failed = %d, want 1", b.Stats.Failed)
+			}
+		})
+	}
+}
+
+// TestCheckInCacheKey shares one cache across configurations differing
+// only in Check/Fault: the faulted run must not be served the clean run's
+// cached results, while a same-config rerun must hit.
+func TestCheckInCacheKey(t *testing.T) {
+	routines := parseFixture(t, driverDiamond)
+	cache := NewCache()
+	ctx := context.Background()
+
+	clean := Config{Core: core.DefaultConfig(), Cache: cache}
+	if err := New(clean).Run(ctx, routines).Err(); err != nil {
+		t.Fatalf("clean batch failed: %v", err)
+	}
+
+	faulted := clean
+	faulted.Check = check.Fast
+	faulted.Fault = core.FaultDropClass
+	b := New(faulted).Run(ctx, routines)
+	if b.Err() == nil {
+		t.Fatal("faulted batch served a clean cached result")
+	}
+	if b.Results[0].CacheHit {
+		t.Fatal("faulted batch hit the clean cache entry")
+	}
+
+	b = New(clean).Run(ctx, routines)
+	if err := b.Err(); err != nil {
+		t.Fatalf("rerun failed: %v", err)
+	}
+	if !b.Results[0].CacheHit {
+		t.Fatal("identical configuration missed the cache")
+	}
+
+	checked := clean
+	checked.Check = check.Full
+	b = New(checked).Run(ctx, routines)
+	if err := b.Err(); err != nil {
+		t.Fatalf("checked batch failed: %v", err)
+	}
+	if b.Results[0].CacheHit {
+		t.Fatal("checked configuration was served the unchecked cache entry")
+	}
+}

@@ -12,6 +12,10 @@
 //     marked failed with the context error.
 //   - Results are reassembled in input order, so a parallel run is
 //     byte-identical to a sequential one.
+//   - Config.Check runs the verification layer (internal/check) between
+//     every pipeline stage inside the worker; violations surface as
+//     stage-"check" RoutineErrors and the level is part of the cache
+//     key, so checked and unchecked results never mix.
 //
 // Input routines are never mutated: every worker operates on a clone.
 package driver
@@ -25,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"pgvn/internal/check"
 	"pgvn/internal/core"
 	"pgvn/internal/ir"
 	"pgvn/internal/opt"
@@ -52,6 +57,17 @@ type Config struct {
 	AnalyzeOnly bool
 	// SlowestN bounds Stats.Slowest; 0 means the default (5).
 	SlowestN int
+	// Check selects the verification tier run inside every worker:
+	// structural pass-sandwich plus analysis-result validation (fast),
+	// additionally the dvnt second opinion and bounded translation
+	// validation (full). Violations become stage-"check" RoutineErrors;
+	// the level participates in the cache key. The zero value is off.
+	Check check.Level
+	// Fault, when set, corrupts every routine's analysis result before
+	// the checks run (see core.Fault). It exists to demonstrate and test
+	// the Check tiers end to end; like Check it participates in the
+	// cache key.
+	Fault core.Fault
 }
 
 // jobs resolves the effective worker count.
@@ -66,7 +82,8 @@ func (c Config) jobs() int {
 // so the cache never conflates two configurations. core.Config is a flat
 // struct of scalars, so %#v is a stable, total rendering.
 func (c Config) fingerprint() string {
-	return fmt.Sprintf("%#v|placement=%d|analyzeonly=%t", c.Core, c.Placement, c.AnalyzeOnly)
+	return fmt.Sprintf("%#v|placement=%d|analyzeonly=%t|check=%s|fault=%s",
+		c.Core, c.Placement, c.AnalyzeOnly, c.Check, c.Fault)
 }
 
 // Driver runs the optimization pipeline over batches of routines.
@@ -180,18 +197,47 @@ func (d *Driver) one(idx int, r *ir.Routine) (rr RoutineResult) {
 			return rr
 		}
 	}
+	// checked converts a check failure into a stage-"check" RoutineError;
+	// the sandwich runs between every stage when Config.Check is on.
+	checked := func(e *check.Error) bool {
+		if e == nil {
+			return false
+		}
+		rr.Err = &RoutineError{Index: idx, Routine: r.Name, Stage: "check", Err: e}
+		return true
+	}
 	work := r.Clone()
 	if d.preProcess != nil {
 		d.preProcess(work)
 	}
+	if d.cfg.Check != check.Off && checked(check.Structural(work, "parse")) {
+		return rr
+	}
 	if err := ssa.Build(work, d.cfg.Placement); err != nil {
 		rr.Err = &RoutineError{Index: idx, Routine: r.Name, Stage: "ssa", Err: err}
+		return rr
+	}
+	if d.cfg.Check != check.Off && checked(check.Structural(work, "ssa")) {
 		return rr
 	}
 	res, err := core.Run(work, d.cfg.Core)
 	if err != nil {
 		rr.Err = &RoutineError{Index: idx, Routine: r.Name, Stage: "gvn", Err: err}
 		return rr
+	}
+	if d.cfg.Fault != core.FaultNone {
+		if err := res.Inject(d.cfg.Fault); err != nil {
+			rr.Err = &RoutineError{Index: idx, Routine: r.Name, Stage: "check",
+				Err: fmt.Errorf("fault injection: %w", err)}
+			return rr
+		}
+	}
+	if d.cfg.Check != check.Off {
+		// core.Run must not have mutated the routine (FaultLeaderHoist
+		// deliberately does): re-verify, then validate the Result.
+		if checked(check.Structural(work, "gvn")) || checked(check.Analyze(res, d.cfg.Check)) {
+			return rr
+		}
 	}
 	// Counts and ReturnConst read the live routine: take them before
 	// opt.Apply rewrites it.
@@ -201,6 +247,9 @@ func (d *Driver) one(idx int, r *ir.Routine) (rr RoutineResult) {
 		st, err := opt.Apply(res)
 		if err != nil {
 			rr.Err = &RoutineError{Index: idx, Routine: r.Name, Stage: "opt", Err: err}
+			return rr
+		}
+		if d.cfg.Check != check.Off && checked(check.PostOpt(r, work, d.cfg.Check)) {
 			return rr
 		}
 		rr.Report.Opt = st

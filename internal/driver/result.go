@@ -30,7 +30,9 @@ type Report struct {
 // RoutineError is a structured per-routine failure: the batch keeps
 // going, the failing routine carries its error. Stage identifies the
 // pipeline step that failed ("queue" for routines never started because
-// the context was canceled, "ssa", "gvn", "opt", or "panic").
+// the context was canceled, "ssa", "gvn", "opt", "check" for a
+// verification failure — Err then wraps a *check.Error with the
+// structured violations — or "panic").
 type RoutineError struct {
 	// Index is the routine's position in the batch input.
 	Index int

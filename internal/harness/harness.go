@@ -15,6 +15,7 @@ import (
 	"time"
 
 	cfg2 "pgvn/internal/cfg"
+	"pgvn/internal/check"
 	"pgvn/internal/core"
 	"pgvn/internal/dom"
 	"pgvn/internal/driver"
@@ -53,6 +54,21 @@ func jobsNow() int {
 	}
 	return 1
 }
+
+// checkLevel is the verification tier strength and statistics
+// measurements run with (see SetCheck).
+var checkLevel atomic.Int32
+
+// SetCheck selects the verification tier (internal/check) for the
+// strength measurements and work statistics, which go through the batch
+// driver. Timing sweeps are never checked: a timing measured with the
+// verifier inside it would not be the algorithm's time. Use the root
+// BenchmarkDriverCheck* benchmarks to measure the checker's own
+// overhead.
+func SetCheck(l check.Level) { checkLevel.Store(int32(l)) }
+
+// checkNow returns the effective verification tier.
+func checkNow() check.Level { return check.Level(checkLevel.Load()) }
 
 // analysisCache, when enabled, memoizes analysis-only results across
 // figures and statistics. Within one `gvnbench -all` run the default
@@ -127,6 +143,7 @@ func analyzeCorpus(routines []*ir.Routine, cfg core.Config) ([]driver.Report, er
 		Jobs:        jobsNow(),
 		Cache:       analysisCache.Load(),
 		AnalyzeOnly: true,
+		Check:       checkNow(),
 	})
 	batch := d.Run(context.Background(), routines)
 	if err := batch.Err(); err != nil {

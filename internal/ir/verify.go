@@ -11,12 +11,17 @@ import "fmt"
 //     terminator appears elsewhere;
 //   - φs appear only at the front of a block and have one argument per
 //     incoming edge;
-//   - edge indices are consistent with Succs/Preds positions;
-//   - terminators have the right number of successors;
+//   - edge indices are consistent with Succs/Preds positions, and every
+//     edge in a pred list is backed by the corresponding successor slot
+//     (no phantom or duplicated edges; parallel edges between the same
+//     block pair are legal and distinguished by identity);
+//   - terminators have the right number of successors, and switch case
+//     values are distinct;
 //   - argument counts match opcodes, and arguments are value-producing
 //     instructions belonging to this routine;
 //   - use lists exactly mirror argument lists;
-//   - parameters appear only at the front of the entry block.
+//   - parameters are non-nil and appear only at the front of the entry
+//     block.
 func (r *Routine) Verify() error {
 	if len(r.Blocks) == 0 {
 		return fmt.Errorf("%s: no blocks", r.Name)
@@ -51,6 +56,9 @@ func (r *Routine) Verify() error {
 		}
 	}
 	for k, p := range r.Params {
+		if p == nil {
+			return fmt.Errorf("%s: param %d is nil", r.Name, k)
+		}
 		if p.Op != OpParam {
 			return fmt.Errorf("%s: param %d is %s", r.Name, k, p.Op)
 		}
@@ -69,13 +77,24 @@ func (r *Routine) verifyBlock(b *Block, inRoutine map[*Instr]bool, useCount map[
 		if e.From != b || e.outIndex != k {
 			return fmt.Errorf("%s: block %s succ %d has bad edge indices", r.Name, b.Name, k)
 		}
-		if e.To.Preds[e.inIndex] != e {
+		if e.inIndex < 0 || e.inIndex >= len(e.To.Preds) || e.To.Preds[e.inIndex] != e {
 			return fmt.Errorf("%s: edge %s not mirrored in dest preds", r.Name, e)
 		}
 	}
 	for k, e := range b.Preds {
 		if e.To != b || e.inIndex != k {
 			return fmt.Errorf("%s: block %s pred %d has bad edge indices", r.Name, b.Name, k)
+		}
+		// The succ loop above proves every successor edge appears in its
+		// destination's pred list; this is the converse, rejecting
+		// phantom or duplicated edges fabricated in a pred list without
+		// a backing successor slot. Note parallel edges between the same
+		// block pair remain legal — a branch or switch may target one
+		// block through several edges (each carrying its own φ slot),
+		// and SimplifyCFG creates such pairs when retargeting — so
+		// duplication is defined by edge identity, not by endpoints.
+		if e.outIndex < 0 || e.outIndex >= len(e.From.Succs) || e.From.Succs[e.outIndex] != e {
+			return fmt.Errorf("%s: edge %s not mirrored in source succs", r.Name, e)
 		}
 	}
 	seenNonPhi := false
@@ -130,6 +149,13 @@ func (r *Routine) verifyBlock(b *Block, inRoutine map[*Instr]bool, useCount map[
 			want = 0
 		case OpSwitch:
 			want = len(t.Cases) + 1
+			seen := make(map[int64]bool, len(t.Cases))
+			for _, c := range t.Cases {
+				if seen[c] {
+					return fmt.Errorf("%s: block %s: switch has duplicate case %d", r.Name, b.Name, c)
+				}
+				seen[c] = true
+			}
 		}
 		if want >= 0 && len(b.Succs) != want {
 			return fmt.Errorf("%s: block %s has %d successors, %s wants %d",

@@ -3,6 +3,7 @@ package opt_test
 import (
 	"testing"
 
+	"pgvn/internal/check"
 	"pgvn/internal/core"
 	"pgvn/internal/interp"
 	"pgvn/internal/opt"
@@ -52,6 +53,12 @@ func FuzzOptimizeEquivalence(f *testing.F) {
 				t.Fatalf("optimization changed behaviour on %v: %d != %d\n%q\noptimized:\n%s",
 					args, got, want, src, work)
 			}
+		}
+		// The full verification tier re-runs the pipeline as an
+		// independent oracle: structural sandwich, analysis validation,
+		// dvnt cross-check and translation validation must all pass.
+		if err := check.Pipeline(orig, core.DefaultConfig(), ssa.SemiPruned, check.Full); err != nil {
+			t.Fatalf("self-checked pipeline failed: %v\n%q", err, src)
 		}
 	})
 }

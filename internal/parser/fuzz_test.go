@@ -4,12 +4,14 @@ import (
 	"strings"
 	"testing"
 
+	"pgvn/internal/check"
+	"pgvn/internal/core"
 	"pgvn/internal/ssa"
 )
 
 // FuzzParse feeds arbitrary input to the parser: it must either return an
-// error or a routine that verifies and survives SSA construction — never
-// panic.
+// error or a routine that verifies and survives the whole self-checked
+// pipeline — never panic.
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"func f(x) {\nentry:\n  return x\n}",
@@ -32,9 +34,11 @@ func FuzzParse(f *testing.F) {
 			if vErr := r.Verify(); vErr != nil {
 				t.Fatalf("parsed routine does not verify: %v\ninput: %q", vErr, src)
 			}
-			if sErr := ssa.Build(r, ssa.SemiPruned); sErr != nil {
-				// SSA construction rejects nothing the parser accepts.
-				t.Fatalf("ssa rejected parsed routine: %v\ninput: %q", sErr, src)
+			// The full verification tier is the oracle: SSA construction,
+			// analysis, transformation and every check between them must
+			// succeed on anything the parser accepts.
+			if pErr := check.Pipeline(r, core.DefaultConfig(), ssa.SemiPruned, check.Full); pErr != nil {
+				t.Fatalf("self-checked pipeline rejected parsed routine: %v\ninput: %q", pErr, src)
 			}
 		}
 	})

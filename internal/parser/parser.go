@@ -296,6 +296,7 @@ func (p *parser) parseSwitch() error {
 	var caseEdges []pendingEdge
 	defaultSeen := false
 	var defaultEdge pendingEdge
+	seenCase := make(map[int64]bool)
 	for !p.isPunct("]") {
 		if p.isKeyword("default") {
 			if err := p.advance(); err != nil {
@@ -316,6 +317,13 @@ func (p *parser) parseSwitch() error {
 				return p.errf("expected case constant, found %s", p.tok)
 			}
 			c := p.tok.val
+			if seenCase[c] {
+				// ir.Verify rejects duplicate case values; the parser
+				// must reject them too so everything it accepts
+				// verifies.
+				return p.errf("duplicate switch case %d", c)
+			}
+			seenCase[c] = true
 			if err := p.advance(); err != nil {
 				return err
 			}

@@ -188,6 +188,7 @@ func TestParseErrors(t *testing.T) {
 		{"bad token", "func f(x) {\nentry:\n y = x ^ 2\n return y\n}", "unexpected character"},
 		{"missing else", "func f(x) {\nentry:\n if x goto a\na:\n return x\n}", "expected 'else'"},
 		{"no default", "func f(x) {\nentry:\n switch x [1: a]\na:\n return x\n}", "without default"},
+		{"duplicate case", "func f(x) {\nentry:\n switch x [1: a, 1: a, default: a]\na:\n return x\n}", "duplicate switch case 1"},
 		{"empty input", "   ", "no functions"},
 		{"garbage after expr", "func f(x) {\nentry:\n return x x\n}", "expected"},
 	}

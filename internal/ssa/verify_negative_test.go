@@ -1,0 +1,98 @@
+package ssa_test
+
+// Negative tests for ssa.Verify: each starts from a routine that passes
+// verification (build fails the test otherwise), applies one illegal
+// rewrite, and demands the specific dominance diagnostic.
+
+import (
+	"strings"
+	"testing"
+
+	"pgvn/internal/ir"
+	"pgvn/internal/ssa"
+)
+
+// addIn returns the single OpAdd/OpSub arithmetic instruction in block b.
+func arithIn(t *testing.T, b *ir.Block, op ir.Op) *ir.Instr {
+	t.Helper()
+	for _, i := range b.Instrs {
+		if i.Op == op {
+			return i
+		}
+	}
+	t.Fatalf("no %v in block %s", op, b.Name)
+	return nil
+}
+
+// A use in one branch of a diamond referring to a definition in the
+// sibling branch: neither block dominates the other.
+func TestVerifyRejectsSiblingUse(t *testing.T) {
+	r := build(t, `
+func f(a, b) {
+entry:
+  if a < b goto l else r
+l:
+  x = a + b
+  goto j
+r:
+  y = a - b
+  goto j
+j:
+  return a
+}
+`, ssa.SemiPruned)
+	x := arithIn(t, blockByName(t, r, "l"), ir.OpAdd)
+	y := arithIn(t, blockByName(t, r, "r"), ir.OpSub)
+	y.SetArg(0, x)
+	err := ssa.Verify(r)
+	if err == nil {
+		t.Fatal("sibling use not rejected")
+	}
+	if !strings.Contains(err.Error(), "not dominated by its definition") {
+		t.Fatalf("wrong error for sibling use: %v", err)
+	}
+}
+
+// A φ argument whose definition does not dominate the corresponding
+// predecessor: point the left slot of the join φ at the right branch's
+// definition.
+func TestVerifyRejectsPhiArgFromNonDominatingDef(t *testing.T) {
+	r := build(t, `
+func g(a, b) {
+entry:
+  if a < b goto l else r
+l:
+  v = a + 1
+  goto j
+r:
+  v = b + 2
+  goto j
+j:
+  return v
+}
+`, ssa.SemiPruned)
+	join := blockByName(t, r, "j")
+	phis := join.Phis()
+	if len(phis) != 1 {
+		t.Fatalf("join has %d φs, want 1", len(phis))
+	}
+	phi := phis[0]
+	rightDef := arithIn(t, blockByName(t, r, "r"), ir.OpAdd)
+	slot := -1
+	for k, e := range join.Preds {
+		if e.From.Name == "l" {
+			slot = k
+		}
+	}
+	if slot < 0 {
+		t.Fatal("join has no pred from l")
+	}
+	phi.SetArg(slot, rightDef)
+	err := ssa.Verify(r)
+	if err == nil {
+		t.Fatal("φ arg from non-dominating def not rejected")
+	}
+	if !strings.Contains(err.Error(), "does not dominate pred") {
+		t.Fatalf("wrong error for bad φ arg: %v", err)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"strings"
 
+	"pgvn/internal/check"
 	"pgvn/internal/core"
 	"pgvn/internal/driver"
 	"pgvn/internal/ir"
@@ -52,6 +53,13 @@ type Options struct {
 	// byte-identical to the sequential path. 0 keeps the
 	// single-goroutine path.
 	Jobs int
+	// Check selects the self-verification tier: "" or "off" (default,
+	// zero overhead), "fast" (structural pass-sandwich plus
+	// analysis-result validation) or "full" (fast plus an independent
+	// second-opinion value numbering and bounded translation validation
+	// against the reference interpreter). A violation fails the routine
+	// with a structured diagnostic.
+	Check string
 }
 
 func (o Options) config() (core.Config, error) {
@@ -121,12 +129,19 @@ func OptimizeSource(src string, o Options) (string, []Report, error) {
 	if err != nil {
 		return "", nil, err
 	}
+	lvl, err := check.ParseLevel(o.Check)
+	if err != nil {
+		return "", nil, fmt.Errorf("pgvn: %w", err)
+	}
 	routines, err := parser.Parse(src)
 	if err != nil {
 		return "", nil, err
 	}
-	if o.Jobs != 0 {
-		return optimizeParallel(routines, cfg, o)
+	if o.Jobs != 0 || lvl != check.Off {
+		// Checked runs share the driver's stage-by-stage verification
+		// wiring; with Jobs == 0 the pool is pinned to one worker, so
+		// the output is still byte-identical to the sequential path.
+		return optimizeParallel(routines, cfg, o, lvl)
 	}
 	var out strings.Builder
 	var reports []Report
@@ -144,12 +159,15 @@ func OptimizeSource(src string, o Options) (string, []Report, error) {
 // optimizeParallel runs the batch driver over the routines. The driver
 // reassembles results in input order, so this path is byte-identical to
 // the sequential one.
-func optimizeParallel(routines []*ir.Routine, cfg core.Config, o Options) (string, []Report, error) {
+func optimizeParallel(routines []*ir.Routine, cfg core.Config, o Options, lvl check.Level) (string, []Report, error) {
 	jobs := o.Jobs
-	if jobs < 0 {
+	switch {
+	case jobs < 0:
 		jobs = 0 // driver interprets <= 0 as GOMAXPROCS
+	case jobs == 0:
+		jobs = 1 // checked sequential run: keep the single-goroutine behavior
 	}
-	d := driver.New(driver.Config{Core: cfg, Placement: o.placement(), Jobs: jobs})
+	d := driver.New(driver.Config{Core: cfg, Placement: o.placement(), Jobs: jobs, Check: lvl})
 	batch := d.Run(context.Background(), routines)
 	if err := batch.Err(); err != nil {
 		return "", nil, err
@@ -182,6 +200,10 @@ func AnalyzeSource(src string, o Options) ([]Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	lvl, err := check.ParseLevel(o.Check)
+	if err != nil {
+		return nil, fmt.Errorf("pgvn: %w", err)
+	}
 	routines, err := parser.Parse(src)
 	if err != nil {
 		return nil, err
@@ -191,9 +213,17 @@ func AnalyzeSource(src string, o Options) ([]Report, error) {
 		if err := ssa.Build(r, o.placement()); err != nil {
 			return nil, err
 		}
+		if lvl != check.Off {
+			if e := check.Structural(r, "ssa"); e != nil {
+				return nil, e
+			}
+		}
 		res, err := core.Run(r, cfg)
 		if err != nil {
 			return nil, err
+		}
+		if e := check.Analyze(res, lvl); e != nil {
+			return nil, e
 		}
 		reports = append(reports, reportOf(analysisOf(res), opt.Stats{}))
 	}

@@ -194,3 +194,35 @@ exit:
 		t.Errorf("balanced passes = %d, want 1", reports[0].Passes)
 	}
 }
+
+// TestOptionsCheck routes the facade through the self-verification
+// layer: a checked run is byte-identical to an unchecked one, a bad
+// level is rejected up front, and AnalyzeSource checks too.
+func TestOptionsCheck(t *testing.T) {
+	want, _, err := OptimizeSource(facadeSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, level := range []string{"fast", "full"} {
+		got, reports, err := OptimizeSource(facadeSrc, Options{Check: level})
+		if err != nil {
+			t.Fatalf("Check: %s: %v", level, err)
+		}
+		if got != want {
+			t.Errorf("Check: %s changed the output", level)
+		}
+		if len(reports) != 1 || reports[0].Routine != "f" {
+			t.Errorf("Check: %s: reports wrong: %+v", level, reports)
+		}
+	}
+	if _, _, err := OptimizeSource(facadeSrc, Options{Check: "paranoid"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown check level") {
+		t.Errorf("bad level not rejected: %v", err)
+	}
+	if _, err := AnalyzeSource(facadeSrc, Options{Check: "full"}); err != nil {
+		t.Errorf("checked AnalyzeSource: %v", err)
+	}
+	if _, err := AnalyzeSource(facadeSrc, Options{Check: "paranoid"}); err == nil {
+		t.Error("AnalyzeSource accepted a bad level")
+	}
+}
