@@ -21,6 +21,7 @@ package pgvn
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"testing"
 
@@ -28,6 +29,7 @@ import (
 	"pgvn/internal/core"
 	"pgvn/internal/driver"
 	"pgvn/internal/ir"
+	"pgvn/internal/obs"
 	"pgvn/internal/opt"
 	"pgvn/internal/parser"
 	"pgvn/internal/ssa"
@@ -459,4 +461,63 @@ func BenchmarkOptimizePipeline(b *testing.B) {
 			}
 		}
 	}
+}
+
+// benchDriverObserved runs one-worker batches with the given tracer
+// collector and metrics registry attached, isolating observability
+// overhead from parallelism effects. Compare against
+// BenchmarkDriverSequential: with both nil this must be within noise
+// (the nil-tracer fast path), and ring tracing must stay within ~1.15x.
+func benchDriverObserved(b *testing.B, trace bool, metrics bool) {
+	routines := driverCorpus(b)
+	cfg := driver.Config{Core: core.DefaultConfig(), Jobs: 1}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		// Fresh collector per batch: steady-state ring writes, no
+		// unbounded growth across iterations.
+		if trace {
+			col := obs.NewCollector(0)
+			col.SetTimestamps(false)
+			cfg.Trace = col
+		}
+		if metrics {
+			cfg.Metrics = obs.NewRegistry()
+		}
+		if err := driver.New(cfg).Run(context.Background(), routines).Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(routines))*float64(b.N)/b.Elapsed().Seconds(), "routines/s")
+}
+
+// BenchmarkDriverObsOff is the zero-overhead guard for observability:
+// with no collector and no registry the driver must match
+// BenchmarkDriverSequential.
+func BenchmarkDriverObsOff(b *testing.B) { benchDriverObserved(b, false, false) }
+
+// BenchmarkDriverTraceRing measures full fixpoint event tracing into
+// per-routine ring buffers (DefaultCapacity, timestamps off).
+func BenchmarkDriverTraceRing(b *testing.B) { benchDriverObserved(b, true, false) }
+
+// BenchmarkDriverMetrics measures the metrics registry alone: stage
+// histograms, queue-wait observations and counter absorption.
+func BenchmarkDriverMetrics(b *testing.B) { benchDriverObserved(b, false, true) }
+
+// BenchmarkDriverTraceExport adds the Chrome trace_event serialization
+// of a fully traced batch — the cost of -trace on top of ring tracing.
+func BenchmarkDriverTraceExport(b *testing.B) {
+	routines := driverCorpus(b)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		col := obs.NewCollector(0)
+		col.SetTimestamps(false)
+		d := driver.New(driver.Config{Core: core.DefaultConfig(), Jobs: 1, Trace: col})
+		if err := d.Run(context.Background(), routines).Err(); err != nil {
+			b.Fatal(err)
+		}
+		if err := obs.WriteChromeTrace(io.Discard, col.Export(), obs.ChromeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(routines))*float64(b.N)/b.Elapsed().Seconds(), "routines/s")
 }

@@ -20,26 +20,33 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"time"
 
 	"pgvn/internal/check"
 	"pgvn/internal/core"
 	"pgvn/internal/harness"
+	"pgvn/internal/obs"
 	"pgvn/internal/workload"
 )
 
 func main() {
 	var (
-		table  = flag.Int("table", 0, "regenerate Table 1 or 2")
-		figure = flag.Int("figure", 0, "regenerate Figure 10, 11 or 12")
-		stats  = flag.Bool("stats", false, "report the §4/§5 work statistics")
-		all    = flag.Bool("all", false, "regenerate every table and figure")
-		scale  = flag.Float64("scale", 0.25, "corpus scale (1.0 ≈ 690 routines)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of formatted tables")
-		bzip2  = flag.Bool("bzip2", false, "include 256.bzip2 (the paper excludes it)")
-		ascii  = flag.Bool("ascii", false, "render figures as log-scaled ASCII bars")
-		jobs   = flag.Int("j", 0, "measurement worker pool size (0 = GOMAXPROCS)")
-		cache  = flag.Bool("cache", false, "share an analysis cache across figures and statistics")
-		chk    = flag.String("check", "off", "verify analysis results during figure/stats measurements: off, fast or full (timing sweeps stay unchecked)")
+		table      = flag.Int("table", 0, "regenerate Table 1 or 2")
+		figure     = flag.Int("figure", 0, "regenerate Figure 10, 11 or 12")
+		stats      = flag.Bool("stats", false, "report the §4/§5 work statistics")
+		all        = flag.Bool("all", false, "regenerate every table and figure")
+		scale      = flag.Float64("scale", 0.25, "corpus scale (1.0 ≈ 690 routines)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of formatted tables")
+		bzip2      = flag.Bool("bzip2", false, "include 256.bzip2 (the paper excludes it)")
+		ascii      = flag.Bool("ascii", false, "render figures as log-scaled ASCII bars")
+		jobs       = flag.Int("j", 0, "measurement worker pool size (0 = GOMAXPROCS)")
+		cache      = flag.Bool("cache", false, "share an analysis cache across figures and statistics")
+		chk        = flag.String("check", "off", "verify analysis results during figure/stats measurements: off, fast or full (timing sweeps stay unchecked)")
+		jsonOut    = flag.Bool("json", false, "write the metrics snapshot JSON to -metrics-out when done")
+		metricsOut = flag.String("metrics-out", "", "metrics snapshot path (default BENCH_<timestamp>.json; implies -json)")
+		httpAddr   = flag.String("http", "", "serve /metrics, /progress and /debug/pprof on this address while running")
+		traceFlag  = flag.String("trace", "", "write the figure/stats event streams as Chrome trace_event JSON to this file (timing sweeps stay untraced)")
 	)
 	flag.Parse()
 	if !*all && *table == 0 && *figure == 0 && !*stats {
@@ -53,6 +60,32 @@ func main() {
 	harness.SetJobs(*jobs)
 	harness.SetAnalysisCache(*cache)
 	harness.SetCheck(level)
+	if *metricsOut != "" {
+		*jsonOut = true
+	}
+	var reg *obs.Registry
+	if *jsonOut || *httpAddr != "" {
+		reg = obs.NewRegistry()
+		harness.SetMetrics(reg)
+	}
+	var col *obs.Collector
+	if *traceFlag != "" {
+		col = obs.NewCollector(0)
+		harness.SetTrace(col)
+	}
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, obs.ServerConfig{
+			Registry: reg,
+			Progress: obs.RegistryProgress(reg),
+			Meta:     map[string]string{"cmd": "gvnbench"},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gvnbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability: http://%s\n", srv.Addr)
+		defer srv.Close()
+	}
 	if level != check.Off {
 		fmt.Printf("verification: %s tier on figure/stats measurements\n", level)
 	}
@@ -146,4 +179,52 @@ func main() {
 	if hits, misses, entries, ok := harness.AnalysisCacheStats(); ok {
 		fmt.Printf("analysis cache: %d hits, %d misses, %d entries\n", hits, misses, entries)
 	}
+	if *jsonOut {
+		path := *metricsOut
+		if path == "" {
+			path = "BENCH_" + time.Now().UTC().Format("20060102T150405Z") + ".json"
+		}
+		meta := map[string]string{
+			"cmd":      "gvnbench",
+			"scale":    strconv.FormatFloat(*scale, 'f', -1, 64),
+			"routines": strconv.Itoa(n),
+			"go":       runtime.Version(),
+		}
+		if err := writeSnapshot(path, reg, meta); err != nil {
+			fail(err)
+		}
+		fmt.Printf("metrics snapshot: %s\n", path)
+	}
+	if *traceFlag != "" {
+		if err := writeTrace(*traceFlag, col); err != nil {
+			fail(err)
+		}
+		fmt.Printf("event trace: %s\n", *traceFlag)
+	}
+}
+
+// writeSnapshot writes the registry's stable JSON snapshot to path.
+func writeSnapshot(path string, reg *obs.Registry, meta map[string]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f, meta); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeTrace writes the collector's streams as Chrome trace JSON to path.
+func writeTrace(path string, col *obs.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, col.Export(), obs.ChromeOptions{}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

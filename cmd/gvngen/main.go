@@ -11,19 +11,22 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
+	"pgvn/internal/obs"
 	"pgvn/internal/workload"
 )
 
 func main() {
 	var (
-		scale  = flag.Float64("scale", 0.1, "corpus scale (1.0 ≈ 690 routines)")
-		dir    = flag.String("dir", "", "write one .ir file per benchmark into this directory")
-		single = flag.Bool("single", false, "generate one routine instead of the corpus")
-		seed   = flag.Int64("seed", 1, "seed for -single")
-		stmts  = flag.Int("stmts", 30, "statement budget for -single")
-		params = flag.Int("params", 3, "parameter count for -single")
+		scale      = flag.Float64("scale", 0.1, "corpus scale (1.0 ≈ 690 routines)")
+		dir        = flag.String("dir", "", "write one .ir file per benchmark into this directory")
+		single     = flag.Bool("single", false, "generate one routine instead of the corpus")
+		seed       = flag.Int64("seed", 1, "seed for -single")
+		stmts      = flag.Int("stmts", 30, "statement budget for -single")
+		params     = flag.Int("params", 3, "parameter count for -single")
+		metricsOut = flag.String("metrics-out", "", "write corpus shape metrics (routine/instruction counts) as a JSON snapshot to this file")
 	)
 	flag.Parse()
 
@@ -36,6 +39,31 @@ func main() {
 	}
 
 	corpus := workload.Corpus(*scale)
+	if *metricsOut != "" {
+		reg := obs.NewRegistry()
+		for _, b := range corpus {
+			reg.Counter("gen.routines").Add(int64(len(b.Routines)))
+			for _, r := range b.Routines {
+				reg.Counter("gen.instrs").Add(int64(r.NumInstrs()))
+				reg.Histogram("gen.routine_instrs").Observe(int64(r.NumInstrs()))
+				reg.Histogram("gen.routine_blocks").Observe(int64(len(r.Blocks)))
+			}
+		}
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = reg.WriteJSON(f, map[string]string{
+				"cmd":   "gvngen",
+				"scale": strconv.FormatFloat(*scale, 'f', -1, 64),
+			})
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gvngen:", err)
+			os.Exit(1)
+		}
+	}
 	if *dir == "" {
 		for _, b := range corpus {
 			fmt.Printf("// benchmark %s: %d routines\n", b.Name, len(b.Routines))

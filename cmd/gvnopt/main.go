@@ -34,6 +34,7 @@ import (
 	"pgvn/internal/core"
 	"pgvn/internal/driver"
 	"pgvn/internal/ir"
+	"pgvn/internal/obs"
 	"pgvn/internal/parser"
 	"pgvn/internal/ssa"
 )
@@ -50,25 +51,29 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gvnopt", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		mode      = fs.String("mode", "optimistic", "value numbering mode: optimistic, balanced or pessimistic")
-		emulate   = fs.String("emulate", "", "emulate a baseline: click, sccp or simpson (overrides analysis flags)")
-		noReassoc = fs.Bool("no-reassoc", false, "disable global reassociation")
-		noPredInf = fs.Bool("no-predinf", false, "disable predicate inference")
-		noValInf  = fs.Bool("no-valinf", false, "disable value inference")
-		noPhiPred = fs.Bool("no-phipred", false, "disable φ-predication")
-		dense     = fs.Bool("dense", false, "disable the sparse formulation")
-		complete  = fs.Bool("complete", false, "use the complete algorithm (reachable dominator tree)")
-		dump      = fs.Bool("dump", false, "print the congruence partition instead of optimizing")
-		explain   = fs.Bool("explain", false, "print per-value explanations instead of optimizing")
-		dot       = fs.Bool("dot", false, "print the analyzed CFG in GraphViz dot syntax instead of optimizing")
-		stats     = fs.Bool("stats", false, "print analysis statistics")
-		ssaOnly   = fs.Bool("ssa", false, "print the SSA form without optimizing")
-		pruned    = fs.Bool("pruned", false, "use pruned (liveness-based) SSA construction")
-		jobs      = fs.Int("j", 0, "optimize routines on a worker pool of this size (0 = GOMAXPROCS)")
-		cache     = fs.Bool("cache", false, "memoize per-routine results in a content-addressed cache")
-		maxPasses = fs.Int("maxpasses", 0, "bound the RPO passes per routine; error past the bound (0 = automatic)")
-		checkFlag = fs.String("check", "off", "self-verification tier: off, fast (structural sandwich + analysis validation) or full (adds second-opinion value numbering and translation validation)")
-		fault     = fs.String("inject-fault", "", "corrupt every routine's analysis result with the named fault before checking (demonstrates -check; see core.Faults)")
+		mode       = fs.String("mode", "optimistic", "value numbering mode: optimistic, balanced or pessimistic")
+		emulate    = fs.String("emulate", "", "emulate a baseline: click, sccp or simpson (overrides analysis flags)")
+		noReassoc  = fs.Bool("no-reassoc", false, "disable global reassociation")
+		noPredInf  = fs.Bool("no-predinf", false, "disable predicate inference")
+		noValInf   = fs.Bool("no-valinf", false, "disable value inference")
+		noPhiPred  = fs.Bool("no-phipred", false, "disable φ-predication")
+		dense      = fs.Bool("dense", false, "disable the sparse formulation")
+		complete   = fs.Bool("complete", false, "use the complete algorithm (reachable dominator tree)")
+		dump       = fs.Bool("dump", false, "print the congruence partition instead of optimizing")
+		explain    = fs.String("explain", "", "explain a value instead of optimizing: a value name replays the event log into its congruence chain, 'all' explains every interesting value")
+		dot        = fs.Bool("dot", false, "print the analyzed CFG in GraphViz dot syntax instead of optimizing")
+		stats      = fs.Bool("stats", false, "print analysis statistics")
+		ssaOnly    = fs.Bool("ssa", false, "print the SSA form without optimizing")
+		pruned     = fs.Bool("pruned", false, "use pruned (liveness-based) SSA construction")
+		jobs       = fs.Int("j", 0, "optimize routines on a worker pool of this size (0 = GOMAXPROCS)")
+		cache      = fs.Bool("cache", false, "memoize per-routine results in a content-addressed cache")
+		maxPasses  = fs.Int("maxpasses", 0, "bound the RPO passes per routine; error past the bound (0 = automatic)")
+		checkFlag  = fs.String("check", "off", "self-verification tier: off, fast (structural sandwich + analysis validation) or full (adds second-opinion value numbering and translation validation)")
+		fault      = fs.String("inject-fault", "", "corrupt every routine's analysis result with the named fault before checking (demonstrates -check; see core.Faults)")
+		traceOut   = fs.String("trace", "", "write the fixpoint event streams as Chrome trace_event JSON (Perfetto-loadable) to this file")
+		traceJSONL = fs.String("trace-jsonl", "", "write the fixpoint event streams as JSONL to this file")
+		metricsOut = fs.String("metrics-out", "", "write the metrics snapshot JSON to this file")
+		httpAddr   = fs.String("http", "", "serve /metrics, /progress and /debug/pprof on this address while running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -105,10 +110,35 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	// Observability sinks. The collector exists whenever an export flag
+	// or -explain asks for the event streams; the registry whenever the
+	// metrics go to a file or the HTTP listener.
+	var col *obs.Collector
+	if *traceOut != "" || *traceJSONL != "" || *explain != "" {
+		col = obs.NewCollector(0)
+	}
+	var reg *obs.Registry
+	if *metricsOut != "" || *httpAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if *httpAddr != "" {
+		srv, err := obs.Serve(*httpAddr, obs.ServerConfig{
+			Registry: reg,
+			Progress: obs.RegistryProgress(reg),
+			Meta:     map[string]string{"cmd": "gvnopt"},
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "gvnopt:", err)
+			return 1
+		}
+		fmt.Fprintln(stderr, "gvnopt: serving observability on http://"+srv.Addr)
+		defer srv.Close()
+	}
+
 	var out bytes.Buffer
-	if *ssaOnly || *dump || *explain || *dot {
+	if *ssaOnly || *dump || *explain != "" || *dot {
 		if err := runInspect(&out, stderr, routines, cfg, placement,
-			*ssaOnly, *dump, *explain, *dot, *stats, level); err != nil {
+			*ssaOnly, *dump, *explain, *dot, *stats, level, col); err != nil {
 			fmt.Fprintln(stderr, "gvnopt:", err)
 			return 1
 		}
@@ -118,7 +148,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			c = driver.NewCache()
 		}
 		d := driver.New(driver.Config{Core: cfg, Placement: placement, Jobs: *jobs, Cache: c,
-			Check: level, Fault: injected})
+			Check: level, Fault: injected, Trace: col, Metrics: reg})
 		batch := d.Run(context.Background(), routines)
 		for _, rr := range batch.Results {
 			if rr.Err != nil {
@@ -137,6 +167,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if err := writeObservability(col, reg, *traceOut, *traceJSONL, *metricsOut); err != nil {
+		fmt.Fprintln(stderr, "gvnopt:", err)
+		return 1
+	}
 	if _, err := io.Copy(stdout, &out); err != nil {
 		fmt.Fprintln(stderr, "gvnopt:", err)
 		return 1
@@ -144,13 +178,57 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// writeObservability flushes the collected event streams and metrics to
+// the files requested by -trace, -trace-jsonl and -metrics-out.
+func writeObservability(col *obs.Collector, reg *obs.Registry, traceOut, traceJSONL, metricsOut string) error {
+	writeFile := func(path string, write func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if traceOut != "" {
+		streams := col.Export()
+		if err := writeFile(traceOut, func(w io.Writer) error {
+			return obs.WriteChromeTrace(w, streams, obs.ChromeOptions{})
+		}); err != nil {
+			return err
+		}
+	}
+	if traceJSONL != "" {
+		streams := col.Export()
+		if err := writeFile(traceJSONL, func(w io.Writer) error {
+			return obs.WriteJSONL(w, streams)
+		}); err != nil {
+			return err
+		}
+	}
+	if metricsOut != "" {
+		if err := writeFile(metricsOut, func(w io.Writer) error {
+			return reg.WriteJSON(w, map[string]string{"cmd": "gvnopt"})
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runInspect handles the analysis-inspection modes (-ssa, -dump,
 // -explain, -dot), which need the live core.Result and so stay on the
 // sequential path. Output goes to the buffer; the first failure aborts.
+// explain is "" (off), "all" (every interesting value) or a value name,
+// which additionally replays the event log into the value's congruence
+// chain.
 func runInspect(out *bytes.Buffer, stderr io.Writer, routines []*ir.Routine,
-	cfg core.Config, placement ssa.Placement, ssaOnly, dump, explain, dot, stats bool,
-	level check.Level) error {
-	for _, r := range routines {
+	cfg core.Config, placement ssa.Placement, ssaOnly, dump bool, explain string,
+	dot, stats bool, level check.Level, col *obs.Collector) error {
+	explained := false
+	for idx, r := range routines {
 		if err := ssa.Build(r, placement); err != nil {
 			return err
 		}
@@ -163,7 +241,9 @@ func runInspect(out *bytes.Buffer, stderr io.Writer, routines []*ir.Routine,
 			fmt.Fprint(out, r)
 			continue
 		}
-		res, err := core.Run(r, cfg)
+		rcfg := cfg
+		rcfg.Trace = col.Tracer(idx, r.Name)
+		res, err := core.Run(r, rcfg)
 		if err != nil {
 			return err
 		}
@@ -173,7 +253,7 @@ func runInspect(out *bytes.Buffer, stderr io.Writer, routines []*ir.Routine,
 		switch {
 		case dot:
 			out.WriteString(res.DOT())
-		case explain:
+		case explain == "all":
 			r.Instrs(func(i *ir.Instr) {
 				if !i.HasValue() {
 					return
@@ -182,6 +262,10 @@ func runInspect(out *bytes.Buffer, stderr io.Writer, routines []*ir.Routine,
 					out.WriteString(res.Explain(i))
 				}
 			})
+		case explain != "":
+			if explainOne(out, r, res, col, idx, explain) {
+				explained = true
+			}
 		case dump:
 			out.WriteString(res.Dump())
 		}
@@ -189,7 +273,63 @@ func runInspect(out *bytes.Buffer, stderr io.Writer, routines []*ir.Routine,
 			writeStats(stderr, r.Name, res.Stats, res.Count())
 		}
 	}
+	if explain != "" && explain != "all" && !explained {
+		return fmt.Errorf("no value named %q in any routine", explain)
+	}
 	return nil
+}
+
+// explainOne prints the partition's verdict for the value named name in r
+// plus the derivation chain replayed from the event log. It reports
+// whether the value was found.
+func explainOne(out *bytes.Buffer, r *ir.Routine, res *core.Result, col *obs.Collector, idx int, name string) bool {
+	var target *ir.Instr
+	r.Instrs(func(i *ir.Instr) {
+		if target == nil && i.HasValue() && i.ValueName() == name {
+			target = i
+		}
+	})
+	if target == nil {
+		return false
+	}
+	out.WriteString(res.Explain(target))
+	names := obs.Names{
+		ValueName: valueNamer(r),
+		BlockName: blockNamer(r),
+	}
+	for _, rs := range col.Export() {
+		if rs.Index != idx {
+			continue
+		}
+		lines := obs.ExplainValue(rs, target.ID, names)
+		if len(lines) > 0 {
+			out.WriteString("  derivation:\n")
+		}
+		for _, line := range lines {
+			fmt.Fprintf(out, "    %s\n", line)
+		}
+	}
+	return true
+}
+
+// valueNamer maps instruction IDs to their printable value names.
+func valueNamer(r *ir.Routine) func(int) string {
+	m := map[int]string{}
+	r.Instrs(func(i *ir.Instr) {
+		if i.HasValue() {
+			m[i.ID] = i.ValueName()
+		}
+	})
+	return func(id int) string { return m[id] }
+}
+
+// blockNamer maps block IDs to their names.
+func blockNamer(r *ir.Routine) func(int) string {
+	m := map[int]string{}
+	for _, b := range r.Blocks {
+		m[b.ID] = b.Name
+	}
+	return func(id int) string { return m[id] }
 }
 
 // writeStats prints the per-routine -stats line.

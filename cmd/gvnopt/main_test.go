@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -211,6 +212,104 @@ func TestRunInspectModes(t *testing.T) {
 		code, out, errb := gvnopt(t, goodSrc, args...)
 		if code != 0 || out == "" {
 			t.Errorf("%v: exit %d, %d output bytes (%s)", args, code, len(out), errb)
+		}
+	}
+}
+
+// TestRunExplainGolden pins the -explain derivation chains for two
+// values of the paper's Figure 1 routine: I_88 (the loop-carried
+// increment the optimistic analysis proves congruent to 1) and v18 (a
+// subtraction proven congruent to the constant 0).
+func TestRunExplainGolden(t *testing.T) {
+	fig1 := filepath.Join("..", "..", "testdata", "figure1.ir")
+	cases := []struct {
+		value string
+		want  []string
+	}{
+		{"I_88", []string{
+			"I_88 (in b5): compile-time constant 1",
+			"derivation:",
+			"pass 1: evaluated to c1",
+			"pass 1: joined the class of I_3 (c1)",
+			"pass 1: proven congruent to constant 1",
+		}},
+		{"v18", []string{
+			"v18 (in b3): compile-time constant 0",
+			"derivation:",
+			"pass 1: evaluated to c0",
+			"pass 1: joined the class of undef0 (c0)",
+			"pass 1: proven congruent to constant 0",
+		}},
+	}
+	for _, tc := range cases {
+		code, out, errb := gvnopt(t, "", "-explain", tc.value, fig1)
+		if code != 0 {
+			t.Fatalf("-explain %s: exit %d (%s)", tc.value, code, errb)
+		}
+		for _, want := range tc.want {
+			if !strings.Contains(out, want) {
+				t.Errorf("-explain %s output missing %q:\n%s", tc.value, want, out)
+			}
+		}
+	}
+}
+
+// TestRunExplainUnknownValue checks a bad value name is a clean error,
+// not silence.
+func TestRunExplainUnknownValue(t *testing.T) {
+	code, _, errb := gvnopt(t, goodSrc, "-explain", "nosuchvalue")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb, "no value named") {
+		t.Errorf("stderr = %q, want a no-value-named error", errb)
+	}
+}
+
+// TestRunObservabilityOutputs checks -trace and -metrics-out write
+// loadable JSON files alongside normal optimization output.
+func TestRunObservabilityOutputs(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	metrics := filepath.Join(dir, "metrics.json")
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	code, out, errb := gvnopt(t, goodSrc,
+		"-trace", trace, "-metrics-out", metrics, "-trace-jsonl", jsonl)
+	if code != 0 || out == "" {
+		t.Fatalf("exit %d, %d output bytes (%s)", code, len(out), errb)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("-trace output not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Errorf("-trace output has no events")
+	}
+	var snap map[string]any
+	data, err = os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("-metrics-out output not valid JSON: %v", err)
+	}
+	if snap["schema"] != "pgvn-metrics/v1" {
+		t.Errorf("metrics schema = %v", snap["schema"])
+	}
+	data, err = os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var e map[string]any
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("-trace-jsonl line %d not valid JSON: %v", i, err)
 		}
 	}
 }

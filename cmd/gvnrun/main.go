@@ -17,6 +17,7 @@ import (
 	"pgvn/internal/core"
 	"pgvn/internal/interp"
 	"pgvn/internal/ir"
+	"pgvn/internal/obs"
 	"pgvn/internal/opt"
 	"pgvn/internal/parser"
 	"pgvn/internal/ssa"
@@ -28,6 +29,7 @@ func main() {
 		compare  = flag.Bool("compare", false, "run both original and optimized, compare results")
 		noOpt    = flag.Bool("no-opt", false, "skip optimization")
 		maxSteps = flag.Int("max-steps", 1_000_000, "interpreter step budget")
+		traceOut = flag.String("trace", "", "write the optimization's fixpoint event stream as Chrome trace_event JSON to this file")
 	)
 	flag.Parse()
 
@@ -73,8 +75,27 @@ func main() {
 	if err := ssa.Build(optimized, ssa.SemiPruned); err != nil {
 		fail(err)
 	}
+	var col *obs.Collector
+	if *traceOut != "" {
+		col = obs.NewCollector(0)
+	}
 	if !*noOpt {
-		if _, _, err := opt.Optimize(optimized, core.DefaultConfig()); err != nil {
+		cfg := core.DefaultConfig()
+		cfg.Trace = col.Tracer(0, optimized.Name)
+		if _, _, err := opt.Optimize(optimized, cfg); err != nil {
+			fail(err)
+		}
+	}
+	if col != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := obs.WriteChromeTrace(f, col.Export(), obs.ChromeOptions{}); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
 			fail(err)
 		}
 	}

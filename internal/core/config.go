@@ -13,6 +13,8 @@
 // Entry point: Run(routine, config) → *Result.
 package core
 
+import "pgvn/internal/obs"
+
 // Mode selects the initial assumption of the analysis (paper §1.1–§1.2).
 type Mode uint8
 
@@ -114,6 +116,12 @@ type Config struct {
 	// instructions; the full (dominator-tree) verification is for
 	// debugging hand-built IR — ssa.Build output is already verified.
 	VerifySSA bool
+	// Trace, when non-nil, receives the fixpoint's event stream: TOUCHED
+	// pushes, class merges, inferences, reachability flips (internal/obs).
+	// A Tracer is single-goroutine: give each concurrent Run its own (the
+	// driver does this via obs.Collector). Excluded from the driver's
+	// cache fingerprint — tracing observes the analysis, never alters it.
+	Trace *obs.Tracer
 }
 
 // DefaultConfig is the full practical algorithm: optimistic, sparse, all

@@ -3,6 +3,7 @@ package core
 import (
 	"pgvn/internal/expr"
 	"pgvn/internal/ir"
+	"pgvn/internal/obs"
 )
 
 // congruenceFind places value v into the congruence class of its symbolic
@@ -42,6 +43,10 @@ func (a *analysis) congruenceFind(v *ir.Instr, e *expr.Expr) {
 			if c0 == c {
 				return
 			}
+			if a.tr != nil {
+				a.tr.Emit(obs.KindClassNew, a.stats.Passes, v.Block.ID, v.ID, 0, key)
+				a.traceConst(v, c)
+			}
 			// v is the sole member of a fresh class; fall through to
 			// move it out of c0.
 			a.moveValue(v, c0, c, true)
@@ -52,7 +57,20 @@ func (a *analysis) congruenceFind(v *ir.Instr, e *expr.Expr) {
 		delete(a.changed, v)
 		return
 	}
+	if a.tr != nil {
+		a.tr.Emit(obs.KindClassJoin, a.stats.Passes, v.Block.ID, v.ID,
+			int64(c.leaderVal.ID), c.exprKey)
+		a.traceConst(v, c)
+	}
 	a.moveValue(v, c0, c, false)
+}
+
+// traceConst emits a KindConst event when v's new class is congruent to
+// a compile-time constant (tracing only; a.tr is known non-nil).
+func (a *analysis) traceConst(v *ir.Instr, c *class) {
+	if c.leaderConst != nil {
+		a.tr.Emit(obs.KindConst, a.stats.Passes, v.Block.ID, v.ID, c.leaderConst.C, "")
+	}
 }
 
 // moveValue moves v from class c0 (possibly INITIAL, i.e. nil) to class c,
@@ -102,6 +120,10 @@ func (a *analysis) moveValue(v *ir.Instr, c0, c *class, fresh bool) {
 				}
 			}
 			c0.leaderVal = best
+			if a.tr != nil {
+				a.tr.Emit(obs.KindLeaderChange, a.stats.Passes, best.Block.ID,
+					best.ID, int64(v.ID), c0.exprKey)
+			}
 			// If the class leader is a constant the visible leader did
 			// not change; otherwise every member is indirectly changed
 			// and its defining instruction re-touched (lines 52–56).

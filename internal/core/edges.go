@@ -3,6 +3,7 @@ package core
 import (
 	"pgvn/internal/expr"
 	"pgvn/internal/ir"
+	"pgvn/internal/obs"
 )
 
 // processOutgoingEdges re-evaluates the reachability and predicate of every
@@ -27,6 +28,13 @@ func (a *analysis) processOutgoingEdges(b *ir.Block) {
 			}
 			if !samePred(a.edgePred[e], p) {
 				a.edgePred[e] = p
+				if a.tr != nil {
+					note := ""
+					if p != nil {
+						note = p.Key()
+					}
+					a.tr.Emit(obs.KindEdgePred, a.stats.Passes, b.ID, -1, int64(e.To.ID), note)
+				}
 				a.propagateChangeInEdge(e)
 			}
 		}
@@ -45,9 +53,15 @@ func samePred(a, b *expr.Expr) bool {
 // propagates the change (Figure 5 lines 04–15).
 func (a *analysis) markEdgeReachable(e *ir.Edge) {
 	a.edgeReach[e] = true
+	if a.tr != nil {
+		a.tr.Emit(obs.KindEdgeReach, a.stats.Passes, e.From.ID, -1, int64(e.To.ID), "")
+	}
 	d := e.To
 	if !a.blockReach[d.ID] {
 		a.blockReach[d.ID] = true
+		if a.tr != nil {
+			a.tr.Emit(obs.KindBlockReach, a.stats.Passes, d.ID, -1, 0, "")
+		}
 		a.touchBlock(d)
 		for _, i := range d.Instrs {
 			a.touchInstr(i)

@@ -8,6 +8,7 @@ import (
 	"pgvn/internal/dom"
 	"pgvn/internal/expr"
 	"pgvn/internal/ir"
+	"pgvn/internal/obs"
 	"pgvn/internal/ssa"
 )
 
@@ -110,6 +111,12 @@ type analysis struct {
 	ppAborted     bool
 	ppTarget      *ir.Block
 
+	// tr receives the fixpoint event stream (nil = tracing off, the
+	// fast path: every emission site tests the pointer once). curInstr
+	// attributes inference events to the instruction being evaluated.
+	tr       *obs.Tracer
+	curInstr int
+
 	stats Stats
 }
 
@@ -160,6 +167,16 @@ func RunPrebuilt(r *ir.Routine, config Config, pre *Prebuilt) (*Result, error) {
 		changed:   make(map[*ir.Instr]bool),
 		edgeReach: make(map[*ir.Edge]bool),
 		edgePred:  make(map[*ir.Edge]*expr.Expr),
+		tr:        config.Trace,
+		curInstr:  -1,
+	}
+	if a.tr == nil && debugSink {
+		// PGVN_DEBUG is an alias for a stderr text sink when no tracer
+		// was configured explicitly.
+		name := r.Name
+		a.tr = obs.NewSinkTracer(func(e obs.Event) {
+			fmt.Fprintln(os.Stderr, obs.FormatEvent(name, e))
+		})
 	}
 	a.byID = make([]*ir.Instr, r.NumInstrIDs())
 	r.Instrs(func(i *ir.Instr) { a.byID[i.ID] = i })
@@ -246,6 +263,9 @@ func RunPrebuilt(r *ir.Routine, config Config, pre *Prebuilt) (*Result, error) {
 		if a.stats.Passes > maxPasses {
 			return nil, fmt.Errorf("core: %s did not converge after %d passes", r.Name, maxPasses)
 		}
+		if a.tr != nil {
+			a.tr.Emit(obs.KindPassStart, a.stats.Passes, -1, -1, 0, "")
+		}
 		for _, b := range a.order.Blocks {
 			if a.touchedBlock[b.ID] {
 				a.touchedBlock[b.ID] = false
@@ -266,10 +286,15 @@ func RunPrebuilt(r *ir.Routine, config Config, pre *Prebuilt) (*Result, error) {
 				if i.HasValue() {
 					a.stats.InstrEvals++
 					a.infGen++ // new evaluation: fresh inference memo
+					a.curInstr = i.ID
 					e := a.evaluate(i)
+					if a.tr != nil {
+						a.tr.Emit(obs.KindEval, a.stats.Passes, b.ID, i.ID, 0, e.Key())
+					}
 					a.congruenceFind(i, e)
 				} else if i.Op.IsTerminator() {
 					a.infGen++ // edge predicates evaluate at this block
+					a.curInstr = i.ID
 					a.processOutgoingEdges(b)
 				}
 			}
@@ -277,16 +302,9 @@ func RunPrebuilt(r *ir.Routine, config Config, pre *Prebuilt) (*Result, error) {
 				break // §3: terminate in the middle of a pass
 			}
 		}
-		if debugPasses {
-			var left []string
-			for _, b := range a.order.Blocks {
-				for _, i := range b.Instrs {
-					if a.touchedInstr[i.ID] {
-						left = append(left, fmt.Sprintf("%s@%s", i.ValueName(), b.Name))
-					}
-				}
-			}
-			fmt.Printf("  pass %d done, %d left: %v\n", a.stats.Passes, a.touchedCount, left)
+		a.curInstr = -1
+		if a.tr != nil {
+			a.tr.Emit(obs.KindPassEnd, a.stats.Passes, -1, -1, int64(a.touchedCount), "")
 		}
 		if config.Mode != Optimistic {
 			break // balanced and pessimistic: a single pass
@@ -356,6 +374,9 @@ func (a *analysis) touchInstr(i *ir.Instr) {
 		a.touchedInstr[i.ID] = true
 		a.touchedCount++
 		a.stats.Touches++
+		if a.tr != nil {
+			a.tr.Emit(obs.KindTouchInstr, a.stats.Passes, i.Block.ID, i.ID, 0, "")
+		}
 	}
 }
 
@@ -365,6 +386,9 @@ func (a *analysis) touchBlock(b *ir.Block) {
 		a.touchedBlock[b.ID] = true
 		a.touchedCount++
 		a.stats.Touches++
+		if a.tr != nil {
+			a.tr.Emit(obs.KindTouchBlock, a.stats.Passes, b.ID, -1, 0, "")
+		}
 	}
 }
 
@@ -421,6 +445,7 @@ func (a *analysis) classOfAtom(e *expr.Expr) *class {
 	return a.classOf[e.ValueID()]
 }
 
-// debugPasses prints end-of-pass leftovers when PGVN_DEBUG is set
-// (temporary diagnostics).
-var debugPasses = os.Getenv("PGVN_DEBUG") != ""
+// debugSink mirrors the historical PGVN_DEBUG switch: when set and no
+// tracer is configured, Run attaches a stderr text sink so every fixpoint
+// event prints as it happens (see obs.FormatEvent for the line format).
+var debugSink = os.Getenv("PGVN_DEBUG") != ""

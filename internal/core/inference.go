@@ -3,6 +3,7 @@ package core
 import (
 	"pgvn/internal/expr"
 	"pgvn/internal/ir"
+	"pgvn/internal/obs"
 )
 
 // uniqueReachableIn returns b's single reachable incoming edge, or nil if
@@ -50,10 +51,14 @@ func (a *analysis) inferValueOfPredicate(p *expr.Expr, b *ir.Block) *expr.Expr {
 			// jointly decide p when all their predicates agree on it.
 			if a.cfg.JointDomination {
 				if val, ok := a.jointDecide(b, p); ok {
+					decided := int64(0)
 					if val {
-						return expr.NewConst(1)
+						decided = 1
 					}
-					return expr.NewConst(0)
+					if a.tr != nil {
+						a.tr.Emit(obs.KindPredInfer, a.stats.Passes, b.ID, a.curInstr, decided, p.Key())
+					}
+					return expr.NewConst(decided)
 				}
 			}
 			b = a.idom(b)
@@ -64,10 +69,14 @@ func (a *analysis) inferValueOfPredicate(p *expr.Expr, b *ir.Block) *expr.Expr {
 		}
 		if ep := a.edgePred[e]; ep != nil {
 			if val, known := expr.Implies(ep, p); known {
+				decided := int64(0)
 				if val {
-					return expr.NewConst(1)
+					decided = 1
 				}
-				return expr.NewConst(0)
+				if a.tr != nil {
+					a.tr.Emit(obs.KindPredInfer, a.stats.Passes, b.ID, a.curInstr, decided, p.Key())
+				}
+				return expr.NewConst(decided)
 			}
 		}
 		b = e.From
@@ -117,6 +126,10 @@ func (a *analysis) inferAtomAtBlock(cur *expr.Expr, first *ir.Block) *expr.Expr 
 				break // practical: no inference along back edges
 			}
 			if repl, ok := a.inferFromEdgePred(e, cur); ok {
+				if a.tr != nil {
+					a.tr.Emit(obs.KindValueInfer, a.stats.Passes, b.ID, a.curInstr,
+						int64(repl.ValueID()), repl.Key())
+				}
 				cur = repl
 				last = b // the second inference stops at this edge
 				improved = true
@@ -142,6 +155,10 @@ func (a *analysis) inferValueAtEdge(v *ir.Instr, e *ir.Edge) *expr.Expr {
 		return cur
 	}
 	if repl, ok := a.inferFromEdgePred(e, cur); ok {
+		if a.tr != nil {
+			a.tr.Emit(obs.KindValueInfer, a.stats.Passes, e.From.ID, a.curInstr,
+				int64(repl.ValueID()), repl.Key())
+		}
 		return repl
 	}
 	return a.inferAtomAtBlock(cur, e.From)

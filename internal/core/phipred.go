@@ -3,6 +3,7 @@ package core
 import (
 	"pgvn/internal/expr"
 	"pgvn/internal/ir"
+	"pgvn/internal/obs"
 )
 
 // computePredicateOfBlock computes the predicate of block b0 (paper
@@ -58,6 +59,13 @@ func (a *analysis) setBlockPredicate(b *ir.Block, pred *expr.Expr, canon []*ir.E
 	}
 	a.blockPred[b.ID] = pred
 	a.canonical[b.ID] = canon
+	if a.tr != nil {
+		note := ""
+		if pred != nil {
+			note = pred.Key()
+		}
+		a.tr.Emit(obs.KindPhiPred, a.stats.Passes, b.ID, -1, int64(len(canon)), note)
+	}
 	for _, phi := range b.Phis() {
 		a.touchInstr(phi)
 	}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	rtrace "runtime/trace"
 	"sort"
 	"sync"
 	"time"
@@ -32,6 +33,7 @@ import (
 	"pgvn/internal/check"
 	"pgvn/internal/core"
 	"pgvn/internal/ir"
+	"pgvn/internal/obs"
 	"pgvn/internal/opt"
 	"pgvn/internal/parser"
 	"pgvn/internal/ssa"
@@ -68,6 +70,19 @@ type Config struct {
 	// the Check tiers end to end; like Check it participates in the
 	// cache key.
 	Fault core.Fault
+	// Metrics, when non-nil, receives batch observability: per-routine
+	// and per-stage latency histograms, cache hit/miss counters,
+	// per-worker busy time, queue-wait, live batch-progress gauges and
+	// check verdicts. Purely observational — excluded from the cache
+	// fingerprint.
+	Metrics *obs.Registry
+	// Trace, when non-nil, hands each routine its own fixpoint tracer
+	// and collects the streams in input order (deterministic at any
+	// Jobs). Core.Trace is ignored under the driver — a single tracer
+	// shared by concurrent workers would race. Excluded from the cache
+	// fingerprint; note a cache hit short-circuits the pipeline, so hit
+	// routines carry only a cache-hit event.
+	Trace *obs.Collector
 }
 
 // jobs resolves the effective worker count.
@@ -80,8 +95,11 @@ func (c Config) jobs() int {
 
 // fingerprint canonicalizes everything that affects a routine's result,
 // so the cache never conflates two configurations. core.Config is a flat
-// struct of scalars, so %#v is a stable, total rendering.
+// struct of scalars apart from the tracer — which observes the analysis
+// but never alters it, and is zeroed here so traced and untraced runs
+// share cache entries — so %#v is a stable, total rendering.
 func (c Config) fingerprint() string {
+	c.Core.Trace = nil
 	return fmt.Sprintf("%#v|placement=%d|analyzeonly=%t|check=%s|fault=%s",
 		c.Core, c.Placement, c.AnalyzeOnly, c.Check, c.Fault)
 }
@@ -114,14 +132,31 @@ func (d *Driver) Run(ctx context.Context, routines []*ir.Routine) *Batch {
 	if jobs < 1 {
 		jobs = 1
 	}
+	m := d.cfg.Metrics
+	if m != nil {
+		m.Gauge("driver.batch.total").Add(int64(len(routines)))
+	}
+	// enqueued[i] is stamped just before the dispatcher offers index i to
+	// the (unbuffered) queue; the send completes at worker pickup, so the
+	// interval is the time the routine spent waiting for a free worker.
+	enqueued := make([]time.Time, len(routines))
 	queue := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var busy time.Duration
 			for i := range queue {
+				if m != nil {
+					m.Histogram("driver.queue_wait_ns").Observe(int64(time.Since(enqueued[i])))
+				}
+				ws := time.Now()
 				b.Results[i] = d.one(i, routines[i])
+				busy += time.Since(ws)
+			}
+			if m != nil {
+				m.Histogram("driver.worker_busy_ns").Observe(int64(busy))
 			}
 		}()
 	}
@@ -148,6 +183,7 @@ dispatch:
 			canceled(i)
 			break
 		}
+		enqueued[i] = time.Now()
 		select {
 		case <-ctx.Done():
 			canceled(i)
@@ -176,6 +212,8 @@ func (d *Driver) RunSource(ctx context.Context, src string) (*Batch, error) {
 // RoutineError so one bad routine cannot take down the batch.
 func (d *Driver) one(idx int, r *ir.Routine) (rr RoutineResult) {
 	start := time.Now()
+	m := d.cfg.Metrics
+	tr := d.cfg.Trace.Tracer(idx, r.Name)
 	rr = RoutineResult{Index: idx, Name: r.Name}
 	defer func() {
 		rr.Duration = time.Since(start)
@@ -188,12 +226,46 @@ func (d *Driver) one(idx int, r *ir.Routine) (rr RoutineResult) {
 				Stack:   string(debug.Stack()),
 			}
 		}
+		if m != nil {
+			if rr.CacheHit {
+				m.Histogram("driver.cache_lookup_ns").Observe(int64(rr.Duration))
+				m.Gauge("driver.batch.cache_hits").Add(1)
+			} else {
+				m.Histogram("driver.routine_ns").Observe(int64(rr.Duration))
+			}
+			m.Gauge("driver.batch.done").Add(1)
+			if rr.Err != nil {
+				m.Gauge("driver.batch.failed").Add(1)
+			}
+		}
 	}()
+	// stage brackets one pipeline step with a runtime/trace region, a
+	// pair of tracer events and a latency histogram observation.
+	stage := func(name string) func() {
+		st := time.Now()
+		if tr != nil {
+			tr.Emit(obs.KindStageStart, 0, -1, -1, 0, name)
+		}
+		reg := rtrace.StartRegion(context.Background(), "pgvn/"+name)
+		return func() {
+			reg.End()
+			el := time.Since(st)
+			if tr != nil {
+				tr.Emit(obs.KindStageEnd, 0, -1, -1, int64(el), name)
+			}
+			if m != nil {
+				m.Histogram("driver.stage_ns." + name).Observe(int64(el))
+			}
+		}
+	}
 	var key cacheKey
 	if d.cfg.Cache != nil {
 		key = d.cfg.Cache.key(d.fp, r.String())
 		if text, rep, ok := d.cfg.Cache.lookup(key); ok {
 			rr.Text, rr.Report, rr.CacheHit = text, rep, true
+			if tr != nil {
+				tr.Emit(obs.KindCacheHit, 0, -1, -1, int64(time.Since(start)), "")
+			}
 			return rr
 		}
 	}
@@ -201,7 +273,13 @@ func (d *Driver) one(idx int, r *ir.Routine) (rr RoutineResult) {
 	// the sandwich runs between every stage when Config.Check is on.
 	checked := func(e *check.Error) bool {
 		if e == nil {
+			if m != nil {
+				m.Counter("driver.check.pass").Inc()
+			}
 			return false
+		}
+		if m != nil {
+			m.Counter("driver.check.fail").Inc()
 		}
 		rr.Err = &RoutineError{Index: idx, Routine: r.Name, Stage: "check", Err: e}
 		return true
@@ -213,14 +291,23 @@ func (d *Driver) one(idx int, r *ir.Routine) (rr RoutineResult) {
 	if d.cfg.Check != check.Off && checked(check.Structural(work, "parse")) {
 		return rr
 	}
-	if err := ssa.Build(work, d.cfg.Placement); err != nil {
+	endSSA := stage("ssa")
+	err := ssa.Build(work, d.cfg.Placement)
+	endSSA()
+	if err != nil {
 		rr.Err = &RoutineError{Index: idx, Routine: r.Name, Stage: "ssa", Err: err}
 		return rr
 	}
 	if d.cfg.Check != check.Off && checked(check.Structural(work, "ssa")) {
 		return rr
 	}
-	res, err := core.Run(work, d.cfg.Core)
+	// Each routine gets its own tracer: a shared Core.Trace would race
+	// across workers, so the driver always overrides it.
+	coreCfg := d.cfg.Core
+	coreCfg.Trace = tr
+	endGVN := stage("gvn")
+	res, err := core.Run(work, coreCfg)
+	endGVN()
 	if err != nil {
 		rr.Err = &RoutineError{Index: idx, Routine: r.Name, Stage: "gvn", Err: err}
 		return rr
@@ -244,7 +331,9 @@ func (d *Driver) one(idx int, r *ir.Routine) (rr RoutineResult) {
 	rr.Report = Report{Stats: res.Stats, Counts: res.Count()}
 	rr.Report.AlwaysReturns, rr.Report.Const = res.ReturnConst()
 	if !d.cfg.AnalyzeOnly {
+		endOpt := stage("opt")
 		st, err := opt.Apply(res)
+		endOpt()
 		if err != nil {
 			rr.Err = &RoutineError{Index: idx, Routine: r.Name, Stage: "opt", Err: err}
 			return rr
@@ -261,16 +350,20 @@ func (d *Driver) one(idx int, r *ir.Routine) (rr RoutineResult) {
 	return rr
 }
 
-// aggregate fills the batch statistics.
+// aggregate fills the batch statistics and feeds the metrics registry.
 func (d *Driver) aggregate(b *Batch, wall time.Duration) {
 	st := &b.Stats
 	st.Routines = len(b.Results)
 	st.Wall = wall
+	m := d.cfg.Metrics
 	for i := range b.Results {
 		rr := &b.Results[i]
 		st.CPU += rr.Duration
 		if rr.Err != nil {
 			st.Failed++
+			if m != nil {
+				m.Counter("driver.fail." + rr.Err.Stage).Inc()
+			}
 		}
 		if d.cfg.Cache != nil && rr.Err == nil {
 			if rr.CacheHit {
@@ -279,29 +372,65 @@ func (d *Driver) aggregate(b *Batch, wall time.Duration) {
 				st.CacheMisses++
 			}
 		}
+		if m != nil && rr.Err == nil && !rr.CacheHit {
+			m.Counter("core.passes").Add(int64(rr.Report.Stats.Passes))
+			m.Counter("core.instr_evals").Add(int64(rr.Report.Stats.InstrEvals))
+			m.Counter("core.touches").Add(int64(rr.Report.Stats.Touches))
+			m.Counter("core.value_inf_visits").Add(int64(rr.Report.Stats.ValueInfVisits))
+			m.Counter("core.pred_inf_visits").Add(int64(rr.Report.Stats.PredInfVisits))
+			m.Counter("core.phi_pred_visits").Add(int64(rr.Report.Stats.PhiPredVisits))
+			m.Counter("opt.blocks_removed").Add(int64(rr.Report.Opt.BlocksRemoved))
+			m.Counter("opt.edges_removed").Add(int64(rr.Report.Opt.EdgesRemoved))
+			m.Counter("opt.constants_propagated").Add(int64(rr.Report.Opt.ConstantsPropagated))
+			m.Counter("opt.redundancies_replaced").Add(int64(rr.Report.Opt.RedundanciesReplaced))
+			m.Counter("opt.instrs_removed").Add(int64(rr.Report.Opt.InstrsRemoved))
+			m.Counter("opt.blocks_simplified").Add(int64(rr.Report.Opt.BlocksSimplified))
+		}
+	}
+	if m != nil {
+		m.Counter("driver.routines").Add(int64(st.Routines))
+		m.Counter("driver.failed").Add(int64(st.Failed))
+		m.Counter("driver.cache.hits").Add(int64(st.CacheHits))
+		m.Counter("driver.cache.misses").Add(int64(st.CacheMisses))
+		m.Histogram("driver.batch_wall_ns").Observe(int64(wall))
 	}
 	n := d.cfg.SlowestN
 	if n <= 0 {
 		n = defaultSlowest
 	}
-	if n > len(b.Results) {
-		n = len(b.Results)
-	}
-	order := make([]int, len(b.Results))
-	for i := range order {
-		order[i] = i
+	// A cache hit's Duration is only the lookup time — ranking it against
+	// computed routines would let a warm cache erase the real hot spots.
+	// Partition instead: Slowest ranks computed routines, SlowestHits
+	// ranks hit lookups.
+	st.Slowest = slowestOf(b.Results, n, false)
+	st.SlowestHits = slowestOf(b.Results, n, true)
+}
+
+// slowestOf ranks the routines with CacheHit == hits by descending
+// duration (ties by input index) and returns the top n.
+func slowestOf(results []RoutineResult, n int, hits bool) []SlowRoutine {
+	var order []int
+	for i := range results {
+		if results[i].CacheHit == hits {
+			order = append(order, i)
+		}
 	}
 	sort.Slice(order, func(x, y int) bool {
-		a, c := &b.Results[order[x]], &b.Results[order[y]]
+		a, c := &results[order[x]], &results[order[y]]
 		if a.Duration != c.Duration {
 			return a.Duration > c.Duration
 		}
 		return a.Index < c.Index
 	})
-	for _, i := range order[:n] {
-		rr := &b.Results[i]
-		st.Slowest = append(st.Slowest, SlowRoutine{Index: rr.Index, Name: rr.Name, Duration: rr.Duration})
+	if n > len(order) {
+		n = len(order)
 	}
+	var out []SlowRoutine
+	for _, i := range order[:n] {
+		rr := &results[i]
+		out = append(out, SlowRoutine{Index: rr.Index, Name: rr.Name, Duration: rr.Duration})
+	}
+	return out
 }
 
 // ForEach runs fn(i) for every i in [0, n) on up to jobs concurrent

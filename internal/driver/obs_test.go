@@ -1,0 +1,218 @@
+package driver
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pgvn/internal/core"
+	"pgvn/internal/obs"
+	"pgvn/internal/parser"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// normalizeStreams zeroes the per-event fields that legitimately vary
+// between runs — wall-clock durations carried by stage-end and cache-hit
+// events — leaving everything the determinism guarantee covers.
+func normalizeStreams(streams []obs.RoutineEvents) {
+	for _, rs := range streams {
+		for i, e := range rs.Events {
+			if e.Kind == obs.KindStageEnd || e.Kind == obs.KindCacheHit {
+				rs.Events[i].Arg = 0
+			}
+		}
+	}
+}
+
+// TestTraceDeterministicAcrossJobs extends the driver's determinism
+// guarantee to the event trace: with timestamps off, a Jobs: 4 batch
+// must export the same per-routine streams as a Jobs: 1 batch.
+func TestTraceDeterministicAcrossJobs(t *testing.T) {
+	routines := corpusRoutines(t, 0.05)
+	capture := func(jobs int) []obs.RoutineEvents {
+		col := obs.NewCollector(1 << 12)
+		col.SetTimestamps(false)
+		b := New(Config{Core: core.DefaultConfig(), Jobs: jobs, Trace: col}).Run(context.Background(), routines)
+		if err := b.Err(); err != nil {
+			t.Fatalf("jobs=%d batch failed: %v", jobs, err)
+		}
+		streams := col.Export()
+		normalizeStreams(streams)
+		return streams
+	}
+	seq := capture(1)
+	par := capture(4)
+	if len(seq) != len(par) || len(seq) != len(routines) {
+		t.Fatalf("stream counts differ: seq=%d par=%d routines=%d", len(seq), len(par), len(routines))
+	}
+	for i := range seq {
+		s, p := seq[i], par[i]
+		if s.Index != p.Index || s.Routine != p.Routine || s.Dropped != p.Dropped || s.Emitted != p.Emitted {
+			t.Fatalf("routine %d: stream headers differ: %+v vs %+v",
+				i, []any{s.Index, s.Routine, s.Dropped, s.Emitted}, []any{p.Index, p.Routine, p.Dropped, p.Emitted})
+		}
+		if len(s.Events) != len(p.Events) {
+			t.Fatalf("routine %d (%s): %d events sequential, %d parallel", i, s.Routine, len(s.Events), len(p.Events))
+		}
+		for k := range s.Events {
+			if s.Events[k] != p.Events[k] {
+				t.Fatalf("routine %d (%s) event %d differs:\nseq: %+v\npar: %+v",
+					i, s.Routine, k, s.Events[k], p.Events[k])
+			}
+		}
+	}
+}
+
+// TestGoldenChromeTrace pins the exported Chrome trace for the paper's
+// Figure 1 routine. Logical time (ts = seq) and disabled timestamps make
+// the file byte-reproducible; regenerate with -update after intentional
+// event-stream changes.
+func TestGoldenChromeTrace(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "figure1.ir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	routines, err := parser.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := obs.NewCollector(1 << 12)
+	col.SetTimestamps(false)
+	b := New(Config{Core: core.DefaultConfig(), Jobs: 1, Trace: col}).Run(context.Background(), routines)
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	streams := col.Export()
+	normalizeStreams(streams)
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, streams, obs.ChromeOptions{LogicalTime: true}); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "figure1_chrome.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from %s (run with -update if intentional); got %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// TestSlowestHitsPartition checks cache hits never rank among the
+// computed routines: a warm batch reports its lookups under SlowestHits
+// and puts the hit ratio in the summary line.
+func TestSlowestHitsPartition(t *testing.T) {
+	routines := corpusRoutines(t, 0.05)
+	cache := NewCache()
+	d := New(Config{Core: core.DefaultConfig(), Jobs: 4, Cache: cache, SlowestN: 3})
+	cold := d.Run(context.Background(), routines)
+	if err := cold.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Stats.Slowest) != 3 || len(cold.Stats.SlowestHits) != 0 {
+		t.Errorf("cold batch: %d slowest, %d slowest hits, want 3/0",
+			len(cold.Stats.Slowest), len(cold.Stats.SlowestHits))
+	}
+	warm := d.Run(context.Background(), routines)
+	if err := warm.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Stats.Slowest) != 0 || len(warm.Stats.SlowestHits) != 3 {
+		t.Errorf("warm batch: %d slowest, %d slowest hits, want 0/3",
+			len(warm.Stats.Slowest), len(warm.Stats.SlowestHits))
+	}
+	for i := 1; i < len(warm.Stats.SlowestHits); i++ {
+		if warm.Stats.SlowestHits[i].Duration > warm.Stats.SlowestHits[i-1].Duration {
+			t.Errorf("SlowestHits not sorted: %+v", warm.Stats.SlowestHits)
+		}
+	}
+	if s := warm.Stats.String(); !strings.Contains(s, "(100%)") {
+		t.Errorf("warm summary line missing hit ratio: %q", s)
+	}
+	if s := cold.Stats.String(); !strings.Contains(s, "(0%)") {
+		t.Errorf("cold summary line missing hit ratio: %q", s)
+	}
+}
+
+// TestMetricsAbsorption checks the batch feeds the registry: batch-level
+// gauges, per-routine histograms, and the absorbed core/opt counters.
+func TestMetricsAbsorption(t *testing.T) {
+	routines := corpusRoutines(t, 0.05)
+	reg := obs.NewRegistry()
+	b := New(Config{Core: core.DefaultConfig(), Jobs: 2, Metrics: reg}).Run(context.Background(), routines)
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	n := int64(len(routines))
+	for name, want := range map[string]int64{
+		"driver.routines":     n,
+		"driver.failed":       0,
+		"driver.cache.hits":   0,
+		"driver.cache.misses": 0,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	for gauge, want := range map[string]int64{
+		"driver.batch.total":  n,
+		"driver.batch.done":   n,
+		"driver.batch.failed": 0,
+	} {
+		if got := reg.Gauge(gauge).Value(); got != want {
+			t.Errorf("%s = %d, want %d", gauge, got, want)
+		}
+	}
+	if got := reg.Counter("core.passes").Value(); got < n {
+		t.Errorf("core.passes = %d, want at least one pass per routine (%d)", got, n)
+	}
+	snap := reg.Snapshot()
+	for _, h := range []string{"driver.routine_ns", "driver.queue_wait_ns"} {
+		hs, ok := snap.Histograms[h]
+		if !ok || hs.Count != n {
+			t.Errorf("%s count = %+v, want %d observations", h, hs, n)
+		}
+	}
+	if hs := snap.Histograms["driver.batch_wall_ns"]; hs.Count != 1 {
+		t.Errorf("driver.batch_wall_ns count = %d, want 1", hs.Count)
+	}
+	for _, stage := range []string{"ssa", "gvn", "opt"} {
+		if hs := snap.Histograms["driver.stage_ns."+stage]; hs.Count != n {
+			t.Errorf("driver.stage_ns.%s count = %d, want %d", stage, hs.Count, n)
+		}
+	}
+}
+
+// TestTraceExcludedFromCacheKey checks traced and untraced runs share
+// cache entries: tracing is observability, not configuration.
+func TestTraceExcludedFromCacheKey(t *testing.T) {
+	routines := corpusRoutines(t, 0.03)
+	cache := NewCache()
+	plain := New(Config{Core: core.DefaultConfig(), Jobs: 2, Cache: cache}).Run(context.Background(), routines)
+	if plain.Stats.CacheMisses != len(routines) {
+		t.Fatalf("cold misses = %d, want %d", plain.Stats.CacheMisses, len(routines))
+	}
+	col := obs.NewCollector(256)
+	traced := New(Config{Core: core.DefaultConfig(), Jobs: 2, Cache: cache, Trace: col}).Run(context.Background(), routines)
+	if traced.Stats.CacheHits != len(routines) {
+		t.Errorf("traced run got %d hits of %d: tracing leaked into the cache fingerprint",
+			traced.Stats.CacheHits, len(routines))
+	}
+	if plain.Text() != traced.Text() {
+		t.Errorf("traced output differs from untraced output")
+	}
+}

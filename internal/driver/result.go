@@ -91,8 +91,14 @@ type Stats struct {
 	// Wall is the end-to-end batch time; CPU is the sum of per-routine
 	// worker times. CPU/Wall approximates the parallel speedup.
 	Wall, CPU time.Duration
-	// Slowest lists the slowest routines, longest first.
+	// Slowest lists the slowest computed (cache-miss) routines, longest
+	// first. Cache hits are excluded: their Duration is only the lookup
+	// time, and mixing the two would hide the real hot spots behind a
+	// warm cache.
 	Slowest []SlowRoutine
+	// SlowestHits lists the slowest cache-hit lookups, longest first
+	// (empty when the driver has no cache or nothing hit).
+	SlowestHits []SlowRoutine
 }
 
 // String renders the aggregate in one line.
@@ -102,8 +108,9 @@ func (s Stats) String() string {
 	if s.Failed > 0 {
 		fmt.Fprintf(&sb, ", %d failed", s.Failed)
 	}
-	if s.CacheHits+s.CacheMisses > 0 {
-		fmt.Fprintf(&sb, ", cache %d/%d hits", s.CacheHits, s.CacheHits+s.CacheMisses)
+	if total := s.CacheHits + s.CacheMisses; total > 0 {
+		fmt.Fprintf(&sb, ", cache %d/%d hits (%.0f%%)",
+			s.CacheHits, total, 100*float64(s.CacheHits)/float64(total))
 	}
 	return sb.String()
 }

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	rtrace "runtime/trace"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -20,6 +21,7 @@ import (
 	"pgvn/internal/dom"
 	"pgvn/internal/driver"
 	"pgvn/internal/ir"
+	"pgvn/internal/obs"
 	"pgvn/internal/opt"
 	"pgvn/internal/ssa"
 	"pgvn/internal/workload"
@@ -97,28 +99,65 @@ func AnalysisCacheStats() (hits, misses uint64, entries int, ok bool) {
 	return hits, misses, entries, true
 }
 
+// metricsReg, when set, absorbs driver statistics from strength
+// measurements plus per-benchmark sweep timings (see SetMetrics).
+var metricsReg atomic.Pointer[obs.Registry]
+
+// SetMetrics routes the harness's driver batches and sweep timings into
+// the registry (nil disables). Timing sweeps record their aggregate into
+// harness.sweep_* histograms from outside the measured region, so the
+// numbers themselves are unaffected.
+func SetMetrics(m *obs.Registry) { metricsReg.Store(m) }
+
+// metricsNow returns the effective registry (possibly nil).
+func metricsNow() *obs.Registry { return metricsReg.Load() }
+
+// traceCol, when set, hands per-routine fixpoint tracers to the strength
+// measurements' driver batches (see SetTrace). Timing sweeps are never
+// traced: a timing measured with the tracer inside it would not be the
+// algorithm's time.
+var traceCol atomic.Pointer[obs.Collector]
+
+// SetTrace routes the harness's driver batches through the collector
+// (nil disables).
+func SetTrace(c *obs.Collector) { traceCol.Store(c) }
+
+// traceNow returns the effective collector (possibly nil).
+func traceNow() *obs.Collector { return traceCol.Load() }
+
 // pipeline runs the full "HLO" pipeline on one routine and reports the
 // total time and the GVN-only time.
 func pipeline(r *ir.Routine, cfg core.Config) (total, gvn time.Duration, res *core.Result, err error) {
+	ctx := context.Background()
 	work := r.Clone()
 	start := time.Now()
-	if err = ssa.Build(work, ssa.SemiPruned); err != nil {
+	reg := rtrace.StartRegion(ctx, "pgvn/ssa")
+	err = ssa.Build(work, ssa.SemiPruned)
+	reg.End()
+	if err != nil {
 		return 0, 0, nil, err
 	}
 	// The CFG analyses are HLO infrastructure in the paper's setting:
 	// build them inside the HLO time but outside the GVN time.
+	reg = rtrace.StartRegion(ctx, "pgvn/cfg")
 	pre := &core.Prebuilt{
 		Order: cfg2.ReversePostOrder(work),
 		Dom:   dom.New(work),
 		Post:  dom.NewPost(work),
 	}
+	reg.End()
 	gvnStart := time.Now()
+	reg = rtrace.StartRegion(ctx, "pgvn/gvn")
 	res, err = core.RunPrebuilt(work, cfg, pre)
+	reg.End()
 	if err != nil {
 		return 0, 0, nil, err
 	}
 	gvn = time.Since(gvnStart)
-	if _, err = opt.Apply(res); err != nil {
+	reg = rtrace.StartRegion(ctx, "pgvn/opt")
+	_, err = opt.Apply(res)
+	reg.End()
+	if err != nil {
 		return 0, 0, nil, err
 	}
 	total = time.Since(start)
@@ -144,6 +183,8 @@ func analyzeCorpus(routines []*ir.Routine, cfg core.Config) ([]driver.Report, er
 		Cache:       analysisCache.Load(),
 		AnalyzeOnly: true,
 		Check:       checkNow(),
+		Metrics:     metricsNow(),
+		Trace:       traceNow(),
 	})
 	batch := d.Run(context.Background(), routines)
 	if err := batch.Err(); err != nil {
@@ -211,6 +252,11 @@ func sweep(b workload.Benchmark, cfg core.Config) (hlo, gvn time.Duration, err e
 		if rep == 0 || g < gvn {
 			gvn = g
 		}
+	}
+	if m := metricsNow(); m != nil {
+		m.Histogram("harness.sweep_hlo_ns").Observe(int64(hlo))
+		m.Histogram("harness.sweep_gvn_ns").Observe(int64(gvn))
+		m.Counter("harness.sweeps").Inc()
 	}
 	return hlo, gvn, nil
 }

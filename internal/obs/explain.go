@@ -1,0 +1,96 @@
+package obs
+
+import "fmt"
+
+// Names resolves trace IDs to source-level names when replaying a
+// stream: ValueName maps an instruction ID to its value name ("I", "t3")
+// and BlockName a block ID to its label ("b5"). Either may be nil, in
+// which case raw IDs are printed.
+type Names struct {
+	ValueName func(id int) string
+	BlockName func(id int) string
+}
+
+func (n Names) value(id int) string {
+	if id < 0 {
+		return "?"
+	}
+	if n.ValueName != nil {
+		if s := n.ValueName(id); s != "" {
+			return s
+		}
+	}
+	return fmt.Sprintf("v%d", id)
+}
+
+func (n Names) block(id int) string {
+	if id < 0 {
+		return "?"
+	}
+	if n.BlockName != nil {
+		if s := n.BlockName(id); s != "" {
+			return s
+		}
+	}
+	return fmt.Sprintf("block%d", id)
+}
+
+// ExplainValue replays one routine's event stream and returns the
+// chronological merge/simplification chain that placed instruction
+// instrID in its final congruence class: every symbolic evaluation,
+// class founding/join, constant discovery, leader election and
+// inference step attributed to the value, one rendered line each. The
+// companion to core's Result.Explain (the final state) — this is how it
+// got there.
+func ExplainValue(rs RoutineEvents, instrID int, names Names) []string {
+	var out []string
+	add := func(e Event, format string, args ...any) {
+		out = append(out, fmt.Sprintf("pass %d: ", e.Pass)+fmt.Sprintf(format, args...))
+	}
+	for _, e := range rs.Events {
+		switch e.Kind {
+		case KindEval:
+			if e.Instr == instrID {
+				add(e, "evaluated to %s", e.Note)
+			}
+		case KindClassNew:
+			if e.Instr == instrID {
+				add(e, "founded a new congruence class for %s", e.Note)
+			}
+		case KindClassJoin:
+			if e.Instr == instrID {
+				add(e, "joined the class of %s (%s)", names.value(int(e.Arg)), e.Note)
+			} else if int(e.Arg) == instrID {
+				add(e, "%s joined this value's class (%s)", names.value(e.Instr), e.Note)
+			}
+		case KindLeaderChange:
+			if e.Instr == instrID {
+				add(e, "elected leader of its class after %s left", names.value(int(e.Arg)))
+			}
+		case KindConst:
+			if e.Instr == instrID {
+				add(e, "proven congruent to constant %d", e.Arg)
+			}
+		case KindPredInfer:
+			if e.Instr == instrID {
+				add(e, "predicate inference decided %s = %d in %s", e.Note, e.Arg, names.block(e.Block))
+			}
+		case KindValueInfer:
+			if e.Instr == instrID {
+				add(e, "value inference replaced an operand leader with %s", names.value(int(e.Arg)))
+			}
+		case KindOptConst:
+			if e.Instr == instrID {
+				add(e, "opt: uses rewritten to constant %d", e.Arg)
+			}
+		case KindOptRedundant:
+			if e.Instr == instrID {
+				add(e, "opt: uses redirected to leader %s", names.value(int(e.Arg)))
+			}
+		}
+	}
+	if rs.Dropped > 0 {
+		out = append(out, fmt.Sprintf("(ring buffer overflowed: %d early events dropped — the chain may start late; retrace with a larger buffer)", rs.Dropped))
+	}
+	return out
+}

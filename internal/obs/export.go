@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonlEvent is the JSONL wire form of one event, with the routine
+// attribution inlined so each line stands alone.
+type jsonlEvent struct {
+	Routine string `json:"routine"`
+	Index   int    `json:"i"`
+	Seq     int    `json:"seq"`
+	T       int64  `json:"t,omitempty"`
+	Kind    string `json:"kind"`
+	Pass    int    `json:"pass,omitempty"`
+	Block   int    `json:"block"`
+	Instr   int    `json:"instr"`
+	Arg     int64  `json:"arg,omitempty"`
+	Note    string `json:"note,omitempty"`
+}
+
+// WriteJSONL writes the streams as JSON Lines: one self-contained object
+// per event, routines in index order, events in emission order.
+func WriteJSONL(w io.Writer, streams []RoutineEvents) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rs := range streams {
+		for _, e := range rs.Events {
+			le := jsonlEvent{
+				Routine: rs.Routine,
+				Index:   rs.Index,
+				Seq:     e.Seq,
+				T:       e.T,
+				Kind:    e.Kind.String(),
+				Pass:    e.Pass,
+				Block:   e.Block,
+				Instr:   e.Instr,
+				Arg:     e.Arg,
+				Note:    e.Note,
+			}
+			if err := enc.Encode(le); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ChromeOptions configures WriteChromeTrace.
+type ChromeOptions struct {
+	// LogicalTime replaces wall-clock timestamps with the event sequence
+	// number (1 µs per event). The trace still loads in
+	// Perfetto/chrome://tracing, and the bytes are deterministic — the
+	// mode golden tests use. Off, real timestamps are used.
+	LogicalTime bool
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON array. ph "B"
+// and "E" bracket durations (passes, stages), ph "i" is an instant, ph
+// "M" is metadata (thread names). ts is in microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Ph    string         `json:"ph"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Ts    float64        `json:"ts"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the streams in the Chrome trace_event JSON
+// format (the "JSON object format": {"traceEvents": […]}), loadable in
+// Perfetto and chrome://tracing. Each routine becomes one thread (tid =
+// routine index); fixpoint passes and driver stages become duration
+// events; everything else becomes instant events carrying its payload in
+// args.
+func WriteChromeTrace(w io.Writer, streams []RoutineEvents, opts ChromeOptions) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ce chromeEvent) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+	for _, rs := range streams {
+		ts := func(e Event) float64 {
+			if opts.LogicalTime {
+				return float64(e.Seq)
+			}
+			return float64(e.T) / 1e3 // ns → µs
+		}
+		if err := emit(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: rs.Index,
+			Args: map[string]any{"name": "routine " + rs.Routine},
+		}); err != nil {
+			return err
+		}
+		openPass := -1
+		for _, e := range rs.Events {
+			ce := chromeEvent{Pid: 1, Tid: rs.Index, Ts: ts(e)}
+			switch e.Kind {
+			case KindPassStart:
+				ce.Name, ce.Ph = fmt.Sprintf("pass %d", e.Pass), "B"
+				openPass = e.Pass
+			case KindPassEnd:
+				ce.Name, ce.Ph = fmt.Sprintf("pass %d", e.Pass), "E"
+				ce.Args = map[string]any{"touched-left": e.Arg}
+				openPass = -1
+			case KindStageStart:
+				ce.Name, ce.Ph = e.Note, "B"
+			case KindStageEnd:
+				ce.Name, ce.Ph = e.Note, "E"
+			default:
+				ce.Name, ce.Ph, ce.Scope = e.Kind.String(), "i", "t"
+				args := map[string]any{"seq": e.Seq}
+				if e.Pass != 0 {
+					args["pass"] = e.Pass
+				}
+				if e.Block >= 0 {
+					args["block"] = e.Block
+				}
+				if e.Instr >= 0 {
+					args["instr"] = e.Instr
+				}
+				if e.Arg != 0 {
+					args["arg"] = e.Arg
+				}
+				if e.Note != "" {
+					args["note"] = e.Note
+				}
+				ce.Args = args
+			}
+			if err := emit(ce); err != nil {
+				return err
+			}
+		}
+		// A ring overflow can drop a KindPassStart whose KindPassEnd
+		// survived, or the routine may have errored mid-pass; close any
+		// dangling duration so viewers do not misnest the next thread.
+		if openPass >= 0 {
+			last := rs.Events[len(rs.Events)-1]
+			if err := emit(chromeEvent{
+				Name: fmt.Sprintf("pass %d", openPass), Ph: "E",
+				Pid: 1, Tid: rs.Index, Ts: ts(last),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Progress is the live batch state served at /progress.
+type Progress struct {
+	Total     int64 `json:"total"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+	CacheHits int64 `json:"cache_hits"`
+}
+
+// RegistryProgress adapts the driver's live batch gauges
+// (driver.batch.total/done/failed/cache_hits) to a Progress function, for
+// wiring a Registry shared with a driver straight into ServerConfig.
+func RegistryProgress(m *Registry) func() Progress {
+	return func() Progress {
+		return Progress{
+			Total:     m.Gauge("driver.batch.total").Value(),
+			Done:      m.Gauge("driver.batch.done").Value(),
+			Failed:    m.Gauge("driver.batch.failed").Value(),
+			CacheHits: m.Gauge("driver.batch.cache_hits").Value(),
+		}
+	}
+}
+
+// ServerConfig configures Serve.
+type ServerConfig struct {
+	// Registry backs /metrics; nil serves an empty snapshot.
+	Registry *Registry
+	// Progress, when non-nil, backs /progress with live batch state.
+	Progress func() Progress
+	// Meta is attached to every /metrics snapshot.
+	Meta map[string]string
+}
+
+// NewMux builds the observability mux: /metrics (the stable JSON
+// snapshot), /progress (live batch state), and the standard
+// /debug/pprof/* profiling endpoints.
+func NewMux(cfg ServerConfig) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = cfg.Registry.WriteJSON(w, cfg.Meta)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var p Progress
+		if cfg.Progress != nil {
+			p = cfg.Progress()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(p)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability listener.
+type Server struct {
+	// Addr is the bound address (useful with ":0").
+	Addr string
+	srv  *http.Server
+	done chan error
+}
+
+// Serve starts the observability listener on addr (e.g. "localhost:6060"
+// or ":0" for an ephemeral port) and returns once it is accepting.
+func Serve(addr string, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: NewMux(cfg), ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan error, 1),
+	}
+	go func() { s.done <- s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

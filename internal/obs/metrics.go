@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a concurrency-safe metrics registry: named counters,
+// gauges and histograms. Instruments are created on first use and live
+// for the registry's lifetime, so callers can hold them or re-look them
+// up by name — both are cheap. A nil *Registry is a valid no-op: every
+// lookup returns a nil instrument whose methods do nothing, which is the
+// "metrics off" fast path.
+//
+// Snapshot produces the stable JSON form that the BENCH_*.json
+// trajectory and the /metrics endpoint serve: encoding/json renders map
+// keys sorted, so two snapshots of equal state are byte-identical.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing sum.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; safe on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins level.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value; safe on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the gauge by n.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the bucket count of a Histogram: bucket i counts
+// observations whose value has bit length i (i.e. in [2^(i-1), 2^i)),
+// an exponential layout that covers nanosecond latencies through hours
+// with no configuration.
+const histBuckets = 64
+
+// Histogram accumulates an exponential-bucket distribution of int64
+// observations (negative observations clamp to 0).
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid when count > 0
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// newHistogram seeds min/max with sentinels so Observe's CAS loops need
+// no first-observation special case (which would race).
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value; safe on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Counter returns (creating if needed) the named counter; nil registry
+// returns the nil no-op counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SnapshotSchema identifies the snapshot wire format; bump on
+// incompatible changes so trajectory consumers can dispatch.
+const SnapshotSchema = "pgvn-metrics/v1"
+
+// HistogramSnapshot is the JSON form of one histogram. Buckets maps the
+// bucket's upper bound rendered as a decimal string ("4096") to its
+// count; empty buckets are omitted.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     int64            `json:"sum"`
+	Min     int64            `json:"min"`
+	Max     int64            `json:"max"`
+	Mean    float64          `json:"mean"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot is the stable JSON form of a registry: the schema tag, an
+// optional caller-supplied metadata block (label, corpus scale, …), and
+// the instruments by sorted name.
+type Snapshot struct {
+	Schema     string                       `json:"schema"`
+	Meta       map[string]string            `json:"meta,omitempty"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Schema: SnapshotSchema}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistogramSnapshot{
+				Count: h.count.Load(),
+				Sum:   h.sum.Load(),
+			}
+			if hs.Count > 0 {
+				hs.Min = h.min.Load()
+				hs.Max = h.max.Load()
+				hs.Mean = float64(hs.Sum) / float64(hs.Count)
+				hs.Buckets = make(map[string]int64)
+				for i := range h.buckets {
+					if n := h.buckets[i].Load(); n > 0 {
+						hs.Buckets[bucketLabel(i)] = n
+					}
+				}
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// bucketLabel renders bucket i's upper bound (2^i, with bucket 0 = "0").
+func bucketLabel(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	// 2^63 overflows int64; label the top bucket "inf".
+	if i >= 63 {
+		return "inf"
+	}
+	return itoa(int64(1) << i)
+}
+
+// itoa is strconv.FormatInt(v, 10) without the import weight elsewhere.
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// WriteJSON writes the snapshot (with optional metadata) as indented
+// JSON. encoding/json sorts map keys, so equal states render
+// byte-identically — the property the BENCH trajectory and golden tests
+// rely on.
+func (r *Registry) WriteJSON(w io.Writer, meta map[string]string) error {
+	s := r.Snapshot()
+	s.Meta = meta
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

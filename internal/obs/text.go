@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatEvent renders one event as a single human-readable line, the
+// format of the PGVN_DEBUG stderr text sink:
+//
+//	pgvn[R] pass 2 class-join instr=7 arg=3 note=(1 + x)
+func FormatEvent(routine string, e Event) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pgvn[%s] pass %d %s", routine, e.Pass, e.Kind)
+	if e.Block >= 0 {
+		fmt.Fprintf(&sb, " block=%d", e.Block)
+	}
+	if e.Instr >= 0 {
+		fmt.Fprintf(&sb, " instr=%d", e.Instr)
+	}
+	if e.Arg != 0 {
+		fmt.Fprintf(&sb, " arg=%d", e.Arg)
+	}
+	if e.Note != "" {
+		fmt.Fprintf(&sb, " note=%s", e.Note)
+	}
+	return sb.String()
+}

@@ -15,6 +15,7 @@ import (
 	"pgvn/internal/core"
 	"pgvn/internal/dom"
 	"pgvn/internal/ir"
+	"pgvn/internal/obs"
 )
 
 // Stats reports what Apply changed.
@@ -47,14 +48,23 @@ func Optimize(r *ir.Routine, cfg core.Config) (*core.Result, Stats, error) {
 }
 
 // Apply transforms the analyzed routine in place using the GVN result.
+// When the analysis ran with a tracer (core.Config.Trace), the rewrites
+// are traced too: per-value events for constant propagation and
+// redundancy elimination, per-block events for unreachable-code removal,
+// and aggregate counts for DCE and CFG simplification.
 func Apply(res *core.Result) (Stats, error) {
 	var st Stats
 	r := res.Routine
+	tr := res.Config.Trace
 	st.BlocksRemoved, st.EdgesRemoved = EliminateUnreachable(res)
 	st.ConstantsPropagated = PropagateConstants(res)
 	st.RedundanciesReplaced = EliminateRedundancies(res)
 	st.InstrsRemoved = EliminateDeadCode(r)
 	st.BlocksSimplified = SimplifyCFG(r)
+	if tr != nil {
+		tr.Emit(obs.KindOptDeadCode, 0, -1, -1, int64(st.InstrsRemoved), "")
+		tr.Emit(obs.KindOptCFGSimplified, 0, -1, -1, int64(st.BlocksSimplified), "")
+	}
 	if err := r.Verify(); err != nil {
 		return st, fmt.Errorf("opt: routine broken after optimization: %w", err)
 	}
@@ -99,6 +109,9 @@ func EliminateUnreachable(res *core.Result) (blocks, edges int) {
 		}
 	}
 	for _, b := range dead {
+		if tr := res.Config.Trace; tr != nil {
+			tr.Emit(obs.KindOptBlockRemoved, 0, b.ID, -1, 0, b.Name)
+		}
 		r.RemoveBlock(b)
 		blocks++
 	}
@@ -186,6 +199,9 @@ func PropagateConstants(res *core.Result) int {
 		if j.v.NumUses() == 0 {
 			continue // dead; DCE will remove it
 		}
+		if tr := res.Config.Trace; tr != nil {
+			tr.Emit(obs.KindOptConst, 0, j.v.Block.ID, j.v.ID, j.c, "")
+		}
 		j.v.ReplaceUses(constFor(j.c))
 		count++
 	}
@@ -227,6 +243,9 @@ func EliminateRedundancies(res *core.Result) int {
 			return
 		}
 		if precedes(leader, i) {
+			if tr := res.Config.Trace; tr != nil {
+				tr.Emit(obs.KindOptRedundant, 0, i.Block.ID, i.ID, int64(leader.ID), "")
+			}
 			i.ReplaceUses(leader)
 			count++
 		}

@@ -20,6 +20,7 @@ import (
 	"pgvn/internal/core"
 	"pgvn/internal/driver"
 	"pgvn/internal/ir"
+	"pgvn/internal/obs"
 	"pgvn/internal/opt"
 	"pgvn/internal/parser"
 	"pgvn/internal/ssa"
@@ -60,7 +61,21 @@ type Options struct {
 	// against the reference interpreter). A violation fails the routine
 	// with a structured diagnostic.
 	Check string
+	// Trace, when non-nil, collects one fixpoint event stream per
+	// routine (internal/obs): TOUCHED pushes, class merges, predicate
+	// and value inferences, reachability flips, opt rewrites. The
+	// streams are keyed by routine index, so the export is
+	// deterministic at any Jobs. Setting Trace routes OptimizeSource
+	// through the batch driver even when Jobs is 0.
+	Trace *obs.Collector
+	// Metrics, when non-nil, absorbs the analysis, transformation and
+	// driver statistics (internal/obs.Registry). Like Trace it routes
+	// the run through the batch driver.
+	Metrics *obs.Registry
 }
+
+// observed reports whether an observability sink forces the driver path.
+func (o Options) observed() bool { return o.Trace != nil || o.Metrics != nil }
 
 func (o Options) config() (core.Config, error) {
 	var cfg core.Config
@@ -137,10 +152,11 @@ func OptimizeSource(src string, o Options) (string, []Report, error) {
 	if err != nil {
 		return "", nil, err
 	}
-	if o.Jobs != 0 || lvl != check.Off {
-		// Checked runs share the driver's stage-by-stage verification
-		// wiring; with Jobs == 0 the pool is pinned to one worker, so
-		// the output is still byte-identical to the sequential path.
+	if o.Jobs != 0 || lvl != check.Off || o.observed() {
+		// Checked and observed runs share the driver's stage-by-stage
+		// wiring (verification, per-routine tracers, metrics); with
+		// Jobs == 0 the pool is pinned to one worker, so the output is
+		// still byte-identical to the sequential path.
 		return optimizeParallel(routines, cfg, o, lvl)
 	}
 	var out strings.Builder
@@ -167,7 +183,14 @@ func optimizeParallel(routines []*ir.Routine, cfg core.Config, o Options, lvl ch
 	case jobs == 0:
 		jobs = 1 // checked sequential run: keep the single-goroutine behavior
 	}
-	d := driver.New(driver.Config{Core: cfg, Placement: o.placement(), Jobs: jobs, Check: lvl})
+	d := driver.New(driver.Config{
+		Core:      cfg,
+		Placement: o.placement(),
+		Jobs:      jobs,
+		Check:     lvl,
+		Trace:     o.Trace,
+		Metrics:   o.Metrics,
+	})
 	batch := d.Run(context.Background(), routines)
 	if err := batch.Err(); err != nil {
 		return "", nil, err
@@ -209,7 +232,7 @@ func AnalyzeSource(src string, o Options) ([]Report, error) {
 		return nil, err
 	}
 	var reports []Report
-	for _, r := range routines {
+	for idx, r := range routines {
 		if err := ssa.Build(r, o.placement()); err != nil {
 			return nil, err
 		}
@@ -218,9 +241,18 @@ func AnalyzeSource(src string, o Options) ([]Report, error) {
 				return nil, e
 			}
 		}
-		res, err := core.Run(r, cfg)
+		// Each routine gets its own tracer so the export stays keyed by
+		// input index, matching the driver path.
+		rcfg := cfg
+		rcfg.Trace = o.Trace.Tracer(idx, r.Name)
+		res, err := core.Run(r, rcfg)
 		if err != nil {
 			return nil, err
+		}
+		if m := o.Metrics; m != nil {
+			m.Counter("core.passes").Add(int64(res.Stats.Passes))
+			m.Counter("core.instr_evals").Add(int64(res.Stats.InstrEvals))
+			m.Counter("core.touches").Add(int64(res.Stats.Touches))
 		}
 		if e := check.Analyze(res, lvl); e != nil {
 			return nil, e
