@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check fmt race bench check
+.PHONY: all build test vet fmt-check fmt race bench check serve loadtest
 
 all: check
 
@@ -29,5 +29,19 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# serve boots the optimization daemon with a warm disk store under
+# ./gvnd-store; loadtest drives a running daemon open-loop and writes a
+# gvnd-load/v1 snapshot. Override via GVND_ADDR / GVND_QPS / GVND_DURATION.
+GVND_ADDR ?= localhost:8080
+GVND_QPS ?= 20
+GVND_DURATION ?= 10s
+
+serve:
+	$(GO) run ./cmd/gvnd -addr $(GVND_ADDR) -store gvnd-store
+
+loadtest:
+	$(GO) run ./cmd/gvnload -server-url http://$(GVND_ADDR) \
+		-qps $(GVND_QPS) -duration $(GVND_DURATION) -json load.json
 
 check: build vet fmt-check test race

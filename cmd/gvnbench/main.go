@@ -184,11 +184,14 @@ func main() {
 		if path == "" {
 			path = "BENCH_" + time.Now().UTC().Format("20060102T150405Z") + ".json"
 		}
+		// Toolchain/host facts (go version, GOOS/GOARCH, GOMAXPROCS, CPU
+		// count) land in the snapshot's env block via WriteJSON, so
+		// BENCH_*.json trajectories from different machines are
+		// distinguishable; meta carries only the run parameters.
 		meta := map[string]string{
 			"cmd":      "gvnbench",
 			"scale":    strconv.FormatFloat(*scale, 'f', -1, 64),
 			"routines": strconv.Itoa(n),
-			"go":       runtime.Version(),
 		}
 		if err := writeSnapshot(path, reg, meta); err != nil {
 			fail(err)

@@ -1,0 +1,157 @@
+// Command gvnd is the pgvn optimization daemon: a long-running HTTP/JSON
+// service that parses submitted IR, runs the full predicated-GVN
+// pipeline over the internal/driver pool, and returns optimized IR plus
+// reports.
+//
+//	gvnd -addr localhost:8080 -store /var/lib/gvnd
+//
+// Endpoints (all on one listener):
+//
+//	POST /v1/optimize    optimize IR; body {"source": "...", "mode"?, "check"?, ...}
+//	GET  /v1/stats       live admission + cache statistics
+//	GET  /healthz        liveness ("ok" / "draining")
+//	GET  /metrics        pgvn-metrics/v2 snapshot (counters, latency histograms)
+//	GET  /progress       live batch progress gauges
+//	GET  /debug/pprof/*  standard profiling endpoints
+//
+// Admission control: at most -concurrency requests run the pipeline at
+// once, at most -queue more wait; past that the daemon answers 429 with
+// Retry-After. Every request runs under -timeout (clients may only
+// shorten it), bodies are capped at -max-body bytes, and a panicking
+// request is isolated to a structured 500.
+//
+// -store enables the persistent response cache: results are written
+// atomically under their content address and verified on load, so a
+// restarted daemon serves repeated requests without recomputing
+// ("starts warm"). -store-max-mb bounds the store with LRU eviction.
+//
+// On SIGINT/SIGTERM the daemon drains: it stops accepting, finishes
+// in-flight requests (up to -drain-timeout), flushes the store index,
+// and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pgvn/internal/check"
+	"pgvn/internal/core"
+	"pgvn/internal/driver"
+	"pgvn/internal/obs"
+	"pgvn/internal/server"
+	"pgvn/internal/server/store"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it serves until ctx is canceled (the
+// signal path in production), then drains and returns the exit status.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gvnd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "localhost:8080", "listen address")
+		storeDir     = fs.String("store", "", "persistent response cache directory (empty = disabled)")
+		storeMaxMB   = fs.Int64("store-max-mb", 256, "store size cap in MiB before LRU eviction (0 = unlimited)")
+		memCache     = fs.Bool("mem-cache", true, "memoize per-routine driver results in memory")
+		jobs         = fs.Int("j", 0, "per-request driver pool size (0 = GOMAXPROCS)")
+		mode         = fs.String("mode", "optimistic", "default value numbering mode: optimistic, balanced or pessimistic")
+		checkFlag    = fs.String("check", "off", "default self-verification tier: off, fast or full")
+		concurrency  = fs.Int("concurrency", 0, "max requests executing the pipeline at once (0 = GOMAXPROCS)")
+		queue        = fs.Int("queue", server.DefaultMaxQueue, "max requests waiting for an execution slot (admission bound)")
+		timeout      = fs.Duration("timeout", server.DefaultRequestTimeout, "per-request processing deadline")
+		maxBody      = fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size cap in bytes")
+		retryAfter   = fs.Duration("retry-after", server.DefaultRetryAfter, "Retry-After hint sent with 429")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	level, err := check.ParseLevel(*checkFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "gvnd:", err)
+		return 2
+	}
+	cfg := server.Config{
+		Jobs:           *jobs,
+		Check:          level,
+		MaxConcurrent:  *concurrency,
+		MaxQueue:       *queue,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		RetryAfter:     *retryAfter,
+		Metrics:        obs.NewRegistry(),
+		Meta:           map[string]string{"cmd": "gvnd"},
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stderr, format+"\n", a...)
+		},
+	}
+	cfg.Core, err = coreConfigFor(*mode)
+	if err != nil {
+		fmt.Fprintln(stderr, "gvnd:", err)
+		return 2
+	}
+	if *memCache {
+		cfg.MemCache = driver.NewCache()
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, *storeMaxMB<<20)
+		if err != nil {
+			fmt.Fprintln(stderr, "gvnd:", err)
+			return 1
+		}
+		cfg.Store = st
+	}
+	srv := server.New(cfg)
+	if err := srv.Start(*addr); err != nil {
+		fmt.Fprintln(stderr, "gvnd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "gvnd: listening on http://%s\n", srv.Addr)
+	fmt.Fprintf(stdout, "gvnd: %s\n", srv.Describe())
+
+	select {
+	case <-ctx.Done():
+	case err := <-srv.Done():
+		// The serve loop died without a shutdown: the listener is gone,
+		// there is nothing to drain.
+		fmt.Fprintln(stderr, "gvnd: serve:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "gvnd: draining (finishing in-flight requests) …")
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintln(stderr, "gvnd: shutdown:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "gvnd: drained, store index flushed, bye")
+	return 0
+}
+
+// coreConfigFor maps the -mode flag onto the default configuration,
+// exactly as gvnopt does.
+func coreConfigFor(mode string) (core.Config, error) {
+	cfg := core.DefaultConfig()
+	switch mode {
+	case "optimistic":
+		cfg.Mode = core.Optimistic
+	case "balanced":
+		cfg.Mode = core.Balanced
+	case "pessimistic":
+		cfg.Mode = core.Pessimistic
+	default:
+		return cfg, fmt.Errorf("unknown -mode %q (want optimistic, balanced or pessimistic)", mode)
+	}
+	return cfg, nil
+}

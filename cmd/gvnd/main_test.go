@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is an io.Writer safe to read while run() writes from its
+// own goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// startDaemon boots run() on an ephemeral port and returns the base URL
+// plus a cancel-and-wait function that returns the exit code.
+func startDaemon(t *testing.T, extra ...string) (string, func() int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var stdout, stderr syncBuffer
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	exit := make(chan int, 1)
+	go func() { exit <- run(ctx, args, &stdout, &stderr) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var url string
+	for url == "" {
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon did not report its address\nstdout: %s\nstderr: %s",
+				stdout.String(), stderr.String())
+		}
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "gvnd: listening on "); ok {
+				url = strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return url, func() int {
+		cancel()
+		select {
+		case code := <-exit:
+			return code
+		case <-time.After(10 * time.Second):
+			t.Fatalf("daemon did not exit after cancel\nstderr: %s", stderr.String())
+			return -1
+		}
+	}
+}
+
+// TestDaemonLifecycle boots the daemon, optimizes a routine over real
+// HTTP, and checks signal-driven drain exits 0.
+func TestDaemonLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	url, stop := startDaemon(t, "-store", dir, "-check", "fast")
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	req := `{"source":"func f(x) {\nentry:\n  y = x + 0\n  return y\n}"}`
+	post := func() (int, string, string) {
+		resp, err := http.Post(url+"/v1/optimize", "application/json", strings.NewReader(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header.Get("X-Gvnd-Cache"), string(b)
+	}
+	code, disp, out := post()
+	if code != http.StatusOK || disp != "miss" {
+		t.Fatalf("cold optimize: %d %q: %s", code, disp, out)
+	}
+	if !strings.Contains(out, "func f(x)") {
+		t.Fatalf("optimized text missing: %s", out)
+	}
+	if code, disp, _ := post(); code != http.StatusOK || disp != "hit" {
+		t.Fatalf("repeat optimize: %d %q, want 200 hit", code, disp)
+	}
+
+	if exit := stop(); exit != 0 {
+		t.Fatalf("exit = %d, want 0", exit)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "index.json")); err != nil {
+		t.Fatalf("store index not flushed on drain: %v", err)
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("listener still up after drain")
+	}
+}
+
+// TestDaemonBadFlags checks flag/validation failures exit 2 without
+// binding a port.
+func TestDaemonBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-definitely-not-a-flag"},
+		{"-mode", "bogus"},
+		{"-check", "bogus"},
+	} {
+		var out, errb syncBuffer
+		if code := run(context.Background(), args, &out, &errb); code != 2 {
+			t.Errorf("%v: exit = %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+}
+
+// TestDaemonAddrInUse checks a bind failure is exit 1, not a hang.
+func TestDaemonAddrInUse(t *testing.T) {
+	url, stop := startDaemon(t)
+	defer stop()
+	var out, errb syncBuffer
+	addr := strings.TrimPrefix(url, "http://")
+	code := run(context.Background(), []string{"-addr", addr}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "gvnd:") {
+		t.Fatalf("no diagnostic on stderr: %s", errb.String())
+	}
+}

@@ -34,7 +34,7 @@ func main() {
 		r := workload.Generate("generated", workload.GenConfig{
 			Seed: *seed, Stmts: *stmts, Params: *params, MaxLoopDepth: 2,
 		})
-		fmt.Print(r)
+		fmt.Print(workload.SourceText(r))
 		return
 	}
 
@@ -67,10 +67,7 @@ func main() {
 	if *dir == "" {
 		for _, b := range corpus {
 			fmt.Printf("// benchmark %s: %d routines\n", b.Name, len(b.Routines))
-			for _, r := range b.Routines {
-				fmt.Print(r)
-				fmt.Println()
-			}
+			fmt.Println(workload.CorpusSource(b))
 		}
 		return
 	}
@@ -81,10 +78,7 @@ func main() {
 	for _, b := range corpus {
 		var sb strings.Builder
 		fmt.Fprintf(&sb, "// benchmark %s: %d routines\n", b.Name, len(b.Routines))
-		for _, r := range b.Routines {
-			sb.WriteString(r.String())
-			sb.WriteString("\n")
-		}
+		sb.WriteString(workload.CorpusSource(b))
 		name := filepath.Join(*dir, strings.ReplaceAll(b.Name, ".", "_")+".ir")
 		if err := os.WriteFile(name, []byte(sb.String()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "gvngen:", err)

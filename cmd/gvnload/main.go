@@ -1,0 +1,293 @@
+// Command gvnload drives a running gvnd open-loop at a target QPS over
+// the synthetic SPEC-shaped workload corpus and reports the latency
+// distribution, error rate and cache hit ratio:
+//
+//	gvnload -server-url http://localhost:8080 -qps 50 -duration 10s
+//
+// Open-loop means requests fire on the clock regardless of how many are
+// still outstanding — the arrival process does not slow down when the
+// server does, which is what exposes saturation (429s) and queueing
+// delay honestly. Request bodies cycle through the corpus routines at
+// -scale, so repeated runs against a store-backed daemon measure the
+// warm-cache path.
+//
+// Exit status: 0 on success, 1 when any 5xx was observed (the CI smoke
+// gate) or the run could not start. 429s are counted and reported but
+// are not failures — they are the admission control working.
+//
+// -json writes a gvnd-load/v1 snapshot (latency percentiles, counts,
+// environment block) for trajectory comparison.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pgvn/internal/obs"
+	"pgvn/internal/workload"
+)
+
+// LoadSchema tags the -json snapshot.
+const LoadSchema = "gvnd-load/v1"
+
+// Result is one request's outcome.
+type result struct {
+	status  int
+	cache   string
+	latency time.Duration
+	err     error
+}
+
+// LoadReport is the -json snapshot and the basis of the text report.
+type LoadReport struct {
+	Schema      string            `json:"schema"`
+	ServerURL   string            `json:"server_url"`
+	TargetQPS   float64           `json:"target_qps"`
+	DurationNS  int64             `json:"duration_ns"`
+	Sent        int               `json:"sent"`
+	OK          int               `json:"ok"`
+	Rejected429 int               `json:"rejected_429"`
+	Errors4xx   int               `json:"errors_4xx"`
+	Errors5xx   int               `json:"errors_5xx"`
+	Transport   int               `json:"transport_errors"`
+	CacheHits   int               `json:"cache_hits"`
+	CacheMisses int               `json:"cache_misses"`
+	P50NS       int64             `json:"p50_ns"`
+	P95NS       int64             `json:"p95_ns"`
+	P99NS       int64             `json:"p99_ns"`
+	MaxNS       int64             `json:"max_ns"`
+	AchievedQPS float64           `json:"achieved_qps"`
+	Env         map[string]string `json:"env"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gvnload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		serverURL = fs.String("server-url", "", "gvnd base URL (required), e.g. http://localhost:8080")
+		qps       = fs.Float64("qps", 20, "target request rate (open loop)")
+		duration  = fs.Duration("duration", 10*time.Second, "how long to drive load")
+		scale     = fs.Float64("scale", 0.02, "corpus scale for request bodies (1.0 ≈ 690 routines)")
+		mode      = fs.String("mode", "", "request mode override (optimistic, balanced, pessimistic)")
+		chk       = fs.String("check", "", "request check tier override (off, fast, full)")
+		timeout   = fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+		jsonOut   = fs.String("json", "", "write the gvnd-load/v1 report snapshot to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *serverURL == "" {
+		fmt.Fprintln(stderr, "gvnload: -server-url is required")
+		return 2
+	}
+	if *qps <= 0 {
+		fmt.Fprintln(stderr, "gvnload: -qps must be > 0")
+		return 2
+	}
+	bodies := requestBodies(*scale, *mode, *chk)
+	fmt.Fprintf(stdout, "gvnload: %d distinct request bodies, %.0f qps for %v against %s\n",
+		len(bodies), *qps, *duration, *serverURL)
+
+	url := strings.TrimRight(*serverURL, "/") + "/v1/optimize"
+	client := &http.Client{Timeout: *timeout}
+	interval := time.Duration(float64(time.Second) / *qps)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+
+	var (
+		mu      sync.Mutex
+		results []result
+		wg      sync.WaitGroup
+	)
+	start := time.Now()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	deadline := time.After(*duration)
+	sent := 0
+fire:
+	for {
+		select {
+		case <-deadline:
+			break fire
+		case <-ticker.C:
+			body := bodies[sent%len(bodies)]
+			sent++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				r := shoot(client, url, body)
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := summarize(results, *serverURL, *qps, elapsed)
+	printReport(stdout, rep)
+	if *jsonOut != "" {
+		if err := writeReport(*jsonOut, rep); err != nil {
+			fmt.Fprintln(stderr, "gvnload:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "load snapshot: %s\n", *jsonOut)
+	}
+	if rep.Errors5xx > 0 || rep.Transport > 0 {
+		fmt.Fprintf(stderr, "gvnload: FAIL: %d 5xx, %d transport errors\n",
+			rep.Errors5xx, rep.Transport)
+		return 1
+	}
+	return 0
+}
+
+// requestBodies renders one optimize request per corpus routine.
+func requestBodies(scale float64, mode, chk string) [][]byte {
+	var bodies [][]byte
+	for _, b := range workload.Corpus(scale) {
+		for _, r := range b.Routines {
+			req := map[string]any{"source": workload.SourceText(r)}
+			if mode != "" {
+				req["mode"] = mode
+			}
+			if chk != "" {
+				req["check"] = chk
+			}
+			body, err := json.Marshal(req)
+			if err != nil {
+				panic(err) // map of strings cannot fail to marshal
+			}
+			bodies = append(bodies, body)
+		}
+	}
+	return bodies
+}
+
+// shoot sends one request and classifies the outcome.
+func shoot(client *http.Client, url string, body []byte) result {
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return result{err: err, latency: time.Since(start)}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return result{
+		status:  resp.StatusCode,
+		cache:   resp.Header.Get("X-Gvnd-Cache"),
+		latency: time.Since(start),
+	}
+}
+
+// summarize folds the raw outcomes into the report.
+func summarize(results []result, url string, qps float64, elapsed time.Duration) LoadReport {
+	rep := LoadReport{
+		Schema:     LoadSchema,
+		ServerURL:  url,
+		TargetQPS:  qps,
+		DurationNS: int64(elapsed),
+		Sent:       len(results),
+		Env:        obs.EnvMeta(),
+	}
+	var lats []time.Duration
+	for _, r := range results {
+		switch {
+		case r.err != nil:
+			rep.Transport++
+			continue
+		case r.status == http.StatusOK:
+			rep.OK++
+			lats = append(lats, r.latency)
+		case r.status == http.StatusTooManyRequests:
+			rep.Rejected429++
+		case r.status >= 500:
+			rep.Errors5xx++
+		case r.status >= 400:
+			rep.Errors4xx++
+		}
+		switch r.cache {
+		case "hit":
+			rep.CacheHits++
+		case "miss":
+			rep.CacheMisses++
+		}
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		rep.P50NS = int64(percentile(lats, 0.50))
+		rep.P95NS = int64(percentile(lats, 0.95))
+		rep.P99NS = int64(percentile(lats, 0.99))
+		rep.MaxNS = int64(lats[len(lats)-1])
+	}
+	if elapsed > 0 {
+		rep.AchievedQPS = float64(len(results)) / elapsed.Seconds()
+	}
+	return rep
+}
+
+// percentile reads the q-quantile from an ascending slice
+// (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// printReport renders the human summary.
+func printReport(w io.Writer, rep LoadReport) {
+	fmt.Fprintf(w, "sent %d in %v (%.1f qps achieved, %.1f target)\n",
+		rep.Sent, time.Duration(rep.DurationNS).Round(time.Millisecond),
+		rep.AchievedQPS, rep.TargetQPS)
+	fmt.Fprintf(w, "  ok %d, 429 %d, 4xx %d, 5xx %d, transport %d\n",
+		rep.OK, rep.Rejected429, rep.Errors4xx, rep.Errors5xx, rep.Transport)
+	total := rep.CacheHits + rep.CacheMisses
+	if total > 0 {
+		fmt.Fprintf(w, "  cache %d/%d hits (%.0f%%)\n",
+			rep.CacheHits, total, 100*float64(rep.CacheHits)/float64(total))
+	}
+	if rep.OK > 0 {
+		fmt.Fprintf(w, "  latency p50 %v, p95 %v, p99 %v, max %v\n",
+			time.Duration(rep.P50NS).Round(time.Microsecond),
+			time.Duration(rep.P95NS).Round(time.Microsecond),
+			time.Duration(rep.P99NS).Round(time.Microsecond),
+			time.Duration(rep.MaxNS).Round(time.Microsecond))
+	}
+}
+
+// writeReport writes the JSON snapshot.
+func writeReport(path string, rep LoadReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

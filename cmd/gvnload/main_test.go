@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pgvn/internal/server"
+)
+
+// TestLoadRunAgainstLiveServer drives a short open-loop run against a
+// real in-process gvnd and checks the exit status, the text report and
+// the JSON snapshot.
+func TestLoadRunAgainstLiveServer(t *testing.T) {
+	srv := server.New(server.Config{})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(t.Context())
+
+	out := filepath.Join(t.TempDir(), "load.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-server-url", "http://" + srv.Addr,
+		"-qps", "200", "-duration", "300ms", "-scale", "0.01",
+		"-timeout", "10s", "-json", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep LoadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != LoadSchema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.Sent == 0 || rep.OK == 0 {
+		t.Fatalf("no successful requests: %+v", rep)
+	}
+	if rep.Errors5xx != 0 || rep.Transport != 0 {
+		t.Fatalf("errors against healthy server: %+v", rep)
+	}
+	if rep.OK > 0 && (rep.P50NS <= 0 || rep.P99NS < rep.P50NS) {
+		t.Fatalf("implausible percentiles: p50=%d p99=%d", rep.P50NS, rep.P99NS)
+	}
+	if rep.Env["go"] == "" {
+		t.Fatalf("snapshot missing env block: %+v", rep.Env)
+	}
+}
+
+// TestLoadFlagValidation checks the required-flag and range errors exit 2.
+func TestLoadFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-server-url", "http://localhost:1", "-qps", "0"},
+		{"-not-a-flag"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("%v: exit = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestLoadTransportErrorsFail checks an unreachable server makes the run
+// fail (exit 1) rather than report success.
+func TestLoadTransportErrorsFail(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-server-url", "http://127.0.0.1:1",
+		"-qps", "50", "-duration", "100ms", "-scale", "0.01",
+		"-timeout", time.Second.String(),
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+}
+
+// TestPercentileNearestRank pins the quantile math.
+func TestPercentileNearestRank(t *testing.T) {
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Millisecond
+	}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.0, 100 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := percentile(lat, c.q); got != c.want {
+			t.Errorf("percentile(%.2f) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if percentile(nil, 0.5) != 0 {
+		t.Error("percentile(nil) != 0")
+	}
+}

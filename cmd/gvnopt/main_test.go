@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"pgvn/internal/core"
+	"pgvn/internal/obs"
 )
 
 func TestBuildConfigModes(t *testing.T) {
@@ -299,7 +300,7 @@ func TestRunObservabilityOutputs(t *testing.T) {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		t.Fatalf("-metrics-out output not valid JSON: %v", err)
 	}
-	if snap["schema"] != "pgvn-metrics/v1" {
+	if snap["schema"] != obs.SnapshotSchema {
 		t.Errorf("metrics schema = %v", snap["schema"])
 	}
 	data, err = os.ReadFile(jsonl)

@@ -104,6 +104,14 @@ func (c Config) fingerprint() string {
 		c.Core, c.Placement, c.AnalyzeOnly, c.Check, c.Fault)
 }
 
+// Fingerprint canonicalizes everything that affects a routine's result
+// (core configuration, φ-placement, analyze-only flag, check level,
+// injected fault). It is the public form of the string the in-memory
+// Cache keys on, so external caches — notably the gvnd disk store —
+// can address results by exactly the same identity and never conflate
+// two configurations.
+func (c Config) Fingerprint() string { return c.fingerprint() }
+
 // Driver runs the optimization pipeline over batches of routines.
 type Driver struct {
 	cfg Config

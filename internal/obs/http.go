@@ -67,6 +67,34 @@ func NewMux(cfg ServerConfig) *http.ServeMux {
 	return mux
 }
 
+// Hardened server timeouts, shared by the observability listener and
+// gvnd. ReadTimeout bounds slow request bodies, WriteTimeout bounds the
+// whole response (it must exceed the longest legitimate handler:
+// /debug/pprof/profile defaults to 30s of sampling, and gvnd optimize
+// requests run up to their own deadline), and IdleTimeout reaps
+// keep-alive connections — without them a stalled client pins a
+// connection and its goroutine forever.
+const (
+	ReadHeaderTimeout = 5 * time.Second
+	ReadTimeout       = 1 * time.Minute
+	WriteTimeout      = 5 * time.Minute
+	IdleTimeout       = 2 * time.Minute
+)
+
+// NewHTTPServer returns an *http.Server for h with the hardened
+// timeouts applied. Every HTTP listener in the repo (the observability
+// sidecar here and the gvnd daemon) goes through this constructor so
+// the hardening cannot drift.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		ReadTimeout:       ReadTimeout,
+		WriteTimeout:      WriteTimeout,
+		IdleTimeout:       IdleTimeout,
+	}
+}
+
 // Server is a running observability listener.
 type Server struct {
 	// Addr is the bound address (useful with ":0").
@@ -84,7 +112,7 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 	}
 	s := &Server{
 		Addr: ln.Addr().String(),
-		srv:  &http.Server{Handler: NewMux(cfg), ReadHeaderTimeout: 5 * time.Second},
+		srv:  NewHTTPServer(NewMux(cfg)),
 		done: make(chan error, 1),
 	}
 	go func() { s.done <- s.srv.Serve(ln) }()

@@ -5,6 +5,8 @@ import (
 	"io"
 	"math"
 	"math/bits"
+	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -194,8 +196,23 @@ func (r *Registry) Histogram(name string) *Histogram {
 }
 
 // SnapshotSchema identifies the snapshot wire format; bump on
-// incompatible changes so trajectory consumers can dispatch.
-const SnapshotSchema = "pgvn-metrics/v1"
+// incompatible changes so trajectory consumers can dispatch. v2 added
+// the "env" block (toolchain and host metadata) so perf trajectories
+// recorded on different machines can be compared apples-to-apples.
+const SnapshotSchema = "pgvn-metrics/v2"
+
+// EnvMeta describes the toolchain and host a snapshot was taken on.
+// It is embedded as the snapshot's "env" block: two BENCH_*.json files
+// with different env blocks are not directly comparable timings.
+func EnvMeta() map[string]string {
+	return map[string]string{
+		"go":         runtime.Version(),
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+		"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0)),
+		"numcpu":     strconv.Itoa(runtime.NumCPU()),
+	}
+}
 
 // HistogramSnapshot is the JSON form of one histogram. Buckets maps the
 // bucket's upper bound rendered as a decimal string ("4096") to its
@@ -215,6 +232,7 @@ type HistogramSnapshot struct {
 type Snapshot struct {
 	Schema     string                       `json:"schema"`
 	Meta       map[string]string            `json:"meta,omitempty"`
+	Env        map[string]string            `json:"env,omitempty"`
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
@@ -273,22 +291,7 @@ func bucketLabel(i int) string {
 	if i >= 63 {
 		return "inf"
 	}
-	return itoa(int64(1) << i)
-}
-
-// itoa is strconv.FormatInt(v, 10) without the import weight elsewhere.
-func itoa(v int64) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
+	return strconv.FormatInt(int64(1)<<i, 10)
 }
 
 // WriteJSON writes the snapshot (with optional metadata) as indented
@@ -298,6 +301,7 @@ func itoa(v int64) string {
 func (r *Registry) WriteJSON(w io.Writer, meta map[string]string) error {
 	s := r.Snapshot()
 	s.Meta = meta
+	s.Env = EnvMeta()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)

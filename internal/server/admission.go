@@ -1,0 +1,65 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrSaturated is returned by gate.acquire when both the execution slots
+// and the wait queue are full; the handler maps it to 429 + Retry-After.
+var ErrSaturated = errors.New("server saturated: execution slots and queue full")
+
+// gate is the admission controller: at most cap(slots) requests execute
+// concurrently and at most queueMax more wait for a slot. Anything past
+// that is rejected immediately — the bounded queue is what keeps
+// latency finite under overload instead of letting every request pile
+// up behind the worker pool.
+type gate struct {
+	slots    chan struct{}
+	queueMax int64
+	queued   atomic.Int64
+}
+
+func newGate(concurrent, queueMax int) *gate {
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	if queueMax < 0 {
+		queueMax = 0
+	}
+	return &gate{slots: make(chan struct{}, concurrent), queueMax: int64(queueMax)}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue when
+// all slots are busy. It returns ErrSaturated when the queue is full,
+// or the context error if the caller's deadline expires while queued
+// (queue time counts against the request deadline — a request that
+// waited its whole budget has no time left to run).
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if g.queued.Add(1) > g.queueMax {
+		g.queued.Add(-1)
+		return ErrSaturated
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an execution slot.
+func (g *gate) release() { <-g.slots }
+
+// inflight reports how many slots are currently claimed.
+func (g *gate) inflight() int { return len(g.slots) }
+
+// waiting reports how many requests are queued for a slot.
+func (g *gate) waiting() int64 { return g.queued.Load() }

@@ -1,0 +1,341 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pgvn/internal/check"
+	"pgvn/internal/core"
+	"pgvn/internal/driver"
+	"pgvn/internal/parser"
+	"pgvn/internal/server/store"
+)
+
+// ResponseSchema tags every successful /v1/optimize body.
+const ResponseSchema = "gvnd/v1"
+
+// CacheHeader reports the disk-store disposition of an optimize
+// response: "hit" (served from the store, pipeline not run), "miss"
+// (computed and stored) or "off" (no store configured). It is a header,
+// not a body field, so the body stays a pure function of (source,
+// configuration) and the stored bytes can be replayed verbatim.
+const CacheHeader = "X-Gvnd-Cache"
+
+// OptimizeRequest is the POST /v1/optimize envelope. Source is the
+// textual IR exactly as gvnopt would read it; the optional knobs
+// override the daemon's defaults per request.
+type OptimizeRequest struct {
+	// Source holds one or more routines in the textual IR.
+	Source string `json:"source"`
+	// Mode selects the value numbering mode: "optimistic" (default),
+	// "balanced" or "pessimistic".
+	Mode string `json:"mode,omitempty"`
+	// Check selects the self-verification tier: "off" (default), "fast"
+	// or "full".
+	Check string `json:"check,omitempty"`
+	// AnalyzeOnly skips the transformations; Text stays empty and only
+	// the reports are returned.
+	AnalyzeOnly bool `json:"analyze_only,omitempty"`
+	// TimeoutMS caps this request's processing time; 0 uses the server
+	// default, and values above the server maximum are clamped to it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// RoutineSummary is the per-routine report in an optimize response.
+// Every field is a deterministic function of (source, configuration),
+// which is what makes whole responses cacheable byte-for-byte.
+type RoutineSummary struct {
+	Name              string `json:"name"`
+	Passes            int    `json:"passes"`
+	InstrEvals        int    `json:"instr_evals"`
+	Touches           int    `json:"touches"`
+	Values            int    `json:"values"`
+	Classes           int    `json:"classes"`
+	ConstantValues    int    `json:"constant_values"`
+	UnreachableValues int    `json:"unreachable_values"`
+	BlocksRemoved     int    `json:"blocks_removed"`
+	EdgesRemoved      int    `json:"edges_removed"`
+	ConstantsProp     int    `json:"constants_propagated"`
+	Redundancies      int    `json:"redundancies_replaced"`
+	InstrsRemoved     int    `json:"instrs_removed"`
+	BlocksSimplified  int    `json:"blocks_simplified"`
+	AlwaysReturns     int64  `json:"always_returns,omitempty"`
+	Const             bool   `json:"const,omitempty"`
+}
+
+// BatchSummary aggregates an optimize response. Wall/CPU timings are
+// deliberately absent (they vary run to run; latency lives in the
+// /metrics histograms), keeping the body deterministic.
+type BatchSummary struct {
+	Routines int `json:"routines"`
+	Failed   int `json:"failed"`
+}
+
+// OptimizeResponse is the 200 body: Text is byte-identical to what
+// `gvnopt` prints for the same source and configuration.
+type OptimizeResponse struct {
+	Schema   string           `json:"schema"`
+	Text     string           `json:"text"`
+	Routines []RoutineSummary `json:"routines"`
+	Stats    BatchSummary     `json:"stats"`
+}
+
+// ErrorDetail is the structured error in every non-2xx body.
+type ErrorDetail struct {
+	Code    string   `json:"code"`
+	Message string   `json:"message"`
+	Status  int      `json:"status"`
+	Fails   []string `json:"failures,omitempty"`
+}
+
+// ErrorBody is the non-2xx envelope.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// apiError carries a structured failure from request decoding or
+// execution to the response writer.
+type apiError struct {
+	status int
+	code   string
+	msg    string
+	fails  []string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(code, format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr writes the structured error envelope.
+func writeErr(w http.ResponseWriter, e *apiError) {
+	writeJSON(w, e.status, ErrorBody{Error: ErrorDetail{
+		Code: e.code, Message: e.msg, Status: e.status, Fails: e.fails,
+	}})
+}
+
+// decodeOptimize reads and validates the request envelope. Every
+// malformed input maps to a structured 4xx — the fuzz target holds the
+// handler to exactly that contract.
+func decodeOptimize(w http.ResponseWriter, r *http.Request, maxBody int64) (*OptimizeRequest, *apiError) {
+	body := http.MaxBytesReader(w, r.Body, maxBody)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req OptimizeRequest
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, &apiError{status: http.StatusRequestEntityTooLarge, code: "body_too_large",
+				msg: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)}
+		}
+		return nil, badRequest("bad_json", "decoding request: %v", err)
+	}
+	// A second document after the envelope is a malformed request, not
+	// trailing input to ignore.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return nil, badRequest("bad_json", "trailing data after request object")
+	}
+	if req.Source == "" {
+		return nil, badRequest("empty_source", "request has no source")
+	}
+	if req.TimeoutMS < 0 {
+		return nil, badRequest("bad_timeout", "timeout_ms must be >= 0")
+	}
+	return &req, nil
+}
+
+// driverConfig resolves the request knobs against the server defaults
+// into the driver configuration that identifies the result.
+func (s *Server) driverConfig(req *OptimizeRequest) (driver.Config, *apiError) {
+	cfg := driver.Config{
+		Core:        s.cfg.Core,
+		Placement:   s.cfg.Placement,
+		Jobs:        s.cfg.Jobs,
+		Check:       s.cfg.Check,
+		AnalyzeOnly: req.AnalyzeOnly,
+		Cache:       s.cfg.MemCache,
+		Metrics:     s.cfg.Metrics,
+	}
+	switch req.Mode {
+	case "":
+	case "optimistic":
+		cfg.Core.Mode = core.Optimistic
+	case "balanced":
+		cfg.Core.Mode = core.Balanced
+	case "pessimistic":
+		cfg.Core.Mode = core.Pessimistic
+	default:
+		return cfg, badRequest("bad_mode", "unknown mode %q (want optimistic, balanced or pessimistic)", req.Mode)
+	}
+	if req.Check != "" {
+		level, err := check.ParseLevel(req.Check)
+		if err != nil {
+			return cfg, badRequest("bad_check", "%v", err)
+		}
+		cfg.Check = level
+	}
+	return cfg, nil
+}
+
+// timeoutFor resolves the effective deadline for a request.
+func (s *Server) timeoutFor(req *OptimizeRequest) time.Duration {
+	d := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if rd := time.Duration(req.TimeoutMS) * time.Millisecond; rd < d {
+			d = rd
+		}
+	}
+	return d
+}
+
+// handleOptimize is POST /v1/optimize: admission, decode, store lookup,
+// pipeline, store fill.
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeErr(w, &apiError{status: http.StatusMethodNotAllowed, code: "method_not_allowed",
+			msg: "use POST"})
+		return
+	}
+	m := s.cfg.Metrics
+	if err := s.gate.acquire(r.Context()); err != nil {
+		if errors.Is(err, ErrSaturated) {
+			m.Counter("server.saturated").Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+			writeErr(w, &apiError{status: http.StatusTooManyRequests, code: "saturated",
+				msg: "server saturated; retry later"})
+			return
+		}
+		// The client's context died while queued: deadline exhausted in
+		// the queue, or the client went away. 503 is best-effort — a
+		// vanished client never reads it.
+		writeErr(w, &apiError{status: http.StatusServiceUnavailable, code: "queue_wait",
+			msg: fmt.Sprintf("request expired while queued: %v", err)})
+		return
+	}
+	defer s.gate.release()
+
+	req, aerr := decodeOptimize(w, r, s.cfg.MaxBodyBytes)
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	dcfg, aerr := s.driverConfig(req)
+	if aerr != nil {
+		writeErr(w, aerr)
+		return
+	}
+	key := store.Key(dcfg.Fingerprint(), req.Source)
+	if s.cfg.Store != nil {
+		if payload, ok := s.cfg.Store.Get(key); ok {
+			m.Counter("server.store.hits").Inc()
+			w.Header().Set(CacheHeader, "hit")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(payload)
+			return
+		}
+		m.Counter("server.store.misses").Inc()
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req))
+	defer cancel()
+	routines, err := parser.Parse(req.Source)
+	if err != nil {
+		writeErr(w, badRequest("parse_error", "%v", err))
+		return
+	}
+	if s.hookBeforeRun != nil {
+		s.hookBeforeRun(ctx, len(routines))
+	}
+	batch := driver.New(dcfg).Run(ctx, routines)
+	if batch.Stats.Failed > 0 {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			m.Counter("server.timeouts").Inc()
+			writeErr(w, &apiError{status: http.StatusGatewayTimeout, code: "timeout",
+				msg: fmt.Sprintf("request exceeded its deadline (%v)", s.timeoutFor(req))})
+			return
+		}
+		var fails []string
+		for _, re := range batch.Errors() {
+			fails = append(fails, re.Error())
+		}
+		writeErr(w, &apiError{status: http.StatusUnprocessableEntity, code: "routine_failed",
+			msg: batch.Err().Error(), fails: fails})
+		return
+	}
+
+	resp := OptimizeResponse{
+		Schema: ResponseSchema,
+		Text:   batch.Text(),
+		Stats:  BatchSummary{Routines: batch.Stats.Routines, Failed: batch.Stats.Failed},
+	}
+	for i := range batch.Results {
+		rr := &batch.Results[i]
+		rep := rr.Report
+		resp.Routines = append(resp.Routines, RoutineSummary{
+			Name:              rr.Name,
+			Passes:            rep.Stats.Passes,
+			InstrEvals:        rep.Stats.InstrEvals,
+			Touches:           rep.Stats.Touches,
+			Values:            rep.Counts.Values,
+			Classes:           rep.Counts.Classes,
+			ConstantValues:    rep.Counts.ConstantValues,
+			UnreachableValues: rep.Counts.UnreachableValues,
+			BlocksRemoved:     rep.Opt.BlocksRemoved,
+			EdgesRemoved:      rep.Opt.EdgesRemoved,
+			ConstantsProp:     rep.Opt.ConstantsPropagated,
+			Redundancies:      rep.Opt.RedundanciesReplaced,
+			InstrsRemoved:     rep.Opt.InstrsRemoved,
+			BlocksSimplified:  rep.Opt.BlocksSimplified,
+			AlwaysReturns:     rep.AlwaysReturns,
+			Const:             rep.Const,
+		})
+	}
+	payload, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		writeErr(w, &apiError{status: http.StatusInternalServerError, code: "internal",
+			msg: fmt.Sprintf("encoding response: %v", err)})
+		return
+	}
+	disposition := "off"
+	if s.cfg.Store != nil {
+		disposition = "miss"
+		if err := s.cfg.Store.Put(key, payload); err != nil {
+			// A full or broken disk degrades to compute-every-time; the
+			// response is still correct.
+			s.logf("gvnd: store put: %v", err)
+			m.Counter("server.store.put_errors").Inc()
+		}
+	}
+	w.Header().Set(CacheHeader, disposition)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(payload)
+}
+
+// retryAfterSeconds renders a duration as a whole-second Retry-After
+// value, at least 1.
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pgvn/internal/check"
+	"pgvn/internal/core"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+)
+
+// FuzzOptimize feeds arbitrary bytes to the POST /v1/optimize decode path.
+// The contract under fuzzing: never panic, never 5xx; rejected input gets
+// a structured error body with a machine-readable code; accepted input
+// produces optimized text whose source survives the full self-checked
+// pipeline (the same oracle the parser fuzzer uses).
+func FuzzOptimize(f *testing.F) {
+	seeds := []string{
+		`{"source":"func f(x) {\nentry:\n  return x\n}"}`,
+		`{"source":"func f(x) {\nentry:\n  y = x + 0\n  return y\n}","mode":"balanced"}`,
+		`{"source":"func f(x) {\nentry:\n  return x\n}","check":"full","timeout_ms":500}`,
+		`{"source":""}`,
+		`{"source":"func f(","mode":"optimistic"}`,
+		`{"source":"x","unknown_field":1}`,
+		`{"mode":"bogus","source":"func f(x) {\nentry:\n  return x\n}"}`,
+		`not json at all`,
+		`{"source":"a"}{"source":"b"}`,
+		`{"timeout_ms":-5,"source":"x"}`,
+		"",
+		`{"source":"func f(s) {\ne:\n  switch s [1: a, default: b]\na:\n  return 1\nb:\n  return 2\n}"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	srv := New(Config{MaxBodyBytes: 1 << 16})
+	h := srv.Handler()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/optimize", strings.NewReader(string(body)))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req) // a panic escapes instrument() only via t
+		switch {
+		case rec.Code == http.StatusOK:
+			var resp OptimizeResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 body is not an OptimizeResponse: %v", err)
+			}
+			if resp.Schema != ResponseSchema {
+				t.Fatalf("200 schema = %q", resp.Schema)
+			}
+			// The request was accepted, so its source must be well-formed;
+			// hold it to the same oracle the parser fuzzer uses.
+			var or OptimizeRequest
+			if err := json.Unmarshal(body, &or); err != nil {
+				t.Fatalf("200 for undecodable request %q", body)
+			}
+			routines, err := parser.Parse(or.Source)
+			if err != nil {
+				t.Fatalf("200 for unparseable source: %v", err)
+			}
+			for _, r := range routines {
+				if err := check.Pipeline(r, core.DefaultConfig(), ssa.SemiPruned, check.Full); err != nil {
+					t.Fatalf("accepted source fails the checked pipeline: %v", err)
+				}
+			}
+		case rec.Code >= 400 && rec.Code < 500:
+			var eb ErrorBody
+			if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil {
+				t.Fatalf("%d body is not structured: %v (%q)", rec.Code, err, rec.Body.Bytes())
+			}
+			if eb.Error.Code == "" || eb.Error.Status != rec.Code {
+				t.Fatalf("%d error body incomplete: %+v", rec.Code, eb.Error)
+			}
+		default:
+			t.Fatalf("status %d for input %q: %s", rec.Code, body, rec.Body.Bytes())
+		}
+	})
+}

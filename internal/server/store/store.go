@@ -1,0 +1,367 @@
+// Package store is gvnd's persistent result cache: a content-addressed,
+// size-capped, crash-tolerant mapping from request identity to response
+// payload, kept on disk so a restarted daemon starts warm.
+//
+//   - Keys are SHA-256 hex of the driver configuration fingerprint plus
+//     the request source — the same identity the in-memory driver cache
+//     uses, so a disk hit is only possible when re-running the pipeline
+//     would produce byte-identical output.
+//   - Writes are atomic: the entry is written to a temp file in the
+//     store directory and renamed into place, so a crash mid-write can
+//     leave garbage temp files (reaped on Open) but never a truncated
+//     entry under a valid name.
+//   - Every entry embeds a checksum of its payload; Get verifies it (and
+//     that the entry's recorded key matches its filename) before serving,
+//     deleting corrupt files instead of returning them.
+//   - A byte budget is enforced by LRU eviction. Access order is kept in
+//     memory and persisted to an index file by Flush (gvnd calls it
+//     during graceful drain); when the index is missing or stale the
+//     store falls back to file modification times, so losing the index
+//     costs eviction precision, never correctness.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Schema tags written into every entry and the index so future layout
+// changes can be detected instead of misread.
+const (
+	entrySchema = "gvnd-store/v1"
+	indexSchema = "gvnd-store-index/v1"
+	indexFile   = "index.json"
+	tmpPrefix   = ".tmp-"
+	entryExt    = ".json"
+)
+
+// Key returns the content address for a configuration fingerprint and a
+// request source: SHA-256 over both, NUL-separated so the two can never
+// alias.
+func Key(fingerprint, source string) string {
+	h := sha256.New()
+	h.Write([]byte(fingerprint))
+	h.Write([]byte{0})
+	h.Write([]byte(source))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// entry is the in-memory index record for one on-disk payload.
+type entry struct {
+	size  int64
+	atime int64 // logical access clock, larger = more recent
+}
+
+// fileEntry is the on-disk form of one cached result. Payload is []byte
+// (base64 in the file), not json.RawMessage: encoding/json compacts an
+// embedded RawMessage on marshal, which would silently change the stored
+// bytes and break both the checksum and the byte-identical replay
+// guarantee for indented payloads.
+type fileEntry struct {
+	Schema  string `json:"schema"`
+	Key     string `json:"key"`
+	Sum     string `json:"sum"` // SHA-256 hex of Payload
+	Payload []byte `json:"payload"`
+}
+
+// indexState is the on-disk form of the access-order index.
+type indexState struct {
+	Schema string           `json:"schema"`
+	Clock  int64            `json:"clock"`
+	Atimes map[string]int64 `json:"atimes"`
+}
+
+// Stats is a snapshot of the store's lifetime activity plus its current
+// occupancy.
+type Stats struct {
+	Hits, Misses, Puts, Evictions, Corrupt int64
+	Entries                                int
+	Bytes, MaxBytes                        int64
+}
+
+// Store is a concurrency-safe persistent result cache rooted at one
+// directory. The zero value is not usable; call Open.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	total   int64
+	clock   int64
+	stats   Stats
+}
+
+// Open loads (creating if needed) the store rooted at dir. maxBytes <= 0
+// means unlimited. Stale temp files from a crashed writer are removed;
+// entries that fail basic shape checks are ignored (Get removes them on
+// first touch). If reloading leaves the store over budget — the cap was
+// lowered between runs — the oldest entries are evicted immediately.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		entries:  make(map[string]*entry),
+	}
+	s.stats.MaxBytes = maxBytes
+	atimes := s.loadIndex()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, tmpPrefix) {
+			os.Remove(filepath.Join(dir, name)) // crashed writer leftovers
+			continue
+		}
+		key, ok := entryName(name)
+		if !ok {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		at, ok := atimes[key]
+		if !ok {
+			// No index record: order by mtime so pre-index entries still
+			// evict oldest-first. ModTime UnixNano values are far above
+			// any logical clock, so indexed entries always rank older —
+			// acceptable: they predate this process's accesses anyway.
+			at = info.ModTime().UnixNano()
+		}
+		s.entries[key] = &entry{size: info.Size(), atime: at}
+		s.total += info.Size()
+		if at >= s.clock {
+			s.clock = at + 1
+		}
+	}
+	s.evictLocked(nil)
+	return s, nil
+}
+
+// entryName reports whether name is a well-formed entry filename and
+// returns its key.
+func entryName(name string) (string, bool) {
+	key, ok := strings.CutSuffix(name, entryExt)
+	if !ok || len(key) != sha256.Size*2 {
+		return "", false
+	}
+	if _, err := hex.DecodeString(key); err != nil {
+		return "", false
+	}
+	return key, true
+}
+
+// loadIndex reads the persisted access order; any failure just means
+// mtime fallback.
+func (s *Store) loadIndex() map[string]int64 {
+	data, err := os.ReadFile(filepath.Join(s.dir, indexFile))
+	if err != nil {
+		return nil
+	}
+	var idx indexState
+	if json.Unmarshal(data, &idx) != nil || idx.Schema != indexSchema {
+		return nil
+	}
+	if idx.Clock >= s.clock {
+		s.clock = idx.Clock + 1
+	}
+	return idx.Atimes
+}
+
+// path returns the entry file for key.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+entryExt)
+}
+
+// Get returns the payload stored under key. A missing, unreadable,
+// mis-keyed or checksum-failing entry is a miss; corrupt files are
+// deleted so they cannot satisfy (or fail) future lookups.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.stats.Misses++
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		s.dropLocked(key, false)
+		s.stats.Misses++
+		return nil, false
+	}
+	var fe fileEntry
+	if err := json.Unmarshal(data, &fe); err != nil ||
+		fe.Schema != entrySchema || fe.Key != key || fe.Sum != payloadSum(fe.Payload) {
+		s.dropLocked(key, true)
+		s.stats.Corrupt++
+		s.stats.Misses++
+		return nil, false
+	}
+	s.clock++
+	e.atime = s.clock
+	s.stats.Hits++
+	return fe.Payload, true
+}
+
+// Put stores payload under key, atomically, and evicts least-recently
+// used entries while the store is over budget (never the entry just
+// written — a payload larger than the whole budget is still served to
+// its writer and evicted by the next Put).
+func (s *Store) Put(key string, payload []byte) error {
+	fe := fileEntry{
+		Schema:  entrySchema,
+		Key:     key,
+		Sum:     payloadSum(payload),
+		Payload: payload,
+	}
+	data, err := json.Marshal(fe)
+	if err != nil {
+		return fmt.Errorf("store: encode %s: %w", key, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writeAtomic(s.path(key), data); err != nil {
+		return err
+	}
+	if old, ok := s.entries[key]; ok {
+		s.total -= old.size
+	}
+	s.clock++
+	s.entries[key] = &entry{size: int64(len(data)), atime: s.clock}
+	s.total += int64(len(data))
+	s.stats.Puts++
+	s.evictLocked(s.entries[key])
+	return nil
+}
+
+// writeAtomic writes data next to path and renames it into place.
+func (s *Store) writeAtomic(path string, data []byte) error {
+	f, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: write %s: %w", filepath.Base(path), werr)
+	}
+	return nil
+}
+
+// evictLocked removes least-recently-used entries (skipping keep) until
+// the store fits its budget.
+func (s *Store) evictLocked(keep *entry) {
+	if s.maxBytes <= 0 {
+		return
+	}
+	for s.total > s.maxBytes {
+		var victim string
+		for k, e := range s.entries {
+			if e == keep {
+				continue
+			}
+			if victim == "" || e.atime < s.entries[victim].atime {
+				victim = k
+			}
+		}
+		if victim == "" {
+			return
+		}
+		s.dropLocked(victim, true)
+		s.stats.Evictions++
+	}
+}
+
+// dropLocked forgets an entry, optionally removing its file.
+func (s *Store) dropLocked(key string, unlink bool) {
+	if e, ok := s.entries[key]; ok {
+		s.total -= e.size
+		delete(s.entries, key)
+	}
+	if unlink {
+		os.Remove(s.path(key))
+	}
+}
+
+// Flush persists the access-order index (atomically), so LRU ordering
+// survives a restart. gvnd calls it as the last step of graceful drain.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := indexState{
+		Schema: indexSchema,
+		Clock:  s.clock,
+		Atimes: make(map[string]int64, len(s.entries)),
+	}
+	for k, e := range s.entries {
+		idx.Atimes[k] = e.atime
+	}
+	data, err := json.MarshalIndent(idx, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encode index: %w", err)
+	}
+	return s.writeAtomic(filepath.Join(s.dir, indexFile), data)
+}
+
+// Stats returns a snapshot of the store's counters and occupancy.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.entries)
+	st.Bytes = s.total
+	return st
+}
+
+// Len returns the number of resident entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Keys returns the resident keys ordered most-recently-used first; it
+// exists for tests and the /v1/stats endpoint's debugging view.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return s.entries[keys[i]].atime > s.entries[keys[j]].atime
+	})
+	return keys
+}
+
+// payloadSum hashes a payload for the integrity check.
+func payloadSum(p []byte) string {
+	h := sha256.Sum256(p)
+	return hex.EncodeToString(h[:])
+}

@@ -102,8 +102,16 @@ func Bzip2(scale float64) Benchmark {
 	return b
 }
 
+// sanitize turns a SPEC benchmark name into a valid IR identifier: dots
+// become underscores, and a leading digit gets a "b" prefix ("164.gzip"
+// → "b164_gzip"). Without the prefix the rendered corpus could not be
+// re-parsed — `gvngen | gvnopt` and the gvnd text round-trip both
+// depend on routine names lexing as identifiers.
 func sanitize(name string) string {
-	out := make([]byte, 0, len(name))
+	out := make([]byte, 0, len(name)+1)
+	if len(name) > 0 && name[0] >= '0' && name[0] <= '9' {
+		out = append(out, 'b')
+	}
 	for i := 0; i < len(name); i++ {
 		c := name[i]
 		if c == '.' {

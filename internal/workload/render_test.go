@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"testing"
+
+	"pgvn/internal/check"
+	"pgvn/internal/core"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+)
+
+// TestSourceTextRoundTrips is the contract behind `gvngen | gvnopt` and
+// the gvnd text round-trip: every corpus routine's surface rendering must
+// parse, verify and survive the full self-checked pipeline.
+func TestSourceTextRoundTrips(t *testing.T) {
+	for _, b := range append(Corpus(0.02), Bzip2(0.02)) {
+		for _, r := range b.Routines {
+			src := SourceText(r)
+			parsed, err := parser.Parse(src)
+			if err != nil {
+				t.Fatalf("%s/%s: rendered source does not parse: %v\nsource:\n%s",
+					b.Name, r.Name, err, src)
+			}
+			if len(parsed) != 1 {
+				t.Fatalf("%s/%s: parsed %d routines, want 1", b.Name, r.Name, len(parsed))
+			}
+			if parsed[0].Name != r.Name {
+				t.Fatalf("routine name %q round-tripped as %q", r.Name, parsed[0].Name)
+			}
+			if err := check.Pipeline(parsed[0], core.DefaultConfig(), ssa.SemiPruned, check.Full); err != nil {
+				t.Fatalf("%s/%s: pipeline failed on rendered source: %v", b.Name, r.Name, err)
+			}
+		}
+	}
+}
+
+// TestSourceTextDeterministic guards the cache key: the daemon's disk
+// store is keyed by source text, so rendering must be stable.
+func TestSourceTextDeterministic(t *testing.T) {
+	a := CorpusSource(Corpus(0.02)[0])
+	b := CorpusSource(Corpus(0.02)[0])
+	if a != b {
+		t.Fatal("CorpusSource is not deterministic")
+	}
+}
+
+// TestCorpusSourceParsesAsUnit checks the multi-routine rendering used by
+// gvngen -dir files.
+func TestCorpusSourceParsesAsUnit(t *testing.T) {
+	b := Corpus(0.02)[0]
+	rs, err := parser.Parse(CorpusSource(b))
+	if err != nil {
+		t.Fatalf("corpus unit does not parse: %v", err)
+	}
+	if len(rs) != len(b.Routines) {
+		t.Fatalf("parsed %d routines, want %d", len(rs), len(b.Routines))
+	}
+}
