@@ -1,0 +1,42 @@
+package pgvn
+
+import (
+	"testing"
+
+	"pgvn/internal/core"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+)
+
+// TestFixpointAllocGuard gates the analysis hot path's allocation count.
+// The hash-consed expression representation brought the Figure 1 routine
+// from ~1170 allocations per core.Run to ~430 (interner universe nodes,
+// congruence classes and per-routine CFG/dominator setup — nothing per
+// evaluation); the bound below leaves headroom for benign drift but fails
+// loudly if per-evaluation allocation (string keys, un-reused scratch)
+// creeps back into the fixpoint.
+func TestFixpointAllocGuard(t *testing.T) {
+	r, err := parser.ParseRoutine(figure1Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssa.Build(r, ssa.SemiPruned); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	// Warm once: lazily initialized package state must not count.
+	if _, err := core.Run(r, cfg); err != nil {
+		t.Fatal(err)
+	}
+	const maxAllocs = 700
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := core.Run(r, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > maxAllocs {
+		t.Fatalf("core.Run(figure1) allocates %.0f objects/run, want ≤ %d — "+
+			"per-evaluation allocation has crept back into the fixpoint hot path",
+			allocs, maxAllocs)
+	}
+}

@@ -71,6 +71,59 @@ func analyzeAll(b *testing.B, routines []*ir.Routine, cfg core.Config) core.Coun
 	return total
 }
 
+// BenchmarkGVNFixpoint measures the analysis fixpoint alone — no clone,
+// no SSA construction, no transformation — over the SSA-converted corpus.
+// core.Run never mutates its input, so the same routines serve every
+// iteration; this isolates the symbolic-evaluation/congruence-finding hot
+// path the hash-consed expression representation optimizes. -benchmem
+// (or the reported allocs/op) tracks the allocation trajectory.
+func BenchmarkGVNFixpoint(b *testing.B) {
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"default", core.DefaultConfig()},
+		{"extended", core.ExtendedConfig()},
+		{"dense", core.DenseConfig()},
+		{"sccp", core.SCCPConfig()},
+	}
+	routines := benchCorpus(b, 0.05)
+	for _, m := range configs {
+		b.Run(m.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				for _, r := range routines {
+					if _, err := core.Run(r, m.cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(routines))*float64(b.N)/b.Elapsed().Seconds(), "routines/s")
+		})
+	}
+}
+
+// BenchmarkGVNFigure1 measures the fixpoint on the paper's Figure 1
+// routine alone: a small, deeply predicated input where per-evaluation
+// constant factors (expression construction, TABLE probes) dominate.
+func BenchmarkGVNFigure1(b *testing.B) {
+	r, err := parser.ParseRoutine(figure1Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ssa.Build(r, ssa.SemiPruned); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := core.Run(r, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable1Modes regenerates Table 1: full-pipeline cost under the
 // three value numbering modes.
 func BenchmarkTable1Modes(b *testing.B) {

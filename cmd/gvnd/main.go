@@ -10,7 +10,7 @@
 //	POST /v1/optimize    optimize IR; body {"source": "...", "mode"?, "check"?, ...}
 //	GET  /v1/stats       live admission + cache statistics
 //	GET  /healthz        liveness ("ok" / "draining")
-//	GET  /metrics        pgvn-metrics/v2 snapshot (counters, latency histograms)
+//	GET  /metrics        pgvn-metrics/v3 snapshot (counters, latency histograms)
 //	GET  /progress       live batch progress gauges
 //	GET  /debug/pprof/*  standard profiling endpoints
 //

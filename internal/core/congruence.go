@@ -27,24 +27,24 @@ func (a *analysis) congruenceFind(v *ir.Instr, e *expr.Expr) {
 			return // leader went back to ⊥? treat as undetermined
 		}
 	} else {
-		key := e.Key()
-		c = a.table[key]
+		// e is canonical in the analysis's interner, so structural lookup
+		// is one pointer-keyed map probe — no string key is rendered.
+		c = a.table[e]
 		if c == nil {
 			c = &class{
 				members:   []*ir.Instr{v},
 				leaderVal: v,
 				expr:      e,
-				exprKey:   key,
 			}
 			if _, ok := e.IsConst(); ok {
 				c.leaderConst = e
 			}
-			a.table[key] = c
+			a.table[e] = c
 			if c0 == c {
 				return
 			}
 			if a.tr != nil {
-				a.tr.Emit(obs.KindClassNew, a.stats.Passes, v.Block.ID, v.ID, 0, key)
+				a.tr.Emit(obs.KindClassNew, a.stats.Passes, v.Block.ID, v.ID, 0, e.Key())
 				a.traceConst(v, c)
 			}
 			// v is the sole member of a fresh class; fall through to
@@ -54,12 +54,12 @@ func (a *analysis) congruenceFind(v *ir.Instr, e *expr.Expr) {
 		}
 	}
 	if c == c0 {
-		delete(a.changed, v)
+		a.changed[v.ID] = false
 		return
 	}
 	if a.tr != nil {
 		a.tr.Emit(obs.KindClassJoin, a.stats.Passes, v.Block.ID, v.ID,
-			int64(c.leaderVal.ID), c.exprKey)
+			int64(c.leaderVal.ID), c.expr.Key())
 		a.traceConst(v, c)
 	}
 	a.moveValue(v, c0, c, false)
@@ -108,8 +108,8 @@ func (a *analysis) moveValue(v *ir.Instr, c0, c *class, fresh bool) {
 		if len(c0.members) == 0 {
 			// The class died; retire its TABLE entry (paper lines
 			// 48–51).
-			if a.table[c0.exprKey] == c0 {
-				delete(a.table, c0.exprKey)
+			if a.table[c0.expr] == c0 {
+				delete(a.table, c0.expr)
 			}
 		} else if c0.leaderVal == v {
 			// v led c0: elect the lowest-ranking remaining member.
@@ -122,14 +122,14 @@ func (a *analysis) moveValue(v *ir.Instr, c0, c *class, fresh bool) {
 			c0.leaderVal = best
 			if a.tr != nil {
 				a.tr.Emit(obs.KindLeaderChange, a.stats.Passes, best.Block.ID,
-					best.ID, int64(v.ID), c0.exprKey)
+					best.ID, int64(v.ID), c0.expr.Key())
 			}
 			// If the class leader is a constant the visible leader did
 			// not change; otherwise every member is indirectly changed
 			// and its defining instruction re-touched (lines 52–56).
 			if c0.leaderConst == nil {
 				for _, m := range c0.members {
-					a.changed[m] = true
+					a.changed[m.ID] = true
 					a.touchInstr(m)
 				}
 				if !a.cfg.Sparse {

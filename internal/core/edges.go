@@ -14,7 +14,8 @@ func (a *analysis) processOutgoingEdges(b *ir.Block) {
 		return
 	}
 	for _, e := range b.Succs {
-		if a.evaluateEdgeReachability(term, e) && !a.edgeReach[e] {
+		idx := a.edgeIdx(e)
+		if a.evaluateEdgeReachability(term, e) && !a.edgeReach[idx] {
 			a.markEdgeReachable(e)
 		}
 		if a.cfg.usesPredicates() {
@@ -26,8 +27,10 @@ func (a *analysis) processOutgoingEdges(b *ir.Block) {
 					p = nil
 				}
 			}
-			if !samePred(a.edgePred[e], p) {
-				a.edgePred[e] = p
+			// Predicates are canonical interned nodes, so "same predicate"
+			// is pointer equality.
+			if a.edgePred[idx] != p {
+				a.edgePred[idx] = p
 				if a.tr != nil {
 					note := ""
 					if p != nil {
@@ -41,18 +44,11 @@ func (a *analysis) processOutgoingEdges(b *ir.Block) {
 	}
 }
 
-func samePred(a, b *expr.Expr) bool {
-	if a == nil || b == nil {
-		return a == b
-	}
-	return a.Key() == b.Key()
-}
-
 // markEdgeReachable adds e to REACHABLE, making its destination reachable
 // (touching it wholesale) or re-touching the destination's φs, and
 // propagates the change (Figure 5 lines 04–15).
 func (a *analysis) markEdgeReachable(e *ir.Edge) {
-	a.edgeReach[e] = true
+	a.edgeReach[a.edgeIdx(e)] = true
 	if a.tr != nil {
 		a.tr.Emit(obs.KindEdgeReach, a.stats.Passes, e.From.ID, -1, int64(e.To.ID), "")
 	}
@@ -178,7 +174,7 @@ func (a *analysis) evaluateEdgePredicate(term *ir.Instr, e *ir.Edge) *expr.Expr 
 			if p.Kind != expr.Compare {
 				return nil
 			}
-			return expr.NegateCompare(p)
+			return a.in.NegateCompare(p)
 		}
 		return p
 	case ir.OpSwitch:
@@ -187,15 +183,17 @@ func (a *analysis) evaluateEdgePredicate(term *ir.Instr, e *ir.Edge) *expr.Expr 
 			return nil
 		}
 		if e.OutIndex() < len(term.Cases) {
-			return expr.NewCompare(ir.OpEq, expr.NewConst(term.Cases[e.OutIndex()]), sel)
+			return a.in.Compare(ir.OpEq, a.in.Const(term.Cases[e.OutIndex()]), sel)
 		}
 		// Default edge: selector differs from every case (§3's switch
 		// extension of φ-predication).
-		parts := make([]*expr.Expr, len(term.Cases))
-		for k, cv := range term.Cases {
-			parts[k] = expr.NewCompare(ir.OpNe, expr.NewConst(cv), sel)
+		base := len(a.predParts)
+		for _, cv := range term.Cases {
+			a.predParts = append(a.predParts, a.in.Compare(ir.OpNe, a.in.Const(cv), sel))
 		}
-		return expr.NewAnd(parts...)
+		p := a.in.And(a.predParts[base:]...)
+		a.predParts = a.predParts[:base]
+		return p
 	}
 	return nil
 }
@@ -220,7 +218,7 @@ func (a *analysis) branchCondition(term *ir.Instr) *expr.Expr {
 		x := a.operandAtom(cv.Args[0], term.Block)
 		y := a.operandAtom(cv.Args[1], term.Block)
 		if !x.IsBottom() && !y.IsBottom() {
-			return expr.NewCompare(cv.Op, x, y)
+			return a.in.Compare(cv.Op, x, y)
 		}
 	}
 	// A branch on a value whose class was defined by a comparison
@@ -228,5 +226,5 @@ func (a *analysis) branchCondition(term *ir.Instr) *expr.Expr {
 	if c := a.classOf[cv.ID]; c != nil && c.expr != nil && c.expr.Kind == expr.Compare {
 		return c.expr
 	}
-	return expr.NewCompare(ir.OpNe, expr.NewConst(0), cl)
+	return a.in.Compare(ir.OpNe, a.in.Const(0), cl)
 }

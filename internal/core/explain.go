@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"strconv"
 	"strings"
 
 	"pgvn/internal/expr"
@@ -11,9 +11,17 @@ import (
 // Explain returns a human-readable account of what the analysis concluded
 // about value v: reachability, constancy, the class leader and members,
 // and the defining expression rendered over source-level value names.
+//
+// The replay path (gvnopt -explain walks every value of every routine)
+// renders with direct builder writes and strconv — no fmt — so explain
+// output on a large corpus does not pay reflection or interface-boxing
+// costs per value.
 func (r *Result) Explain(v *ir.Instr) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s (in %s): ", v.ValueName(), v.Block.Name)
+	sb.WriteString(v.ValueName())
+	sb.WriteString(" (in ")
+	sb.WriteString(v.Block.Name)
+	sb.WriteString("): ")
 	c := r.class(v)
 	switch {
 	case !r.blockReach[v.Block.ID]:
@@ -24,19 +32,28 @@ func (r *Result) Explain(v *ir.Instr) string {
 		return sb.String()
 	}
 	if cv, ok := r.ConstValue(v); ok {
-		fmt.Fprintf(&sb, "compile-time constant %d\n", cv)
+		sb.WriteString("compile-time constant ")
+		sb.WriteString(strconv.FormatInt(cv, 10))
+		sb.WriteByte('\n')
 	} else {
-		fmt.Fprintf(&sb, "congruence class led by %s\n", c.leaderVal.ValueName())
+		sb.WriteString("congruence class led by ")
+		sb.WriteString(c.leaderVal.ValueName())
+		sb.WriteByte('\n')
 	}
 	if len(c.members) > 1 {
-		names := make([]string, 0, len(c.members))
-		for _, m := range r.ClassMembers(v) {
-			names = append(names, m.ValueName())
+		sb.WriteString("  congruent values: ")
+		for k, m := range r.ClassMembers(v) {
+			if k > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(m.ValueName())
 		}
-		fmt.Fprintf(&sb, "  congruent values: %s\n", strings.Join(names, ", "))
+		sb.WriteByte('\n')
 	}
 	if c.expr != nil {
-		fmt.Fprintf(&sb, "  defining expression: %s\n", r.RenderExpr(c.expr))
+		sb.WriteString("  defining expression: ")
+		r.renderExpr(&sb, c.expr)
+		sb.WriteByte('\n')
 	}
 	return sb.String()
 }
@@ -49,49 +66,60 @@ func (r *Result) RenderExpr(e *expr.Expr) string {
 	return sb.String()
 }
 
-func (r *Result) renderExpr(sb *strings.Builder, e *expr.Expr) {
-	name := func(id int) string {
-		if id >= 0 && id < len(r.byID) && r.byID[id] != nil {
-			return r.byID[id].ValueName()
-		}
-		return fmt.Sprintf("v%d", id)
+// writeName writes the source-level name of value id, falling back to the
+// internal "v<id>" spelling for ids with no surviving instruction.
+func (r *Result) writeName(sb *strings.Builder, id int) {
+	if id >= 0 && id < len(r.byID) && r.byID[id] != nil {
+		sb.WriteString(r.byID[id].ValueName())
+		return
 	}
+	sb.WriteByte('v')
+	sb.WriteString(strconv.Itoa(id))
+}
+
+func (r *Result) renderExpr(sb *strings.Builder, e *expr.Expr) {
 	switch e.Kind {
 	case expr.Bottom:
 		sb.WriteString("⊥")
 	case expr.Const:
-		fmt.Fprintf(sb, "%d", e.C)
+		sb.WriteString(strconv.FormatInt(e.C, 10))
 	case expr.Value:
-		sb.WriteString(name(int(e.C)))
+		r.writeName(sb, int(e.C))
 	case expr.Unique:
-		fmt.Fprintf(sb, "unique(%s)", name(int(e.C)))
+		sb.WriteString("unique(")
+		r.writeName(sb, int(e.C))
+		sb.WriteByte(')')
 	case expr.BlockTag:
-		fmt.Fprintf(sb, "block#%d", e.C)
+		sb.WriteString("block#")
+		sb.WriteString(strconv.FormatInt(e.C, 10))
 	case expr.Sum:
 		for i, t := range e.Terms {
 			if i > 0 {
 				sb.WriteString(" + ")
 			}
 			if len(t.Factors) == 0 {
-				fmt.Fprintf(sb, "%d", t.Coeff)
+				sb.WriteString(strconv.FormatInt(t.Coeff, 10))
 				continue
 			}
 			if t.Coeff != 1 {
-				fmt.Fprintf(sb, "%d·", t.Coeff)
+				sb.WriteString(strconv.FormatInt(t.Coeff, 10))
+				sb.WriteString("·")
 			}
 			for j, f := range t.Factors {
 				if j > 0 {
 					sb.WriteString("·")
 				}
-				sb.WriteString(name(f.ID))
+				r.writeName(sb, f.ID)
 			}
 		}
 	case expr.Compare:
-		sb.WriteString("(")
+		sb.WriteByte('(')
 		r.renderExpr(sb, e.Args[0])
-		fmt.Fprintf(sb, " %s ", compareSymbol(e.Op))
+		sb.WriteByte(' ')
+		sb.WriteString(compareSymbol(e.Op))
+		sb.WriteByte(' ')
 		r.renderExpr(sb, e.Args[1])
-		sb.WriteString(")")
+		sb.WriteByte(')')
 	case expr.Phi:
 		sb.WriteString("φ[")
 		r.renderExpr(sb, e.Args[0])
@@ -102,33 +130,34 @@ func (r *Result) renderExpr(sb *strings.Builder, e *expr.Expr) {
 			}
 			r.renderExpr(sb, a)
 		}
-		sb.WriteString(")")
+		sb.WriteByte(')')
 	case expr.And, expr.Or:
 		sep := " ∧ "
 		if e.Kind == expr.Or {
 			sep = " ∨ "
 		}
-		sb.WriteString("(")
+		sb.WriteByte('(')
 		for i, a := range e.Args {
 			if i > 0 {
 				sb.WriteString(sep)
 			}
 			r.renderExpr(sb, a)
 		}
-		sb.WriteString(")")
+		sb.WriteByte(')')
 	case expr.Opaque:
 		if e.Op == ir.OpCall {
-			fmt.Fprintf(sb, "%s(", e.Name)
+			sb.WriteString(e.Name)
 		} else {
-			fmt.Fprintf(sb, "%s(", e.Op)
+			sb.WriteString(e.Op.String())
 		}
+		sb.WriteByte('(')
 		for i, a := range e.Args {
 			if i > 0 {
 				sb.WriteString(", ")
 			}
 			r.renderExpr(sb, a)
 		}
-		sb.WriteString(")")
+		sb.WriteByte(')')
 	default:
 		sb.WriteString(e.Key())
 	}

@@ -22,7 +22,7 @@ import (
 // block, or congruent block predicates — the φ-predication congruence
 // criterion), and every pairwise combination resolves to an existing atom
 // (a constant, or the leader of a class already in the TABLE). On success
-// the result is a φ expression that NewPhi may further reduce (Figure 14
+// the result is a φ expression that Phi may further reduce (Figure 14
 // case (b): φ(1+2, 2+1) → 3).
 func (a *analysis) phiArithmetic(op ir.Op, x, y *expr.Expr) *expr.Expr {
 	if !a.cfg.PhiArithmetic {
@@ -41,7 +41,9 @@ func (a *analysis) phiArithmetic(op ir.Op, x, y *expr.Expr) *expr.Expr {
 	}
 	if ey != nil {
 		if ex != nil {
-			if ey.Args[0].Key() != tag.Key() || len(ey.Args) != len(ex.Args) {
+			// Defining φ expressions are canonical, so congruent tags are
+			// the same pointer.
+			if ey.Args[0] != tag || len(ey.Args) != len(ex.Args) {
 				return nil
 			}
 		} else {
@@ -49,7 +51,7 @@ func (a *analysis) phiArithmetic(op ir.Op, x, y *expr.Expr) *expr.Expr {
 			n = len(ey.Args) - 1
 		}
 	}
-	args := make([]*expr.Expr, n)
+	base := len(a.phiArgs)
 	for k := 0; k < n; k++ {
 		xa, ya := x, y
 		if ex != nil {
@@ -61,20 +63,26 @@ func (a *analysis) phiArithmetic(op ir.Op, x, y *expr.Expr) *expr.Expr {
 		var comb *expr.Expr
 		switch op {
 		case ir.OpAdd:
-			comb = expr.AddExprs(xa, ya, a.cfg.ReassocLimit)
+			comb = a.in.Add(xa, ya, a.cfg.ReassocLimit)
 		case ir.OpSub:
-			comb = expr.SubExprs(xa, ya, a.cfg.ReassocLimit)
+			comb = a.in.Sub(xa, ya, a.cfg.ReassocLimit)
 		case ir.OpMul:
-			comb = expr.MulExprs(xa, ya, a.cfg.ReassocLimit)
+			comb = a.in.Mul(xa, ya, a.cfg.ReassocLimit)
 		}
 		if comb == nil {
+			a.phiArgs = a.phiArgs[:base]
 			return nil
 		}
-		if args[k] = a.resolveToAtom(comb); args[k] == nil {
+		atom := a.resolveToAtom(comb)
+		if atom == nil {
+			a.phiArgs = a.phiArgs[:base]
 			return nil
 		}
+		a.phiArgs = append(a.phiArgs, atom)
 	}
-	return expr.NewPhi(tag, args)
+	e := a.in.Phi(tag, a.phiArgs[base:])
+	a.phiArgs = a.phiArgs[:base]
+	return e
 }
 
 // phiExprOf returns the defining φ expression of the class behind a Value
@@ -100,11 +108,11 @@ func (a *analysis) resolveToAtom(e *expr.Expr) *expr.Expr {
 	case expr.Const, expr.Value:
 		return e
 	case expr.Sum:
-		if c := a.table[e.Key()]; c != nil {
+		if c := a.table[e]; c != nil {
 			if c.leaderConst != nil {
 				return c.leaderConst
 			}
-			return expr.NewValue(c.leaderVal, a.rank[c.leaderVal.ID])
+			return a.valueAtom(c.leaderVal)
 		}
 	}
 	return nil
@@ -126,14 +134,15 @@ func (a *analysis) jointDecide(b *ir.Block, p *expr.Expr) (bool, bool) {
 	}
 	decided := false
 	var verdict bool
-	for _, e := range b.Preds {
-		if !a.edgeReach[e] {
+	base := a.edgeBase[b.ID]
+	for k := range b.Preds {
+		if !a.edgeReach[base+k] {
 			continue
 		}
-		if !a.cfg.Complete && a.backEdge[e] {
+		if !a.cfg.Complete && a.backEdge[base+k] {
 			return false, false
 		}
-		ep := a.edgePred[e]
+		ep := a.edgePred[base+k]
 		if ep == nil {
 			return false, false
 		}

@@ -199,7 +199,7 @@ func (r *Result) injectSplitClass() error {
 			if c.leaderVal == m {
 				c.leaderVal = c.members[0]
 			}
-			split := &class{members: []*ir.Instr{m}, leaderVal: m, expr: c.expr, exprKey: c.exprKey}
+			split := &class{members: []*ir.Instr{m}, leaderVal: m, expr: c.expr}
 			if c.leaderConst != nil {
 				split.leaderConst = c.leaderConst
 			}

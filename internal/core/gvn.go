@@ -45,8 +45,7 @@ type class struct {
 	members     []*ir.Instr
 	leaderConst *expr.Expr // non-nil iff the leader is a constant
 	leaderVal   *ir.Instr  // representative member (valid even when constant)
-	expr        *expr.Expr // defining expression (EXPRESSION mapping)
-	exprKey     string     // TABLE key under which the class is registered
+	expr        *expr.Expr // canonical defining expression (EXPRESSION mapping; also the TABLE key)
 
 	// §3 work filters: the number of members that appear as operands of
 	// branch predicates (predicate inference is useless otherwise) and
@@ -64,16 +63,31 @@ type analysis struct {
 	byID    []*ir.Instr // instruction lookup by ID
 	rank    []int       // RANK mapping, by instruction ID
 
+	// in is the routine's expression universe: every expression the
+	// fixpoint handles is hash-consed into it, so structural equality is
+	// pointer equality and the TABLE below keys on canonical pointers —
+	// no string key is ever rendered on the hot path.
+	in      *expr.Interner
+	valAtom []*expr.Expr // memoized canonical Value atom per instruction ID
+
 	domTree  domOracle // static (practical) or incremental reachable (complete)
 	postTree *dom.Tree
 
-	backEdge map[*ir.Edge]bool // BACKWARD
+	// Edge state is stored densely, indexed by edgeBase[e.To.ID] +
+	// e.InIndex() (edges carry no IDs, but a block ID and an incoming
+	// index identify one in O(1)); see edgeIdx.
+	edgeBase  []int  // incoming-edge prefix sums by block ID, len nb+1
+	backEdge  []bool // BACKWARD, by edge index
+	nBack     int    // number of back edges
+	edgeReach []bool // REACHABLE, by edge index
+	edgePred  []*expr.Expr
+
 	// hasBackIn[blockID] reports an incoming RPO back edge (cyclic φs).
 	hasBackIn []bool
 
 	classOf []*class // by value ID; nil = INITIAL (⊥)
-	table   map[string]*class
-	changed map[*ir.Instr]bool // CHANGED
+	table   map[*expr.Expr]*class
+	changed []bool // CHANGED, by value ID
 
 	// §3 inferenceable-operand marks, by value ID: the value appears as
 	// an operand of a branch predicate (isPredOp) or of an equality or
@@ -81,10 +95,8 @@ type analysis struct {
 	isPredOp, isEqOp []bool
 
 	blockReach []bool // by block ID
-	edgeReach  map[*ir.Edge]bool
 
-	edgePred      map[*ir.Edge]*expr.Expr
-	blockPred     []*expr.Expr // by block ID
+	blockPred     []*expr.Expr // by block ID (always canonical)
 	blockPredNull []bool       // permanently nullified (§3)
 	canonical     [][]*ir.Edge // CANONICAL incoming-edge order, by block ID
 
@@ -103,21 +115,37 @@ type analysis struct {
 	infMemo []memoEntry
 	infGen  int
 
-	// φ-predication traversal scratch (reset per block-predicate
-	// computation).
-	ppInitialized map[int]bool
-	ppPartial     map[int]*expr.Expr
-	ppCanonical   []*ir.Edge
-	ppAborted     bool
-	ppTarget      *ir.Block
+	// φ-predication traversal scratch, generation-stamped: bumping ppCur
+	// invalidates every per-block entry in O(1), so recomputing a block
+	// predicate allocates no maps (entries are live when their gen slot
+	// equals ppCur).
+	ppCur       int
+	ppGen       []int        // validity stamp for ppPartialS, by block ID
+	ppPartialS  []*expr.Expr // partial path predicates, by block ID
+	ppInitGen   []int        // validity stamp of the per-block OR node
+	ppCanonical []*ir.Edge
+	ppAborted   bool
+	ppTarget    *ir.Block
+
+	// Operand scratch reused across evaluations (reset by truncation,
+	// never reallocated once warm).
+	argbuf    []*expr.Expr // opaque/compare operand lists
+	phiArgs   []*expr.Expr // φ argument lists
+	predParts []*expr.Expr // switch-default conjunction parts
 
 	// tr receives the fixpoint event stream (nil = tracing off, the
-	// fast path: every emission site tests the pointer once). curInstr
-	// attributes inference events to the instruction being evaluated.
+	// fast path: every emission site tests the pointer once, and key
+	// rendering is never forced untraced). curInstr attributes inference
+	// events to the instruction being evaluated.
 	tr       *obs.Tracer
 	curInstr int
 
 	stats Stats
+}
+
+// edgeIdx returns e's dense index into the per-edge state slices.
+func (a *analysis) edgeIdx(e *ir.Edge) int {
+	return a.edgeBase[e.To.ID] + e.InIndex()
 }
 
 // Prebuilt carries CFG analyses the embedding compiler already maintains,
@@ -155,21 +183,7 @@ func RunPrebuilt(r *ir.Routine, config Config, pre *Prebuilt) (*Result, error) {
 	if pre == nil {
 		pre = &Prebuilt{}
 	}
-	order := pre.Order
-	if order == nil {
-		order = cfg.ReversePostOrder(r)
-	}
-	a := &analysis{
-		cfg:       config,
-		routine:   r,
-		order:     order,
-		table:     make(map[string]*class),
-		changed:   make(map[*ir.Instr]bool),
-		edgeReach: make(map[*ir.Edge]bool),
-		edgePred:  make(map[*ir.Edge]*expr.Expr),
-		tr:        config.Trace,
-		curInstr:  -1,
-	}
+	a := newAnalysis(r, config, pre)
 	if a.tr == nil && debugSink {
 		// PGVN_DEBUG is an alias for a stderr text sink when no tracer
 		// was configured explicitly.
@@ -178,46 +192,6 @@ func RunPrebuilt(r *ir.Routine, config Config, pre *Prebuilt) (*Result, error) {
 			fmt.Fprintln(os.Stderr, obs.FormatEvent(name, e))
 		})
 	}
-	a.byID = make([]*ir.Instr, r.NumInstrIDs())
-	r.Instrs(func(i *ir.Instr) { a.byID[i.ID] = i })
-	a.assignRanks()
-	a.markInferenceable()
-
-	nb := r.NumBlockIDs()
-	a.blockReach = make([]bool, nb)
-	a.blockPred = make([]*expr.Expr, nb)
-	a.blockPredNull = make([]bool, nb)
-	a.canonical = make([][]*ir.Edge, nb)
-	a.hasBackIn = make([]bool, nb)
-	a.touchedInstr = make([]bool, r.NumInstrIDs())
-	a.touchedBlock = make([]bool, nb)
-	a.classOf = make([]*class, r.NumInstrIDs())
-	a.infMemo = make([]memoEntry, r.NumInstrIDs())
-
-	a.backEdge = make(map[*ir.Edge]bool)
-	for _, b := range a.order.Blocks {
-		for _, e := range b.Succs {
-			if a.order.IsBackEdge(e) {
-				a.backEdge[e] = true
-				a.hasBackIn[e.To.ID] = true
-			}
-		}
-	}
-
-	a.postTree = pre.Post
-	if a.postTree == nil {
-		a.postTree = dom.NewPost(r)
-	}
-	if config.Complete {
-		// The complete algorithm maintains the dominator tree of the
-		// currently reachable subgraph incrementally (§2.7).
-		a.incDom = dom.NewIncremental(r)
-		a.domTree = a.incDom
-	} else if pre.Dom != nil {
-		a.domTree = pre.Dom
-	} else {
-		a.domTree = dom.New(r)
-	}
 
 	// Initial assumption.
 	if config.Mode == Pessimistic || config.AssumeAllReachable {
@@ -225,7 +199,7 @@ func RunPrebuilt(r *ir.Routine, config Config, pre *Prebuilt) (*Result, error) {
 			a.blockReach[b.ID] = true
 			for _, e := range b.Succs {
 				if a.order.Reachable(e.To) {
-					a.edgeReach[e] = true
+					a.edgeReach[a.edgeIdx(e)] = true
 				}
 			}
 		}
@@ -255,7 +229,7 @@ func RunPrebuilt(r *ir.Routine, config Config, pre *Prebuilt) (*Result, error) {
 	// back edges bounds that connectedness from above.
 	maxPasses := config.MaxPasses
 	if maxPasses == 0 {
-		maxPasses = 16 + 3*len(a.backEdge)
+		maxPasses = 16 + 3*a.nBack
 	}
 
 	for a.touchedCount > 0 {
@@ -317,6 +291,85 @@ func RunPrebuilt(r *ir.Routine, config Config, pre *Prebuilt) (*Result, error) {
 type memoEntry struct {
 	gen    int
 	result *expr.Expr
+}
+
+// newAnalysis builds the analysis state for one routine, pre-sizing every
+// map and slice from the routine's instruction, block and edge counts so
+// the fixpoint itself runs without growth reallocation.
+func newAnalysis(r *ir.Routine, config Config, pre *Prebuilt) *analysis {
+	order := pre.Order
+	if order == nil {
+		order = cfg.ReversePostOrder(r)
+	}
+	ni := r.NumInstrIDs()
+	nb := r.NumBlockIDs()
+	a := &analysis{
+		cfg:      config,
+		routine:  r,
+		order:    order,
+		in:       expr.NewInterner(2 * ni),
+		table:    make(map[*expr.Expr]*class, ni),
+		tr:       config.Trace,
+		curInstr: -1,
+	}
+	a.byID = make([]*ir.Instr, ni)
+	r.Instrs(func(i *ir.Instr) { a.byID[i.ID] = i })
+	a.assignRanks()
+	a.markInferenceable()
+
+	a.valAtom = make([]*expr.Expr, ni)
+	a.classOf = make([]*class, ni)
+	a.changed = make([]bool, ni)
+	a.infMemo = make([]memoEntry, ni)
+	a.touchedInstr = make([]bool, ni)
+
+	a.blockReach = make([]bool, nb)
+	a.blockPred = make([]*expr.Expr, nb)
+	a.blockPredNull = make([]bool, nb)
+	a.canonical = make([][]*ir.Edge, nb)
+	a.hasBackIn = make([]bool, nb)
+	a.touchedBlock = make([]bool, nb)
+	a.ppGen = make([]int, nb)
+	a.ppInitGen = make([]int, nb)
+	a.ppPartialS = make([]*expr.Expr, nb)
+
+	// Dense edge numbering: prefix sums over incoming-edge counts.
+	a.edgeBase = make([]int, nb+1)
+	for _, b := range r.Blocks {
+		a.edgeBase[b.ID+1] = len(b.Preds)
+	}
+	for k := 0; k < nb; k++ {
+		a.edgeBase[k+1] += a.edgeBase[k]
+	}
+	ne := a.edgeBase[nb]
+	a.backEdge = make([]bool, ne)
+	a.edgeReach = make([]bool, ne)
+	a.edgePred = make([]*expr.Expr, ne)
+	for _, b := range a.order.Blocks {
+		for _, e := range b.Succs {
+			if a.order.IsBackEdge(e) {
+				a.backEdge[a.edgeIdx(e)] = true
+				a.nBack++
+				a.hasBackIn[e.To.ID] = true
+			}
+		}
+	}
+
+	a.postTree = pre.Post
+	if a.postTree == nil {
+		a.postTree = dom.NewPost(r)
+	}
+	if config.Complete {
+		// The complete algorithm maintains the dominator tree of the
+		// currently reachable subgraph incrementally (§2.7).
+		a.incDom = dom.NewIncremental(r)
+		a.domTree = a.incDom
+	} else if pre.Dom != nil {
+		a.domTree = pre.Dom
+	} else {
+		a.domTree = dom.New(r)
+	}
+	return a
 }
 
 // markInferenceable precomputes the §3 work filters: a value is
@@ -434,7 +487,18 @@ func (a *analysis) leaderExpr(v *ir.Instr) *expr.Expr {
 	if c.leaderConst != nil {
 		return c.leaderConst
 	}
-	return expr.NewValue(c.leaderVal, a.rank[c.leaderVal.ID])
+	return a.valueAtom(c.leaderVal)
+}
+
+// valueAtom returns the canonical Value atom for v, memoized by ID so the
+// interner probe runs once per value.
+func (a *analysis) valueAtom(v *ir.Instr) *expr.Expr {
+	if e := a.valAtom[v.ID]; e != nil {
+		return e
+	}
+	e := a.in.Value(v.ID, a.rank[v.ID])
+	a.valAtom[v.ID] = e
+	return e
 }
 
 // classOfExpr resolves the class a Value atom refers to.

@@ -13,8 +13,9 @@ import (
 // dominator tree.
 func (a *analysis) uniqueReachableIn(b *ir.Block) *ir.Edge {
 	var found *ir.Edge
-	for _, e := range b.Preds {
-		if a.edgeReach[e] {
+	base := a.edgeBase[b.ID]
+	for k, e := range b.Preds {
+		if a.edgeReach[base+k] {
 			if found != nil {
 				return nil
 			}
@@ -58,16 +59,16 @@ func (a *analysis) inferValueOfPredicate(p *expr.Expr, b *ir.Block) *expr.Expr {
 					if a.tr != nil {
 						a.tr.Emit(obs.KindPredInfer, a.stats.Passes, b.ID, a.curInstr, decided, p.Key())
 					}
-					return expr.NewConst(decided)
+					return a.in.Const(decided)
 				}
 			}
 			b = a.idom(b)
 			continue
 		}
-		if !a.cfg.Complete && a.backEdge[e] {
+		if !a.cfg.Complete && a.backEdge[a.edgeIdx(e)] {
 			break // practical: no inference along back edges
 		}
-		if ep := a.edgePred[e]; ep != nil {
+		if ep := a.edgePred[a.edgeIdx(e)]; ep != nil {
 			if val, known := expr.Implies(ep, p); known {
 				decided := int64(0)
 				if val {
@@ -76,7 +77,7 @@ func (a *analysis) inferValueOfPredicate(p *expr.Expr, b *ir.Block) *expr.Expr {
 				if a.tr != nil {
 					a.tr.Emit(obs.KindPredInfer, a.stats.Passes, b.ID, a.curInstr, decided, p.Key())
 				}
-				return expr.NewConst(decided)
+				return a.in.Const(decided)
 			}
 		}
 		b = e.From
@@ -122,7 +123,7 @@ func (a *analysis) inferAtomAtBlock(cur *expr.Expr, first *ir.Block) *expr.Expr 
 				b = a.idom(b)
 				continue
 			}
-			if !a.cfg.Complete && a.backEdge[e] {
+			if !a.cfg.Complete && a.backEdge[a.edgeIdx(e)] {
 				break // practical: no inference along back edges
 			}
 			if repl, ok := a.inferFromEdgePred(e, cur); ok {
@@ -186,7 +187,7 @@ func (a *analysis) inferFromEdgePred(e *ir.Edge, cur *expr.Expr) (*expr.Expr, bo
 	if !a.cfg.ValueInference || cur.Kind != expr.Value {
 		return nil, false
 	}
-	ep := a.edgePred[e]
+	ep := a.edgePred[a.edgeIdx(e)]
 	if ep == nil || ep.Kind != expr.Compare || ep.Op != ir.OpEq {
 		return nil, false
 	}

@@ -12,7 +12,7 @@ import (
 // the CANONICAL order, built by traversing all reachable paths from b0's
 // immediate dominator. Two φs in different blocks whose block predicates
 // are congruent (and whose arguments are congruent in canonical order)
-// then receive identical hash keys.
+// then receive identical expressions.
 //
 // The traversal aborts on back edges; per §3 an aborted block predicate is
 // permanently nullified.
@@ -25,9 +25,10 @@ func (a *analysis) computePredicateOfBlock(b0 *ir.Block) {
 		a.setBlockPredicate(b0, nil, nil)
 		return
 	}
-	a.ppInitialized = make(map[int]bool)
-	a.ppPartial = make(map[int]*expr.Expr)
-	a.ppCanonical = nil
+	// Bumping ppCur invalidates every per-block partial predicate from the
+	// previous computation in O(1); no maps are allocated per block.
+	a.ppCur++
+	a.ppCanonical = a.ppCanonical[:0]
 	a.ppAborted = false
 	a.ppTarget = b0
 	a.computePartialPredicate(d0, nil, true)
@@ -37,7 +38,7 @@ func (a *analysis) computePredicateOfBlock(b0 *ir.Block) {
 		a.setBlockPredicate(b0, nil, nil)
 		return
 	}
-	pred := a.ppPartial[b0.ID]
+	pred := a.ppGet(b0)
 	// Every reachable incoming edge of b0 must have been traversed,
 	// otherwise the predicate is incomplete (Figure 8 lines 46–49).
 	if len(a.ppCanonical) != a.reachableInCount(b0) {
@@ -50,15 +51,39 @@ func (a *analysis) computePredicateOfBlock(b0 *ir.Block) {
 	a.setBlockPredicate(b0, pred, a.ppCanonical)
 }
 
+// ppGet reads the partial path predicate of b for the current traversal
+// (stale generations read as nil, exactly like a missing map entry).
+func (a *analysis) ppGet(b *ir.Block) *expr.Expr {
+	if a.ppGen[b.ID] == a.ppCur {
+		return a.ppPartialS[b.ID]
+	}
+	return nil
+}
+
+// ppSet records the partial path predicate of b for the current traversal.
+func (a *analysis) ppSet(b *ir.Block, p *expr.Expr) {
+	a.ppGen[b.ID] = a.ppCur
+	a.ppPartialS[b.ID] = p
+}
+
 // setBlockPredicate records a (possibly nil) block predicate and its
 // CANONICAL edge order, touching the block's φs when the predicate
-// changed.
+// changed. The raw predicate tree built by the traversal is interned
+// verbatim here, so stored block predicates are always canonical and
+// "same predicate" is pointer equality.
 func (a *analysis) setBlockPredicate(b *ir.Block, pred *expr.Expr, canon []*ir.Edge) {
-	if samePred(a.blockPred[b.ID], pred) && sameEdges(a.canonical[b.ID], canon) {
+	pred = a.in.Canon(pred)
+	if a.blockPred[b.ID] == pred && sameEdges(a.canonical[b.ID], canon) {
 		return
 	}
 	a.blockPred[b.ID] = pred
-	a.canonical[b.ID] = canon
+	// canon aliases the reusable traversal scratch; keep a stable copy
+	// (reusing the block's previous backing array when it fits).
+	if len(canon) == 0 {
+		a.canonical[b.ID] = nil
+	} else {
+		a.canonical[b.ID] = append(a.canonical[b.ID][:0], canon...)
+	}
 	if a.tr != nil {
 		note := ""
 		if pred != nil {
@@ -86,8 +111,9 @@ func sameEdges(a, b []*ir.Edge) bool {
 // reachableInCount counts b's reachable incoming edges.
 func (a *analysis) reachableInCount(b *ir.Block) int {
 	n := 0
-	for _, e := range b.Preds {
-		if a.edgeReach[e] {
+	base := a.edgeBase[b.ID]
+	for k := range b.Preds {
+		if a.edgeReach[base+k] {
 			n++
 		}
 	}
@@ -98,7 +124,7 @@ func (a *analysis) reachableInCount(b *ir.Block) int {
 func (a *analysis) reachableOutCount(b *ir.Block) int {
 	n := 0
 	for _, e := range b.Succs {
-		if a.edgeReach[e] {
+		if a.edgeReach[a.edgeIdx(e)] {
 			n++
 		}
 	}
@@ -120,13 +146,13 @@ func (a *analysis) computePartialPredicate(b *ir.Block, pp *expr.Expr, ignoreInc
 	a.stats.PhiPredVisits++
 	b0 := a.ppTarget
 	if ignoreIncoming || a.reachableInCount(b) < 2 {
-		a.ppPartial[b.ID] = pp
+		a.ppSet(b, pp)
 	} else {
-		if !a.ppInitialized[b.ID] {
-			a.ppInitialized[b.ID] = true
-			a.ppPartial[b.ID] = &expr.Expr{Kind: expr.Or}
+		if a.ppInitGen[b.ID] != a.ppCur {
+			a.ppInitGen[b.ID] = a.ppCur
+			a.ppSet(b, &expr.Expr{Kind: expr.Or})
 		}
-		or := a.ppPartial[b.ID]
+		or := a.ppGet(b)
 		operand := pp
 		if operand == nil {
 			operand = truePlaceholder
@@ -143,25 +169,26 @@ func (a *analysis) computePartialPredicate(b *ir.Block, pp *expr.Expr, ignoreInc
 	// postdominator d (≠ b0), the inner region cannot affect b0's
 	// predicate; jump straight to d.
 	if d := a.postTree.IDom(b); d != nil && d != b0 && a.dominatesForPred(b, d) && a.blockReach[d.ID] {
-		a.computePartialPredicate(d, a.ppPartial[b.ID], true)
+		a.computePartialPredicate(d, a.ppGet(b), true)
 		return
 	}
 	for _, e := range a.canonicalOutgoing(b) {
-		if !a.edgeReach[e] {
+		idx := a.edgeIdx(e)
+		if !a.edgeReach[idx] {
 			continue
 		}
-		if a.backEdge[e] {
+		if a.backEdge[idx] {
 			a.ppAborted = true
 			return
 		}
 		var ep *expr.Expr
 		switch {
 		case a.reachableOutCount(b) == 1:
-			ep = a.ppPartial[b.ID]
-		case a.ppPartial[b.ID] == nil:
-			ep = a.edgePred[e]
+			ep = a.ppGet(b)
+		case a.ppGet(b) == nil:
+			ep = a.edgePred[idx]
 		default:
-			ep = expr.NewAnd(a.ppPartial[b.ID], a.edgePred[e])
+			ep = expr.NewAnd(a.ppGet(b), a.edgePred[idx])
 		}
 		a.computePartialPredicate(e.To, ep, false)
 		if a.ppAborted {
@@ -190,8 +217,8 @@ func (a *analysis) canonicalOutgoing(b *ir.Block) []*ir.Edge {
 	if len(b.Succs) != 2 {
 		return b.Succs
 	}
-	p0 := a.edgePred[b.Succs[0]]
-	p1 := a.edgePred[b.Succs[1]]
+	p0 := a.edgePred[a.edgeIdx(b.Succs[0])]
+	p1 := a.edgePred[a.edgeIdx(b.Succs[1])]
 	if p0 != nil && p1 != nil && p0.Kind == expr.Compare && p1.Kind == expr.Compare {
 		if !canonicalFirstOp(p0.Op) && canonicalFirstOp(p1.Op) {
 			return []*ir.Edge{b.Succs[1], b.Succs[0]}

@@ -31,19 +31,36 @@ type Result struct {
 	canonical  [][]*ir.Edge
 }
 
-// result packages the analysis state.
+// result packages the analysis state. The fixpoint stores per-edge state
+// densely (indexed, no edge identity); the public Result keeps the
+// edge-keyed maps because its consumers (package opt) mutate the CFG while
+// querying, which would invalidate dense indices. The maps are built once
+// here, holding only true/non-nil entries.
 func (a *analysis) result() *Result {
+	edgeReach := make(map[*ir.Edge]bool)
+	edgePred := make(map[*ir.Edge]*expr.Expr)
+	for _, b := range a.routine.Blocks {
+		base := a.edgeBase[b.ID]
+		for k, e := range b.Preds {
+			if a.edgeReach[base+k] {
+				edgeReach[e] = true
+			}
+			if p := a.edgePred[base+k]; p != nil {
+				edgePred[e] = p
+			}
+		}
+	}
 	return &Result{
 		Routine:    a.routine,
 		Config:     a.cfg,
 		Stats:      a.stats,
 		blockReach: a.blockReach,
-		edgeReach:  a.edgeReach,
+		edgeReach:  edgeReach,
 		classOf:    a.classOf,
 		rank:       a.rank,
 		byID:       a.byID,
 		blockPred:  a.blockPred,
-		edgePred:   a.edgePred,
+		edgePred:   edgePred,
 		canonical:  a.canonical,
 	}
 }

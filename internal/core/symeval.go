@@ -13,15 +13,17 @@ import (
 // predicates are subjected to predicate inference.
 //
 // It returns ⊥ while the value cannot be determined yet (an operand is
-// still in INITIAL, or every φ argument is ignorable).
+// still in INITIAL, or every φ argument is ignorable). Every non-⊥ result
+// is a canonical node of the analysis's interner, so congruence finding is
+// a pointer-keyed map probe.
 func (a *analysis) evaluate(i *ir.Instr) *expr.Expr {
 	b := i.Block
 	switch i.Op {
 	case ir.OpConst:
-		return expr.NewConst(i.Const)
+		return a.in.Const(i.Const)
 
 	case ir.OpParam:
-		return expr.NewUnique(i)
+		return a.in.Unique(i.ID)
 
 	case ir.OpPhi:
 		return a.evaluatePhi(i)
@@ -35,11 +37,15 @@ func (a *analysis) evaluate(i *ir.Instr) *expr.Expr {
 			return a.hashOnly(i, expr.Bot)
 		}
 		if a.cfg.Fold {
-			if e := expr.NegExpr(x); e != nil {
+			if e := a.in.Neg(x); e != nil {
 				return a.hashOnly(i, e)
 			}
 		}
-		return a.hashOnly(i, expr.NewOpaque(ir.OpNeg, "", []*expr.Expr{a.operandAtom(i.Args[0], b)}))
+		base := len(a.argbuf)
+		a.argbuf = append(a.argbuf, a.operandAtom(i.Args[0], b))
+		e := a.in.Opaque(ir.OpNeg, "", a.argbuf[base:])
+		a.argbuf = a.argbuf[:base]
+		return a.hashOnly(i, e)
 
 	case ir.OpAdd, ir.OpSub, ir.OpMul:
 		xa := a.operandAtom(i.Args[0], b)
@@ -56,11 +62,11 @@ func (a *analysis) evaluate(i *ir.Instr) *expr.Expr {
 			var e *expr.Expr
 			switch i.Op {
 			case ir.OpAdd:
-				e = expr.AddExprs(x, y, a.cfg.ReassocLimit)
+				e = a.in.Add(x, y, a.cfg.ReassocLimit)
 			case ir.OpSub:
-				e = expr.SubExprs(x, y, a.cfg.ReassocLimit)
+				e = a.in.Sub(x, y, a.cfg.ReassocLimit)
 			case ir.OpMul:
-				e = expr.MulExprs(x, y, a.cfg.ReassocLimit)
+				e = a.in.Mul(x, y, a.cfg.ReassocLimit)
 			}
 			if e != nil {
 				return a.hashOnly(i, e)
@@ -75,7 +81,11 @@ func (a *analysis) evaluate(i *ir.Instr) *expr.Expr {
 			return a.hashOnly(i, expr.Bot)
 		}
 		if a.cfg.Fold {
-			return a.hashOnly(i, expr.NewOpaque(i.Op, "", []*expr.Expr{x, y}))
+			base := len(a.argbuf)
+			a.argbuf = append(a.argbuf, x, y)
+			e := a.in.Opaque(i.Op, "", a.argbuf[base:])
+			a.argbuf = a.argbuf[:base]
+			return a.hashOnly(i, e)
 		}
 		return a.hashOnly(i, a.opaqueBinop(i, b))
 
@@ -83,17 +93,21 @@ func (a *analysis) evaluate(i *ir.Instr) *expr.Expr {
 		return a.hashOnly(i, a.evaluateCompare(i))
 
 	case ir.OpCall:
-		args := make([]*expr.Expr, len(i.Args))
-		for k, v := range i.Args {
-			args[k] = a.operandAtom(v, b)
-			if args[k].IsBottom() {
+		base := len(a.argbuf)
+		for _, v := range i.Args {
+			av := a.operandAtom(v, b)
+			if av.IsBottom() {
+				a.argbuf = a.argbuf[:base]
 				return a.hashOnly(i, expr.Bot)
 			}
+			a.argbuf = append(a.argbuf, av)
 		}
-		return a.hashOnly(i, expr.NewOpaque(ir.OpCall, i.Name, args))
+		e := a.in.Opaque(ir.OpCall, i.Name, a.argbuf[base:])
+		a.argbuf = a.argbuf[:base]
+		return a.hashOnly(i, e)
 	}
 	// VarRead/VarWrite never reach here (SSA verified); defensive.
-	return expr.NewUnique(i)
+	return a.in.Unique(i.ID)
 }
 
 // hashOnly implements the Wegman–Zadeck emulation (§2.9): non-constant
@@ -106,7 +120,7 @@ func (a *analysis) hashOnly(i *ir.Instr, e *expr.Expr) *expr.Expr {
 	if _, isConst := e.IsConst(); isConst {
 		return e
 	}
-	return expr.NewUnique(i)
+	return a.in.Unique(i.ID)
 }
 
 // opaqueBinop builds the no-folding expression for a binary operation:
@@ -121,7 +135,11 @@ func (a *analysis) opaqueBinop(i *ir.Instr, b *ir.Block) *expr.Expr {
 	if i.Op.IsCommutative() && atomRank(x) > atomRank(y) {
 		x, y = y, x
 	}
-	return expr.NewOpaque(i.Op, "", []*expr.Expr{x, y})
+	base := len(a.argbuf)
+	a.argbuf = append(a.argbuf, x, y)
+	e := a.in.Opaque(i.Op, "", a.argbuf[base:])
+	a.argbuf = a.argbuf[:base]
+	return e
 }
 
 func atomRank(e *expr.Expr) int {
@@ -146,16 +164,16 @@ func (a *analysis) evaluateCompare(i *ir.Instr) *expr.Expr {
 		xs := a.operandForAlgebra(i.Args[0], b)
 		ys := a.operandForAlgebra(i.Args[1], b)
 		if !xs.IsBottom() && !ys.IsBottom() {
-			if d := expr.SubExprs(xs, ys, a.cfg.ReassocLimit); d != nil {
+			if d := a.in.Sub(xs, ys, a.cfg.ReassocLimit); d != nil {
 				if c, ok := d.IsConst(); ok {
-					return expr.NewCompare(i.Op, expr.NewConst(c), expr.NewConst(0))
+					return a.in.Compare(i.Op, a.in.Const(c), a.in.Const(0))
 				}
 			}
 		}
 	}
 	var e *expr.Expr
 	if a.cfg.Fold {
-		e = expr.NewCompare(i.Op, x, y)
+		e = a.in.Compare(i.Op, x, y)
 	} else {
 		// No folding: hash the comparison structurally (still with
 		// commutative canonicalization for = and ≠).
@@ -163,7 +181,10 @@ func (a *analysis) evaluateCompare(i *ir.Instr) *expr.Expr {
 		if op.IsCommutative() && atomRank(x) > atomRank(y) {
 			x, y = y, x
 		}
-		e = expr.NewOpaque(op, "", []*expr.Expr{x, y})
+		base := len(a.argbuf)
+		a.argbuf = append(a.argbuf, x, y)
+		e = a.in.Opaque(op, "", a.argbuf[base:])
+		a.argbuf = a.argbuf[:base]
 	}
 	if e.Kind == expr.Compare && a.cfg.PredicateInference {
 		e = a.inferValueOfPredicate(e, b)
@@ -180,12 +201,12 @@ func (a *analysis) evaluateCompare(i *ir.Instr) *expr.Expr {
 func (a *analysis) evaluatePhi(i *ir.Instr) *expr.Expr {
 	b := i.Block
 	if a.cfg.Mode != Optimistic && a.hasBackIn[b.ID] {
-		return expr.NewUnique(i) // cyclic φ under balanced/pessimistic
+		return a.in.Unique(i.ID) // cyclic φ under balanced/pessimistic
 	}
 	edges := a.incomingOrder(b)
-	var args []*expr.Expr
+	base := len(a.phiArgs)
 	for _, e := range edges {
-		if !a.edgeReach[e] {
+		if !a.edgeReach[a.edgeIdx(e)] {
 			continue
 		}
 		av := a.inferValueAtEdge(i.Args[e.InIndex()], e)
@@ -194,12 +215,13 @@ func (a *analysis) evaluatePhi(i *ir.Instr) *expr.Expr {
 			// this φ when it becomes determined).
 			continue
 		}
-		args = append(args, av)
+		a.phiArgs = append(a.phiArgs, av)
 	}
-	if len(args) == 0 {
+	if len(a.phiArgs) == base {
 		return expr.Bot
 	}
-	e := expr.NewPhi(a.phiTag(b), args)
+	e := a.in.Phi(a.phiTag(b), a.phiArgs[base:])
+	a.phiArgs = a.phiArgs[:base]
 	if e.Kind == expr.Value {
 		// §3: when an expression reduces to a variable, value inference
 		// can be reapplied to it (here: at the φ's own block).
@@ -217,7 +239,7 @@ func (a *analysis) phiTag(b *ir.Block) *expr.Expr {
 			return p
 		}
 	}
-	return expr.NewBlockTag(b)
+	return a.in.BlockTag(b.ID)
 }
 
 // incomingOrder returns the block's reachable incoming edges in CANONICAL

@@ -16,20 +16,33 @@ import (
 //     ones (c < x becomes c+1 ≤ x), folding to a constant truth value at
 //     the int64 extremes.
 func NewCompare(op ir.Op, a, b *Expr) *Expr {
+	op, a, b, done := canonCompare(op, a, b, NewConst)
+	if done != nil {
+		return done
+	}
+	return &Expr{Kind: Compare, Op: op, Args: []*Expr{a, b}}
+}
+
+// canonCompare applies NewCompare's canonicalization and either folds
+// (non-nil fourth result) or returns the canonical operator and operand
+// order to build. newConst supplies constant results, so an Interner can
+// route folds into its own universe (small constants are shared atoms
+// either way).
+func canonCompare(op ir.Op, a, b *Expr, newConst func(int64) *Expr) (ir.Op, *Expr, *Expr, *Expr) {
 	if !op.IsCompare() {
 		panic("expr: NewCompare with non-comparison " + op.String())
 	}
 	ca, aConst := a.IsConst()
 	cb, bConst := b.IsConst()
 	if aConst && bConst {
-		return NewConst(foldCompare(op, ca, cb))
+		return op, a, b, newConst(foldCompare(op, ca, cb))
 	}
 	if sameAtom(a, b) {
 		switch op {
 		case ir.OpEq, ir.OpLe, ir.OpGe:
-			return NewConst(1)
+			return op, a, b, newConst(1)
 		default:
-			return NewConst(0)
+			return op, a, b, newConst(0)
 		}
 	}
 	if rankOf(a) > rankOf(b) {
@@ -41,22 +54,22 @@ func NewCompare(op ir.Op, a, b *Expr) *Expr {
 		switch op {
 		case ir.OpLt: // c < x  ⇔  c+1 ≤ x
 			if c == math.MaxInt64 {
-				return NewConst(0)
+				return op, a, b, newConst(0)
 			}
-			a, op = NewConst(c+1), ir.OpLe
+			a, op = newConst(c+1), ir.OpLe
 		case ir.OpGt: // c > x  ⇔  c-1 ≥ x
 			if c == math.MinInt64 {
-				return NewConst(0)
+				return op, a, b, newConst(0)
 			}
-			a, op = NewConst(c-1), ir.OpGe
+			a, op = newConst(c-1), ir.OpGe
 		}
 		if c, _ := a.IsConst(); c == math.MinInt64 && op == ir.OpLe {
-			return NewConst(1)
+			return op, a, b, newConst(1)
 		} else if c == math.MaxInt64 && op == ir.OpGe {
-			return NewConst(1)
+			return op, a, b, newConst(1)
 		}
 	}
-	return &Expr{Kind: Compare, Op: op, Args: []*Expr{a, b}}
+	return op, a, b, nil
 }
 
 func rankOf(e *Expr) int {

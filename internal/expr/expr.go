@@ -75,7 +75,16 @@ type Expr struct {
 	// arguments in canonical edge order), And, Or and Opaque.
 	Args []*Expr
 
-	key string // memoized canonical key
+	key string // memoized canonical key (lazily rendered by Key)
+
+	// Hash-consing state (see intern.go). hash is the structural FNV-1a
+	// hash; next chains expressions sharing an intern bucket; interned
+	// marks canonical nodes, for which structural equality is pointer
+	// equality within one Interner's universe (shared atoms like Bot and
+	// the small-constant cache are canonical in every universe).
+	hash     uint64
+	next     *Expr
+	interned bool
 }
 
 // Term is one product in a Sum: Coeff × Factors[0] × Factors[1] × …
@@ -96,15 +105,22 @@ type ValueRef struct {
 }
 
 // Bot is the shared ⊥ expression.
-var Bot = &Expr{Kind: Bottom, key: "bot"}
+var Bot = &Expr{Kind: Bottom, key: "bot", hash: atomHash(Bottom, 0), interned: true}
 
 // smallConsts interns the constants the analysis materializes constantly
-// (loop bounds, comparison results, folded arithmetic).
+// (loop bounds, comparison results, folded arithmetic). They are shared
+// canonical atoms: every Interner returns them directly, so pointer
+// comparison of interned constants works across universes.
 var smallConsts = func() [1153]*Expr {
 	var cache [1153]*Expr
 	for i := range cache {
 		c := int64(i - 128)
-		cache[i] = &Expr{Kind: Const, C: c, key: "c" + strconv.FormatInt(c, 10)}
+		cache[i] = &Expr{
+			Kind: Const, C: c,
+			key:      "c" + strconv.FormatInt(c, 10),
+			hash:     atomHash(Const, c),
+			interned: true,
+		}
 	}
 	return cache
 }()
@@ -177,6 +193,10 @@ func writeInt(sb *strings.Builder, prefix byte, v int64) {
 }
 
 func (e *Expr) writeKey(sb *strings.Builder) {
+	if e.key != "" {
+		sb.WriteString(e.key)
+		return
+	}
 	switch e.Kind {
 	case Bottom:
 		sb.WriteString("bot")
@@ -288,16 +308,19 @@ func compareFactors(a, b []ValueRef) int {
 	return len(a) - len(b)
 }
 
-// normalizeSum sorts terms (sign-insensitively, per the paper), merges
-// equal factor lists, drops zero coefficients, and lowers degenerate sums
-// to Const or Value.
-func normalizeSum(terms []Term) *Expr {
-	sorted := append([]Term(nil), terms...)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		return compareFactors(sorted[i].Factors, sorted[j].Factors) < 0
-	})
-	merged := sorted[:0]
-	for _, t := range sorted {
+// normalizeTerms canonicalizes ts in place — a stable sort by factor
+// list (sign-insensitive term order, per the paper), merging of equal
+// factor lists, zero-coefficient removal — and returns the shortened
+// slice. Insertion sort keeps the normalization allocation-free; term
+// lists are bounded by the reassociation limit (paper footnote 4).
+func normalizeTerms(ts []Term) []Term {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && compareFactors(ts[j-1].Factors, ts[j].Factors) > 0; j-- {
+			ts[j-1], ts[j] = ts[j], ts[j-1]
+		}
+	}
+	merged := ts[:0]
+	for _, t := range ts {
 		if n := len(merged); n > 0 && compareFactors(merged[n-1].Factors, t.Factors) == 0 {
 			merged[n-1].Coeff += t.Coeff
 			continue
@@ -310,6 +333,13 @@ func normalizeSum(terms []Term) *Expr {
 			out = append(out, t)
 		}
 	}
+	return out
+}
+
+// normalizeSum canonicalizes a copy of terms and lowers degenerate sums
+// to Const or Value.
+func normalizeSum(terms []Term) *Expr {
+	out := normalizeTerms(append([]Term(nil), terms...))
 	switch {
 	case len(out) == 0:
 		return NewConst(0)
@@ -414,25 +444,37 @@ func MulExprs(a, b *Expr, limit int) *Expr {
 //	x / 1 → x;  0 / x → 0;  x / x is NOT simplified (0/0 == 0 ≠ 1)
 //	x % 1 → 0;  0 % x → 0;  x % x → 0 (0%0 == 0 too)
 func NewOpaque(op ir.Op, name string, args []*Expr) *Expr {
-	if op == ir.OpDiv || op == ir.OpMod {
-		a, b := args[0], args[1]
-		ca, aConst := a.IsConst()
-		cb, bConst := b.IsConst()
-		switch {
-		case aConst && bConst:
-			return NewConst(foldDivMod(op, ca, cb))
-		case aConst && ca == 0:
-			return NewConst(0)
-		case bConst && cb == 1:
-			if op == ir.OpDiv {
-				return a
-			}
-			return NewConst(0)
-		case op == ir.OpMod && sameAtom(a, b):
-			return NewConst(0)
-		}
+	if done := canonOpaque(op, args, NewConst); done != nil {
+		return done
 	}
 	return &Expr{Kind: Opaque, Op: op, Name: name, Args: append([]*Expr(nil), args...)}
+}
+
+// canonOpaque applies NewOpaque's div/mod simplifications, returning the
+// simplified expression or nil when an Opaque node must be built. newConst
+// supplies constant results so an Interner can route folds into its own
+// universe.
+func canonOpaque(op ir.Op, args []*Expr, newConst func(int64) *Expr) *Expr {
+	if op != ir.OpDiv && op != ir.OpMod {
+		return nil
+	}
+	a, b := args[0], args[1]
+	ca, aConst := a.IsConst()
+	cb, bConst := b.IsConst()
+	switch {
+	case aConst && bConst:
+		return newConst(foldDivMod(op, ca, cb))
+	case aConst && ca == 0:
+		return newConst(0)
+	case bConst && cb == 1:
+		if op == ir.OpDiv {
+			return a
+		}
+		return newConst(0)
+	case op == ir.OpMod && sameAtom(a, b):
+		return newConst(0)
+	}
+	return nil
 }
 
 func foldDivMod(op ir.Op, a, b int64) int64 {

@@ -256,6 +256,22 @@ func sweep(b workload.Benchmark, cfg core.Config) (hlo, gvn time.Duration, err e
 	if m := metricsNow(); m != nil {
 		m.Histogram("harness.sweep_hlo_ns").Observe(int64(hlo))
 		m.Histogram("harness.sweep_gvn_ns").Observe(int64(gvn))
+		// One extra untimed, sequential pass measures the allocation cost
+		// per routine (snapshot schema v3). The deltas are process-wide,
+		// which is why this runs outside the timed region and without the
+		// worker pool — concurrent allocators would pollute the numbers.
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for _, r := range b.Routines {
+			if _, _, _, perr := pipeline(r, cfg); perr != nil {
+				return 0, 0, fmt.Errorf("%s/%s: %w", b.Name, r.Name, perr)
+			}
+		}
+		runtime.ReadMemStats(&after)
+		if n > 0 {
+			m.Histogram("harness.sweep_allocs_per_op").Observe(int64((after.Mallocs - before.Mallocs) / uint64(n)))
+			m.Histogram("harness.sweep_bytes_per_op").Observe(int64((after.TotalAlloc - before.TotalAlloc) / uint64(n)))
+		}
 		m.Counter("harness.sweeps").Inc()
 	}
 	return hlo, gvn, nil

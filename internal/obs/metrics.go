@@ -198,8 +198,11 @@ func (r *Registry) Histogram(name string) *Histogram {
 // SnapshotSchema identifies the snapshot wire format; bump on
 // incompatible changes so trajectory consumers can dispatch. v2 added
 // the "env" block (toolchain and host metadata) so perf trajectories
-// recorded on different machines can be compared apples-to-apples.
-const SnapshotSchema = "pgvn-metrics/v2"
+// recorded on different machines can be compared apples-to-apples. v3
+// added the harness.sweep_allocs_per_op and harness.sweep_bytes_per_op
+// histograms (per-routine allocation cost of the analysis pipeline,
+// measured by an untimed pass after each timing sweep).
+const SnapshotSchema = "pgvn-metrics/v3"
 
 // EnvMeta describes the toolchain and host a snapshot was taken on.
 // It is embedded as the snapshot's "env" block: two BENCH_*.json files

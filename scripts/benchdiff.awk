@@ -1,0 +1,34 @@
+# benchdiff.awk — joins two `go test -bench -benchmem` outputs on
+# benchmark name and prints a benchstat-style table of mean ns/op and
+# allocs/op with percentage deltas. Driven by `make bench-compare`:
+#
+#   awk -f scripts/benchdiff.awk base.txt head.txt
+#
+# Multiple runs of the same benchmark (-count N) are averaged; a name
+# present in only one input renders its missing side as 0 / n/a.
+/^Benchmark/ {
+	name = $1
+	for (i = 3; i < NF; i += 2) {
+		key = name SUBSEP $(i + 1)
+		if (FILENAME == ARGV[1]) { bsum[key] += $i; bn[key]++ }
+		else { hsum[key] += $i; hn[key]++ }
+	}
+	if (!(name in seen)) { order[++nnames] = name; seen[name] = 1 }
+}
+
+function bmean(key) { return bn[key] ? bsum[key] / bn[key] : 0 }
+function hmean(key) { return hn[key] ? hsum[key] / hn[key] : 0 }
+function delta(b, h) { return b ? sprintf("%+.1f%%", (h - b) * 100 / b) : "n/a" }
+
+END {
+	printf "%-48s %14s %14s %9s %12s %12s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta",
+		"old allocs", "new allocs", "delta"
+	for (k = 1; k <= nnames; k++) {
+		n = order[k]
+		bns = bmean(n SUBSEP "ns/op"); hns = hmean(n SUBSEP "ns/op")
+		ba = bmean(n SUBSEP "allocs/op"); ha = hmean(n SUBSEP "allocs/op")
+		printf "%-48s %14.0f %14.0f %9s %12.0f %12.0f %9s\n",
+			n, bns, hns, delta(bns, hns), ba, ha, delta(ba, ha)
+	}
+}
