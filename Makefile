@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check fmt race bench bench-compare check serve loadtest
+.PHONY: all build test vet fmt-check fmt race bench bench-compare check serve loadtest fleet
 
 all: check
 
@@ -59,7 +59,7 @@ bench-compare:
 
 # serve boots the optimization daemon with a warm disk store under
 # ./gvnd-store; loadtest drives a running daemon open-loop and writes a
-# gvnd-load/v1 snapshot. Override via GVND_ADDR / GVND_QPS / GVND_DURATION.
+# gvnd-load/v2 snapshot. Override via GVND_ADDR / GVND_QPS / GVND_DURATION.
 GVND_ADDR ?= localhost:8080
 GVND_QPS ?= 20
 GVND_DURATION ?= 10s
@@ -70,5 +70,27 @@ serve:
 loadtest:
 	$(GO) run ./cmd/gvnload -server-url http://$(GVND_ADDR) \
 		-qps $(GVND_QPS) -duration $(GVND_DURATION) -json load.json
+
+# fleet boots a FLEET_SIZE-node gvnd fleet (ring-routed, per-node disk
+# stores under ./fleet-store-<port>) in the foreground of one shell and
+# prints the matching gvnload -targets line. Ctrl-C drains all nodes.
+FLEET_SIZE ?= 3
+FLEET_BASE_PORT ?= 8080
+
+fleet: build
+	@set -e; \
+	peers=""; \
+	for i in $$(seq 0 $$(( $(FLEET_SIZE) - 1 ))); do \
+		port=$$(( $(FLEET_BASE_PORT) + i )); \
+		peers="$$peers$${peers:+,}http://127.0.0.1:$$port"; \
+	done; \
+	echo "fleet: drive with: go run ./cmd/gvnload -targets $$peers -qps 100 -duration 10s"; \
+	trap 'kill 0' INT TERM; \
+	for i in $$(seq 0 $$(( $(FLEET_SIZE) - 1 ))); do \
+		port=$$(( $(FLEET_BASE_PORT) + i )); \
+		$(GO) run ./cmd/gvnd -addr 127.0.0.1:$$port -node http://127.0.0.1:$$port \
+			-peers "$$peers" -store fleet-store-$$port & \
+	done; \
+	wait
 
 check: build vet fmt-check test race

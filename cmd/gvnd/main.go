@@ -10,7 +10,7 @@
 //	POST /v1/optimize    optimize IR; body {"source": "...", "mode"?, "check"?, ...}
 //	GET  /v1/stats       live admission + cache statistics
 //	GET  /healthz        liveness ("ok" / "draining")
-//	GET  /metrics        pgvn-metrics/v3 snapshot (counters, latency histograms)
+//	GET  /metrics        pgvn-metrics/v4 snapshot (counters, latency histograms)
 //	GET  /progress       live batch progress gauges
 //	GET  /debug/pprof/*  standard profiling endpoints
 //
@@ -23,7 +23,16 @@
 // -store enables the persistent response cache: results are written
 // atomically under their content address and verified on load, so a
 // restarted daemon serves repeated requests without recomputing
-// ("starts warm"). -store-max-mb bounds the store with LRU eviction.
+// ("starts warm"). -store-max-mb bounds the store with LRU eviction,
+// -store-flush bounds how much LRU recency a crash can lose, and
+// -hot-mb adds an in-memory tier above it.
+//
+// Fleet mode: -peers (or -peers-file) names the static membership and
+// -node this daemon's own entry. Each result then has one owner under
+// consistent hashing; a non-owner asked for a warm key fetches the
+// owner's copy over GET /v1/peer/cache/{key} before computing. See
+// -vnodes, -heartbeat, -suspect-after, -peer-timeout and
+// -peer-concurrency for the routing and health-checking knobs.
 //
 // On SIGINT/SIGTERM the daemon drains: it stops accepting, finishes
 // in-flight requests (up to -drain-timeout), flushes the store index,
@@ -37,10 +46,12 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"pgvn/internal/check"
+	"pgvn/internal/cluster"
 	"pgvn/internal/core"
 	"pgvn/internal/driver"
 	"pgvn/internal/obs"
@@ -71,8 +82,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		queue        = fs.Int("queue", server.DefaultMaxQueue, "max requests waiting for an execution slot (admission bound)")
 		timeout      = fs.Duration("timeout", server.DefaultRequestTimeout, "per-request processing deadline")
 		maxBody      = fs.Int64("max-body", server.DefaultMaxBodyBytes, "request body size cap in bytes")
-		retryAfter   = fs.Duration("retry-after", server.DefaultRetryAfter, "Retry-After hint sent with 429")
+		retryAfter   = fs.Duration("retry-after", server.DefaultRetryAfter, "base Retry-After hint sent with 429 (scaled by queue depth)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound for in-flight requests")
+		storeFlush   = fs.Duration("store-flush", 5*time.Second, "periodic store index flush interval (0 = only on shutdown)")
+		hotMB        = fs.Int64("hot-mb", 64, "in-memory hot cache tier size in MiB (0 = disabled)")
+		node         = fs.String("node", "", "this node's name in the fleet (required with -peers; \"name\" or bare URL)")
+		peersSpec    = fs.String("peers", "", "comma-separated fleet membership: url or name=url entries")
+		peersFile    = fs.String("peers-file", "", "file with one peer per line (url or name=url, # comments)")
+		vnodes       = fs.Int("vnodes", 0, "virtual nodes per ring member (0 = default)")
+		heartbeat    = fs.Duration("heartbeat", cluster.DefaultHeartbeatInterval, "peer health probe interval")
+		suspectAfter = fs.Int("suspect-after", cluster.DefaultSuspectAfter, "consecutive failed probes before a peer leaves the ring")
+		peerTimeout  = fs.Duration("peer-timeout", cluster.DefaultPeerFillTimeout, "deadline for one peer cache fetch")
+		peerConc     = fs.Int("peer-concurrency", server.DefaultPeerMaxConcurrent, "max peer cache reads served at once")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,15 +104,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	cfg := server.Config{
-		Jobs:           *jobs,
-		Check:          level,
-		MaxConcurrent:  *concurrency,
-		MaxQueue:       *queue,
-		RequestTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
-		RetryAfter:     *retryAfter,
-		Metrics:        obs.NewRegistry(),
-		Meta:           map[string]string{"cmd": "gvnd"},
+		Jobs:              *jobs,
+		Check:             level,
+		MaxConcurrent:     *concurrency,
+		MaxQueue:          *queue,
+		RequestTimeout:    *timeout,
+		MaxBodyBytes:      *maxBody,
+		RetryAfter:        *retryAfter,
+		PeerMaxConcurrent: *peerConc,
+		Metrics:           obs.NewRegistry(),
+		Meta:              map[string]string{"cmd": "gvnd"},
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(stderr, format+"\n", a...)
 		},
@@ -111,11 +133,49 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		cfg.Store = st
+		if *storeFlush > 0 {
+			stopFlush := st.FlushEvery(*storeFlush)
+			defer stopFlush()
+		}
+	}
+	if *hotMB > 0 {
+		cfg.Hot = cluster.NewHotTier(*hotMB<<20, cfg.Metrics)
+	}
+	peers, err := gatherPeers(*peersSpec, *peersFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "gvnd:", err)
+		return 2
+	}
+	var cl *cluster.Cluster
+	if len(peers) > 0 {
+		if *node == "" {
+			fmt.Fprintln(stderr, "gvnd: -node is required with -peers (this daemon's own fleet name)")
+			return 2
+		}
+		cl, err = cluster.New(cluster.Config{
+			Self:              *node,
+			Peers:             peers,
+			VNodes:            *vnodes,
+			HeartbeatInterval: *heartbeat,
+			SuspectAfter:      *suspectAfter,
+			PeerFillTimeout:   *peerTimeout,
+			Metrics:           cfg.Metrics,
+			Logf:              cfg.Logf,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "gvnd:", err)
+			return 2
+		}
+		cfg.Cluster = cl
 	}
 	srv := server.New(cfg)
 	if err := srv.Start(*addr); err != nil {
 		fmt.Fprintln(stderr, "gvnd:", err)
 		return 1
+	}
+	if cl != nil {
+		cl.Start()
+		defer cl.Stop()
 	}
 	fmt.Fprintf(stdout, "gvnd: listening on http://%s\n", srv.Addr)
 	fmt.Fprintf(stdout, "gvnd: %s\n", srv.Describe())
@@ -137,6 +197,34 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, "gvnd: drained, store index flushed, bye")
 	return 0
+}
+
+// gatherPeers merges the -peers spec with the -peers-file contents
+// (one peer per line, url or name=url, blank lines and #-comments
+// ignored) into the static membership list.
+func gatherPeers(spec, file string) ([]cluster.Node, error) {
+	peers, err := cluster.ParsePeers(spec)
+	if err != nil {
+		return nil, err
+	}
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			more, err := cluster.ParsePeers(line)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", file, i+1, err)
+			}
+			peers = append(peers, more...)
+		}
+	}
+	return peers, nil
 }
 
 // coreConfigFor maps the -mode flag onto the default configuration,

@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -124,6 +126,102 @@ func TestDaemonBadFlags(t *testing.T) {
 		{"-definitely-not-a-flag"},
 		{"-mode", "bogus"},
 		{"-check", "bogus"},
+	} {
+		var out, errb syncBuffer
+		if code := run(context.Background(), args, &out, &errb); code != 2 {
+			t.Errorf("%v: exit = %d, want 2 (stderr: %s)", args, code, errb.String())
+		}
+	}
+}
+
+// freeAddr reserves an ephemeral port and releases it for the daemon
+// to rebind — the usual small race, tolerable in tests.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestDaemonFleetFlags boots a two-member fleet from the CLI surface
+// (one real daemon, one configured-but-down peer) and checks the
+// cluster block appears in /v1/stats, requests carry routing headers,
+// and the down peer is eventually evicted from the ring.
+func TestDaemonFleetFlags(t *testing.T) {
+	self := "http://" + freeAddr(t)
+	ghost := "http://" + freeAddr(t) // never boots: must be evicted
+	peersFile := filepath.Join(t.TempDir(), "peers.txt")
+	if err := os.WriteFile(peersFile, []byte("# fleet\n"+ghost+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	url, stop := startDaemon(t,
+		"-addr", strings.TrimPrefix(self, "http://"),
+		"-node", self,
+		"-peers", self,
+		"-peers-file", peersFile,
+		"-heartbeat", "25ms",
+		"-suspect-after", "2",
+		"-hot-mb", "8",
+	)
+	defer stop()
+
+	req := `{"source":"func f(x) {\nentry:\n  y = x + 0\n  return y\n}"}`
+	resp, err := http.Post(url+"/v1/optimize", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Gvnd-Node"); got != self {
+		t.Fatalf("X-Gvnd-Node = %q, want %q", got, self)
+	}
+	if got := resp.Header.Get("X-Gvnd-Routing"); got != "owner" && got != "remote" {
+		t.Fatalf("X-Gvnd-Routing = %q", got)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(url + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(body), `"cluster"`) || !strings.Contains(string(body), `"hot"`) {
+			t.Fatalf("stats missing cluster/hot blocks: %s", body)
+		}
+		var stats struct {
+			Cluster struct {
+				RingMembers []string `json:"ring_members"`
+			} `json:"cluster"`
+		}
+		if err := json.Unmarshal(body, &stats); err != nil {
+			t.Fatal(err)
+		}
+		if len(stats.Cluster.RingMembers) == 1 && stats.Cluster.RingMembers[0] == self {
+			break // ghost evicted, self remains
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("down peer never left the ring: %s", body)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDaemonPeersRequireNode checks the fleet flags are validated
+// before a port is bound.
+func TestDaemonPeersRequireNode(t *testing.T) {
+	for _, args := range [][]string{
+		{"-peers", "http://127.0.0.1:1"},
+		{"-peers", "=bogus"},
+		{"-peers-file", filepath.Join(t.TempDir(), "missing.txt"), "-node", "x"},
 	} {
 		var out, errb syncBuffer
 		if code := run(context.Background(), args, &out, &errb); code != 2 {

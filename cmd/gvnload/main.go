@@ -1,8 +1,9 @@
-// Command gvnload drives a running gvnd open-loop at a target QPS over
-// the synthetic SPEC-shaped workload corpus and reports the latency
-// distribution, error rate and cache hit ratio:
+// Command gvnload drives a running gvnd (or a fleet of them) open-loop
+// at a target QPS over the synthetic SPEC-shaped workload corpus and
+// reports the latency distribution, error rate and cache hit ratio:
 //
 //	gvnload -server-url http://localhost:8080 -qps 50 -duration 10s
+//	gvnload -targets http://node0:8080,http://node1:8080 -qps 100
 //
 // Open-loop means requests fire on the clock regardless of how many are
 // still outstanding — the arrival process does not slow down when the
@@ -11,12 +12,20 @@
 // -scale, so repeated runs against a store-backed daemon measure the
 // warm-cache path.
 //
+// Fleet mode (-targets) routes every request to its owner: gvnload
+// fetches the fleet's config fingerprint from /v1/stats, computes each
+// body's content address, and builds the same consistent-hash ring the
+// daemons use (targets as bare-URL member names). The report then adds
+// per-node breakdowns and the routing-mismatch rate — responses whose
+// X-Gvnd-Routing header says the serving node was not the owner, i.e.
+// the client's ring view disagreed with the server's.
+//
 // Exit status: 0 on success, 1 when any 5xx was observed (the CI smoke
 // gate) or the run could not start. 429s are counted and reported but
 // are not failures — they are the admission control working.
 //
-// -json writes a gvnd-load/v1 snapshot (latency percentiles, counts,
-// environment block) for trajectory comparison.
+// -json writes a gvnd-load/v2 snapshot (latency percentiles, counts,
+// per-node stats, environment block) for trajectory comparison.
 package main
 
 import (
@@ -32,41 +41,72 @@ import (
 	"sync"
 	"time"
 
+	"pgvn/internal/cluster"
 	"pgvn/internal/obs"
+	"pgvn/internal/server/store"
 	"pgvn/internal/workload"
 )
 
-// LoadSchema tags the -json snapshot.
-const LoadSchema = "gvnd-load/v1"
+// LoadSchema tags the -json snapshot. v2 added fleet mode: targets,
+// per-node breakdowns and the routing-mismatch rate.
+const LoadSchema = "gvnd-load/v2"
 
 // Result is one request's outcome.
 type result struct {
+	target  string
 	status  int
 	cache   string
+	routing string
 	latency time.Duration
 	err     error
 }
 
+// NodeReport is one target's slice of the outcomes.
+type NodeReport struct {
+	Target      string `json:"target"`
+	Sent        int    `json:"sent"`
+	OK          int    `json:"ok"`
+	Rejected429 int    `json:"rejected_429"`
+	Errors5xx   int    `json:"errors_5xx"`
+	Transport   int    `json:"transport_errors"`
+	CacheHits   int    `json:"cache_hits"`
+	CacheMisses int    `json:"cache_misses"`
+	P50NS       int64  `json:"p50_ns"`
+	P95NS       int64  `json:"p95_ns"`
+	P99NS       int64  `json:"p99_ns"`
+}
+
 // LoadReport is the -json snapshot and the basis of the text report.
 type LoadReport struct {
-	Schema      string            `json:"schema"`
-	ServerURL   string            `json:"server_url"`
-	TargetQPS   float64           `json:"target_qps"`
-	DurationNS  int64             `json:"duration_ns"`
-	Sent        int               `json:"sent"`
-	OK          int               `json:"ok"`
-	Rejected429 int               `json:"rejected_429"`
-	Errors4xx   int               `json:"errors_4xx"`
-	Errors5xx   int               `json:"errors_5xx"`
-	Transport   int               `json:"transport_errors"`
-	CacheHits   int               `json:"cache_hits"`
-	CacheMisses int               `json:"cache_misses"`
-	P50NS       int64             `json:"p50_ns"`
-	P95NS       int64             `json:"p95_ns"`
-	P99NS       int64             `json:"p99_ns"`
-	MaxNS       int64             `json:"max_ns"`
-	AchievedQPS float64           `json:"achieved_qps"`
-	Env         map[string]string `json:"env"`
+	Schema          string            `json:"schema"`
+	Targets         []string          `json:"targets"`
+	TargetQPS       float64           `json:"target_qps"`
+	DurationNS      int64             `json:"duration_ns"`
+	Sent            int               `json:"sent"`
+	OK              int               `json:"ok"`
+	Rejected429     int               `json:"rejected_429"`
+	Errors4xx       int               `json:"errors_4xx"`
+	Errors5xx       int               `json:"errors_5xx"`
+	Transport       int               `json:"transport_errors"`
+	CacheHits       int               `json:"cache_hits"`
+	CacheMisses     int               `json:"cache_misses"`
+	RoutingKnown    int               `json:"routing_known"`
+	RoutingMismatch int               `json:"routing_mismatch"`
+	P50NS           int64             `json:"p50_ns"`
+	P95NS           int64             `json:"p95_ns"`
+	P99NS           int64             `json:"p99_ns"`
+	MaxNS           int64             `json:"max_ns"`
+	AchievedQPS     float64           `json:"achieved_qps"`
+	PerNode         []NodeReport      `json:"per_node,omitempty"`
+	Env             map[string]string `json:"env"`
+}
+
+// request is one prepared optimize call: the encoded body plus the
+// source text it carries, which fleet mode hashes for routing.
+type request struct {
+	body   []byte
+	source string
+	target string // resolved owner URL
 }
 
 func main() {
@@ -77,32 +117,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gvnload", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		serverURL = fs.String("server-url", "", "gvnd base URL (required), e.g. http://localhost:8080")
+		serverURL = fs.String("server-url", "", "gvnd base URL (single-target mode)")
+		targets   = fs.String("targets", "", "comma-separated gvnd base URLs (fleet mode, ring-routed)")
 		qps       = fs.Float64("qps", 20, "target request rate (open loop)")
 		duration  = fs.Duration("duration", 10*time.Second, "how long to drive load")
 		scale     = fs.Float64("scale", 0.02, "corpus scale for request bodies (1.0 ≈ 690 routines)")
 		mode      = fs.String("mode", "", "request mode override (optimistic, balanced, pessimistic)")
 		chk       = fs.String("check", "", "request check tier override (off, fast, full)")
 		timeout   = fs.Duration("timeout", 30*time.Second, "per-request client timeout")
-		jsonOut   = fs.String("json", "", "write the gvnd-load/v1 report snapshot to this file")
+		jsonOut   = fs.String("json", "", "write the gvnd-load/v2 report snapshot to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *serverURL == "" {
-		fmt.Fprintln(stderr, "gvnload: -server-url is required")
+	var urls []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			urls = append(urls, strings.TrimRight(t, "/"))
+		}
+	}
+	if *serverURL != "" {
+		urls = append(urls, strings.TrimRight(*serverURL, "/"))
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(stderr, "gvnload: -server-url or -targets is required")
 		return 2
 	}
 	if *qps <= 0 {
 		fmt.Fprintln(stderr, "gvnload: -qps must be > 0")
 		return 2
 	}
-	bodies := requestBodies(*scale, *mode, *chk)
-	fmt.Fprintf(stdout, "gvnload: %d distinct request bodies, %.0f qps for %v against %s\n",
-		len(bodies), *qps, *duration, *serverURL)
-
-	url := strings.TrimRight(*serverURL, "/") + "/v1/optimize"
 	client := &http.Client{Timeout: *timeout}
+	reqs := requestBodies(*scale, *mode, *chk)
+	if err := route(client, reqs, urls); err != nil {
+		fmt.Fprintln(stderr, "gvnload:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "gvnload: %d distinct request bodies, %.0f qps for %v against %d target(s)\n",
+		len(reqs), *qps, *duration, len(urls))
+
 	interval := time.Duration(float64(time.Second) / *qps)
 	if interval <= 0 {
 		interval = time.Microsecond
@@ -124,12 +177,12 @@ fire:
 		case <-deadline:
 			break fire
 		case <-ticker.C:
-			body := bodies[sent%len(bodies)]
+			req := reqs[sent%len(reqs)]
 			sent++
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				r := shoot(client, url, body)
+				r := shoot(client, req)
 				mu.Lock()
 				results = append(results, r)
 				mu.Unlock()
@@ -139,7 +192,7 @@ fire:
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	rep := summarize(results, *serverURL, *qps, elapsed)
+	rep := summarize(results, urls, *qps, elapsed)
 	printReport(stdout, rep)
 	if *jsonOut != "" {
 		if err := writeReport(*jsonOut, rep); err != nil {
@@ -156,12 +209,14 @@ fire:
 	return 0
 }
 
-// requestBodies renders one optimize request per corpus routine.
-func requestBodies(scale float64, mode, chk string) [][]byte {
-	var bodies [][]byte
+// requestBodies renders one optimize request per corpus routine,
+// keeping the source text for fleet routing.
+func requestBodies(scale float64, mode, chk string) []*request {
+	var reqs []*request
 	for _, b := range workload.Corpus(scale) {
 		for _, r := range b.Routines {
-			req := map[string]any{"source": workload.SourceText(r)}
+			src := workload.SourceText(r)
+			req := map[string]any{"source": src}
 			if mode != "" {
 				req["mode"] = mode
 			}
@@ -172,59 +227,148 @@ func requestBodies(scale float64, mode, chk string) [][]byte {
 			if err != nil {
 				panic(err) // map of strings cannot fail to marshal
 			}
-			bodies = append(bodies, body)
+			reqs = append(reqs, &request{body: body, source: src})
 		}
 	}
-	return bodies
+	return reqs
+}
+
+// route assigns every request its target. One target: trivially it.
+// Several: fetch the fleet fingerprint, content-address each body the
+// way the daemons do, and resolve owners on a ring whose member names
+// are the target URLs — identical to daemons started with bare-URL
+// -peers, so client and server agree on ownership.
+func route(client *http.Client, reqs []*request, urls []string) error {
+	if len(urls) == 1 {
+		for _, r := range reqs {
+			r.target = urls[0]
+		}
+		return nil
+	}
+	fp, err := fetchFingerprint(client, urls[0])
+	if err != nil {
+		return err
+	}
+	for _, u := range urls[1:] {
+		other, err := fetchFingerprint(client, u)
+		if err != nil {
+			return err
+		}
+		if other != fp {
+			return fmt.Errorf("fleet fingerprint mismatch: %s reports %s, %s reports %s (differing daemon configs cannot share a ring)",
+				urls[0], fp, u, other)
+		}
+	}
+	ring := cluster.NewRing(0)
+	for _, u := range urls {
+		ring.Add(u)
+	}
+	for _, r := range reqs {
+		owner, ok := ring.Owner(store.Key(fp, r.source))
+		if !ok {
+			return fmt.Errorf("empty ring")
+		}
+		r.target = owner
+	}
+	return nil
+}
+
+// fetchFingerprint reads the daemon's default-config fingerprint from
+// /v1/stats.
+func fetchFingerprint(client *http.Client, url string) (string, error) {
+	resp, err := client.Get(url + "/v1/stats")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s/v1/stats: %s", url, resp.Status)
+	}
+	var stats struct {
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return "", fmt.Errorf("%s/v1/stats: %w", url, err)
+	}
+	if stats.Fingerprint == "" {
+		return "", fmt.Errorf("%s/v1/stats: no fingerprint (daemon too old for fleet routing?)", url)
+	}
+	return stats.Fingerprint, nil
 }
 
 // shoot sends one request and classifies the outcome.
-func shoot(client *http.Client, url string, body []byte) result {
+func shoot(client *http.Client, req *request) result {
 	start := time.Now()
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	resp, err := client.Post(req.target+"/v1/optimize", "application/json", bytes.NewReader(req.body))
 	if err != nil {
-		return result{err: err, latency: time.Since(start)}
+		return result{target: req.target, err: err, latency: time.Since(start)}
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	return result{
+		target:  req.target,
 		status:  resp.StatusCode,
 		cache:   resp.Header.Get("X-Gvnd-Cache"),
+		routing: resp.Header.Get("X-Gvnd-Routing"),
 		latency: time.Since(start),
 	}
 }
 
 // summarize folds the raw outcomes into the report.
-func summarize(results []result, url string, qps float64, elapsed time.Duration) LoadReport {
+func summarize(results []result, urls []string, qps float64, elapsed time.Duration) LoadReport {
 	rep := LoadReport{
 		Schema:     LoadSchema,
-		ServerURL:  url,
+		Targets:    urls,
 		TargetQPS:  qps,
 		DurationNS: int64(elapsed),
 		Sent:       len(results),
 		Env:        obs.EnvMeta(),
 	}
 	var lats []time.Duration
+	perNode := make(map[string]*NodeReport, len(urls))
+	perLats := make(map[string][]time.Duration, len(urls))
+	for _, u := range urls {
+		perNode[u] = &NodeReport{Target: u}
+	}
 	for _, r := range results {
+		node := perNode[r.target]
+		if node == nil {
+			node = &NodeReport{Target: r.target}
+			perNode[r.target] = node
+		}
+		node.Sent++
 		switch {
 		case r.err != nil:
 			rep.Transport++
+			node.Transport++
 			continue
 		case r.status == http.StatusOK:
 			rep.OK++
+			node.OK++
 			lats = append(lats, r.latency)
+			perLats[r.target] = append(perLats[r.target], r.latency)
 		case r.status == http.StatusTooManyRequests:
 			rep.Rejected429++
+			node.Rejected429++
 		case r.status >= 500:
 			rep.Errors5xx++
+			node.Errors5xx++
 		case r.status >= 400:
 			rep.Errors4xx++
 		}
 		switch r.cache {
 		case "hit":
 			rep.CacheHits++
+			node.CacheHits++
 		case "miss":
 			rep.CacheMisses++
+			node.CacheMisses++
+		}
+		if r.routing != "" {
+			rep.RoutingKnown++
+			if r.routing != "owner" {
+				rep.RoutingMismatch++
+			}
 		}
 	}
 	if len(lats) > 0 {
@@ -236,6 +380,18 @@ func summarize(results []result, url string, qps float64, elapsed time.Duration)
 	}
 	if elapsed > 0 {
 		rep.AchievedQPS = float64(len(results)) / elapsed.Seconds()
+	}
+	if len(urls) > 1 {
+		for _, u := range urls {
+			node := perNode[u]
+			if ls := perLats[u]; len(ls) > 0 {
+				sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+				node.P50NS = int64(percentile(ls, 0.50))
+				node.P95NS = int64(percentile(ls, 0.95))
+				node.P99NS = int64(percentile(ls, 0.99))
+			}
+			rep.PerNode = append(rep.PerNode, *node)
+		}
 	}
 	return rep
 }
@@ -268,12 +424,25 @@ func printReport(w io.Writer, rep LoadReport) {
 		fmt.Fprintf(w, "  cache %d/%d hits (%.0f%%)\n",
 			rep.CacheHits, total, 100*float64(rep.CacheHits)/float64(total))
 	}
+	if rep.RoutingKnown > 0 {
+		fmt.Fprintf(w, "  routing %d/%d mismatched (%.1f%%)\n",
+			rep.RoutingMismatch, rep.RoutingKnown,
+			100*float64(rep.RoutingMismatch)/float64(rep.RoutingKnown))
+	}
 	if rep.OK > 0 {
 		fmt.Fprintf(w, "  latency p50 %v, p95 %v, p99 %v, max %v\n",
 			time.Duration(rep.P50NS).Round(time.Microsecond),
 			time.Duration(rep.P95NS).Round(time.Microsecond),
 			time.Duration(rep.P99NS).Round(time.Microsecond),
 			time.Duration(rep.MaxNS).Round(time.Microsecond))
+	}
+	for _, n := range rep.PerNode {
+		fmt.Fprintf(w, "  node %s: sent %d, ok %d, 429 %d, 5xx %d, hits %d/%d, p50 %v p95 %v p99 %v\n",
+			n.Target, n.Sent, n.OK, n.Rejected429, n.Errors5xx,
+			n.CacheHits, n.CacheHits+n.CacheMisses,
+			time.Duration(n.P50NS).Round(time.Microsecond),
+			time.Duration(n.P95NS).Round(time.Microsecond),
+			time.Duration(n.P99NS).Round(time.Microsecond))
 	}
 }
 

@@ -2,12 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
+	"pgvn/internal/cluster"
+	"pgvn/internal/core"
 	"pgvn/internal/server"
 )
 
@@ -54,6 +59,109 @@ func TestLoadRunAgainstLiveServer(t *testing.T) {
 	}
 	if rep.Env["go"] == "" {
 		t.Fatalf("snapshot missing env block: %+v", rep.Env)
+	}
+}
+
+// TestLoadFleetTargets drives a two-node in-process fleet through
+// -targets and checks ring routing: every request lands on its owner
+// (zero mismatches), both nodes take traffic, and a second identical
+// run is served warm.
+func TestLoadFleetTargets(t *testing.T) {
+	lns := make([]net.Listener, 2)
+	peers := make([]cluster.Node, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		url := "http://" + ln.Addr().String()
+		peers[i] = cluster.Node{Name: url, URL: url}
+	}
+	var urls []string
+	for i := range lns {
+		cl, err := cluster.New(cluster.Config{Self: peers[i].Name, Peers: peers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(server.Config{Cluster: cl, Hot: cluster.NewHotTier(8<<20, nil)})
+		srv.Serve(lns[i])
+		defer srv.Shutdown(context.Background())
+		urls = append(urls, peers[i].URL)
+	}
+
+	load := func(pass string) LoadReport {
+		out := filepath.Join(t.TempDir(), pass+".json")
+		var stdout, stderr bytes.Buffer
+		code := run([]string{
+			"-targets", strings.Join(urls, ","),
+			"-qps", "200", "-duration", "300ms", "-scale", "0.01",
+			"-timeout", "10s", "-json", out,
+		}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("%s pass exit = %d\nstdout: %s\nstderr: %s",
+				pass, code, stdout.String(), stderr.String())
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rep LoadReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	cold := load("cold")
+	if len(cold.Targets) != 2 || len(cold.PerNode) != 2 {
+		t.Fatalf("targets/per-node = %d/%d, want 2/2", len(cold.Targets), len(cold.PerNode))
+	}
+	if cold.OK == 0 || cold.Errors5xx != 0 || cold.Transport != 0 {
+		t.Fatalf("unhealthy cold pass: %+v", cold)
+	}
+	if cold.RoutingKnown == 0 || cold.RoutingMismatch != 0 {
+		t.Fatalf("routing: %d known, %d mismatched, want >0 and 0",
+			cold.RoutingKnown, cold.RoutingMismatch)
+	}
+	for _, n := range cold.PerNode {
+		if n.Sent == 0 {
+			t.Fatalf("node %s took no traffic (ring imbalance?): %+v", n.Target, cold.PerNode)
+		}
+	}
+	warm := load("warm")
+	if warm.CacheHits == 0 || warm.CacheMisses != 0 {
+		t.Fatalf("warm pass not warm: hits %d, misses %d", warm.CacheHits, warm.CacheMisses)
+	}
+}
+
+// TestLoadFleetFingerprintMismatch checks differently-configured
+// daemons are refused rather than silently misrouted.
+func TestLoadFleetFingerprintMismatch(t *testing.T) {
+	a := server.New(server.Config{})
+	cfgB := server.Config{}
+	cfgB.Core = core.DefaultConfig()
+	cfgB.Core.Mode = core.Pessimistic
+	b := server.New(cfgB)
+	if err := a.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Shutdown(context.Background())
+	if err := b.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer b.Shutdown(context.Background())
+
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-targets", "http://" + a.Addr + ",http://" + b.Addr,
+		"-qps", "10", "-duration", "50ms", "-scale", "0.01",
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "fingerprint mismatch") {
+		t.Fatalf("no mismatch diagnostic: %s", errb.String())
 	}
 }
 

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+
+	"pgvn/internal/obs"
+)
+
+// HotStats is a snapshot of a HotTier's lifetime activity and current
+// occupancy.
+type HotStats struct {
+	Hits, Misses, Puts, Evictions int64
+	Entries                       int
+	Bytes, MaxBytes               int64
+}
+
+// HotTier is the in-memory first cache tier: whole response payloads
+// keyed by their content address, bounded by a byte budget with LRU
+// eviction. It sits above the disk store, so the common warm request
+// never touches the filesystem (the disk store serializes reads under
+// one mutex; the hot tier turns that into a map lookup plus a list
+// splice). Payloads are shared slices — callers must treat them as
+// immutable, which the content-addressed scheme already guarantees.
+type HotTier struct {
+	max     int64
+	metrics *obs.Registry
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	total int64
+	stats HotStats
+}
+
+// hotItem is one resident payload.
+type hotItem struct {
+	key     string
+	payload []byte
+}
+
+// NewHotTier returns a tier bounded to maxBytes (<=0 means unlimited).
+// metrics may be nil; when set, the tier feeds cluster.hot.* counters.
+func NewHotTier(maxBytes int64, metrics *obs.Registry) *HotTier {
+	return &HotTier{
+		max:     maxBytes,
+		metrics: metrics,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+	}
+}
+
+// Get returns the payload under key, promoting it to most recently
+// used.
+func (t *HotTier) Get(key string) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.items[key]
+	if !ok {
+		t.stats.Misses++
+		t.metrics.Counter("cluster.hot.misses").Inc()
+		return nil, false
+	}
+	t.ll.MoveToFront(el)
+	t.stats.Hits++
+	t.metrics.Counter("cluster.hot.hits").Inc()
+	return el.Value.(*hotItem).payload, true
+}
+
+// Put stores payload under key and evicts least-recently-used entries
+// past the byte budget (never the entry just written).
+func (t *HotTier) Put(key string, payload []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.items[key]; ok {
+		it := el.Value.(*hotItem)
+		t.total += int64(len(payload)) - int64(len(it.payload))
+		it.payload = payload
+		t.ll.MoveToFront(el)
+	} else {
+		el = t.ll.PushFront(&hotItem{key: key, payload: payload})
+		t.items[key] = el
+		t.total += int64(len(payload))
+	}
+	t.stats.Puts++
+	if t.max <= 0 {
+		return
+	}
+	for t.total > t.max && t.ll.Len() > 1 {
+		back := t.ll.Back()
+		it := back.Value.(*hotItem)
+		t.ll.Remove(back)
+		delete(t.items, it.key)
+		t.total -= int64(len(it.payload))
+		t.stats.Evictions++
+		t.metrics.Counter("cluster.hot.evictions").Inc()
+	}
+}
+
+// Stats returns a snapshot of the tier.
+func (t *HotTier) Stats() HotStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stats
+	st.Entries = t.ll.Len()
+	st.Bytes = t.total
+	st.MaxBytes = t.max
+	return st
+}
+
+// Len returns the resident entry count.
+func (t *HotTier) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ll.Len()
+}

@@ -201,8 +201,11 @@ func (r *Registry) Histogram(name string) *Histogram {
 // recorded on different machines can be compared apples-to-apples. v3
 // added the harness.sweep_allocs_per_op and harness.sweep_bytes_per_op
 // histograms (per-routine allocation cost of the analysis pipeline,
-// measured by an untimed pass after each timing sweep).
-const SnapshotSchema = "pgvn-metrics/v3"
+// measured by an untimed pass after each timing sweep). v4 added the
+// cluster.* instruments (hot-tier hits/misses/evictions, peer-fill and
+// peer-serve outcomes, ring membership transitions) emitted by gvnd
+// fleet mode.
+const SnapshotSchema = "pgvn-metrics/v4"
 
 // EnvMeta describes the toolchain and host a snapshot was taken on.
 // It is embedded as the snapshot's "env" block: two BENCH_*.json files

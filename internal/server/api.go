@@ -2,15 +2,19 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"time"
 
 	"pgvn/internal/check"
+	"pgvn/internal/cluster"
 	"pgvn/internal/core"
 	"pgvn/internal/driver"
 	"pgvn/internal/parser"
@@ -20,12 +24,28 @@ import (
 // ResponseSchema tags every successful /v1/optimize body.
 const ResponseSchema = "gvnd/v1"
 
-// CacheHeader reports the disk-store disposition of an optimize
-// response: "hit" (served from the store, pipeline not run), "miss"
-// (computed and stored) or "off" (no store configured). It is a header,
-// not a body field, so the body stays a pure function of (source,
-// configuration) and the stored bytes can be replayed verbatim.
+// CacheHeader reports the cache disposition of an optimize response:
+// "hit" (served from some cache tier, pipeline not run), "miss"
+// (computed and stored) or "off" (no cache configured). It is a
+// header, not a body field, so the body stays a pure function of
+// (source, configuration) and the stored bytes can be replayed
+// verbatim.
 const CacheHeader = "X-Gvnd-Cache"
+
+// CacheTierHeader names the tier that served a hit: "mem" (hot tier),
+// "disk" (persistent store), "peer" (filled from the owning node) or
+// "coalesced" (shared a concurrent identical pipeline run).
+const CacheTierHeader = "X-Gvnd-Cache-Tier"
+
+// NodeHeader is the serving node's cluster name, set whenever the
+// server is part of a fleet.
+const NodeHeader = "X-Gvnd-Node"
+
+// RoutingHeader reports how the serving node relates to the key:
+// "owner" when the consistent-hash ring assigns it the key, "remote"
+// when the client addressed a non-owner (gvnload's routing-mismatch
+// rate counts these).
+const RoutingHeader = "X-Gvnd-Routing"
 
 // OptimizeRequest is the POST /v1/optimize envelope. Source is the
 // textual IR exactly as gvnopt would read it; the optional knobs
@@ -204,8 +224,63 @@ func (s *Server) timeoutFor(req *OptimizeRequest) time.Duration {
 	return d
 }
 
-// handleOptimize is POST /v1/optimize: admission, decode, store lookup,
-// pipeline, store fill.
+// writePayload writes a cached (or just-computed) response payload
+// with its cache disposition headers.
+func (s *Server) writePayload(w http.ResponseWriter, payload []byte, disposition, tier string) {
+	w.Header().Set(CacheHeader, disposition)
+	if tier != "" {
+		w.Header().Set(CacheTierHeader, tier)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(payload)
+}
+
+// lookupLocal consults this node's cache tiers in order — hot memory,
+// then disk — promoting disk hits into the hot tier. tier names which
+// one answered.
+func (s *Server) lookupLocal(key string) (payload []byte, tier string, ok bool) {
+	m := s.cfg.Metrics
+	if s.cfg.Hot != nil {
+		if p, ok := s.cfg.Hot.Get(key); ok {
+			return p, "mem", true
+		}
+	}
+	if s.cfg.Store != nil {
+		if p, ok := s.cfg.Store.Get(key); ok {
+			m.Counter("server.store.hits").Inc()
+			if s.cfg.Hot != nil {
+				s.cfg.Hot.Put(key, p)
+			}
+			return p, "disk", true
+		}
+		m.Counter("server.store.misses").Inc()
+	}
+	return nil, "", false
+}
+
+// fillLocal records a payload in every local tier this node has.
+// Whether the disk store is filled depends on ownership: the owner
+// persists, a non-owner serving a fallback keeps the bytes only in
+// memory so the fleet holds one durable copy per key.
+func (s *Server) fillLocal(key string, payload []byte, persist bool) {
+	m := s.cfg.Metrics
+	if persist && s.cfg.Store != nil {
+		if err := s.cfg.Store.Put(key, payload); err != nil {
+			// A full or broken disk degrades to compute-every-time; the
+			// response is still correct.
+			s.logf("gvnd: store put: %v", err)
+			m.Counter("server.store.put_errors").Inc()
+		}
+	}
+	if s.cfg.Hot != nil {
+		s.cfg.Hot.Put(key, payload)
+	}
+}
+
+// handleOptimize is POST /v1/optimize: admission, decode, tiered cache
+// lookup (memory → disk → owning peer), then a single-flight pipeline
+// run and cache fill.
 func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -217,7 +292,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if err := s.gate.acquire(r.Context()); err != nil {
 		if errors.Is(err, ErrSaturated) {
 			m.Counter("server.saturated").Inc()
-			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint()))
 			writeErr(w, &apiError{status: http.StatusTooManyRequests, code: "saturated",
 				msg: "server saturated; retry later"})
 			return
@@ -242,23 +317,87 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := store.Key(dcfg.Fingerprint(), req.Source)
-	if s.cfg.Store != nil {
-		if payload, ok := s.cfg.Store.Get(key); ok {
-			m.Counter("server.store.hits").Inc()
-			w.Header().Set(CacheHeader, "hit")
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(http.StatusOK)
-			_, _ = w.Write(payload)
-			return
+
+	// Fleet routing: name the serving node and whether the ring says
+	// this key is ours. isOwner defaults true — a node outside any
+	// cluster owns everything.
+	isOwner := true
+	var owner cluster.Node
+	if s.cfg.Cluster != nil {
+		w.Header().Set(NodeHeader, s.cfg.Cluster.Self().Name)
+		if o, ok := s.cfg.Cluster.Owner(key); ok {
+			owner = o
+			isOwner = o.Name == s.cfg.Cluster.Self().Name
 		}
-		m.Counter("server.store.misses").Inc()
+		if isOwner {
+			w.Header().Set(RoutingHeader, "owner")
+		} else {
+			w.Header().Set(RoutingHeader, "remote")
+		}
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req))
+	if payload, tier, ok := s.lookupLocal(key); ok {
+		s.writePayload(w, payload, "hit", tier)
+		return
+	}
+	// Not cached here and not ours: ask the owner before computing.
+	// A short deadline bounds the detour — a slow or dead owner costs
+	// at most PeerFillTimeout, then this node computes like a
+	// single-node daemon would.
+	if !isOwner {
+		if payload, ok := s.cfg.Cluster.FetchPeer(r.Context(), owner, key); ok {
+			s.fillLocal(key, payload, false)
+			s.writePayload(w, payload, "hit", "peer")
+			return
+		}
+	}
+
+	// Single flight: concurrent identical requests share one pipeline
+	// run. Followers wait under their own deadlines; the leader runs
+	// under a detached context so one impatient client cannot cancel a
+	// result every waiter (and the cache) wants.
+	fl, leader := s.flights.Join(key)
+	if !leader {
+		wctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req))
+		defer cancel()
+		v, err := fl.Wait(wctx)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				m.Counter("server.timeouts").Inc()
+				writeErr(w, &apiError{status: http.StatusGatewayTimeout, code: "timeout",
+					msg: fmt.Sprintf("request exceeded its deadline (%v) waiting for a coalesced run", s.timeoutFor(req))})
+				return
+			}
+			writeErr(w, &apiError{status: http.StatusServiceUnavailable, code: "coalesce_wait",
+				msg: fmt.Sprintf("request expired waiting for a coalesced run: %v", err)})
+			return
+		}
+		switch res := v.(type) {
+		case []byte:
+			s.writePayload(w, res, "hit", "coalesced")
+		case *apiError:
+			writeErr(w, res)
+		default:
+			writeErr(w, &apiError{status: http.StatusInternalServerError, code: "internal",
+				msg: "coalesced run returned nothing"})
+		}
+		return
+	}
+	// Leader: every exit path must finish the flight or followers hang
+	// until their deadlines. The deferred Finish also covers panics
+	// (the instrumentation layer turns those into a 500 for the
+	// leader; followers see the placeholder error below).
+	var flightResult any = &apiError{status: http.StatusInternalServerError, code: "internal",
+		msg: "coalesced run failed"}
+	defer func() { s.flights.Finish(key, fl, flightResult) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.timeoutFor(req))
 	defer cancel()
 	routines, err := parser.Parse(req.Source)
 	if err != nil {
-		writeErr(w, badRequest("parse_error", "%v", err))
+		aerr := badRequest("parse_error", "%v", err)
+		flightResult = aerr
+		writeErr(w, aerr)
 		return
 	}
 	if s.hookBeforeRun != nil {
@@ -268,16 +407,20 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if batch.Stats.Failed > 0 {
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			m.Counter("server.timeouts").Inc()
-			writeErr(w, &apiError{status: http.StatusGatewayTimeout, code: "timeout",
-				msg: fmt.Sprintf("request exceeded its deadline (%v)", s.timeoutFor(req))})
+			aerr := &apiError{status: http.StatusGatewayTimeout, code: "timeout",
+				msg: fmt.Sprintf("request exceeded its deadline (%v)", s.timeoutFor(req))}
+			flightResult = aerr
+			writeErr(w, aerr)
 			return
 		}
 		var fails []string
 		for _, re := range batch.Errors() {
 			fails = append(fails, re.Error())
 		}
-		writeErr(w, &apiError{status: http.StatusUnprocessableEntity, code: "routine_failed",
-			msg: batch.Err().Error(), fails: fails})
+		aerr := &apiError{status: http.StatusUnprocessableEntity, code: "routine_failed",
+			msg: batch.Err().Error(), fails: fails}
+		flightResult = aerr
+		writeErr(w, aerr)
 		return
 	}
 
@@ -310,24 +453,83 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	payload, err := json.MarshalIndent(resp, "", "  ")
 	if err != nil {
-		writeErr(w, &apiError{status: http.StatusInternalServerError, code: "internal",
-			msg: fmt.Sprintf("encoding response: %v", err)})
+		aerr := &apiError{status: http.StatusInternalServerError, code: "internal",
+			msg: fmt.Sprintf("encoding response: %v", err)}
+		flightResult = aerr
+		writeErr(w, aerr)
 		return
 	}
 	disposition := "off"
-	if s.cfg.Store != nil {
+	if s.cfg.Store != nil || s.cfg.Hot != nil {
 		disposition = "miss"
-		if err := s.cfg.Store.Put(key, payload); err != nil {
-			// A full or broken disk degrades to compute-every-time; the
-			// response is still correct.
-			s.logf("gvnd: store put: %v", err)
-			m.Counter("server.store.put_errors").Inc()
-		}
 	}
-	w.Header().Set(CacheHeader, disposition)
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(payload)
+	s.fillLocal(key, payload, isOwner)
+	flightResult = payload
+	s.writePayload(w, payload, disposition, "")
+}
+
+// handlePeerCache is GET /v1/peer/cache/{key}: the owner side of peer
+// fill. It only ever reads this node's cache tiers — a miss is a 404,
+// never a pipeline run, so fleet-internal traffic cannot amplify into
+// fleet-internal compute. Peer reads are admission-controlled by their
+// own small gate with no queue: a saturated owner sheds peers
+// immediately (they fall back to local compute) instead of delaying
+// them.
+func (s *Server) handlePeerCache(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeErr(w, &apiError{status: http.StatusMethodNotAllowed, code: "method_not_allowed",
+			msg: "use GET"})
+		return
+	}
+	m := s.cfg.Metrics
+	if err := s.peerGate.acquire(r.Context()); err != nil {
+		m.Counter("cluster.peer_serve.rejected").Inc()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, &apiError{status: http.StatusTooManyRequests, code: "peer_saturated",
+			msg: "peer cache reads saturated; compute locally"})
+		return
+	}
+	defer s.peerGate.release()
+	key := r.PathValue("key")
+	if !validStoreKey(key) {
+		writeErr(w, badRequest("bad_key", "malformed cache key %q", key))
+		return
+	}
+	if s.hookPeerServe != nil {
+		s.hookPeerServe()
+	}
+	if payload, tier, ok := s.lookupLocal(key); ok {
+		m.Counter("cluster.peer_serve.hits").Inc()
+		s.writePayload(w, payload, "hit", tier)
+		return
+	}
+	m.Counter("cluster.peer_serve.misses").Inc()
+	writeErr(w, &apiError{status: http.StatusNotFound, code: "not_cached",
+		msg: "key not cached on this node"})
+}
+
+// validStoreKey reports whether key has the shape of a content address
+// (SHA-256 hex).
+func validStoreKey(key string) bool {
+	if len(key) != sha256.Size*2 {
+		return false
+	}
+	_, err := hex.DecodeString(key)
+	return err == nil
+}
+
+// retryAfterHint derives the 429 Retry-After hint from the live queue
+// depth: a queue of q requests draining MaxConcurrent wide needs about
+// q/MaxConcurrent service times to clear, so the configured base hint
+// scales with occupancy. ±20% jitter decorrelates retries — a
+// synchronized client fleet told the same integer would otherwise
+// thundering-herd one shard on the next tick.
+func (s *Server) retryAfterHint() int {
+	base := s.cfg.RetryAfter
+	d := base + time.Duration(s.gate.waiting())*base/time.Duration(s.cfg.MaxConcurrent)
+	jitter := 0.8 + 0.4*rand.Float64()
+	return retryAfterSeconds(time.Duration(float64(d) * jitter))
 }
 
 // retryAfterSeconds renders a duration as a whole-second Retry-After

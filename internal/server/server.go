@@ -11,9 +11,19 @@
 //     Each request runs under a deadline propagated as context
 //     cancellation, request bodies are size-capped, and a panicking
 //     handler is isolated to a structured 500.
-//   - The disk store (internal/server/store) caches whole responses
-//     keyed by the driver fingerprint + source, so a restarted daemon
-//     answers repeated requests without running the pipeline at all.
+//   - The cache is tiered: an in-memory hot tier (internal/cluster's
+//     LRU-by-bytes HotTier) answers the common warm request without
+//     touching the filesystem, the disk store (internal/server/store)
+//     persists whole responses keyed by the driver fingerprint +
+//     source so a restarted daemon starts warm, and concurrent
+//     identical requests coalesce onto one pipeline run (single
+//     flight).
+//   - With a Cluster configured the node is one shard of a gvnd
+//     fleet: a consistent-hash ring routes each content key to an
+//     owner, a non-owning node asks the owner for the payload
+//     (GET /v1/peer/cache/{key}) under a short deadline before
+//     computing locally, and peer traffic is admission-controlled
+//     separately from user traffic.
 //   - The observability endpoints (/metrics, /progress, /debug/pprof/*)
 //     mount on the same listener, and every endpoint feeds request
 //     counters and latency histograms into the registry.
@@ -33,6 +43,7 @@ import (
 	"time"
 
 	"pgvn/internal/check"
+	"pgvn/internal/cluster"
 	"pgvn/internal/core"
 	"pgvn/internal/driver"
 	"pgvn/internal/obs"
@@ -42,10 +53,11 @@ import (
 
 // Defaults applied by New for zero Config fields.
 const (
-	DefaultMaxQueue       = 64
-	DefaultRequestTimeout = 30 * time.Second
-	DefaultMaxBodyBytes   = 8 << 20
-	DefaultRetryAfter     = 1 * time.Second
+	DefaultMaxQueue          = 64
+	DefaultRequestTimeout    = 30 * time.Second
+	DefaultMaxBodyBytes      = 8 << 20
+	DefaultRetryAfter        = 1 * time.Second
+	DefaultPeerMaxConcurrent = 4
 )
 
 // Config configures a Server. The zero value plus New's defaults is a
@@ -76,6 +88,21 @@ type Config struct {
 	RetryAfter time.Duration
 	// Store, when non-nil, persists whole responses across restarts.
 	Store *store.Store
+	// Hot, when non-nil, is the in-memory response tier above Store:
+	// warm requests are served from memory without touching the disk
+	// store's mutex or the filesystem.
+	Hot *cluster.HotTier
+	// Cluster, when non-nil, makes this node one shard of a gvnd
+	// fleet: content keys it does not own are peer-filled from their
+	// owner before falling back to local compute, and the peer cache
+	// endpoint is served to other members.
+	Cluster *cluster.Cluster
+	// PeerMaxConcurrent bounds concurrent peer cache reads — the
+	// owner-side admission control for fleet-internal traffic,
+	// deliberately separate from the user-facing gate so a peer storm
+	// cannot starve user requests and vice versa
+	// (0 = DefaultPeerMaxConcurrent).
+	PeerMaxConcurrent int
 	// MemCache, when non-nil, memoizes per-routine driver results in
 	// memory (a second, finer-grained layer under the response store).
 	MemCache *driver.Cache
@@ -113,6 +140,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = DefaultRetryAfter
 	}
+	if c.PeerMaxConcurrent <= 0 {
+		c.PeerMaxConcurrent = DefaultPeerMaxConcurrent
+	}
 	return c
 }
 
@@ -121,10 +151,13 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	gate     *gate
+	peerGate *gate
+	flights  *cluster.Flights
 	mux      http.Handler
 	httpSrv  *http.Server
 	done     chan error
 	draining atomic.Bool
+	stopped  atomic.Bool
 	started  atomic.Int64 // epoch seconds, for /healthz uptime
 
 	// Addr is the bound address after Start (useful with ":0").
@@ -133,18 +166,24 @@ type Server struct {
 	// hookBeforeRun, when set (tests only), runs after decode/admission
 	// and before the driver — the latency and fault injection point.
 	hookBeforeRun func(ctx context.Context, routines int)
+	// hookPeerServe, when set (tests only), runs after peer admission
+	// and before the cache lookup.
+	hookPeerServe func()
 }
 
 // New builds a Server from cfg (see Config for defaulting).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:  cfg,
-		gate: newGate(cfg.MaxConcurrent, cfg.MaxQueue),
-		done: make(chan error, 1),
+		cfg:      cfg,
+		gate:     newGate(cfg.MaxConcurrent, cfg.MaxQueue),
+		peerGate: newGate(cfg.PeerMaxConcurrent, 0),
+		flights:  cluster.NewFlights(),
+		done:     make(chan error, 1),
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/v1/optimize", s.instrument("optimize", http.HandlerFunc(s.handleOptimize)))
+	mux.Handle("/v1/peer/cache/{key}", s.instrument("peer", http.HandlerFunc(s.handlePeerCache)))
 	mux.Handle("/v1/stats", s.instrument("stats", http.HandlerFunc(s.handleStats)))
 	mux.Handle("/healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
 	// The observability endpoints share the listener: one port to
@@ -249,7 +288,10 @@ type statsBody struct {
 	MaxConcurrent int            `json:"max_concurrent"`
 	MaxQueue      int            `json:"max_queue"`
 	Draining      bool           `json:"draining"`
+	Fingerprint   string         `json:"fingerprint"`
 	Store         *storeStats    `json:"store,omitempty"`
+	Hot           *hotStats      `json:"hot,omitempty"`
+	Cluster       *clusterStats  `json:"cluster,omitempty"`
 	MemCache      *memCacheStats `json:"mem_cache,omitempty"`
 }
 
@@ -270,6 +312,24 @@ type memCacheStats struct {
 	Entries int    `json:"entries"`
 }
 
+type hotStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Puts      int64 `json:"puts"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+}
+
+// clusterStats is this node's view of the fleet: who it is, who is
+// routable, and every peer's probe state.
+type clusterStats struct {
+	Self        string              `json:"self"`
+	RingMembers []string            `json:"ring_members"`
+	Peers       []cluster.PeerState `json:"peers"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	body := statsBody{
 		Inflight:      s.gate.inflight(),
@@ -277,6 +337,22 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		MaxConcurrent: s.cfg.MaxConcurrent,
 		MaxQueue:      s.cfg.MaxQueue,
 		Draining:      s.draining.Load(),
+		Fingerprint:   s.Fingerprint(),
+	}
+	if s.cfg.Hot != nil {
+		ht := s.cfg.Hot.Stats()
+		body.Hot = &hotStats{
+			Hits: ht.Hits, Misses: ht.Misses, Puts: ht.Puts,
+			Evictions: ht.Evictions, Entries: ht.Entries,
+			Bytes: ht.Bytes, MaxBytes: ht.MaxBytes,
+		}
+	}
+	if s.cfg.Cluster != nil {
+		body.Cluster = &clusterStats{
+			Self:        s.cfg.Cluster.Self().Name,
+			RingMembers: s.cfg.Cluster.Alive(),
+			Peers:       s.cfg.Cluster.States(),
+		}
 	}
 	if s.cfg.Store != nil {
 		st := s.cfg.Store.Stats()
@@ -301,11 +377,17 @@ func (s *Server) Start(addr string) error {
 	if err != nil {
 		return err
 	}
+	s.Serve(ln)
+	return nil
+}
+
+// Serve exposes the server on an existing listener — what the fleet
+// tests use to bind every node's port before wiring their rings.
+func (s *Server) Serve(ln net.Listener) {
 	s.Addr = ln.Addr().String()
 	s.httpSrv = obs.NewHTTPServer(s.mux)
 	s.started.Store(time.Now().Unix())
 	go func() { s.done <- s.httpSrv.Serve(ln) }()
-	return nil
 }
 
 // Done exposes the serve loop's terminal error (http.ErrServerClosed
@@ -316,11 +398,13 @@ func (s *Server) Done() <-chan error { return s.done }
 // Shutdown drains gracefully: stop accepting new connections, wait for
 // in-flight requests to finish (bounded by ctx), then flush the store
 // index so the LRU order survives the restart. It is the SIGINT/SIGTERM
-// path; the returned error is the first failure of the sequence.
+// path; the returned error is the first failure of the sequence. A
+// second Shutdown is a no-op flush: the serve-loop error is consumed
+// exactly once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	var err error
-	if s.httpSrv != nil {
+	if s.httpSrv != nil && s.stopped.CompareAndSwap(false, true) {
 		err = s.httpSrv.Shutdown(ctx)
 		if err != nil {
 			// The drain deadline expired: sever the stragglers rather
@@ -357,8 +441,16 @@ func (s *Server) Describe() string {
 	} else {
 		b.WriteString(", store off")
 	}
+	if s.cfg.Hot != nil {
+		ht := s.cfg.Hot.Stats()
+		fmt.Fprintf(&b, ", hot tier %d bytes budget", ht.MaxBytes)
+	}
 	if s.cfg.MemCache != nil {
 		b.WriteString(", mem-cache on")
+	}
+	if s.cfg.Cluster != nil {
+		fmt.Fprintf(&b, ", cluster %s (%d members)",
+			s.cfg.Cluster.Self().Name, len(s.cfg.Cluster.States()))
 	}
 	return b.String()
 }

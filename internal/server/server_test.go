@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -185,8 +186,11 @@ func TestSaturation(t *testing.T) {
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("saturated status = %d, want 429 (%s)", rec.Code, rec.Body)
 	}
-	if ra := rec.Header().Get("Retry-After"); ra != "2" {
-		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	// The hint is jittered ±20% around the 2s base (empty queue), so it
+	// renders as 2 or 3 whole seconds.
+	ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil || ra < 2 || ra > 3 {
+		t.Fatalf("Retry-After = %q, want 2..3s around the jittered base", rec.Header().Get("Retry-After"))
 	}
 	var eb ErrorBody
 	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error.Code != "saturated" {
@@ -198,6 +202,34 @@ func TestSaturation(t *testing.T) {
 	}
 	if n := reg.Counter("server.saturated").Value(); n != 1 {
 		t.Fatalf("server.saturated = %d", n)
+	}
+}
+
+// TestRetryAfterScalesWithQueueDepth pins the satellite fix: the hint
+// grows with queue occupancy (a deeper queue needs a longer backoff)
+// and carries ±20% jitter so synchronized clients decorrelate.
+func TestRetryAfterScalesWithQueueDepth(t *testing.T) {
+	s := New(Config{MaxConcurrent: 2, MaxQueue: 64, RetryAfter: 4 * time.Second})
+	// Empty queue: base 4s, jittered to [3.2s, 4.8s] → 4..5 whole
+	// seconds.
+	distinct := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		h := s.retryAfterHint()
+		if h < 4 || h > 5 {
+			t.Fatalf("empty-queue hint = %d, want 4..5", h)
+		}
+		distinct[h] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatal("200 hints identical: jitter missing")
+	}
+	// Simulate 8 queued requests draining 2-wide: base 4s + 8/2×4s =
+	// 20s, jittered to [16s, 24s].
+	s.gate.queued.Store(8)
+	for i := 0; i < 50; i++ {
+		if h := s.retryAfterHint(); h < 16 || h > 24 {
+			t.Fatalf("deep-queue hint = %d, want 16..24", h)
+		}
 	}
 }
 

@@ -14,10 +14,12 @@
 //     that the entry's recorded key matches its filename) before serving,
 //     deleting corrupt files instead of returning them.
 //   - A byte budget is enforced by LRU eviction. Access order is kept in
-//     memory and persisted to an index file by Flush (gvnd calls it
-//     during graceful drain); when the index is missing or stale the
-//     store falls back to file modification times, so losing the index
-//     costs eviction precision, never correctness.
+//     memory and persisted to an index file by Flush — periodically via
+//     FlushEvery and as the last step of gvnd's graceful drain — so a
+//     crash loses at most one flush interval of access-order updates;
+//     when the index is missing or stale the store falls back to file
+//     modification times, so losing the index costs eviction precision,
+//     never correctness.
 package store
 
 import (
@@ -30,6 +32,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Schema tags written into every entry and the index so future layout
@@ -97,6 +100,10 @@ type Store struct {
 	total   int64
 	clock   int64
 	stats   Stats
+	dirty   bool // access order changed since the last Flush
+
+	// onEvict, when set, observes each LRU eviction (metrics hook).
+	onEvict func()
 }
 
 // Open loads (creating if needed) the store rooted at dir. maxBytes <= 0
@@ -216,6 +223,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	}
 	s.clock++
 	e.atime = s.clock
+	s.dirty = true
 	s.stats.Hits++
 	return fe.Payload, true
 }
@@ -246,6 +254,7 @@ func (s *Store) Put(key string, payload []byte) error {
 	s.clock++
 	s.entries[key] = &entry{size: int64(len(data)), atime: s.clock}
 	s.total += int64(len(data))
+	s.dirty = true
 	s.stats.Puts++
 	s.evictLocked(s.entries[key])
 	return nil
@@ -294,6 +303,9 @@ func (s *Store) evictLocked(keep *entry) {
 		}
 		s.dropLocked(victim, true)
 		s.stats.Evictions++
+		if s.onEvict != nil {
+			s.onEvict()
+		}
 	}
 }
 
@@ -302,14 +314,25 @@ func (s *Store) dropLocked(key string, unlink bool) {
 	if e, ok := s.entries[key]; ok {
 		s.total -= e.size
 		delete(s.entries, key)
+		s.dirty = true
 	}
 	if unlink {
 		os.Remove(s.path(key))
 	}
 }
 
+// OnEvict registers a callback observing every LRU eviction (the
+// metrics bridge; gvnd counts cluster.evictions.disk through it). The
+// callback runs with the store lock held — keep it trivial.
+func (s *Store) OnEvict(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onEvict = fn
+}
+
 // Flush persists the access-order index (atomically), so LRU ordering
-// survives a restart. gvnd calls it as the last step of graceful drain.
+// survives a restart. gvnd calls it periodically (FlushEvery) and as
+// the last step of graceful drain.
 func (s *Store) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -325,7 +348,46 @@ func (s *Store) Flush() error {
 	if err != nil {
 		return fmt.Errorf("store: encode index: %w", err)
 	}
-	return s.writeAtomic(filepath.Join(s.dir, indexFile), data)
+	if err := s.writeAtomic(filepath.Join(s.dir, indexFile), data); err != nil {
+		return err
+	}
+	s.dirty = false
+	return nil
+}
+
+// FlushEvery starts a background ticker that flushes the index
+// whenever the access order changed since the last flush, so a crash
+// (no graceful drain, no final Flush) loses at most one interval of
+// LRU precision instead of the whole run's. The returned stop function
+// halts the ticker and waits for it; it does not flush — callers on
+// the graceful path call Flush themselves (gvnd's drain already does).
+func (s *Store) FlushEvery(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	go func() {
+		defer close(exited)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				s.mu.Lock()
+				dirty := s.dirty
+				s.mu.Unlock()
+				if dirty {
+					// A failed periodic flush is retried next tick; the
+					// graceful-drain Flush still reports errors.
+					_ = s.Flush()
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-exited
+	}
 }
 
 // Stats returns a snapshot of the store's counters and occupancy.

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestKeyDistinguishesFingerprintAndSource(t *testing.T) {
@@ -292,5 +293,101 @@ func TestPutOverwriteReplacesSize(t *testing.T) {
 	got, ok := s.Get(k)
 	if !ok || string(got) != `{"v":1}` {
 		t.Fatalf("overwritten entry = %q, %v", got, ok)
+	}
+}
+
+// TestPeriodicFlushSurvivesCrash simulates a daemon killed mid-run: the
+// ticker has flushed, but no drain-time Flush ever happens (the handle
+// is simply abandoned). A fresh Store over the same directory must see
+// the ticker's index — access order included — not just mtimes.
+func TestPeriodicFlushSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := s1.FlushEvery(5 * time.Millisecond)
+	ka, kb, kc := Key("f", "a"), Key("f", "b"), Key("f", "c")
+	for _, k := range []string{ka, kb, kc} {
+		if err := s1.Put(k, []byte(`{"x":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a so the logical access order (a most recent) diverges from
+	// the file mtime order (c most recent) — only the flushed index can
+	// reproduce it.
+	if _, ok := s1.Get(ka); !ok {
+		t.Fatal("a missing")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var idx indexState
+		data, err := os.ReadFile(filepath.Join(dir, indexFile))
+		if err == nil && json.Unmarshal(data, &idx) == nil && len(idx.Atimes) == 3 &&
+			idx.Atimes[ka] > idx.Atimes[kc] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic flush never persisted the access order")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop()
+	// Crash: no s1.Flush(), no drain — just reopen the directory.
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := s2.Keys()
+	if len(keys) != 3 || keys[0] != ka {
+		t.Fatalf("reopened LRU order = %v, want a most recent (index-driven, not mtime)", keys)
+	}
+}
+
+// TestFlushEveryIdlesWhenClean: an unchanged store must not rewrite the
+// index every tick.
+func TestFlushEveryIdlesWhenClean(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Key("f", "a"), []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(filepath.Join(dir, indexFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := s.FlushEvery(time.Millisecond)
+	time.Sleep(30 * time.Millisecond)
+	stop()
+	after, err := os.Stat(filepath.Join(dir, indexFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Fatal("clean store was reflushed by the ticker")
+	}
+}
+
+// TestOnEvict counts evictions through the metrics hook.
+func TestOnEvict(t *testing.T) {
+	s, err := Open(t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evicted int
+	s.OnEvict(func() { evicted++ })
+	for i := 0; i < 4; i++ {
+		if err := s.Put(Key("f", strings.Repeat("x", i+1)), []byte(`{"pad":"0123456789"}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if evicted == 0 || int64(evicted) != s.Stats().Evictions {
+		t.Fatalf("hook saw %d evictions, stats say %d", evicted, s.Stats().Evictions)
 	}
 }
