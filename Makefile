@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check fmt race bench bench-compare check serve loadtest fleet
+.PHONY: all build test vet fmt-check fmt lint race bench bench-compare check serve loadtest fleet
 
 all: check
 
@@ -21,11 +21,16 @@ fmt-check:
 fmt:
 	gofmt -w .
 
-# race runs the full suite under the race detector; the driver package
-# (the concurrent subsystem) is named first so its failures surface
-# early.
+# lint runs go vet plus gvnlint, the repo's own static-analysis suite
+# (internal/analysis): five analyzers enforcing the performance and
+# concurrency invariants prior passes bought. Any unsuppressed finding
+# fails the target.
+lint: vet
+	$(GO) run ./cmd/gvnlint ./...
+
+# race runs the full suite under the race detector.
 race:
-	$(GO) test -race ./internal/driver ./...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -93,4 +98,4 @@ fleet: build
 	done; \
 	wait
 
-check: build vet fmt-check test race
+check: build lint fmt-check test race

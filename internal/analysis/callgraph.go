@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcDecl ties a function object to its syntax.
+type funcDecl struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// buildCallGraph records, for every function declared in the module,
+// the module functions it statically calls (direct calls and method
+// calls with a concrete receiver; calls through interfaces or function
+// values are invisible, which is what "statically call" means here).
+// Calls made inside a function literal are attributed to the enclosing
+// declaration — the literal runs on behalf of its creator.
+func (m *Module) buildCallGraph() {
+	m.callees = make(map[*types.Func][]*types.Func)
+	m.declOf = make(map[*types.Func]*funcDecl)
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				m.declOf[obj] = &funcDecl{pkg: pkg, decl: fd}
+				seen := map[*types.Func]bool{}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := pkg.calleeOf(call)
+					if callee == nil || !m.isModulePkg(callee.Pkg()) || seen[callee] {
+						return true
+					}
+					seen[callee] = true
+					m.callees[obj] = append(m.callees[obj], callee)
+					return true
+				})
+			}
+		}
+	}
+}
+
+// CallGraph returns the module's static call graph (built once).
+func (m *Module) CallGraph() map[*types.Func][]*types.Func {
+	m.callOnce.Do(m.buildCallGraph)
+	return m.callees
+}
+
+// DeclOf returns the declaration of a module function (nil for
+// functions without syntax in the analyzed set).
+func (m *Module) DeclOf(fn *types.Func) (*Package, *ast.FuncDecl) {
+	m.callOnce.Do(m.buildCallGraph)
+	if fd := m.declOf[fn]; fd != nil {
+		return fd.pkg, fd.decl
+	}
+	return nil, nil
+}
+
+// calleeOf resolves the function object a call statically invokes:
+// package-level functions, methods on concrete receivers, and methods
+// reached through interfaces (the interface method object — callers
+// decide whether that is precise enough). Conversions, builtins and
+// calls of function values resolve to nil.
+func (p *Package) calleeOf(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.Func.
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

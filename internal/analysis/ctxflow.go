@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow enforces context discipline in the daemon and fleet layers
+// (packages with a "server" or "cluster" path segment): every HTTP
+// request must be cancellable and every spawned goroutine stoppable,
+// or graceful drain (DESIGN §10) and ring convergence (DESIGN §12)
+// can strand work forever.
+//
+//   - http.NewRequest and the context-free package/client helpers
+//     (http.Get, (*http.Client).Post, …) are banned: build requests
+//     with http.NewRequestWithContext so deadlines and peer-fill
+//     timeouts propagate.
+//   - A `go` statement must hand the goroutine a context.Context, a
+//     channel, or call into a function whose body selects on one —
+//     otherwise nothing can ever stop it.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "server/cluster HTTP requests must carry a context (NewRequestWithContext) and spawned goroutines a ctx or stop channel",
+	Run:  runCtxFlow,
+}
+
+// ctxFreeHTTP are the net/http entry points that perform I/O with no
+// caller-supplied context.
+var ctxFreeHTTP = map[string]bool{
+	"Get": true, "Head": true, "Post": true, "PostForm": true,
+}
+
+func runCtxFlow(p *Pass) {
+	path := p.Pkg.ImportPath
+	if !pathHasSegment(path, "server") && !pathHasSegment(path, "cluster") {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkHTTPCall(p, n)
+			case *ast.GoStmt:
+				if !cancellable(p, n.Call) {
+					p.Reportf(n, "goroutine is launched without a context or stop channel; nothing can stop it during drain")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkHTTPCall flags context-free request construction and transport.
+func checkHTTPCall(p *Pass, call *ast.CallExpr) {
+	fn := p.Pkg.calleeOf(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+		return
+	}
+	recv := receiverTypeName(fn)
+	switch {
+	case recv == "" && fn.Name() == "NewRequest":
+		p.Reportf(call, "http.NewRequest drops the request context; use http.NewRequestWithContext")
+	case recv == "" && ctxFreeHTTP[fn.Name()]:
+		p.Reportf(call, "http.%s performs I/O without a context; build the request with http.NewRequestWithContext and use a client Do", fn.Name())
+	case recv == "Client" && ctxFreeHTTP[fn.Name()]:
+		p.Reportf(call, "(*http.Client).%s performs I/O without a context; build the request with http.NewRequestWithContext and use Do", fn.Name())
+	}
+}
+
+// receiverTypeName names a method's receiver type ("" for package
+// functions).
+func receiverTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// cancellable reports whether a go'd call can be stopped: some value of
+// context or channel type flows into it — through its arguments,
+// through a function literal's body (captures included), or through
+// the body of the module function it invokes (a method selecting on a
+// receiver's stop channel counts).
+func cancellable(p *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if cancelTyped(p.Pkg.Info.Types[arg].Type) {
+			return true
+		}
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return bodyMentionsCancel(p.Pkg, lit.Body)
+	}
+	if fn := p.Pkg.calleeOf(call); fn != nil {
+		if dp, decl := p.Mod.DeclOf(fn); decl != nil && decl.Body != nil {
+			return bodyMentionsCancel(dp, decl.Body)
+		}
+	}
+	return false
+}
+
+// bodyMentionsCancel reports whether any expression in body has a
+// context or channel type.
+func bodyMentionsCancel(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pkg.Info.Types[e]; ok && cancelTyped(tv.Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// cancelTyped reports whether t is context.Context, a channel, or a
+// struct/pointer carrying nothing we inspect further (only direct
+// context/channel types count — the signal must actually be in hand).
+func cancelTyped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathAlloc enforces the allocation-free fixpoint hot path bought by
+// the hash-consing pass (DESIGN §11): a function annotated
+// `//pgvn:hotpath` — and every module function it statically calls,
+// transitively — must not use the allocation patterns that pass
+// removed:
+//
+//   - any call into package fmt (formatting allocates, always);
+//   - string concatenation inside a loop (quadratic garbage);
+//   - map or slice composite literals (per-evaluation allocations —
+//     hot state is pre-sized in newAnalysis and reused);
+//   - function literals that are not immediately invoked (closures
+//     capture and escape);
+//   - implicit interface conversions at call boundaries (boxing a
+//     concrete non-pointer value allocates).
+//
+// The annotation lives on the declaration's doc comment. Violations in
+// a callee are attributed with the hot root they are reachable from.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "pgvn:hotpath functions and their static callees must not allocate (no fmt, no loop concat, no map/slice literals, no escaping closures, no interface boxing)",
+	Run:  runHotPathAlloc,
+}
+
+// hotMarker is the annotation that roots the hot-path closure.
+const hotMarker = "//pgvn:hotpath"
+
+// buildHotSet collects the annotated roots and walks the static call
+// graph to the full hot closure, remembering for each function the
+// annotated root it is reachable from (for diagnostics).
+func (m *Module) buildHotSet() {
+	m.hotVia = make(map[*types.Func]string)
+	cg := m.CallGraph()
+	var frontier []*types.Func
+	for fn, fd := range m.declOf {
+		doc := fd.decl.Doc
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			if strings.HasPrefix(strings.TrimSpace(c.Text), hotMarker) {
+				m.hotVia[fn] = fn.Name()
+				frontier = append(frontier, fn)
+				break
+			}
+		}
+	}
+	for len(frontier) > 0 {
+		fn := frontier[0]
+		frontier = frontier[1:]
+		for _, callee := range cg[fn] {
+			if _, seen := m.hotVia[callee]; seen {
+				continue
+			}
+			m.hotVia[callee] = m.hotVia[fn]
+			frontier = append(frontier, callee)
+		}
+	}
+}
+
+// HotVia returns the hot-path membership map: function → the annotated
+// root it is reachable from (roots map to themselves).
+func (m *Module) HotVia() map[*types.Func]string {
+	m.hotOnce.Do(m.buildHotSet)
+	return m.hotVia
+}
+
+func runHotPathAlloc(p *Pass) {
+	hot := p.Mod.HotVia()
+	for _, file := range p.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			via, ok := hot[obj]
+			if !ok {
+				continue
+			}
+			where := "hot path"
+			if via != obj.Name() {
+				where = "hot path via " + via
+			}
+			checkHotBody(p, fd, where)
+		}
+	}
+}
+
+// checkHotBody scans one hot function's body for the five allocation
+// patterns.
+func checkHotBody(p *Pass, fd *ast.FuncDecl, where string) {
+	info := p.Pkg.Info
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if callee := p.Pkg.calleeOf(n); callee != nil && callee.Pkg() != nil &&
+				callee.Pkg().Path() == "fmt" {
+				p.Reportf(n, "%s: calls fmt.%s, which allocates on every call", where, callee.Name())
+			}
+			checkBoxing(p, n, where)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.Types[n.X].Type) && inLoop(stack) {
+				p.Reportf(n, "%s: string concatenation inside a loop allocates per iteration (use a pre-sized builder or scratch buffer)", where)
+			}
+		case *ast.CompositeLit:
+			if t := info.Types[n].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					p.Reportf(n, "%s: map literal allocates (pre-size it in setup and reuse)", where)
+				case *types.Slice:
+					p.Reportf(n, "%s: slice literal allocates (use the per-routine scratch buffers)", where)
+				}
+			}
+		case *ast.FuncLit:
+			if !isImmediatelyInvoked(n, stack) {
+				p.Reportf(n, "%s: function literal captures and escapes (hoist it to a method or pre-bound field)", where)
+				return false // don't double-report the closure's own body
+			}
+		}
+		return true
+	})
+}
+
+// checkBoxing flags call arguments whose concrete, non-pointer values
+// are implicitly converted to interface parameters: the conversion
+// heap-boxes the value on every call. Arguments to the builtin panic
+// are exempt: a panicking path terminates the program, so it is cold
+// by definition.
+func checkBoxing(p *Pass, call *ast.CallExpr, where string) {
+	info := p.Pkg.Info
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return
+		}
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		// Explicit conversion T(x): flag interface targets directly.
+		if ok && tv.IsType() && types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if boxes(info.Types[call.Args[0]].Type) {
+				p.Reportf(call, "%s: conversion to %s boxes a concrete value", where, tv.Type)
+			}
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice, no boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		atv := info.Types[arg]
+		if atv.Value != nil {
+			continue // constants box from static data, no allocation
+		}
+		if boxes(atv.Type) {
+			p.Reportf(arg, "%s: passing %s as %s boxes it into an interface", where, atv.Type, pt)
+		}
+	}
+}
+
+// boxes reports whether converting a value of type t to an interface
+// allocates: concrete non-pointer, non-interface values do (pointers,
+// channels, maps, funcs and unsafe pointers fit the interface word).
+func boxes(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map,
+		*types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil && u.Kind() != types.UnsafePointer
+	}
+	return true
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// inLoop reports whether the ancestor stack contains a for or range
+// statement (the stack never escapes the function body walkStack was
+// rooted at).
+func inLoop(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// isImmediatelyInvoked reports whether the function literal is the Fun
+// of a direct call (an IIFE does not escape).
+func isImmediatelyInvoked(lit *ast.FuncLit, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	parent := stack[len(stack)-1]
+	if pe, ok := parent.(*ast.ParenExpr); ok {
+		_ = pe
+		if len(stack) >= 2 {
+			parent = stack[len(stack)-2]
+		}
+	}
+	call, ok := parent.(*ast.CallExpr)
+	return ok && ast.Unparen(call.Fun) == ast.Node(lit)
+}

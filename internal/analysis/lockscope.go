@@ -1,0 +1,382 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockScope enforces the rule that no sync.Mutex/RWMutex is held
+// across a call that performs network or disk I/O. A lock held over a
+// syscall turns every other acquirer into a tail of the kernel's I/O
+// latency — the admission gate, the metrics registry and the routing
+// ring all sit on the daemon's request path and must never wait on a
+// disk.
+//
+// I/O is detected by a call-graph taint: the seeds are the blocking
+// entry points of net, net/http and os (plus os.File and net.Conn
+// methods), and any module function that statically calls a tainted
+// function is itself tainted — which is how store.Put (disk under the
+// hood) convicts a caller that invokes it under a lock, with no
+// special-casing of the store package.
+//
+// The held region is tracked lexically: from `x.Lock()` to `x.Unlock()`
+// in the same block (branch bodies see a copy of the held set, so an
+// early-unlock-and-return path does not end the outer region), and to
+// the end of the function for `defer x.Unlock()`. The store package
+// itself holds its lock across its own file writes by design — the
+// store lock IS the disk-serialization point — and carries explicit
+// //pgvn:allow annotations saying so.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "no sync mutex may be held across network or disk I/O (call-graph taint of net, net/http, os)",
+	Run:  runLockScope,
+}
+
+// ioSeedFuncs are package-level functions that block on I/O, by package
+// path.
+var ioSeedFuncs = map[string]map[string]bool{
+	"os": {
+		"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+		"ReadFile": true, "WriteFile": true, "ReadDir": true,
+		"Remove": true, "RemoveAll": true, "Rename": true,
+		"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+		"Stat": true, "Lstat": true, "Truncate": true,
+		"Chmod": true, "Chown": true, "Chtimes": true,
+		"Symlink": true, "Link": true, "ReadLink": true,
+	},
+	"net": {
+		"Dial": true, "DialTimeout": true, "Listen": true, "ListenPacket": true,
+	},
+	"net/http": {
+		"Get": true, "Head": true, "Post": true, "PostForm": true,
+		"Error": true, "ServeFile": true, "ServeContent": true,
+		"ListenAndServe": true, "ListenAndServeTLS": true,
+	},
+}
+
+// ioSeedMethods are methods that block on I/O, by package path and
+// receiver type name (interface receivers included: a call through
+// net.Conn resolves to the interface method object).
+var ioSeedMethods = map[string]map[string]map[string]bool{
+	"os": {
+		"File": {
+			"Read": true, "ReadAt": true, "Write": true, "WriteAt": true,
+			"WriteString": true, "Sync": true, "Close": true, "Seek": true,
+			"Truncate": true, "Stat": true, "ReadDir": true,
+			"Readdir": true, "Readdirnames": true,
+		},
+	},
+	"net": {
+		"Conn":     {"Read": true, "Write": true, "Close": true},
+		"Listener": {"Accept": true, "Close": true},
+	},
+	"net/http": {
+		"Client": {"Do": true, "Get": true, "Head": true, "Post": true, "PostForm": true},
+		"Server": {"Serve": true, "ListenAndServe": true, "ListenAndServeTLS": true,
+			"Shutdown": true, "Close": true},
+		"ResponseWriter": {"Write": true, "WriteHeader": true},
+	},
+}
+
+// isIOSeed reports whether fn is one of the blocking stdlib entry
+// points above.
+func isIOSeed(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	recv := receiverTypeName(fn)
+	if recv == "" {
+		return ioSeedFuncs[path][fn.Name()]
+	}
+	return ioSeedMethods[path][recv][fn.Name()]
+}
+
+// buildTaint computes the I/O-tainted subset of module functions: a
+// fixpoint over the static call graph seeded by isIOSeed.
+func (m *Module) buildTaint() {
+	m.tainted = make(map[*types.Func]bool)
+	cg := m.CallGraph()
+
+	// Direct seeds: module functions whose bodies call stdlib I/O.
+	direct := make(map[*types.Func]bool)
+	for fn := range m.declOf {
+		pkg, decl := m.declOf[fn].pkg, m.declOf[fn].decl
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := pkg.calleeOf(call); callee != nil && isIOSeed(callee) {
+				direct[fn] = true
+			}
+			return true
+		})
+	}
+
+	// Propagate caller-ward to a fixpoint.
+	callers := make(map[*types.Func][]*types.Func)
+	for caller, callees := range cg {
+		for _, callee := range callees {
+			callers[callee] = append(callers[callee], caller)
+		}
+	}
+	frontier := make([]*types.Func, 0, len(direct))
+	for fn := range direct {
+		m.tainted[fn] = true
+		frontier = append(frontier, fn)
+	}
+	for len(frontier) > 0 {
+		fn := frontier[0]
+		frontier = frontier[1:]
+		for _, caller := range callers[fn] {
+			if !m.tainted[caller] {
+				m.tainted[caller] = true
+				frontier = append(frontier, caller)
+			}
+		}
+	}
+}
+
+// Tainted returns the module functions transitively performing I/O.
+func (m *Module) Tainted() map[*types.Func]bool {
+	m.taintOnce.Do(m.buildTaint)
+	return m.tainted
+}
+
+// ioCallee resolves a call to its I/O classification: a stdlib seed or
+// a tainted module function. Returns the callee and true when it does
+// I/O.
+func (p *Pass) ioCallee(call *ast.CallExpr) (*types.Func, bool) {
+	fn := p.Pkg.calleeOf(call)
+	if fn == nil {
+		return nil, false
+	}
+	if isIOSeed(fn) || p.Mod.Tainted()[fn] {
+		return fn, true
+	}
+	return nil, false
+}
+
+func runLockScope(p *Pass) {
+	// Every function body — declarations and literals — is an
+	// independent critical-section scope: a literal's body runs on its
+	// own schedule, so locks do not flow across the boundary in either
+	// direction.
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkLockedBlock(p, n.Body.List, nil)
+				}
+			case *ast.FuncLit:
+				checkLockedBlock(p, n.Body.List, nil)
+			}
+			return true
+		})
+	}
+}
+
+// lockMethod classifies a call as Lock/Unlock on a sync mutex and
+// returns the rendered receiver expression.
+func lockMethod(p *Pass, call *ast.CallExpr) (recv string, lock, unlock bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	fn := p.Pkg.calleeOf(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return exprString(sel.X), true, false
+	case "Unlock", "RUnlock":
+		return exprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// checkLockedBlock walks one statement list carrying the set of locks
+// currently held. Nested blocks (branch and loop bodies) receive a
+// copy, approximating the lexical scope of a critical section; a
+// `defer x.Unlock()` leaves x held to the end of the function, which
+// is exactly the common `mu.Lock(); defer mu.Unlock()` shape.
+func checkLockedBlock(p *Pass, stmts []ast.Stmt, held []string) {
+	for _, stmt := range stmts {
+		// Lock-state transitions first.
+		if es, ok := stmt.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if recv, lock, unlock := lockMethod(p, call); lock {
+					held = append(append([]string(nil), held...), recv)
+					continue
+				} else if unlock {
+					held = without(held, recv)
+					continue
+				}
+			}
+		}
+		if ds, ok := stmt.(*ast.DeferStmt); ok {
+			if recv, _, unlock := lockMethod(p, ds.Call); unlock {
+				_ = recv // stays held to function end; nothing to do
+				continue
+			}
+		}
+		if len(held) > 0 {
+			reportIOUnderLock(p, stmt, held)
+		} else {
+			// Recurse for Lock() calls inside nested blocks.
+			for _, inner := range innerBlocks(stmt) {
+				checkLockedBlock(p, inner, nil)
+			}
+		}
+	}
+}
+
+// reportIOUnderLock flags every I/O call lexically inside stmt while
+// the named locks are held, skipping nested function literals (they
+// run later, when the lock may be free) and statements past a nested
+// Unlock of the held mutex.
+func reportIOUnderLock(p *Pass, stmt ast.Stmt, held []string) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		checkLockedBlock(p, s.List, held)
+		return
+	case *ast.IfStmt:
+		if s.Init != nil {
+			reportIOUnderLock(p, s.Init, held)
+		}
+		reportIOCond(p, s.Cond, held)
+		checkLockedBlock(p, s.Body.List, held)
+		if s.Else != nil {
+			reportIOUnderLock(p, s.Else, held)
+		}
+		return
+	case *ast.ForStmt:
+		if s.Init != nil {
+			reportIOUnderLock(p, s.Init, held)
+		}
+		if s.Cond != nil {
+			reportIOCond(p, s.Cond, held)
+		}
+		checkLockedBlock(p, s.Body.List, held)
+		return
+	case *ast.RangeStmt:
+		reportIOCond(p, s.X, held)
+		checkLockedBlock(p, s.Body.List, held)
+		return
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			reportIOUnderLock(p, s.Init, held)
+		}
+		if s.Tag != nil {
+			reportIOCond(p, s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				checkLockedBlock(p, cc.Body, held)
+			}
+		}
+		return
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					reportIOUnderLock(p, cc.Comm, held)
+				}
+				checkLockedBlock(p, cc.Body, held)
+			}
+		}
+		return
+	case *ast.GoStmt:
+		return // runs concurrently, not under this lock
+	case *ast.DeferStmt:
+		return // runs at return, after non-deferred unlocks
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, io := p.ioCallee(call); io {
+			p.Reportf(call, "calls %s (does network/disk I/O) while %s is held", funcLabel(fn), held[len(held)-1])
+		}
+		return true
+	})
+}
+
+// reportIOCond checks an if condition's expression under the held set.
+func reportIOCond(p *Pass, cond ast.Expr, held []string) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn, io := p.ioCallee(call); io {
+			p.Reportf(call, "calls %s (does network/disk I/O) while %s is held", funcLabel(fn), held[len(held)-1])
+		}
+		return true
+	})
+}
+
+// innerBlocks returns the statement lists nested in stmt.
+func innerBlocks(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if s.Else != nil {
+			out = append(out, innerBlocks(s.Else)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	}
+	return out
+}
+
+// without returns held with the last occurrence of recv removed.
+func without(held []string, recv string) []string {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == recv {
+			out := append([]string(nil), held[:i]...)
+			return append(out, held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// funcLabel renders a callee for diagnostics ("os.Rename",
+// "(*Store).Put").
+func funcLabel(fn *types.Func) string {
+	recv := receiverTypeName(fn)
+	if recv != "" {
+		return "(*" + recv + ")." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+)
+
+// MetricName keeps the pgvn-metrics/v4 snapshot schema stable at
+// compile time: every name passed to the internal/obs registry
+// (Registry.Counter / Gauge / Histogram) must be derivable from string
+// constants, and every constant part must match the naming grammar
+//
+//	name  = word "." word *("." word)        e.g. "driver.cache.hits"
+//	word  = [a-z][a-z0-9_]*  (first word)  /  [a-z0-9_]+  (rest)
+//
+// A bounded dynamic tail is allowed when the constant prefix ends at a
+// segment boundary — `"server.req." + name` — which is how per-stage
+// and per-endpoint instruments are minted. Anything else (fmt.Sprintf,
+// a bare variable) would let a code path invent instrument names at
+// runtime and silently fork the snapshot schema.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "obs registry metric names must be string constants (or constant-prefix concatenations) in the pgvn-metrics/v4 grammar",
+	Run:  runMetricName,
+}
+
+// registryMethods are the instrument constructors whose first argument
+// is a metric name.
+var registryMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+var (
+	metricNameRE   = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
+	metricPrefixRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*\.$`)
+)
+
+func runMetricName(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !registryMethods[sel.Sel.Name] {
+				return true
+			}
+			selection, ok := p.Pkg.Info.Selections[sel]
+			if !ok {
+				return true
+			}
+			named := pointerReceiverNamed(selection.Recv())
+			if named == nil || named.Obj().Name() != "Registry" ||
+				named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "obs" {
+				return true
+			}
+			checkMetricName(p, sel.Sel.Name, call.Args[0])
+			return true
+		})
+	}
+}
+
+// checkMetricName validates one name argument.
+func checkMetricName(p *Pass, method string, arg ast.Expr) {
+	if name, ok := constString(p, arg); ok {
+		if !metricNameRE.MatchString(name) {
+			p.Reportf(arg, "metric name %q does not match the pgvn-metrics/v4 grammar (lowercase dot-separated words, e.g. \"driver.cache.hits\")", name)
+		}
+		return
+	}
+	// Constant prefix + one dynamic tail: "server.req." + name.
+	if be, ok := ast.Unparen(arg).(*ast.BinaryExpr); ok && be.Op == token.ADD {
+		if prefix, ok := constString(p, be.X); ok {
+			if !metricPrefixRE.MatchString(prefix) {
+				p.Reportf(arg, "metric name prefix %q must be dot-terminated lowercase words (\"family.\") so the dynamic tail is a whole segment", prefix)
+			}
+			return
+		}
+	}
+	p.Reportf(arg, "%s name must be a string constant or a constant dot-terminated prefix + tail, not a computed value (snapshot schema stability)", method)
+}
+
+// constString resolves an expression to its compile-time string value.
+func constString(p *Pass, e ast.Expr) (string, bool) {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

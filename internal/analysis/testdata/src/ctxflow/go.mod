@@ -1,0 +1,3 @@
+module cxfix
+
+go 1.22

@@ -1,0 +1,39 @@
+// Package server sits under a "server" path segment, which is what
+// scopes ctxflow onto it — exactly how the real internal/server is
+// matched.
+package server
+
+import (
+	"context"
+	"net/http"
+)
+
+func requests(ctx context.Context) {
+	_, _ = http.NewRequest("GET", "http://example", nil) // want "http.NewRequest drops the request context"
+	_, _ = http.Get("http://example")                    // want "performs I/O without a context"
+
+	var c http.Client
+	_, _ = c.Post("http://example", "text/plain", nil) // want "performs I/O without a context"
+
+	req, _ := http.NewRequestWithContext(ctx, "GET", "http://example", nil)
+	_, _ = c.Do(req) // carries ctx: fine
+}
+
+func spawn(ctx context.Context, stop chan struct{}) {
+	go leak() // want "without a context or stop channel"
+
+	go func() { <-stop }() // captures the stop channel: fine
+	go worker(ctx)         // receives the context: fine
+	go selector(stop)      // receives the channel: fine
+}
+
+func leak() {}
+
+func worker(ctx context.Context) { <-ctx.Done() }
+
+func selector(stop chan struct{}) { <-stop }
+
+func allowed() {
+	//pgvn:allow ctxflow: fixture proves suppression
+	go leak()
+}

@@ -1,0 +1,3 @@
+module hpfix
+
+go 1.22

@@ -1,0 +1,36 @@
+// Package hp seeds one violation of each hotpathalloc pattern: the
+// root is annotated, format is hot via the call graph, and cold is
+// outside the closure entirely.
+package hp
+
+import "fmt"
+
+//pgvn:hotpath
+func root(n int) string {
+	s := format(n)
+	for i := 0; i < n; i++ {
+		s = s + "x" // want "string concatenation inside a loop"
+	}
+	m := map[int]bool{} // want "map literal allocates"
+	_ = m
+	xs := []int{1, 2} // want "slice literal allocates"
+	_ = xs
+	f := func() int { return n } // want "function literal captures and escapes"
+	_ = f()
+	box(n) // want "boxes it into an interface"
+	_ = func() int { return n }()
+	return s
+}
+
+// format is hot via root.
+func format(n int) string {
+	return fmt.Sprint(n) // want "calls fmt.Sprint" "boxes it into an interface"
+}
+
+func box(v any) { _ = v }
+
+// cold is not reachable from any annotated root, so its allocations
+// are fine.
+func cold() map[int]bool {
+	return map[int]bool{1: true}
+}

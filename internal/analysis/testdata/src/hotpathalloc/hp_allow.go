@@ -1,0 +1,10 @@
+package hp
+
+// allowed proves //pgvn:allow suppression: the map literal below is a
+// real violation and must produce no finding.
+//
+//pgvn:hotpath
+func allowed() {
+	//pgvn:allow hotpathalloc: fixture proves suppression
+	_ = map[int]bool{}
+}

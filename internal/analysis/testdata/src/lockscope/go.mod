@@ -1,0 +1,3 @@
+module lsfix
+
+go 1.22

@@ -1,0 +1,55 @@
+// Package ls seeds mutex-across-I/O violations: directly, through the
+// call-graph taint, and in the if-Init position, plus released-lock
+// and suppressed negatives.
+package ls
+
+import (
+	"os"
+	"sync"
+)
+
+type cache struct {
+	mu sync.Mutex
+}
+
+func (c *cache) direct() {
+	c.mu.Lock()
+	_, _ = os.ReadFile("x") // want "calls os.ReadFile .* while c.mu is held"
+	c.mu.Unlock()
+}
+
+func (c *cache) viaHelper() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	load() // want "does network/disk I/O"
+}
+
+func (c *cache) inInit() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := os.Remove("x"); err != nil { // want "calls os.Remove"
+		return
+	}
+}
+
+func (c *cache) unlockFirst() {
+	c.mu.Lock()
+	c.mu.Unlock()
+	_, _ = os.ReadFile("x") // lock already released: fine
+}
+
+func (c *cache) spawned() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go load() // runs concurrently, not under this lock: fine
+}
+
+// load is tainted: it reaches os.ReadFile.
+func load() { _, _ = os.ReadFile("y") }
+
+func (c *cache) allowed() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//pgvn:allow lockscope: fixture proves suppression
+	load()
+}

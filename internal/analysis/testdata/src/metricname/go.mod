@@ -1,0 +1,3 @@
+module mnfix
+
+go 1.22

@@ -1,0 +1,23 @@
+// Package mn seeds metric-name grammar violations: a malformed
+// constant, a non-dot-terminated prefix, and a fully computed name.
+package mn
+
+import (
+	"fmt"
+
+	"mnfix/obs"
+)
+
+func metrics(r *obs.Registry, name string, code int) {
+	_ = r.Counter("req.count")                   // constant in the grammar: fine
+	_ = r.Gauge("req.queue_depth")               // underscores allowed: fine
+	_ = r.Counter("BadName")                     // want "does not match the pgvn-metrics/v4 grammar"
+	_ = r.Gauge("req." + name)                   // dot-terminated prefix + tail: fine
+	_ = r.Counter("req" + name)                  // want "must be dot-terminated"
+	_ = r.Histogram(fmt.Sprintf("req.%d", code)) // want "must be a string constant"
+}
+
+func allowed(r *obs.Registry) {
+	//pgvn:allow metricname: fixture proves suppression
+	_ = r.Counter("BadName")
+}

@@ -1,0 +1,3 @@
+module tgfix
+
+go 1.22

@@ -1,0 +1,30 @@
+// Package obs is a miniature of the real internal/obs API: a type
+// whose guarded methods opt it into the nil-receiver no-op contract,
+// with one method per accepted idiom and one deliberate violation.
+package obs
+
+// Tracer mimics the nil-safe tracing handle.
+type Tracer struct{ n int }
+
+// Emit is nil-safe via the leading-guard idiom.
+func (t *Tracer) Emit(v int) {
+	if t == nil {
+		return
+	}
+	t.n += v
+}
+
+// Wrapped is nil-safe via the wrapper idiom.
+func (t *Tracer) Wrapped(v int) {
+	if t != nil {
+		t.n += v
+	}
+}
+
+// Forward is nil-safe by delegating to a nil-safe method.
+func (t *Tracer) Forward() { t.Emit(1) }
+
+// Count dereferences its receiver with no guard at all.
+func (t *Tracer) Count() int { // want "not provably nil-receiver-safe"
+	return t.n
+}

@@ -1,0 +1,29 @@
+// Package tg exercises the call-site half of tracerguard: calls to the
+// unguarded method must be dominated by a nil check of the receiver.
+package tg
+
+import "tgfix/obs"
+
+type holder struct{ tr *obs.Tracer }
+
+func good(h *holder) int {
+	h.tr.Emit(1)    // nil-safe method: no check needed
+	h.tr.Wrapped(2) // nil-safe via wrapper
+	h.tr.Forward()  // nil-safe via delegation
+	if h.tr != nil {
+		return h.tr.Count() // dominated by the enclosing check
+	}
+	if h.tr == nil {
+		return 0
+	}
+	return h.tr.Count() // dominated by the early return above
+}
+
+func bad(h *holder) int {
+	return h.tr.Count() // want "not dominated by"
+}
+
+func allowed(h *holder) int {
+	//pgvn:allow tracerguard: fixture proves suppression
+	return h.tr.Count()
+}

@@ -1,0 +1,465 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// TracerGuard enforces the nil-receiver contract of the observability
+// API: internal/obs types whose methods promise to be no-ops on nil
+// receivers (Tracer, Collector, Registry, the instruments) are the
+// "observability off" fast path — instrumented hot loops pay one
+// pointer test and nothing else. The analyzer derives the contract
+// from the code itself: any pointer-receiver type in a package named
+// "obs" with at least one nil-guarded method is a nil-safe API type,
+// and then
+//
+//   - every other pointer-receiver method of that type must be
+//     provably nil-safe too (the declaration is flagged otherwise),
+//     and
+//   - a call to a method that is not provably nil-safe must itself be
+//     dominated by a `x != nil` check at the call site.
+//
+// "Provably nil-safe" admits three idioms — a leading `if recv == nil
+// { return ... }`, receiver uses wrapped in `if recv != nil`, and pure
+// forwarding to other nil-safe methods — see buildNilSafe.
+var TracerGuard = &Analyzer{
+	Name: "tracerguard",
+	Doc:  "internal/obs tracer/collector/registry methods must be nil-receiver-safe, or their call sites dominated by a nil check",
+	Run:  runTracerGuard,
+}
+
+// methodRef identifies one method of an obs named type.
+type methodRef struct {
+	named *types.Named
+	name  string
+}
+
+// methodEval is the per-method nil-safety evidence: directly guarded,
+// provably unsafe (an unprotected receiver dereference), or safe iff
+// every dependency (a call forwarded to another method of an obs type)
+// is safe.
+type methodEval struct {
+	guarded bool
+	bad     bool
+	deps    []methodRef
+}
+
+// buildNilSafe scans every module package named "obs" and decides, per
+// pointer-receiver method, whether it is provably safe to call on a
+// nil receiver. Three idioms count:
+//
+//  1. a leading `if recv == nil { return ... }` (possibly `recv == nil
+//     || more`), before any other use of the receiver;
+//  2. every receiver use wrapped in `if recv != nil { ... }`;
+//  3. pure forwarding: every receiver use is a call to another obs
+//     method that is itself nil-safe (Inc → Add, WriteJSON →
+//     Snapshot), resolved as a fixpoint.
+//
+// Types with no nil-safe method at all never opted into the contract
+// (plain data types) and are dropped.
+func (m *Module) buildNilSafe() {
+	m.nilSafe = make(map[*types.Named]map[string]bool)
+	evals := make(map[methodRef]*methodEval)
+	for _, pkg := range m.Pkgs {
+		if pkg.Types.Name() != "obs" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				named := receiverNamed(pkg, fd)
+				if named == nil {
+					continue
+				}
+				evals[methodRef{named, fd.Name.Name}] = classifyMethod(pkg, fd)
+			}
+		}
+	}
+	// Fixpoint: start from the directly guarded methods and extend
+	// through forwarding dependencies until nothing changes.
+	safe := make(map[methodRef]bool)
+	for changed := true; changed; {
+		changed = false
+		for ref, ev := range evals {
+			if safe[ref] || ev.bad {
+				continue
+			}
+			// Safe when directly guarded, or when every receiver use is
+			// protected (bad=false) and every forwarded callee is safe —
+			// vacuously so for a body whose receiver uses are all under
+			// `if recv != nil` or that never touches the receiver.
+			ok := true
+			if !ev.guarded {
+				for _, dep := range ev.deps {
+					if !safe[dep] {
+						ok = false
+						break
+					}
+				}
+			}
+			if ok {
+				safe[ref] = true
+				changed = true
+			}
+		}
+	}
+	for ref := range evals {
+		methods := m.nilSafe[ref.named]
+		if methods == nil {
+			methods = make(map[string]bool)
+			m.nilSafe[ref.named] = methods
+		}
+		methods[ref.name] = safe[ref]
+	}
+	// Drop types that never opted into the contract.
+	for named, methods := range m.nilSafe {
+		any := false
+		for _, ok := range methods {
+			any = any || ok
+		}
+		if !any {
+			delete(m.nilSafe, named)
+		}
+	}
+}
+
+// classifyMethod gathers one method's nil-safety evidence.
+func classifyMethod(pkg *Package, fd *ast.FuncDecl) *methodEval {
+	ev := &methodEval{}
+	if len(fd.Recv.List[0].Names) != 1 {
+		// Anonymous receiver: the body cannot dereference it at all, so
+		// the method is trivially nil-safe.
+		ev.guarded = true
+		return ev
+	}
+	recvName := fd.Recv.List[0].Names[0].Name
+	if recvName == "_" {
+		ev.guarded = true
+		return ev
+	}
+	recvObj := pkg.Info.Defs[fd.Recv.List[0].Names[0]]
+
+	// Idiom 1: a leading nil guard before any receiver use.
+	for _, stmt := range fd.Body.List {
+		if ifs, ok := stmt.(*ast.IfStmt); ok && ifs.Init == nil &&
+			leftmost(ifs.Cond, token.LOR, func(e ast.Expr) bool { return isNilCompare(e, recvName, token.EQL) }) &&
+			len(ifs.Body.List) > 0 && terminates(ifs.Body.List[len(ifs.Body.List)-1]) {
+			ev.guarded = true
+			return ev
+		}
+		if mentionsObj(pkg, stmt, recvObj) {
+			break
+		}
+	}
+
+	// Idioms 2 and 3: every receiver use either sits under an
+	// `if recv != nil` or forwards to another obs method.
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pkg.Info.Uses[id] != recvObj {
+			return true
+		}
+		// Inside the protective condition itself?
+		if underNonNilGuard(recvName, stack) || inNilCompare(recvName, stack) {
+			return true
+		}
+		// Forwarding: recv.M(...) where M is an obs method.
+		if dep, ok := forwardedMethod(pkg, id, stack); ok {
+			ev.deps = append(ev.deps, dep)
+			return true
+		}
+		ev.bad = true
+		return true
+	})
+	return ev
+}
+
+// leftmost walks the left spine of op-chained binary expressions and
+// applies pred to the leftmost operand (`a == nil || b || c` tests
+// `a == nil`).
+func leftmost(cond ast.Expr, op token.Token, pred func(ast.Expr) bool) bool {
+	e := ast.Unparen(cond)
+	for {
+		be, ok := e.(*ast.BinaryExpr)
+		if !ok || be.Op != op {
+			break
+		}
+		e = ast.Unparen(be.X)
+	}
+	return pred(e)
+}
+
+// mentionsObj reports whether the subtree references obj.
+func mentionsObj(pkg *Package, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// underNonNilGuard reports whether the ancestor stack passes through
+// the body of an `if recv != nil` (leftmost conjunct) statement.
+func underNonNilGuard(recvName string, stack []ast.Node) bool {
+	for i, n := range stack {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		inBody := i+1 < len(stack) && stack[i+1] == ast.Node(ifs.Body)
+		if inBody && leftmost(ifs.Cond, token.LAND, func(e ast.Expr) bool {
+			return isNilCompare(e, recvName, token.NEQ)
+		}) {
+			return true
+		}
+	}
+	return false
+}
+
+// inNilCompare reports whether the identifier use is itself one side of
+// a `recv ==/!= nil` comparison (the guard's own mention).
+func inNilCompare(recvName string, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	be, ok := stack[len(stack)-1].(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return false
+	}
+	return isNilCompare(be, recvName, be.Op)
+}
+
+// forwardedMethod matches the use `recv.M(args)` and returns the
+// callee reference when M is a method of an obs named type.
+func forwardedMethod(pkg *Package, id *ast.Ident, stack []ast.Node) (methodRef, bool) {
+	if len(stack) < 2 {
+		return methodRef{}, false
+	}
+	sel, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	if !ok || sel.X != ast.Expr(id) {
+		return methodRef{}, false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok || ast.Unparen(call.Fun) != ast.Expr(sel) {
+		return methodRef{}, false
+	}
+	selection, ok := pkg.Info.Selections[sel]
+	if !ok {
+		return methodRef{}, false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return methodRef{}, false
+	}
+	named := pointerReceiverNamed(selection.Recv())
+	if named == nil {
+		return methodRef{}, false
+	}
+	return methodRef{named, fn.Name()}, true
+}
+
+// NilSafe returns the nil-receiver contract map: obs named type →
+// method name → has the leading guard.
+func (m *Module) NilSafe() map[*types.Named]map[string]bool {
+	m.nilSafeOnce.Do(m.buildNilSafe)
+	return m.nilSafe
+}
+
+// receiverNamed resolves a method's pointer-receiver named type (nil
+// for value receivers — the contract is about nil pointers).
+func receiverNamed(pkg *Package, fd *ast.FuncDecl) *types.Named {
+	if len(fd.Recv.List) != 1 {
+		return nil
+	}
+	tv, ok := pkg.Info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, _ := ptr.Elem().(*types.Named)
+	return named
+}
+
+// isNilCompare reports whether cond is `name <op> nil` (either order),
+// with name a bare identifier.
+func isNilCompare(cond ast.Expr, name string, op token.Token) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != op {
+		return false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	return (isIdent(x, name) && isNilIdent(y)) || (isNilIdent(x) && isIdent(y, name))
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func runTracerGuard(p *Pass) {
+	nilSafe := p.Mod.NilSafe()
+	if len(nilSafe) == 0 {
+		return
+	}
+
+	// Declaration side: inside obs packages, every pointer-receiver
+	// method of a contract type must carry the guard.
+	if p.Pkg.Types.Name() == "obs" {
+		for _, file := range p.Pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				named := receiverNamed(p.Pkg, fd)
+				if named == nil {
+					continue
+				}
+				if methods, ok := nilSafe[named]; ok && !methods[fd.Name.Name] {
+					p.Reportf(fd.Name, "method (*%s).%s is not provably nil-receiver-safe, breaking the no-op contract the type's other methods promise",
+						named.Obj().Name(), fd.Name.Name)
+				}
+			}
+		}
+		return // obs's own internal calls go through the receiver, not a nilable field
+	}
+
+	// Call side: a call to an unguarded method must be dominated by a
+	// nil check of the same receiver expression.
+	for _, file := range p.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := p.Pkg.Info.Selections[sel]
+				if !ok {
+					return true
+				}
+				named := pointerReceiverNamed(selection.Recv())
+				if named == nil {
+					return true
+				}
+				methods, contract := nilSafe[named]
+				if !contract || methods[sel.Sel.Name] {
+					return true // not a contract type, or the method guards itself
+				}
+				if dominatedByNilCheck(sel.X, stack) {
+					return true
+				}
+				p.Reportf(call, "call to (*%s).%s (no nil-receiver guard) is not dominated by a %s != nil check",
+					named.Obj().Name(), sel.Sel.Name, exprString(sel.X))
+				return true
+			})
+		}
+	}
+}
+
+// pointerReceiverNamed unwraps *T receivers to their named type.
+func pointerReceiverNamed(t types.Type) *types.Named {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, _ := ptr.Elem().(*types.Named)
+	return named
+}
+
+// dominatedByNilCheck reports whether the receiver expression recv is
+// proven non-nil on every path reaching the call: an enclosing
+// `if recv != nil` whose then-branch contains the call, or an earlier
+// `if recv == nil { return/continue/break/panic }` statement in an
+// enclosing block.
+func dominatedByNilCheck(recv ast.Expr, stack []ast.Node) bool {
+	want := exprString(recv)
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		// The call must sit in the then-branch (the else branch of
+		// `x != nil` proves the opposite).
+		if i+1 < len(stack) && stack[i+1] == ast.Node(ifs.Body) &&
+			isNilCompareStr(ifs.Cond, want, token.NEQ) {
+			return true
+		}
+	}
+	// Early-exit guard: a preceding `if recv == nil { return ... }` in
+	// any enclosing block.
+	for i := len(stack) - 1; i >= 0; i-- {
+		block, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		// The statement chain containing the call within this block.
+		var within ast.Node = block
+		if i+1 < len(stack) {
+			within = stack[i+1]
+		}
+		for _, stmt := range block.List {
+			if stmt == within {
+				break
+			}
+			ifs, ok := stmt.(*ast.IfStmt)
+			if !ok || !isNilCompareStr(ifs.Cond, want, token.EQL) {
+				continue
+			}
+			if len(ifs.Body.List) > 0 && terminates(ifs.Body.List[len(ifs.Body.List)-1]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isNilCompareStr is isNilCompare against a rendered expression (so
+// selector receivers like `a.tr` compare structurally).
+func isNilCompareStr(cond ast.Expr, want string, op token.Token) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != op {
+		return false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	return (exprString(x) == want && isNilIdent(y)) || (isNilIdent(x) && exprString(y) == want)
+}
+
+// terminates reports whether stmt certainly leaves the enclosing scope.
+func terminates(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}

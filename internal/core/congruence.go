@@ -8,6 +8,8 @@ import (
 
 // congruenceFind places value v into the congruence class of its symbolic
 // expression e (paper Figure 4, Perform congruence finding).
+//
+//pgvn:hotpath
 func (a *analysis) congruenceFind(v *ir.Instr, e *expr.Expr) {
 	c0 := a.classOf[v.ID]
 	if e.IsBottom() {
@@ -32,6 +34,7 @@ func (a *analysis) congruenceFind(v *ir.Instr, e *expr.Expr) {
 		c = a.table[e]
 		if c == nil {
 			c = &class{
+				//pgvn:allow hotpathalloc: class creation happens once per unique expression (amortized, like an intern miss)
 				members:   []*ir.Instr{v},
 				leaderVal: v,
 				expr:      e,

@@ -8,6 +8,8 @@ import (
 
 // processOutgoingEdges re-evaluates the reachability and predicate of every
 // outgoing edge of block b (paper Figure 5).
+//
+//pgvn:hotpath
 func (a *analysis) processOutgoingEdges(b *ir.Block) {
 	term := b.Terminator()
 	if term == nil || term.Op == ir.OpReturn {

@@ -419,6 +419,8 @@ func (a *analysis) assignRanks() {
 // touchInstr adds i to TOUCHED (deduplicated). Instructions in blocks the
 // RPO never visits (statically unreachable islands) are ignored: the
 // driver could never wipe them, and their values stay in INITIAL anyway.
+//
+//pgvn:hotpath
 func (a *analysis) touchInstr(i *ir.Instr) {
 	if a.order.RPO(i.Block) < 0 {
 		return
@@ -434,6 +436,8 @@ func (a *analysis) touchInstr(i *ir.Instr) {
 }
 
 // touchBlock adds b to TOUCHED (deduplicated).
+//
+//pgvn:hotpath
 func (a *analysis) touchBlock(b *ir.Block) {
 	if !a.touchedBlock[b.ID] {
 		a.touchedBlock[b.ID] = true

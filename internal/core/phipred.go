@@ -16,6 +16,8 @@ import (
 //
 // The traversal aborts on back edges; per §3 an aborted block predicate is
 // permanently nullified.
+//
+//pgvn:hotpath
 func (a *analysis) computePredicateOfBlock(b0 *ir.Block) {
 	if a.blockPredNull[b0.ID] {
 		return
@@ -221,6 +223,7 @@ func (a *analysis) canonicalOutgoing(b *ir.Block) []*ir.Edge {
 	p1 := a.edgePred[a.edgeIdx(b.Succs[1])]
 	if p0 != nil && p1 != nil && p0.Kind == expr.Compare && p1.Kind == expr.Compare {
 		if !canonicalFirstOp(p0.Op) && canonicalFirstOp(p1.Op) {
+			//pgvn:allow hotpathalloc: the swapped pair is built only when a branch is mirrored, bounded by branch count
 			return []*ir.Edge{b.Succs[1], b.Succs[0]}
 		}
 	}

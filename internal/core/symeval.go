@@ -16,6 +16,8 @@ import (
 // still in INITIAL, or every φ argument is ignorable). Every non-⊥ result
 // is a canonical node of the analysis's interner, so congruence finding is
 // a pointer-keyed map probe.
+//
+//pgvn:hotpath
 func (a *analysis) evaluate(i *ir.Instr) *expr.Expr {
 	b := i.Block
 	switch i.Op {

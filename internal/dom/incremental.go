@@ -63,6 +63,8 @@ func (t *Incremental) Dominates(a, b *ir.Block) bool {
 // source must already be reachable (the GVN driver only marks an edge
 // reachable while processing its source block). Re-inserting an edge is a
 // no-op.
+//
+//pgvn:allow hotpathalloc: runs once per newly-reachable CFG edge (a structural change), not per evaluation
 func (t *Incremental) InsertEdge(e *ir.Edge) {
 	if t.edgeIn[e] {
 		return
@@ -172,6 +174,8 @@ func (t *Incremental) nca(x, y *ir.Block) *ir.Block {
 
 // recomputeDepths rebuilds the depth array from the idom links (affected
 // subtrees may have moved arbitrarily far up).
+//
+//pgvn:allow hotpathalloc: runs once per newly-reachable CFG edge (a structural change), not per evaluation
 func (t *Incremental) recomputeDepths() {
 	children := make([][]*ir.Block, len(t.idom))
 	for _, b := range t.routine.Blocks {

@@ -234,6 +234,8 @@ func (in *Interner) BlockTag(id int) *Expr {
 
 // internNode interns an interior node with the given canonical children,
 // copying args out of scratch on a miss.
+//
+//pgvn:hotpath
 func (in *Interner) internNode(k Kind, op ir.Op, name string, args []*Expr) *Expr {
 	h := nodeHash(k, op, name, args)
 	for e := in.bucket(h); e != nil; e = e.next {
@@ -260,6 +262,7 @@ func (in *Interner) Compare(op ir.Op, a, b *Expr) *Expr {
 			return e
 		}
 	}
+	//pgvn:allow hotpathalloc: the canonical node is built once per unique comparison (intern miss)
 	return in.add(h, &Expr{Kind: Compare, Op: op, Args: []*Expr{a, b}})
 }
 

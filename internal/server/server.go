@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -248,7 +249,7 @@ func (s *Server) instrument(name string, h http.Handler) http.Handler {
 				}
 			}
 			m.Counter("server.req." + name).Inc()
-			m.Counter(fmt.Sprintf("server.status.%d", sw.code)).Inc()
+			m.Counter("server.status." + strconv.Itoa(sw.code)).Inc()
 			m.Histogram("server.latency_ns." + name).Observe(int64(time.Since(start)))
 		}()
 		h.ServeHTTP(sw, r)
