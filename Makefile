@@ -64,7 +64,7 @@ bench-compare:
 
 # serve boots the optimization daemon with a warm disk store under
 # ./gvnd-store; loadtest drives a running daemon open-loop and writes a
-# gvnd-load/v2 snapshot. Override via GVND_ADDR / GVND_QPS / GVND_DURATION.
+# gvnd-load/v3 snapshot. Override via GVND_ADDR / GVND_QPS / GVND_DURATION.
 GVND_ADDR ?= localhost:8080
 GVND_QPS ?= 20
 GVND_DURATION ?= 10s

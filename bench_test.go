@@ -556,6 +556,29 @@ func BenchmarkDriverTraceRing(b *testing.B) { benchDriverObserved(b, true, false
 // histograms, queue-wait observations and counter absorption.
 func BenchmarkDriverMetrics(b *testing.B) { benchDriverObserved(b, false, true) }
 
+// BenchmarkDriverObsSpans measures distributed-tracing span recording on
+// the driver path: a per-batch span buffer, a root span, and the
+// routine/stage children the driver opens under it. Compare against
+// BenchmarkDriverObsOff — the span path must stay within ~1.15x; with no
+// span in the context (ObsOff) the nil-receiver fast path keeps the cost
+// at noise.
+func BenchmarkDriverObsSpans(b *testing.B) {
+	routines := driverCorpus(b)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		reg := obs.NewRegistry()
+		spans := obs.NewSpans("bench", 0, reg)
+		root := spans.StartRoot("optimize", obs.SpanContext{})
+		ctx := obs.ContextWithSpan(context.Background(), root)
+		d := driver.New(driver.Config{Core: core.DefaultConfig(), Jobs: 1, Metrics: reg})
+		if err := d.Run(ctx, routines).Err(); err != nil {
+			b.Fatal(err)
+		}
+		root.End()
+	}
+	b.ReportMetric(float64(len(routines))*float64(b.N)/b.Elapsed().Seconds(), "routines/s")
+}
+
 // BenchmarkDriverTraceExport adds the Chrome trace_event serialization
 // of a fully traced batch — the cost of -trace on top of ring tracing.
 func BenchmarkDriverTraceExport(b *testing.B) {

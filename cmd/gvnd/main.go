@@ -8,9 +8,10 @@
 // Endpoints (all on one listener):
 //
 //	POST /v1/optimize    optimize IR; body {"source": "...", "mode"?, "check"?, ...}
+//	GET  /v1/trace/{id}  assembled distributed trace (gvnd-trace/v1; ?format=jsonl|chrome)
 //	GET  /v1/stats       live admission + cache statistics
 //	GET  /healthz        liveness ("ok" / "draining")
-//	GET  /metrics        pgvn-metrics/v4 snapshot (counters, latency histograms)
+//	GET  /metrics        pgvn-metrics/v5 snapshot (counters, latency histograms, exemplars)
 //	GET  /progress       live batch progress gauges
 //	GET  /debug/pprof/*  standard profiling endpoints
 //
@@ -26,6 +27,13 @@
 // ("starts warm"). -store-max-mb bounds the store with LRU eviction,
 // -store-flush bounds how much LRU recency a crash can lose, and
 // -hot-mb adds an in-memory tier above it.
+//
+// Distributed tracing: every /v1/optimize request gets a span tree
+// (admission → cache tiers → peer fill → per-routine fixpoint),
+// adopting the client's W3C traceparent header when present and
+// answering with the trace id in X-Gvnd-Trace. -trace-spans bounds the
+// per-node span buffer (0 disables tracing); GET /v1/trace/{id}
+// assembles the fleet-wide tree from every alive member.
 //
 // Fleet mode: -peers (or -peers-file) names the static membership and
 // -node this daemon's own entry. Each result then has one owner under
@@ -94,6 +102,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		suspectAfter = fs.Int("suspect-after", cluster.DefaultSuspectAfter, "consecutive failed probes before a peer leaves the ring")
 		peerTimeout  = fs.Duration("peer-timeout", cluster.DefaultPeerFillTimeout, "deadline for one peer cache fetch")
 		peerConc     = fs.Int("peer-concurrency", server.DefaultPeerMaxConcurrent, "max peer cache reads served at once")
+		traceSpans   = fs.Int("trace-spans", obs.DefaultMaxSpans, "per-node span buffer for distributed tracing (0 = tracing off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -167,6 +176,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		cfg.Cluster = cl
+	}
+	if *traceSpans > 0 {
+		// Spans are attributed to the fleet name when there is one, so
+		// assembled traces name ring members, not listen addresses.
+		nodeName := *node
+		if nodeName == "" {
+			nodeName = *addr
+		}
+		cfg.Spans = obs.NewSpans(nodeName, *traceSpans, cfg.Metrics)
 	}
 	srv := server.New(cfg)
 	if err := srv.Start(*addr); err != nil {

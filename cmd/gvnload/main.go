@@ -24,12 +24,19 @@
 // gate) or the run could not start. 429s are counted and reported but
 // are not failures — they are the admission control working.
 //
-// -json writes a gvnd-load/v2 snapshot (latency percentiles, counts,
-// per-node stats, environment block) for trajectory comparison.
+// Every request carries a fresh W3C traceparent header, so a traced
+// daemon records a full span tree per call. The report's slowest OK
+// requests keep their trace ids — follow them with
+// GET {target}/v1/trace/{id} to see exactly where the time went.
+//
+// -json writes a gvnd-load/v3 snapshot (latency percentiles, counts,
+// per-node stats, slowest-trace exemplars, environment block) for
+// trajectory comparison.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -48,8 +55,13 @@ import (
 )
 
 // LoadSchema tags the -json snapshot. v2 added fleet mode: targets,
-// per-node breakdowns and the routing-mismatch rate.
-const LoadSchema = "gvnd-load/v2"
+// per-node breakdowns and the routing-mismatch rate. v3 added the
+// slowest-trace exemplars (requests carry traceparent; responses
+// return X-Gvnd-Trace).
+const LoadSchema = "gvnd-load/v3"
+
+// slowestTraces bounds LoadReport.SlowestTraces.
+const slowestTraces = 5
 
 // Result is one request's outcome.
 type result struct {
@@ -57,6 +69,7 @@ type result struct {
 	status  int
 	cache   string
 	routing string
+	traceID string
 	latency time.Duration
 	err     error
 }
@@ -98,7 +111,17 @@ type LoadReport struct {
 	MaxNS           int64             `json:"max_ns"`
 	AchievedQPS     float64           `json:"achieved_qps"`
 	PerNode         []NodeReport      `json:"per_node,omitempty"`
+	SlowestTraces   []TraceRef        `json:"slowest_traces,omitempty"`
 	Env             map[string]string `json:"env"`
+}
+
+// TraceRef points one slow observation at its distributed trace:
+// GET {target}/v1/trace/{trace_id} replays where the latency went.
+type TraceRef struct {
+	TraceID   string `json:"trace_id"`
+	Target    string `json:"target"`
+	LatencyNS int64  `json:"latency_ns"`
+	Cache     string `json:"cache,omitempty"`
 }
 
 // request is one prepared optimize call: the encoded body plus the
@@ -125,7 +148,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mode      = fs.String("mode", "", "request mode override (optimistic, balanced, pessimistic)")
 		chk       = fs.String("check", "", "request check tier override (off, fast, full)")
 		timeout   = fs.Duration("timeout", 30*time.Second, "per-request client timeout")
-		jsonOut   = fs.String("json", "", "write the gvnd-load/v2 report snapshot to this file")
+		jsonOut   = fs.String("json", "", "write the gvnd-load/v3 report snapshot to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -296,20 +319,34 @@ func fetchFingerprint(client *http.Client, url string) (string, error) {
 	return stats.Fingerprint, nil
 }
 
-// shoot sends one request and classifies the outcome.
+// shoot sends one request and classifies the outcome. Each call mints
+// a fresh trace context and propagates it as the traceparent header, so
+// a traced daemon records the full span tree under an id this client
+// knows; the response's X-Gvnd-Trace confirms the id the server used
+// (they differ only when the daemon traces but rejected the header).
 func shoot(client *http.Client, req *request) result {
+	sc := obs.NewTraceContext()
 	start := time.Now()
-	resp, err := client.Post(req.target+"/v1/optimize", "application/json", bytes.NewReader(req.body))
+	hreq, err := http.NewRequestWithContext(context.Background(), http.MethodPost,
+		req.target+"/v1/optimize", bytes.NewReader(req.body))
+	if err != nil {
+		return result{target: req.target, err: err}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(obs.TraceparentHeader, sc.Traceparent())
+	resp, err := client.Do(hreq)
 	if err != nil {
 		return result{target: req.target, err: err, latency: time.Since(start)}
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	traceID := resp.Header.Get("X-Gvnd-Trace")
 	return result{
 		target:  req.target,
 		status:  resp.StatusCode,
 		cache:   resp.Header.Get("X-Gvnd-Cache"),
 		routing: resp.Header.Get("X-Gvnd-Routing"),
+		traceID: traceID,
 		latency: time.Since(start),
 	}
 }
@@ -381,6 +418,24 @@ func summarize(results []result, urls []string, qps float64, elapsed time.Durati
 	if elapsed > 0 {
 		rep.AchievedQPS = float64(len(results)) / elapsed.Seconds()
 	}
+	// The slowest traced OK requests become exemplars: a latency number
+	// an operator can actually follow to a span tree.
+	var traced []result
+	for _, r := range results {
+		if r.err == nil && r.status == http.StatusOK && r.traceID != "" {
+			traced = append(traced, r)
+		}
+	}
+	sort.Slice(traced, func(i, j int) bool { return traced[i].latency > traced[j].latency })
+	if len(traced) > slowestTraces {
+		traced = traced[:slowestTraces]
+	}
+	for _, r := range traced {
+		rep.SlowestTraces = append(rep.SlowestTraces, TraceRef{
+			TraceID: r.traceID, Target: r.target,
+			LatencyNS: int64(r.latency), Cache: r.cache,
+		})
+	}
 	if len(urls) > 1 {
 		for _, u := range urls {
 			node := perNode[u]
@@ -443,6 +498,18 @@ func printReport(w io.Writer, rep LoadReport) {
 			time.Duration(n.P50NS).Round(time.Microsecond),
 			time.Duration(n.P95NS).Round(time.Microsecond),
 			time.Duration(n.P99NS).Round(time.Microsecond))
+	}
+	if len(rep.SlowestTraces) > 0 {
+		fmt.Fprintln(w, "  slowest traces:")
+		for _, tr := range rep.SlowestTraces {
+			cache := tr.Cache
+			if cache == "" {
+				cache = "?"
+			}
+			fmt.Fprintf(w, "    %v  cache=%s  %s/v1/trace/%s\n",
+				time.Duration(tr.LatencyNS).Round(time.Microsecond),
+				cache, tr.Target, tr.TraceID)
+		}
 	}
 }
 

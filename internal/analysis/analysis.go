@@ -20,7 +20,7 @@
 //   - lockscope: no mutex is held across network or disk I/O (the store
 //     package's own lock is the deliberate, annotated exception).
 //   - metricname: metric names registered with internal/obs are
-//     compile-time constants in the pgvn-metrics/v4 grammar, so
+//     compile-time constants in the pgvn-metrics/v5 grammar, so
 //     snapshot schemas cannot drift at runtime.
 //
 // A finding is suppressed by a `//pgvn:allow <analyzer>` comment on the

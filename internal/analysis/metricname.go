@@ -7,7 +7,7 @@ import (
 	"regexp"
 )
 
-// MetricName keeps the pgvn-metrics/v4 snapshot schema stable at
+// MetricName keeps the pgvn-metrics/v5 snapshot schema stable at
 // compile time: every name passed to the internal/obs registry
 // (Registry.Counter / Gauge / Histogram) must be derivable from string
 // constants, and every constant part must match the naming grammar
@@ -22,13 +22,13 @@ import (
 // runtime and silently fork the snapshot schema.
 var MetricName = &Analyzer{
 	Name: "metricname",
-	Doc:  "obs registry metric names must be string constants (or constant-prefix concatenations) in the pgvn-metrics/v4 grammar",
+	Doc:  "obs registry metric names must be string constants (or constant-prefix concatenations) in the pgvn-metrics/v5 grammar",
 	Run:  runMetricName,
 }
 
 // registryMethods are the instrument constructors whose first argument
 // is a metric name.
-var registryMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+var registryMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true, "Exemplars": true}
 
 var (
 	metricNameRE   = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
@@ -65,7 +65,7 @@ func runMetricName(p *Pass) {
 func checkMetricName(p *Pass, method string, arg ast.Expr) {
 	if name, ok := constString(p, arg); ok {
 		if !metricNameRE.MatchString(name) {
-			p.Reportf(arg, "metric name %q does not match the pgvn-metrics/v4 grammar (lowercase dot-separated words, e.g. \"driver.cache.hits\")", name)
+			p.Reportf(arg, "metric name %q does not match the pgvn-metrics/v5 grammar (lowercase dot-separated words, e.g. \"driver.cache.hits\")", name)
 		}
 		return
 	}

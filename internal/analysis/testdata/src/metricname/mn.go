@@ -11,10 +11,12 @@ import (
 func metrics(r *obs.Registry, name string, code int) {
 	_ = r.Counter("req.count")                   // constant in the grammar: fine
 	_ = r.Gauge("req.queue_depth")               // underscores allowed: fine
-	_ = r.Counter("BadName")                     // want "does not match the pgvn-metrics/v4 grammar"
+	_ = r.Counter("BadName")                     // want "does not match the pgvn-metrics/v5 grammar"
 	_ = r.Gauge("req." + name)                   // dot-terminated prefix + tail: fine
 	_ = r.Counter("req" + name)                  // want "must be dot-terminated"
 	_ = r.Histogram(fmt.Sprintf("req.%d", code)) // want "must be a string constant"
+	_ = r.Exemplars("req.latency_ns")            // exemplar reservoirs obey the same grammar: fine
+	_ = r.Exemplars("Latency NS")                // want "does not match the pgvn-metrics/v5 grammar"
 }
 
 func allowed(r *obs.Registry) {

@@ -15,6 +15,9 @@ type Gauge struct{}
 // Histogram is a named instrument stub.
 type Histogram struct{}
 
+// Exemplars is a named instrument stub.
+type Exemplars struct{}
+
 // Counter returns the named counter.
 func (r *Registry) Counter(name string) *Counter { return nil }
 
@@ -23,3 +26,6 @@ func (r *Registry) Gauge(name string) *Gauge { return nil }
 
 // Histogram returns the named histogram.
 func (r *Registry) Histogram(name string) *Histogram { return nil }
+
+// Exemplars returns the named exemplar reservoir.
+func (r *Registry) Exemplars(name string) *Exemplars { return nil }

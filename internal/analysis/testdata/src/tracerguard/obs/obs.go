@@ -28,3 +28,40 @@ func (t *Tracer) Forward() { t.Emit(1) }
 func (t *Tracer) Count() int { // want "not provably nil-receiver-safe"
 	return t.n
 }
+
+// Span mimics the distributed-tracing span handle: like the Tracer,
+// one guarded method opts the whole type into the nil-receiver
+// contract, and every other pointer-receiver method must then be
+// provably safe too.
+type Span struct {
+	dur   int
+	attrs map[string]string
+}
+
+// End is nil-safe via the leading-guard idiom.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.dur++
+}
+
+// SetAttr is nil-safe via the leading-guard idiom.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[k] = v
+}
+
+// Child is nil-safe by delegating to nil-safe methods only.
+func (s *Span) Child() { s.End() }
+
+// Leak dereferences its receiver unguarded — the conviction that
+// proves the contract extends to span-shaped types.
+func (s *Span) Leak() int { // want "not provably nil-receiver-safe"
+	return s.dur
+}

@@ -23,6 +23,22 @@ func bad(h *holder) int {
 	return h.tr.Count() // want "not dominated by"
 }
 
+type spanHolder struct{ sp *obs.Span }
+
+func goodSpan(h *spanHolder) int {
+	h.sp.End()             // nil-safe method: no check needed
+	h.sp.SetAttr("k", "v") // nil-safe via leading guard
+	h.sp.Child()           // nil-safe via delegation
+	if h.sp != nil {
+		return h.sp.Leak() // dominated by the enclosing check
+	}
+	return 0
+}
+
+func badSpan(h *spanHolder) int {
+	return h.sp.Leak() // want "not dominated by"
+}
+
 func allowed(h *holder) int {
 	//pgvn:allow tracerguard: fixture proves suppression
 	return h.tr.Count()

@@ -241,6 +241,22 @@ func (c *Cluster) States() []PeerState {
 // Alive returns the members currently in the routing ring.
 func (c *Cluster) Alive() []string { return c.ring.Members() }
 
+// AlivePeers returns the peers (excluding self) currently believed
+// healthy, ordered by name — the fan-out set for cross-node trace
+// assembly.
+func (c *Cluster) AlivePeers() []Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nodes := make([]Node, 0, len(c.peers))
+	for _, ph := range c.peers {
+		if ph.alive {
+			nodes = append(nodes, ph.node)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
+	return nodes
+}
+
 // logf logs through Config.Logf when set.
 func (c *Cluster) logf(format string, args ...any) {
 	if c.cfg.Logf != nil {
@@ -262,6 +278,11 @@ func (c *Cluster) FetchPeer(ctx context.Context, owner Node, key string) ([]byte
 	if err != nil {
 		m.Counter("cluster.peerfill.errors").Inc()
 		return nil, false
+	}
+	// Propagate the enclosing trace: the owner opens its serving span as
+	// a child of ours, so /v1/trace/{id} assembles both sides of the fill.
+	if sc := obs.SpanFromContext(ctx).Context(); sc.Valid() {
+		req.Header.Set(obs.TraceparentHeader, sc.Traceparent())
 	}
 	resp, err := c.cfg.Client.Do(req)
 	m.Histogram("cluster.peerfill.latency_ns").Observe(int64(time.Since(start)))
@@ -285,6 +306,45 @@ func (c *Cluster) FetchPeer(ctx context.Context, owner Node, key string) ([]byte
 	}
 	m.Counter("cluster.peerfill.hits").Inc()
 	return payload, true
+}
+
+// FetchTrace asks one peer for its locally retained spans of trace id
+// (GET /v1/trace/{id}?scope=local — local scope, so assembly fan-out
+// never recurses). ok=false means the peer could not answer; a peer
+// that answers but holds no spans returns (nil, true), which assembly
+// treats as an empty contribution rather than a failure.
+func (c *Cluster) FetchTrace(ctx context.Context, n Node, id string) ([]obs.SpanRecord, bool) {
+	m := c.cfg.Metrics
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(n.URL, "/")+"/v1/trace/"+id+"?scope=local", nil)
+	if err != nil {
+		m.Counter("cluster.trace.fetch_errors").Inc()
+		return nil, false
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		m.Counter("cluster.trace.fetch_errors").Inc()
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, true
+	}
+	if resp.StatusCode != http.StatusOK {
+		m.Counter("cluster.trace.fetch_errors").Inc()
+		return nil, false
+	}
+	data, err := readBounded(resp.Body)
+	if err != nil {
+		m.Counter("cluster.trace.fetch_errors").Inc()
+		return nil, false
+	}
+	var te obs.TraceExport
+	if json.Unmarshal(data, &te) != nil {
+		m.Counter("cluster.trace.fetch_errors").Inc()
+		return nil, false
+	}
+	return te.Spans, true
 }
 
 // healthzBody is the slice of a peer's /healthz response the prober

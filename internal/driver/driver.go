@@ -144,6 +144,10 @@ func (d *Driver) Run(ctx context.Context, routines []*ir.Routine) *Batch {
 	if m != nil {
 		m.Gauge("driver.batch.total").Add(int64(len(routines)))
 	}
+	// The enclosing request span (nil when untraced) parents one child
+	// span per routine, so /v1/trace/{id} shows where a batch spent its
+	// time routine by routine.
+	parent := obs.SpanFromContext(ctx)
 	// enqueued[i] is stamped just before the dispatcher offers index i to
 	// the (unbuffered) queue; the send completes at worker pickup, so the
 	// interval is the time the routine spent waiting for a free worker.
@@ -160,7 +164,7 @@ func (d *Driver) Run(ctx context.Context, routines []*ir.Routine) *Batch {
 					m.Histogram("driver.queue_wait_ns").Observe(int64(time.Since(enqueued[i])))
 				}
 				ws := time.Now()
-				b.Results[i] = d.one(i, routines[i])
+				b.Results[i] = d.one(parent, i, routines[i])
 				busy += time.Since(ws)
 			}
 			if m != nil {
@@ -217,11 +221,19 @@ func (d *Driver) RunSource(ctx context.Context, src string) (*Batch, error) {
 }
 
 // one runs the pipeline for a single routine, converting a panic into a
-// RoutineError so one bad routine cannot take down the batch.
-func (d *Driver) one(idx int, r *ir.Routine) (rr RoutineResult) {
+// RoutineError so one bad routine cannot take down the batch. parent is
+// the enclosing request span (nil when untraced): each routine gets a
+// child span, and each computed stage a grandchild, so distributed
+// traces descend to individual fixpoint runs.
+func (d *Driver) one(parent *obs.Span, idx int, r *ir.Routine) (rr RoutineResult) {
 	start := time.Now()
 	m := d.cfg.Metrics
 	tr := d.cfg.Trace.Tracer(idx, r.Name)
+	sp := parent.StartChild("routine")
+	sp.SetAttr("routine", r.Name)
+	// Linking the span onto the tracer is what lets -explain replays and
+	// JSONL event exports name the distributed trace they belong to.
+	tr.SetSpan(sp.Context())
 	rr = RoutineResult{Index: idx, Name: r.Name}
 	defer func() {
 		rr.Duration = time.Since(start)
@@ -234,12 +246,20 @@ func (d *Driver) one(idx int, r *ir.Routine) (rr RoutineResult) {
 				Stack:   string(debug.Stack()),
 			}
 		}
+		if rr.CacheHit {
+			sp.SetAttr("cache", "hit")
+		}
+		if rr.Err != nil {
+			sp.SetAttr("error", rr.Err.Stage)
+		}
+		sp.End()
 		if m != nil {
 			if rr.CacheHit {
 				m.Histogram("driver.cache_lookup_ns").Observe(int64(rr.Duration))
 				m.Gauge("driver.batch.cache_hits").Add(1)
 			} else {
 				m.Histogram("driver.routine_ns").Observe(int64(rr.Duration))
+				m.Exemplars("driver.routine_ns").Observe(int64(rr.Duration), sp.TraceID())
 			}
 			m.Gauge("driver.batch.done").Add(1)
 			if rr.Err != nil {
@@ -248,15 +268,24 @@ func (d *Driver) one(idx int, r *ir.Routine) (rr RoutineResult) {
 		}
 	}()
 	// stage brackets one pipeline step with a runtime/trace region, a
-	// pair of tracer events and a latency histogram observation.
+	// pair of tracer events, a child span and a latency histogram
+	// observation.
 	stage := func(name string) func() {
 		st := time.Now()
 		if tr != nil {
 			tr.Emit(obs.KindStageStart, 0, -1, -1, 0, name)
 		}
+		// The fixpoint is the span readers hunt for; name it by what it
+		// is rather than the stage mnemonic.
+		spanName := name
+		if name == "gvn" {
+			spanName = "fixpoint"
+		}
+		ss := sp.StartChild(spanName)
 		reg := rtrace.StartRegion(context.Background(), "pgvn/"+name)
 		return func() {
 			reg.End()
+			ss.End()
 			el := time.Since(st)
 			if tr != nil {
 				tr.Emit(obs.KindStageEnd, 0, -1, -1, int64(el), name)

@@ -65,6 +65,9 @@ type RoutineEvents struct {
 	// Index is the routine's batch position; Routine its name.
 	Index   int
 	Routine string
+	// Span is the distributed-trace span enclosing this routine's
+	// events (zero when the batch ran untraced).
+	Span SpanContext
 	// Dropped counts events the full ring overwrote; Emitted the total
 	// emissions (Dropped + len(Events) when nothing else truncated).
 	Dropped int
@@ -86,6 +89,7 @@ func (c *Collector) Export() []RoutineEvents {
 		out = append(out, RoutineEvents{
 			Index:   idx,
 			Routine: name,
+			Span:    t.Span(),
 			Dropped: t.Dropped(),
 			Emitted: t.Emitted(),
 			Events:  t.Events(),

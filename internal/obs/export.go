@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // jsonlEvent is the JSONL wire form of one event, with the routine
@@ -12,6 +13,8 @@ import (
 type jsonlEvent struct {
 	Routine string `json:"routine"`
 	Index   int    `json:"i"`
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 	Seq     int    `json:"seq"`
 	T       int64  `json:"t,omitempty"`
 	Kind    string `json:"kind"`
@@ -32,6 +35,8 @@ func WriteJSONL(w io.Writer, streams []RoutineEvents) error {
 			le := jsonlEvent{
 				Routine: rs.Routine,
 				Index:   rs.Index,
+				TraceID: rs.Span.TraceID,
+				SpanID:  rs.Span.SpanID,
 				Seq:     e.Seq,
 				T:       e.T,
 				Kind:    e.Kind.String(),
@@ -67,6 +72,7 @@ type chromeEvent struct {
 	Pid   int            `json:"pid"`
 	Tid   int            `json:"tid"`
 	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
 	Scope string         `json:"s,omitempty"`
 	Args  map[string]any `json:"args,omitempty"`
 }
@@ -160,6 +166,118 @@ func WriteChromeTrace(w io.Writer, streams []RoutineEvents, opts ChromeOptions) 
 			}); err != nil {
 				return err
 			}
+		}
+	}
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SortSpans orders an assembled trace by start time, breaking wall-clock
+// ties by span id so equal-resolution clocks still yield a deterministic
+// order.
+func SortSpans(spans []SpanRecord) {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].StartUnixNS != spans[j].StartUnixNS {
+			return spans[i].StartUnixNS < spans[j].StartUnixNS
+		}
+		return spans[i].SpanID < spans[j].SpanID
+	})
+}
+
+// jsonlSpan is the JSONL wire form of one span record (gvnd-trace/v1),
+// with the schema inlined so each line stands alone.
+type jsonlSpan struct {
+	Schema string `json:"schema"`
+	SpanRecord
+}
+
+// WriteSpanJSONL writes an assembled trace as JSON Lines: one
+// self-contained span object per line, sorted by start time.
+func WriteSpanJSONL(w io.Writer, spans []SpanRecord) error {
+	spans = append([]SpanRecord(nil), spans...)
+	SortSpans(spans)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, rec := range spans {
+		if err := enc.Encode(jsonlSpan{Schema: TraceSchema, SpanRecord: rec}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSpanChromeTrace renders an assembled (possibly multi-node) trace
+// in the Chrome trace_event format: each node becomes one thread, each
+// span one complete ("X") event, timestamps offset from the trace's
+// earliest span so Perfetto opens centered on the request rather than on
+// the Unix epoch.
+func WriteSpanChromeTrace(w io.Writer, spans []SpanRecord) error {
+	spans = append([]SpanRecord(nil), spans...)
+	SortSpans(spans)
+	nodes := make([]string, 0, 4)
+	seen := make(map[string]int)
+	var t0 int64
+	for i, rec := range spans {
+		if i == 0 || rec.StartUnixNS < t0 {
+			t0 = rec.StartUnixNS
+		}
+		if _, ok := seen[rec.Node]; !ok {
+			seen[rec.Node] = 0
+			nodes = append(nodes, rec.Node)
+		}
+	}
+	sort.Strings(nodes)
+	for i, n := range nodes {
+		seen[n] = i
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ce chromeEvent) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		_, err = bw.Write(b)
+		return err
+	}
+	for i, n := range nodes {
+		name := n
+		if name == "" {
+			name = "unknown"
+		}
+		if err := emit(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: i,
+			Args: map[string]any{"name": "node " + name},
+		}); err != nil {
+			return err
+		}
+	}
+	for _, rec := range spans {
+		args := map[string]any{"span_id": rec.SpanID}
+		if rec.ParentID != "" {
+			args["parent_id"] = rec.ParentID
+		}
+		for k, v := range rec.Attrs {
+			args[k] = v
+		}
+		if err := emit(chromeEvent{
+			Name: rec.Name, Ph: "X", Pid: 1, Tid: seen[rec.Node],
+			Ts:   float64(rec.StartUnixNS-t0) / 1e3,
+			Dur:  float64(rec.DurationNS) / 1e3,
+			Args: args,
+		}); err != nil {
+			return err
 		}
 	}
 	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n"); err != nil {

@@ -22,18 +22,20 @@ import (
 // trajectory and the /metrics endpoint serve: encoding/json renders map
 // keys sorted, so two snapshots of equal state are byte-identical.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	exemplars map[string]*Exemplars
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		exemplars: make(map[string]*Exemplars),
 	}
 }
 
@@ -149,6 +151,77 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
+// MaxExemplars bounds how many slowest observations an Exemplars
+// instrument retains: enough to name the traces worth reading, small
+// enough that snapshots stay skimmable.
+const MaxExemplars = 4
+
+// Exemplar is one retained observation: the value and the trace it
+// came from — the pointer from an aggregate histogram back to a
+// concrete /v1/trace/{id} worth reading.
+type Exemplar struct {
+	Value   int64  `json:"value"`
+	TraceID string `json:"trace_id"`
+}
+
+// Exemplars retains the top-MaxExemplars slowest observations by
+// value, deduplicated by trace id (one trace appears once, at its
+// worst value). Nil-safe like every other instrument: observing into a
+// nil *Exemplars is the "tracing off" no-op.
+type Exemplars struct {
+	mu  sync.Mutex
+	top []Exemplar // descending by Value, ties ascending by TraceID
+}
+
+// Observe offers one (value, trace id) pair; untraced observations
+// (empty trace id) are ignored — an exemplar that points nowhere is
+// noise.
+func (e *Exemplars) Observe(v int64, traceID string) {
+	if e == nil || traceID == "" {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range e.top {
+		if e.top[i].TraceID == traceID {
+			if v <= e.top[i].Value {
+				return
+			}
+			e.top = append(e.top[:i], e.top[i+1:]...)
+			break
+		}
+	}
+	at := len(e.top)
+	for i := range e.top {
+		if v > e.top[i].Value || (v == e.top[i].Value && traceID < e.top[i].TraceID) {
+			at = i
+			break
+		}
+	}
+	if at >= MaxExemplars {
+		return
+	}
+	e.top = append(e.top, Exemplar{})
+	copy(e.top[at+1:], e.top[at:])
+	e.top[at] = Exemplar{Value: v, TraceID: traceID}
+	if len(e.top) > MaxExemplars {
+		e.top = e.top[:MaxExemplars]
+	}
+}
+
+// Snapshot copies the retained exemplars, slowest first.
+func (e *Exemplars) Snapshot() []Exemplar {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.top) == 0 {
+		return nil
+	}
+	return append([]Exemplar(nil), e.top...)
+}
+
 // Counter returns (creating if needed) the named counter; nil registry
 // returns the nil no-op counter.
 func (r *Registry) Counter(name string) *Counter {
@@ -195,6 +268,23 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Exemplars returns (creating if needed) the named exemplar set; by
+// convention it shares its name with the latency histogram whose
+// slowest observations it annotates.
+func (r *Registry) Exemplars(name string) *Exemplars {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.exemplars[name]
+	if e == nil {
+		e = &Exemplars{}
+		r.exemplars[name] = e
+	}
+	return e
+}
+
 // SnapshotSchema identifies the snapshot wire format; bump on
 // incompatible changes so trajectory consumers can dispatch. v2 added
 // the "env" block (toolchain and host metadata) so perf trajectories
@@ -204,8 +294,12 @@ func (r *Registry) Histogram(name string) *Histogram {
 // measured by an untimed pass after each timing sweep). v4 added the
 // cluster.* instruments (hot-tier hits/misses/evictions, peer-fill and
 // peer-serve outcomes, ring membership transitions) emitted by gvnd
-// fleet mode.
-const SnapshotSchema = "pgvn-metrics/v4"
+// fleet mode. v5 added the trace.* instruments (spans
+// started/finished/dropped, trace-assembly fan-out latency and peer
+// errors) and the "exemplars" block: latency histograms may carry the
+// trace ids of their slowest observations, pointing an operator from an
+// aggregate straight at a /v1/trace/{id} worth reading.
+const SnapshotSchema = "pgvn-metrics/v5"
 
 // EnvMeta describes the toolchain and host a snapshot was taken on.
 // It is embedded as the snapshot's "env" block: two BENCH_*.json files
@@ -242,6 +336,7 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Exemplars  map[string][]Exemplar        `json:"exemplars,omitempty"`
 }
 
 // Snapshot captures the registry's current state.
@@ -283,6 +378,14 @@ func (r *Registry) Snapshot() Snapshot {
 				}
 			}
 			s.Histograms[name] = hs
+		}
+	}
+	for name, e := range r.exemplars {
+		if ex := e.Snapshot(); len(ex) > 0 {
+			if s.Exemplars == nil {
+				s.Exemplars = make(map[string][]Exemplar)
+			}
+			s.Exemplars[name] = ex
 		}
 	}
 	return s

@@ -162,6 +162,7 @@ const DefaultCapacity = 1 << 14
 type Tracer struct {
 	routine string
 	index   int
+	span    SpanContext
 
 	capacity int // ring limit; 0 marks a sink-only tracer
 	buf      []Event
@@ -214,6 +215,25 @@ func (t *Tracer) SetTimestamps(on bool) {
 		return
 	}
 	t.timestamps = on
+}
+
+// SetSpan links the tracer to its enclosing distributed-trace span, so
+// exported event streams (and the -explain replay built on them) carry
+// the (trace id, span id) of the request that produced them.
+func (t *Tracer) SetSpan(sc SpanContext) {
+	if t == nil {
+		return
+	}
+	t.span = sc
+}
+
+// Span returns the linked span context (zero when the batch ran
+// untraced).
+func (t *Tracer) Span() SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	return t.span
 }
 
 // Name returns the routine attribution (index, name).

@@ -1,0 +1,388 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceSchema tags the /v1/trace/{id} export and the span JSONL lines.
+const TraceSchema = "gvnd-trace/v1"
+
+// TraceparentHeader is the W3C Trace Context header every hop reads and
+// writes: gvnload mints one per request, gvnd adopts it on
+// /v1/optimize, and peer fills forward it so the owner's spans join the
+// same trace.
+const TraceparentHeader = "traceparent"
+
+// SpanContext identifies one position in one distributed trace: the
+// 128-bit trace id and the 64-bit span id, both lowercase hex as on the
+// wire. The zero value is "no trace" — every propagation site treats it
+// as absent.
+type SpanContext struct {
+	TraceID string // 32 lowercase hex chars
+	SpanID  string // 16 lowercase hex chars
+	Sampled bool
+}
+
+// Valid reports whether the context names a real trace position.
+func (sc SpanContext) Valid() bool {
+	return validHexID(sc.TraceID, 32) && validHexID(sc.SpanID, 16)
+}
+
+// Traceparent renders the W3C header form
+// "00-{trace-id}-{parent-id}-{flags}"; empty when the context is not
+// valid, so callers can set the header unconditionally.
+func (sc SpanContext) Traceparent() string {
+	if !sc.Valid() {
+		return ""
+	}
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.TraceID + "-" + sc.SpanID + "-" + flags
+}
+
+// ParseTraceparent parses a W3C traceparent header. Only version 00 is
+// accepted; a malformed or all-zero header returns ok=false, which
+// callers treat as "start a fresh trace" — a broken client must not be
+// able to poison propagation.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 || parts[0] != "00" {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{TraceID: parts[1], SpanID: parts[2]}
+	if !sc.Valid() || len(parts[3]) != 2 || !isHex(parts[3]) {
+		return SpanContext{}, false
+	}
+	sc.Sampled = parts[3] == "01"
+	return sc, true
+}
+
+// NewTraceContext mints a fresh sampled root context — what gvnload
+// does per request so every load-generated call is traceable.
+func NewTraceContext() SpanContext {
+	return SpanContext{TraceID: newTraceID(), SpanID: newSpanID(), Sampled: true}
+}
+
+// ValidTraceID reports whether id has the wire shape of a trace id
+// (32 lowercase hex, not all zeros) — the /v1/trace/{id} input check.
+func ValidTraceID(id string) bool { return validHexID(id, 32) }
+
+// validHexID checks an n-char lowercase-hex id that is not all zeros
+// (the W3C invalid sentinel).
+func validHexID(id string, n int) bool {
+	if len(id) != n || !isHex(id) {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] != '0' {
+			return true
+		}
+	}
+	return false
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// newTraceID and newSpanID draw random wire-format ids. math/rand/v2's
+// global source is goroutine-safe and cheap; ids only need to be
+// collision-resistant within a fleet's span-buffer lifetime, not
+// cryptographically unguessable.
+func newTraceID() string {
+	for {
+		a, b := rand.Uint64(), rand.Uint64()
+		if a|b != 0 {
+			return fmt.Sprintf("%016x%016x", a, b)
+		}
+	}
+}
+
+func newSpanID() string {
+	for {
+		if v := rand.Uint64(); v != 0 {
+			return fmt.Sprintf("%016x", v)
+		}
+	}
+}
+
+// SpanRecord is the finished, wire-format form of one span — what the
+// per-node buffer retains and /v1/trace/{id} assembles across nodes.
+type SpanRecord struct {
+	TraceID     string            `json:"trace_id"`
+	SpanID      string            `json:"span_id"`
+	ParentID    string            `json:"parent_id,omitempty"`
+	Name        string            `json:"name"`
+	Node        string            `json:"node,omitempty"`
+	StartUnixNS int64             `json:"start_unix_ns"`
+	DurationNS  int64             `json:"duration_ns"`
+	Attrs       map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceExport is the assembled JSON body of GET /v1/trace/{id}.
+type TraceExport struct {
+	Schema  string       `json:"schema"`
+	TraceID string       `json:"trace_id"`
+	Nodes   []string     `json:"nodes,omitempty"`
+	Spans   []SpanRecord `json:"spans"`
+}
+
+// Span is one live (unended) span. Like the Tracer, a nil *Span is a
+// valid no-op — StartChild on a nil span returns nil, so an untraced
+// request threads nils through the whole pipeline and pays one pointer
+// test per instrumentation point. A Span is used by one goroutine at a
+// time (the request handler, then the worker the request hands it to).
+type Span struct {
+	buf    *Spans
+	name   string
+	trace  string
+	id     string
+	parent string
+	start  time.Time
+	attrs  map[string]string
+	ended  bool
+}
+
+// Context returns the span's position for propagation (zero on nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.trace, SpanID: s.id, Sampled: true}
+}
+
+// TraceID returns the owning trace's id ("" on nil) — what response
+// headers and exemplars carry.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
+}
+
+// SetAttr attaches one string attribute; safe on a nil receiver.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = val
+}
+
+// StartChild opens a child span under this one in the same buffer.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.buf.newSpan(name, s.trace, s.id)
+}
+
+// End finishes the span, stamping its duration and depositing it in the
+// node's buffer. Idempotent and nil-safe, so deferred Ends on every
+// exit path are always correct.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.buf.add(SpanRecord{
+		TraceID:     s.trace,
+		SpanID:      s.id,
+		ParentID:    s.parent,
+		Name:        s.name,
+		StartUnixNS: s.start.UnixNano(),
+		DurationNS:  int64(time.Since(s.start)),
+		Attrs:       s.attrs,
+	})
+}
+
+// DefaultMaxSpans is the per-node span retention NewSpans applies for
+// max <= 0: enough for thousands of recent requests at a handful of
+// spans each, bounded to single-digit megabytes.
+const DefaultMaxSpans = 4096
+
+// maxSpansPerTrace caps one trace's footprint in the buffer so a single
+// thousand-routine batch cannot evict every other trace; spans past the
+// cap are dropped and counted.
+const maxSpansPerTrace = 512
+
+// Spans is one node's bounded span buffer: finished spans grouped by
+// trace, evicted whole-trace FIFO when the total cap is exceeded. A nil
+// *Spans is the "tracing off" no-op — StartRoot returns a nil *Span and
+// the whole span tree degenerates to pointer tests.
+type Spans struct {
+	node    string
+	max     int
+	metrics *Registry
+
+	mu     sync.Mutex
+	traces map[string][]SpanRecord
+	order  []string // trace ids, arrival order, for FIFO eviction
+	total  int
+}
+
+// NewSpans returns a buffer retaining at most max finished spans
+// (max <= 0 selects DefaultMaxSpans), attributing every record to node
+// and counting trace.spans.* instruments into m.
+func NewSpans(node string, max int, m *Registry) *Spans {
+	if max <= 0 {
+		max = DefaultMaxSpans
+	}
+	return &Spans{
+		node:    node,
+		max:     max,
+		metrics: m,
+		traces:  make(map[string][]SpanRecord),
+	}
+}
+
+// Node returns the buffer's node attribution.
+func (b *Spans) Node() string {
+	if b == nil {
+		return ""
+	}
+	return b.node
+}
+
+// StartRoot opens this node's top-level span for one request. A valid
+// parent (a propagated traceparent) is adopted — the new span joins the
+// caller's trace as a child; otherwise a fresh trace is minted.
+func (b *Spans) StartRoot(name string, parent SpanContext) *Span {
+	if b == nil {
+		return nil
+	}
+	if parent.Valid() {
+		return b.newSpan(name, parent.TraceID, parent.SpanID)
+	}
+	return b.newSpan(name, newTraceID(), "")
+}
+
+// newSpan allocates one live span and counts it started.
+func (b *Spans) newSpan(name, trace, parent string) *Span {
+	if b == nil {
+		return nil
+	}
+	b.metrics.Counter("trace.spans.started").Inc()
+	return &Span{
+		buf:    b,
+		name:   name,
+		trace:  trace,
+		id:     newSpanID(),
+		parent: parent,
+		start:  time.Now(),
+	}
+}
+
+// add deposits one finished span, evicting oldest-trace-first past the
+// cap. Eviction is whole-trace: a partially evicted trace would
+// assemble into a misleading tree, so either all of a trace's retained
+// spans survive or none do (the just-updated trace is exempt — its own
+// overflow is bounded by maxSpansPerTrace instead).
+func (b *Spans) add(rec SpanRecord) {
+	if b == nil {
+		return
+	}
+	rec.Node = b.node
+	var dropped int64
+	b.mu.Lock()
+	spans, known := b.traces[rec.TraceID]
+	if len(spans) >= maxSpansPerTrace {
+		b.mu.Unlock()
+		b.metrics.Counter("trace.spans.dropped").Inc()
+		return
+	}
+	if !known {
+		b.order = append(b.order, rec.TraceID)
+	}
+	b.traces[rec.TraceID] = append(spans, rec)
+	b.total++
+	for b.total > b.max && len(b.order) > 1 {
+		oldest := b.order[0]
+		if oldest == rec.TraceID {
+			// The current trace is the oldest: rotate it to the back
+			// rather than evicting what was just recorded.
+			b.order = append(b.order[1:], oldest)
+			continue
+		}
+		b.order = b.order[1:]
+		n := len(b.traces[oldest])
+		delete(b.traces, oldest)
+		b.total -= n
+		dropped += int64(n)
+	}
+	b.mu.Unlock()
+	b.metrics.Counter("trace.spans.finished").Inc()
+	if dropped > 0 {
+		b.metrics.Counter("trace.spans.dropped").Add(dropped)
+	}
+}
+
+// Trace returns a copy of this node's retained spans for one trace id,
+// sorted by start time then span id (deterministic for equal clocks).
+func (b *Spans) Trace(id string) []SpanRecord {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	spans := append([]SpanRecord(nil), b.traces[id]...)
+	b.mu.Unlock()
+	SortSpans(spans)
+	return spans
+}
+
+// SpanStats is the buffer's live accounting for /v1/stats.
+type SpanStats struct {
+	Spans   int   `json:"spans"`
+	Traces  int   `json:"traces"`
+	Started int64 `json:"started"`
+	Dropped int64 `json:"dropped"`
+}
+
+// Stats snapshots the buffer occupancy and lifetime counters.
+func (b *Spans) Stats() SpanStats {
+	if b == nil {
+		return SpanStats{}
+	}
+	b.mu.Lock()
+	st := SpanStats{Spans: b.total, Traces: len(b.traces)}
+	b.mu.Unlock()
+	st.Started = b.metrics.Counter("trace.spans.started").Value()
+	st.Dropped = b.metrics.Counter("trace.spans.dropped").Value()
+	return st
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan threads a span through a context so lower layers
+// (the driver pipeline, peer fills) can attach children to it.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext retrieves the enclosing span (nil when untraced —
+// the no-op value the rest of the span API accepts).
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}

@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := NewTraceContext()
+	if !sc.Valid() {
+		t.Fatalf("NewTraceContext produced invalid context %+v", sc)
+	}
+	h := sc.Traceparent()
+	if !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("Traceparent %q: want 00- prefix and sampled -01 suffix", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected its own rendering", h)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v want %+v", got, sc)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage",
+		"01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // unknown version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // all-zero trace
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // all-zero span
+		"00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01", // uppercase
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",    // missing flags
+		"00-short-b7ad6b7169203331-01",
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) = ok, want rejection", h)
+		}
+	}
+	if _, ok := ParseTraceparent(" 00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01 "); !ok {
+		t.Errorf("surrounding whitespace should be tolerated")
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	// The whole span API must be a no-op on nil receivers: this is the
+	// tracing-off fast path every instrumented layer relies on.
+	var b *Spans
+	sp := b.StartRoot("optimize", SpanContext{})
+	if sp != nil {
+		t.Fatalf("nil Spans.StartRoot returned non-nil span")
+	}
+	sp.SetAttr("k", "v")
+	child := sp.StartChild("inner")
+	if child != nil {
+		t.Fatalf("nil Span.StartChild returned non-nil span")
+	}
+	child.End()
+	sp.End()
+	if sc := sp.Context(); sc.Valid() {
+		t.Fatalf("nil span yielded valid context %+v", sc)
+	}
+	if id := sp.TraceID(); id != "" {
+		t.Fatalf("nil span TraceID = %q, want empty", id)
+	}
+	if got := b.Trace("0123456789abcdef0123456789abcdef"); got != nil {
+		t.Fatalf("nil Spans.Trace = %v, want nil", got)
+	}
+	if st := b.Stats(); st != (SpanStats{}) {
+		t.Fatalf("nil Spans.Stats = %+v, want zero", st)
+	}
+	if n := b.Node(); n != "" {
+		t.Fatalf("nil Spans.Node = %q, want empty", n)
+	}
+}
+
+func TestSpanTreeRecordsHierarchy(t *testing.T) {
+	reg := NewRegistry()
+	b := NewSpans("n0", 0, reg)
+	root := b.StartRoot("optimize", SpanContext{})
+	root.SetAttr("cache", "miss")
+	child := root.StartChild("fixpoint")
+	child.End()
+	root.End()
+	root.End() // idempotent
+
+	id := root.TraceID()
+	spans := b.Trace(id)
+	if len(spans) != 2 {
+		t.Fatalf("retained %d spans, want 2: %+v", len(spans), spans)
+	}
+	byName := map[string]SpanRecord{}
+	for _, rec := range spans {
+		byName[rec.Name] = rec
+		if rec.Node != "n0" {
+			t.Errorf("span %q node = %q, want n0", rec.Name, rec.Node)
+		}
+		if rec.TraceID != id {
+			t.Errorf("span %q trace = %q, want %q", rec.Name, rec.TraceID, id)
+		}
+	}
+	if byName["fixpoint"].ParentID != byName["optimize"].SpanID {
+		t.Fatalf("child parent = %q, want root span id %q",
+			byName["fixpoint"].ParentID, byName["optimize"].SpanID)
+	}
+	if byName["optimize"].Attrs["cache"] != "miss" {
+		t.Fatalf("root attrs = %v, want cache=miss", byName["optimize"].Attrs)
+	}
+	if st := b.Stats(); st.Spans != 2 || st.Traces != 1 || st.Started != 2 {
+		t.Fatalf("stats = %+v, want 2 spans / 1 trace / 2 started", st)
+	}
+}
+
+func TestSpanAdoptsPropagatedParent(t *testing.T) {
+	b := NewSpans("n1", 0, nil)
+	parent := NewTraceContext()
+	sp := b.StartRoot("peer.serve", parent)
+	sp.End()
+	spans := b.Trace(parent.TraceID)
+	if len(spans) != 1 {
+		t.Fatalf("retained %d spans under the propagated trace, want 1", len(spans))
+	}
+	if spans[0].ParentID != parent.SpanID {
+		t.Fatalf("parent id = %q, want propagated span id %q", spans[0].ParentID, parent.SpanID)
+	}
+}
+
+func TestSpansEvictsWholeTracesFIFO(t *testing.T) {
+	reg := NewRegistry()
+	b := NewSpans("n0", 4, reg)
+	var ids []string
+	for i := 0; i < 4; i++ {
+		sp := b.StartRoot("r", SpanContext{})
+		ids = append(ids, sp.TraceID())
+		sp.End()
+	}
+	// A fifth trace with two spans must evict the two oldest traces
+	// wholesale (total would be 6 > 4, then 5 > 4).
+	root := b.StartRoot("r", SpanContext{})
+	root.StartChild("c").End()
+	root.End()
+	if got := b.Trace(ids[0]); got != nil {
+		t.Fatalf("oldest trace survived eviction: %+v", got)
+	}
+	if got := b.Trace(ids[1]); got != nil {
+		t.Fatalf("second-oldest trace survived eviction: %+v", got)
+	}
+	if got := b.Trace(root.TraceID()); len(got) != 2 {
+		t.Fatalf("current trace lost spans: %d, want 2", len(got))
+	}
+	if d := reg.Counter("trace.spans.dropped").Value(); d != 2 {
+		t.Fatalf("trace.spans.dropped = %d, want 2", d)
+	}
+	st := b.Stats()
+	if st.Spans > 4 {
+		t.Fatalf("buffer over cap: %d spans retained, max 4", st.Spans)
+	}
+}
+
+func TestSpansPerTraceCap(t *testing.T) {
+	reg := NewRegistry()
+	b := NewSpans("n0", 10*maxSpansPerTrace, reg)
+	root := b.StartRoot("batch", SpanContext{})
+	for i := 0; i < maxSpansPerTrace+50; i++ {
+		root.StartChild("routine").End()
+	}
+	root.End()
+	got := b.Trace(root.TraceID())
+	if len(got) != maxSpansPerTrace {
+		t.Fatalf("retained %d spans of one trace, want cap %d", len(got), maxSpansPerTrace)
+	}
+	if d := reg.Counter("trace.spans.dropped").Value(); d != 51 {
+		t.Fatalf("trace.spans.dropped = %d, want 51 (50 children + root past cap)", d)
+	}
+}
+
+func TestExemplarsKeepSlowestDeduped(t *testing.T) {
+	var e *Exemplars
+	e.Observe(1, "ignored-on-nil") // nil-safe
+	if got := e.Snapshot(); got != nil {
+		t.Fatalf("nil Exemplars.Snapshot = %v, want nil", got)
+	}
+
+	reg := NewRegistry()
+	ex := reg.Exemplars("server.latency_ns.optimize")
+	ex.Observe(100, "") // empty trace id: not an exemplar
+	ex.Observe(10, "aa")
+	ex.Observe(50, "bb")
+	ex.Observe(30, "cc")
+	ex.Observe(20, "dd")
+	ex.Observe(40, "ee") // evicts the 10ns observation
+	ex.Observe(25, "bb") // dedupe: bb already holds 50, keep the max
+	got := ex.Snapshot()
+	want := []Exemplar{{50, "bb"}, {40, "ee"}, {30, "cc"}, {20, "dd"}}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Exemplars surface in the metrics snapshot.
+	snap := reg.Snapshot()
+	if len(snap.Exemplars["server.latency_ns.optimize"]) != 4 {
+		t.Fatalf("registry snapshot exemplars = %+v", snap.Exemplars)
+	}
+}
+
+func TestTracerCarriesSpanIntoExports(t *testing.T) {
+	c := NewCollector(0)
+	tr := c.Tracer(0, "f")
+	sc := NewTraceContext()
+	tr.SetSpan(sc)
+	tr.Emit(KindEval, 1, 0, 0, 0, "e")
+	streams := c.Export()
+	if len(streams) != 1 || streams[0].Span != sc {
+		t.Fatalf("exported span = %+v, want %+v", streams[0].Span, sc)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, streams); err != nil {
+		t.Fatal(err)
+	}
+	var line struct {
+		TraceID string `json:"trace_id"`
+		SpanID  string `json:"span_id"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatal(err)
+	}
+	if line.TraceID != sc.TraceID || line.SpanID != sc.SpanID {
+		t.Fatalf("JSONL line carries (%q,%q), want (%q,%q)",
+			line.TraceID, line.SpanID, sc.TraceID, sc.SpanID)
+	}
+}
+
+func TestWriteSpanJSONLAndChrome(t *testing.T) {
+	base := time.Now().UnixNano()
+	spans := []SpanRecord{
+		{TraceID: "t", SpanID: "02", Name: "fixpoint", Node: "n1",
+			StartUnixNS: base + 100, DurationNS: 50, ParentID: "01"},
+		{TraceID: "t", SpanID: "01", Name: "optimize", Node: "n0",
+			StartUnixNS: base, DurationNS: 400, Attrs: map[string]string{"cache": "miss"}},
+	}
+	var jl bytes.Buffer
+	if err := WriteSpanJSONL(&jl, spans); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jl.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("JSONL lines = %d, want 2", len(lines))
+	}
+	var first struct {
+		Schema string `json:"schema"`
+		Name   string `json:"name"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Schema != TraceSchema || first.Name != "optimize" {
+		t.Fatalf("first line = %+v, want schema %q and start-sorted order", first, TraceSchema)
+	}
+
+	var ch bytes.Buffer
+	if err := WriteSpanChromeTrace(&ch, spans); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(ch.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, ch.String())
+	}
+	var meta, complete int
+	tids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			tids[ev.Tid] = true
+			if ev.Name == "optimize" && ev.Ts != 0 {
+				t.Errorf("earliest span ts = %v, want 0 (offset from trace start)", ev.Ts)
+			}
+		}
+	}
+	if meta != 2 || complete != 2 || len(tids) != 2 {
+		t.Fatalf("chrome trace: %d meta, %d complete, %d threads; want 2/2/2", meta, complete, len(tids))
+	}
+}
+
+func TestContextSpanThreading(t *testing.T) {
+	if s := SpanFromContext(context.Background()); s != nil {
+		t.Fatalf("empty context yielded span %+v", s)
+	}
+	b := NewSpans("n0", 0, nil)
+	sp := b.StartRoot("optimize", SpanContext{})
+	ctx := ContextWithSpan(context.Background(), sp)
+	if got := SpanFromContext(ctx); got != sp {
+		t.Fatalf("SpanFromContext = %p, want %p", got, sp)
+	}
+	// Threading a nil span is a no-op, not a poisoned context value.
+	ctx2 := ContextWithSpan(context.Background(), nil)
+	if got := SpanFromContext(ctx2); got != nil {
+		t.Fatalf("nil-span context yielded %p", got)
+	}
+}

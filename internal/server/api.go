@@ -17,6 +17,7 @@ import (
 	"pgvn/internal/cluster"
 	"pgvn/internal/core"
 	"pgvn/internal/driver"
+	"pgvn/internal/obs"
 	"pgvn/internal/parser"
 	"pgvn/internal/server/store"
 )
@@ -46,6 +47,11 @@ const NodeHeader = "X-Gvnd-Node"
 // when the client addressed a non-owner (gvnload's routing-mismatch
 // rate counts these).
 const RoutingHeader = "X-Gvnd-Routing"
+
+// TraceHeader carries the request's distributed-trace id on every
+// /v1/optimize response — including 429s, so a shed client can still
+// ask /v1/trace/{id} why it was shed. Set only when tracing is on.
+const TraceHeader = "X-Gvnd-Trace"
 
 // OptimizeRequest is the POST /v1/optimize envelope. Source is the
 // textual IR exactly as gvnopt would read it; the optional knobs
@@ -289,8 +295,22 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m := s.cfg.Metrics
-	if err := s.gate.acquire(r.Context()); err != nil {
-		if errors.Is(err, ErrSaturated) {
+	// Root span before admission: a shed request still deposits its
+	// "optimize" span and answers with its trace id, so a client told
+	// 429 can still ask /v1/trace/{id} what happened to it. A valid
+	// propagated traceparent is adopted; otherwise a fresh trace starts.
+	parentSC, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	root := s.cfg.Spans.StartRoot("optimize", parentSC)
+	defer root.End()
+	if tid := root.TraceID(); tid != "" {
+		w.Header().Set(TraceHeader, tid)
+	}
+	gateSpan := root.StartChild("admission")
+	gateErr := s.gate.acquire(r.Context())
+	gateSpan.End()
+	if gateErr != nil {
+		if errors.Is(gateErr, ErrSaturated) {
+			root.SetAttr("outcome", "saturated")
 			m.Counter("server.saturated").Inc()
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint()))
 			writeErr(w, &apiError{status: http.StatusTooManyRequests, code: "saturated",
@@ -300,8 +320,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		// The client's context died while queued: deadline exhausted in
 		// the queue, or the client went away. 503 is best-effort — a
 		// vanished client never reads it.
+		root.SetAttr("outcome", "queue_expired")
 		writeErr(w, &apiError{status: http.StatusServiceUnavailable, code: "queue_wait",
-			msg: fmt.Sprintf("request expired while queued: %v", err)})
+			msg: fmt.Sprintf("request expired while queued: %v", gateErr)})
 		return
 	}
 	defer s.gate.release()
@@ -336,7 +357,14 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	if payload, tier, ok := s.lookupLocal(key); ok {
+	storeSpan := root.StartChild("store")
+	payload, tier, cached := s.lookupLocal(key)
+	if cached {
+		storeSpan.SetAttr("tier", tier)
+	}
+	storeSpan.End()
+	if cached {
+		root.SetAttr("cache", tier)
 		s.writePayload(w, payload, "hit", tier)
 		return
 	}
@@ -345,7 +373,18 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	// at most PeerFillTimeout, then this node computes like a
 	// single-node daemon would.
 	if !isOwner {
-		if payload, ok := s.cfg.Cluster.FetchPeer(r.Context(), owner, key); ok {
+		pf := root.StartChild("peerfill")
+		pf.SetAttr("owner", owner.Name)
+		pctx := obs.ContextWithSpan(r.Context(), pf)
+		payload, ok := s.cfg.Cluster.FetchPeer(pctx, owner, key)
+		if ok {
+			pf.SetAttr("hit", "true")
+		} else {
+			pf.SetAttr("hit", "false")
+		}
+		pf.End()
+		if ok {
+			root.SetAttr("cache", "peer")
 			s.fillLocal(key, payload, false)
 			s.writePayload(w, payload, "hit", "peer")
 			return
@@ -374,6 +413,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		}
 		switch res := v.(type) {
 		case []byte:
+			root.SetAttr("cache", "coalesced")
 			s.writePayload(w, res, "hit", "coalesced")
 		case *apiError:
 			writeErr(w, res)
@@ -391,8 +431,15 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		msg: "coalesced run failed"}
 	defer func() { s.flights.Finish(key, fl, flightResult) }()
 
+	// The leader's context is detached from the client, but the span is
+	// threaded through it so the driver can hang per-routine children
+	// under this request's trace.
+	cs := root.StartChild("compute")
+	defer cs.End()
+	root.SetAttr("cache", "miss")
 	ctx, cancel := context.WithTimeout(context.Background(), s.timeoutFor(req))
 	defer cancel()
+	ctx = obs.ContextWithSpan(ctx, cs)
 	routines, err := parser.Parse(req.Source)
 	if err != nil {
 		aerr := badRequest("parse_error", "%v", err)
@@ -451,7 +498,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			Const:             rep.Const,
 		})
 	}
-	payload, err := json.MarshalIndent(resp, "", "  ")
+	payload, err = json.MarshalIndent(resp, "", "  ")
 	if err != nil {
 		aerr := &apiError{status: http.StatusInternalServerError, code: "internal",
 			msg: fmt.Sprintf("encoding response: %v", err)}
@@ -491,6 +538,15 @@ func (s *Server) handlePeerCache(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.peerGate.release()
+	// The filling node propagated its traceparent: this node's serving
+	// span joins the same trace, which is how one cold request assembles
+	// into a tree spanning ≥ 2 nodes.
+	sc, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+	sp := s.cfg.Spans.StartRoot("peer.serve", sc)
+	defer sp.End()
+	if tid := sp.TraceID(); tid != "" {
+		w.Header().Set(TraceHeader, tid)
+	}
 	key := r.PathValue("key")
 	if !validStoreKey(key) {
 		writeErr(w, badRequest("bad_key", "malformed cache key %q", key))
@@ -500,10 +556,12 @@ func (s *Server) handlePeerCache(w http.ResponseWriter, r *http.Request) {
 		s.hookPeerServe()
 	}
 	if payload, tier, ok := s.lookupLocal(key); ok {
+		sp.SetAttr("tier", tier)
 		m.Counter("cluster.peer_serve.hits").Inc()
 		s.writePayload(w, payload, "hit", tier)
 		return
 	}
+	sp.SetAttr("tier", "miss")
 	m.Counter("cluster.peer_serve.misses").Inc()
 	writeErr(w, &apiError{status: http.StatusNotFound, code: "not_cached",
 		msg: "key not cached on this node"})

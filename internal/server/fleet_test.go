@@ -75,7 +75,13 @@ func newFleet(t *testing.T, n int) *fleet {
 			t.Fatal(err)
 		}
 		node := &fleetNode{cl: cl, reg: reg, url: peers[i].URL}
-		node.srv = New(Config{Store: st, Hot: cluster.NewHotTier(64<<20, reg), Cluster: cl, Metrics: reg})
+		node.srv = New(Config{
+			Store:   st,
+			Hot:     cluster.NewHotTier(64<<20, reg),
+			Cluster: cl,
+			Metrics: reg,
+			Spans:   obs.NewSpans(peers[i].Name, 0, reg),
+		})
 		node.srv.hookBeforeRun = func(context.Context, int) { node.pipeline.Add(1) }
 		node.srv.Serve(lns[i])
 		cl.Start()
@@ -289,6 +295,88 @@ func TestFleetPeerMissFallsBackToCompute(t *testing.T) {
 	}
 }
 
+// TestFleetTracePropagation is the tracing acceptance check: one cold
+// request against a 3-node fleet, sent to a non-owner so the peer-fill
+// hop fires, must yield a single assembled trace whose spans cover
+// admission, store lookup, the peer fill, and the fixpoint stages —
+// recorded across at least two distinct nodes and readable from any of
+// them via /v1/trace/{id}.
+func TestFleetTracePropagation(t *testing.T) {
+	f := newFleet(t, 3)
+	src := corpusSources(t)[2]
+	ownerNode := f.owner(t, src, f.nodes)
+	var other *fleetNode
+	for _, n := range f.nodes {
+		if n != ownerNode {
+			other = n
+			break
+		}
+	}
+	// Cold everywhere: the non-owner asks its owner (peer miss, the
+	// owner still serves the probe) and then computes locally, so the
+	// one trace holds both the RPC hop and the full fixpoint pipeline.
+	status, hdr, body := f.post(t, other, src)
+	if status != http.StatusOK {
+		t.Fatalf("cold post: %d: %s", status, body)
+	}
+	tid := hdr.Get(TraceHeader)
+	if !obs.ValidTraceID(tid) {
+		t.Fatalf("%s = %q, want a valid trace id", TraceHeader, tid)
+	}
+
+	// Assemble from a node that served neither hop: the fan-out must
+	// gather the spans from both participants.
+	var third *fleetNode
+	for _, n := range f.nodes {
+		if n != ownerNode && n != other {
+			third = n
+			break
+		}
+	}
+	resp, err := http.Get(third.url + "/v1/trace/" + tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d: %s", resp.StatusCode, raw)
+	}
+	var te obs.TraceExport
+	if err := json.Unmarshal(raw, &te); err != nil {
+		t.Fatal(err)
+	}
+	if te.TraceID != tid {
+		t.Fatalf("assembled trace id = %q, want %q", te.TraceID, tid)
+	}
+	if len(te.Nodes) < 2 {
+		t.Fatalf("trace spans %d node(s) %v, want >= 2", len(te.Nodes), te.Nodes)
+	}
+	names := map[string]string{} // span name -> recording node
+	for _, rec := range te.Spans {
+		if rec.TraceID != tid {
+			t.Fatalf("span %q belongs to trace %q", rec.Name, rec.TraceID)
+		}
+		names[rec.Name] = rec.Node
+	}
+	for _, want := range []string{"optimize", "admission", "store", "peerfill", "compute", "fixpoint"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("assembled trace is missing a %q span: %v", want, names)
+		}
+	}
+	// The serving side of the hop is recorded by the owner, under the
+	// same trace: that is the cross-node join.
+	if node, ok := names["peer.serve"]; !ok || node != ownerNode.url {
+		t.Errorf("peer.serve span node = %q, %v; want recorded by owner %s", node, ok, ownerNode.url)
+	}
+	if node := names["peerfill"]; node != other.url {
+		t.Errorf("peerfill span node = %q, want requesting node %s", node, other.url)
+	}
+}
+
 // TestFleetChaos is the satellite chaos test: boot 3 nodes, warm them
 // over the preset corpus, kill one mid-fleet, and assert the survivors
 // converge (the dead node leaves both rings) and then serve the whole
@@ -304,8 +392,27 @@ func TestFleetChaos(t *testing.T) {
 		}
 	}
 
-	// Kill node 2: drain it for real (listener gone, like SIGTERM).
+	// A traced request through the doomed node for a key a survivor
+	// owns: the peer-fill hop leaves spans on the survivor, so the
+	// trace outlives its entry node.
 	dead := f.nodes[2]
+	var tracedID string
+	for _, src := range srcs {
+		if f.owner(t, src, f.nodes) == dead {
+			continue
+		}
+		status, hdr, body := f.post(t, dead, src)
+		if status != http.StatusOK {
+			t.Fatalf("pre-kill traced post: %d: %s", status, body)
+		}
+		tracedID = hdr.Get(TraceHeader)
+		break
+	}
+	if !obs.ValidTraceID(tracedID) {
+		t.Fatalf("pre-kill trace id = %q, want valid", tracedID)
+	}
+
+	// Kill node 2: drain it for real (listener gone, like SIGTERM).
 	dead.cl.Stop()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -323,6 +430,34 @@ func TestFleetChaos(t *testing.T) {
 				t.Fatalf("node %s never evicted the dead peer", n.url)
 			}
 			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// The pre-kill trace still assembles: the entry node's spans died
+	// with it, but the survivor that served the peer-fill hop holds its
+	// half, and assembly tolerates the missing peer.
+	resp, err := http.Get(survivors[0].url + "/v1/trace/" + tracedID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-kill trace assembly = %d: %s", resp.StatusCode, raw)
+	}
+	var te obs.TraceExport
+	if err := json.Unmarshal(raw, &te); err != nil {
+		t.Fatal(err)
+	}
+	if len(te.Spans) == 0 {
+		t.Fatal("post-kill trace assembled zero spans from the survivors")
+	}
+	for _, rec := range te.Spans {
+		if rec.Node == dead.url {
+			t.Fatalf("span %q claims the dead node recorded it", rec.Name)
 		}
 	}
 

@@ -111,6 +111,13 @@ type Config struct {
 	// driver's batch instrumentation; nil disables (endpoints still
 	// serve, with empty snapshots).
 	Metrics *obs.Registry
+	// Spans, when non-nil, turns on distributed tracing: every
+	// /v1/optimize request gets a span tree (admission → store →
+	// peer-fill → per-routine fixpoint), propagated via the W3C
+	// traceparent header across peer fills and assembled fleet-wide by
+	// GET /v1/trace/{id}. nil means tracing off — the span API
+	// degenerates to nil-receiver no-ops.
+	Spans *obs.Spans
 	// Meta is attached to every /metrics snapshot.
 	Meta map[string]string
 	// Logf, when non-nil, receives operational log lines.
@@ -185,6 +192,7 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/optimize", s.instrument("optimize", http.HandlerFunc(s.handleOptimize)))
 	mux.Handle("/v1/peer/cache/{key}", s.instrument("peer", http.HandlerFunc(s.handlePeerCache)))
+	mux.Handle("/v1/trace/{id}", s.instrument("trace", http.HandlerFunc(s.handleTrace)))
 	mux.Handle("/v1/stats", s.instrument("stats", http.HandlerFunc(s.handleStats)))
 	mux.Handle("/healthz", s.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
 	// The observability endpoints share the listener: one port to
@@ -251,6 +259,12 @@ func (s *Server) instrument(name string, h http.Handler) http.Handler {
 			m.Counter("server.req." + name).Inc()
 			m.Counter("server.status." + strconv.Itoa(sw.code)).Inc()
 			m.Histogram("server.latency_ns." + name).Observe(int64(time.Since(start)))
+			// A handler that stamped its trace id feeds the latency
+			// exemplars: the histogram keeps the trace ids of its slowest
+			// observations, so /v1/stats can point at traces worth reading.
+			if tid := sw.Header().Get(TraceHeader); tid != "" {
+				m.Exemplars("server.latency_ns."+name).Observe(int64(time.Since(start)), tid)
+			}
 		}()
 		h.ServeHTTP(sw, r)
 	})
@@ -294,6 +308,19 @@ type statsBody struct {
 	Hot           *hotStats      `json:"hot,omitempty"`
 	Cluster       *clusterStats  `json:"cluster,omitempty"`
 	MemCache      *memCacheStats `json:"mem_cache,omitempty"`
+	Trace         *traceStats    `json:"trace,omitempty"`
+}
+
+// traceStats is the span buffer's live picture plus the latency
+// exemplars: the slowest recent /v1/optimize observations with the
+// trace ids to look them up by.
+type traceStats struct {
+	Node    string         `json:"node"`
+	Spans   int            `json:"spans"`
+	Traces  int            `json:"traces"`
+	Started int64          `json:"started"`
+	Dropped int64          `json:"dropped"`
+	Slowest []obs.Exemplar `json:"slowest,omitempty"`
 }
 
 type storeStats struct {
@@ -366,6 +393,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.MemCache != nil {
 		hits, misses, entries := s.cfg.MemCache.Stats()
 		body.MemCache = &memCacheStats{Hits: hits, Misses: misses, Entries: entries}
+	}
+	if s.cfg.Spans != nil {
+		st := s.cfg.Spans.Stats()
+		body.Trace = &traceStats{
+			Node: s.cfg.Spans.Node(), Spans: st.Spans, Traces: st.Traces,
+			Started: st.Started, Dropped: st.Dropped,
+			Slowest: s.cfg.Metrics.Exemplars("server.latency_ns.optimize").Snapshot(),
+		}
 	}
 	writeJSON(w, http.StatusOK, body)
 }

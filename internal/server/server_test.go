@@ -167,10 +167,13 @@ func TestMethodNotAllowed(t *testing.T) {
 }
 
 // TestSaturation asserts 429 + Retry-After when slots and queue are
-// full, while the in-flight request is unaffected.
+// full, while the in-flight request is unaffected — and that the shed
+// response still carries its trace id, so a rejected client can ask
+// /v1/trace/{id} what happened.
 func TestSaturation(t *testing.T) {
 	reg := obs.NewRegistry()
-	s := New(Config{MaxConcurrent: 1, MaxQueue: -1, Metrics: reg, RetryAfter: 2 * time.Second})
+	s := New(Config{MaxConcurrent: 1, MaxQueue: -1, Metrics: reg, RetryAfter: 2 * time.Second,
+		Spans: obs.NewSpans("n0", 0, reg)})
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	s.hookBeforeRun = func(ctx context.Context, _ int) {
@@ -195,6 +198,9 @@ func TestSaturation(t *testing.T) {
 	var eb ErrorBody
 	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error.Code != "saturated" {
 		t.Fatalf("error = %+v (%v)", eb.Error, err)
+	}
+	if tid := rec.Header().Get(TraceHeader); !obs.ValidTraceID(tid) {
+		t.Fatalf("429 %s = %q, want a valid trace id", TraceHeader, tid)
 	}
 	close(release)
 	if first := <-inflight; first.Code != http.StatusOK {

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pgvn/internal/cluster"
+	"pgvn/internal/obs"
+)
+
+// traceAssemblyTimeout bounds the whole cross-node fan-out of one
+// /v1/trace/{id} request. Peer span reads are tiny; a peer that cannot
+// answer in this window is counted as an assembly error and skipped —
+// a partial trace from survivors beats no trace at all.
+const traceAssemblyTimeout = 2 * time.Second
+
+// handleTrace is GET /v1/trace/{id}: assemble one distributed trace.
+// The serving node contributes its local span buffer, then fans out to
+// every alive peer for theirs (?scope=local, so the fan-out never
+// recurses), deduplicates, and returns the merged tree sorted by start
+// time. ?format= selects the body: the gvnd-trace/v1 JSON object
+// (default), "jsonl" (one span per line) or "chrome" (trace_event JSON
+// for Perfetto).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeErr(w, &apiError{status: http.StatusMethodNotAllowed, code: "method_not_allowed",
+			msg: "use GET"})
+		return
+	}
+	if s.cfg.Spans == nil {
+		writeErr(w, &apiError{status: http.StatusNotFound, code: "tracing_off",
+			msg: "distributed tracing is not enabled on this node"})
+		return
+	}
+	id := r.PathValue("id")
+	if !obs.ValidTraceID(id) {
+		writeErr(w, badRequest("bad_trace_id", "malformed trace id %q (want 32 lowercase hex)", id))
+		return
+	}
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "", "jsonl", "chrome":
+	default:
+		writeErr(w, badRequest("bad_format", "unknown format %q (want jsonl or chrome)", format))
+		return
+	}
+	m := s.cfg.Metrics
+	m.Counter("trace.assembly.requests").Inc()
+
+	spans := s.cfg.Spans.Trace(id)
+	// scope=local answers from this node's buffer only — the form the
+	// fan-out below requests, and what keeps assembly one level deep.
+	if r.URL.Query().Get("scope") != "local" && s.cfg.Cluster != nil {
+		peers := s.cfg.Cluster.AlivePeers()
+		remote := make([][]obs.SpanRecord, len(peers))
+		var failed atomic.Int64
+		ctx, cancel := context.WithTimeout(r.Context(), traceAssemblyTimeout)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i, n := range peers {
+			wg.Add(1)
+			go func(i int, n cluster.Node) {
+				defer wg.Done()
+				recs, ok := s.cfg.Cluster.FetchTrace(ctx, n, id)
+				if !ok {
+					failed.Add(1)
+					return
+				}
+				remote[i] = recs
+			}(i, n)
+		}
+		wg.Wait()
+		cancel()
+		m.Histogram("trace.assembly.fanout_ns").Observe(int64(time.Since(start)))
+		if f := failed.Load(); f > 0 {
+			m.Counter("trace.assembly.peer_errors").Add(f)
+		}
+		for _, recs := range remote {
+			spans = append(spans, recs...)
+		}
+	}
+
+	// A span can arrive twice — a peer that is also the serving node's
+	// client, a retried fan-out — so merge by span id before sorting.
+	seen := make(map[string]bool, len(spans))
+	merged := spans[:0]
+	for _, rec := range spans {
+		if seen[rec.SpanID] {
+			continue
+		}
+		seen[rec.SpanID] = true
+		merged = append(merged, rec)
+	}
+	obs.SortSpans(merged)
+	if len(merged) == 0 {
+		writeErr(w, &apiError{status: http.StatusNotFound, code: "trace_not_found",
+			msg: "no spans retained for trace " + id + " (expired from the buffers, or never sampled)"})
+		return
+	}
+
+	switch format {
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/jsonl")
+		_ = obs.WriteSpanJSONL(w, merged)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteSpanChromeTrace(w, merged)
+	default:
+		nodes := make([]string, 0, 4)
+		nodeSeen := make(map[string]bool)
+		for _, rec := range merged {
+			if rec.Node != "" && !nodeSeen[rec.Node] {
+				nodeSeen[rec.Node] = true
+				nodes = append(nodes, rec.Node)
+			}
+		}
+		writeJSON(w, http.StatusOK, obs.TraceExport{
+			Schema:  obs.TraceSchema,
+			TraceID: id,
+			Nodes:   nodes,
+			Spans:   merged,
+		})
+	}
+}

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pgvn/internal/obs"
+)
+
+// tracedServer builds a single-node server with tracing on.
+func tracedServer(t *testing.T) (*Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	return New(Config{Metrics: reg, Spans: obs.NewSpans("n0", 0, reg)}), reg
+}
+
+// getTrace fetches /v1/trace/{id} with an optional query string.
+func getTrace(t *testing.T, h http.Handler, id, query string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/v1/trace/"+id+query, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestOptimizeReturnsTraceHeader pins the response contract: every
+// /v1/optimize answer from a traced node names its trace, and a
+// propagated traceparent is adopted rather than replaced.
+func TestOptimizeReturnsTraceHeader(t *testing.T) {
+	s, _ := tracedServer(t)
+	rec := postOptimize(t, s.Handler(), reqBody(t, tinySource, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d (%s)", rec.Code, rec.Body)
+	}
+	tid := rec.Header().Get(TraceHeader)
+	if !obs.ValidTraceID(tid) {
+		t.Fatalf("%s = %q, want a valid trace id", TraceHeader, tid)
+	}
+
+	// A client-minted traceparent must win: the response names the
+	// client's trace id, not a fresh one.
+	sc := obs.NewTraceContext()
+	req := httptest.NewRequest(http.MethodPost, "/v1/optimize",
+		strings.NewReader(reqBody(t, tinySource, nil)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceparentHeader, sc.Traceparent())
+	rec2 := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec2, req)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("status = %d (%s)", rec2.Code, rec2.Body)
+	}
+	if got := rec2.Header().Get(TraceHeader); got != sc.TraceID {
+		t.Fatalf("propagated trace id = %q, want the client's %q", got, sc.TraceID)
+	}
+}
+
+// TestTraceEndpointAssemblesSpanTree drives one cold request and reads
+// its trace back: the tree must contain the admission, store, compute
+// and per-stage fixpoint spans, parented under one root.
+func TestTraceEndpointAssemblesSpanTree(t *testing.T) {
+	s, _ := tracedServer(t)
+	rec := postOptimize(t, s.Handler(), reqBody(t, tinySource, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("optimize status = %d (%s)", rec.Code, rec.Body)
+	}
+	tid := rec.Header().Get(TraceHeader)
+
+	trec := getTrace(t, s.Handler(), tid, "")
+	if trec.Code != http.StatusOK {
+		t.Fatalf("trace status = %d (%s)", trec.Code, trec.Body)
+	}
+	var te obs.TraceExport
+	if err := json.Unmarshal(trec.Body.Bytes(), &te); err != nil {
+		t.Fatal(err)
+	}
+	if te.Schema != obs.TraceSchema || te.TraceID != tid {
+		t.Fatalf("export header = (%q, %q), want (%q, %q)", te.Schema, te.TraceID, obs.TraceSchema, tid)
+	}
+	if len(te.Nodes) != 1 || te.Nodes[0] != "n0" {
+		t.Fatalf("nodes = %v, want [n0]", te.Nodes)
+	}
+	names := map[string]int{}
+	byID := map[string]obs.SpanRecord{}
+	for _, rec := range te.Spans {
+		names[rec.Name]++
+		byID[rec.SpanID] = rec
+	}
+	for _, want := range []string{"optimize", "admission", "store", "compute", "routine", "fixpoint", "ssa", "opt"} {
+		if names[want] == 0 {
+			t.Errorf("trace is missing a %q span: %v", want, names)
+		}
+	}
+	// Every non-root span's parent must be present: the tree assembles.
+	var roots int
+	for _, rec := range te.Spans {
+		if rec.ParentID == "" {
+			roots++
+			continue
+		}
+		if _, ok := byID[rec.ParentID]; !ok {
+			t.Errorf("span %q has dangling parent %q", rec.Name, rec.ParentID)
+		}
+	}
+	if roots != 1 {
+		t.Errorf("trace has %d roots, want 1", roots)
+	}
+}
+
+// TestTraceEndpointFormats exercises ?format=jsonl and ?format=chrome
+// plus the error paths: bad id, bad format, unknown trace, tracing off.
+func TestTraceEndpointFormats(t *testing.T) {
+	s, _ := tracedServer(t)
+	rec := postOptimize(t, s.Handler(), reqBody(t, tinySource, nil))
+	tid := rec.Header().Get(TraceHeader)
+
+	jl := getTrace(t, s.Handler(), tid, "?format=jsonl")
+	if jl.Code != http.StatusOK {
+		t.Fatalf("jsonl status = %d", jl.Code)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(jl.Body.String()), "\n") {
+		var span struct {
+			Schema  string `json:"schema"`
+			TraceID string `json:"trace_id"`
+		}
+		if err := json.Unmarshal([]byte(line), &span); err != nil {
+			t.Fatalf("jsonl line %q: %v", line, err)
+		}
+		if span.Schema != obs.TraceSchema || span.TraceID != tid {
+			t.Fatalf("jsonl line = %+v, want schema %q trace %q", span, obs.TraceSchema, tid)
+		}
+	}
+
+	ch := getTrace(t, s.Handler(), tid, "?format=chrome")
+	if ch.Code != http.StatusOK {
+		t.Fatalf("chrome status = %d", ch.Code)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(ch.Body.Bytes(), &doc); err != nil || len(doc.TraceEvents) == 0 {
+		t.Fatalf("chrome trace invalid (%v), %d events", err, len(doc.TraceEvents))
+	}
+
+	if rec := getTrace(t, s.Handler(), "not-a-trace-id", ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed id status = %d, want 400", rec.Code)
+	}
+	if rec := getTrace(t, s.Handler(), tid, "?format=xml"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad format status = %d, want 400", rec.Code)
+	}
+	unknown := strings.Repeat("ab", 16)
+	if rec := getTrace(t, s.Handler(), unknown, ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown trace status = %d, want 404", rec.Code)
+	}
+	if rec := getTrace(t, New(Config{}).Handler(), tid, ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("tracing-off status = %d, want 404", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/trace/"+tid, nil)
+	mrec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(mrec, req)
+	if mrec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d, want 405", mrec.Code)
+	}
+}
+
+// TestStatsReportsTraceBlock asserts /v1/stats surfaces the span-buffer
+// accounting and the latency exemplars pointing at real trace ids.
+func TestStatsReportsTraceBlock(t *testing.T) {
+	s, _ := tracedServer(t)
+	rec := postOptimize(t, s.Handler(), reqBody(t, tinySource, nil))
+	tid := rec.Header().Get(TraceHeader)
+
+	sreq := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	srec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(srec, sreq)
+	var body struct {
+		Trace *traceStats `json:"trace"`
+	}
+	if err := json.Unmarshal(srec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Trace == nil {
+		t.Fatalf("stats has no trace block: %s", srec.Body)
+	}
+	if body.Trace.Node != "n0" || body.Trace.Spans == 0 || body.Trace.Started == 0 {
+		t.Fatalf("trace block = %+v, want n0 with recorded spans", body.Trace)
+	}
+	var found bool
+	for _, ex := range body.Trace.Slowest {
+		if ex.TraceID == tid {
+			found = true
+			if ex.Value <= 0 {
+				t.Fatalf("exemplar value = %d, want > 0", ex.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("exemplars %+v do not name the observed trace %s", body.Trace.Slowest, tid)
+	}
+}
