@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check fmt lint race bench bench-compare check serve loadtest fleet
+.PHONY: all build test vet fmt-check fmt lint race bench bench-compare check serve loadtest fleet pre
 
 all: check
 
@@ -97,5 +97,15 @@ fleet: build
 			-peers "$$peers" -store fleet-store-$$port & \
 	done; \
 	wait
+
+# pre runs the GVN-PRE slice of the suite: the workload family and
+# preset goldens that pin the pass's eliminations, the fault-conviction
+# and equivalence tests, the driver overhead guard (PRE-on batch must
+# stay within 1.15x of PRE-off) and the PRE driver benchmark, whose
+# removed/batch metric carries the aggregate elimination evidence.
+pre:
+	$(GO) test -run 'PRE|PartialRedundancy' ./...
+	$(GO) test -run TestDriverPREOverheadGuard -v .
+	$(GO) test -run '^$$' -bench BenchmarkDriverPRE -benchtime 5x -benchmem .
 
 check: build lint fmt-check test race

@@ -497,6 +497,73 @@ func BenchmarkDriverCheckFast(b *testing.B) { benchDriverChecked(b, check.Fast) 
 // translation validation — the full self-verifying pipeline.
 func BenchmarkDriverCheckFull(b *testing.B) { benchDriverChecked(b, check.Full) }
 
+// BenchmarkDriverPRE runs the sequential driver with the GVN-PRE pass
+// enabled over the full corpus. Compare against
+// BenchmarkDriverSequential: the pass is per-class bitset dataflow over
+// the partition the fixpoint already built, and must stay within ~1.15x
+// of the PRE-off pipeline (TestDriverPREOverheadGuard pins the bound).
+// The removed/batch metric carries the aggregate partial-redundancy
+// eliminations so the bench output doubles as strength evidence.
+func BenchmarkDriverPRE(b *testing.B) {
+	routines := driverCorpus(b)
+	d := driver.New(driver.Config{Core: core.DefaultConfig(), Jobs: 1, PRE: true})
+	b.ResetTimer()
+	removed := 0
+	for n := 0; n < b.N; n++ {
+		batch := d.Run(context.Background(), routines)
+		if err := batch.Err(); err != nil {
+			b.Fatal(err)
+		}
+		removed = 0
+		for _, rr := range batch.Results {
+			removed += rr.Report.Opt.PRE.Removals
+		}
+	}
+	b.ReportMetric(float64(removed), "removed/batch")
+	b.ReportMetric(float64(len(routines))*float64(b.N)/b.Elapsed().Seconds(), "routines/s")
+}
+
+// TestDriverPREOverheadGuard gates the PRE pass's batch overhead: with
+// the pass enabled the driver must stay within 1.15x of the PRE-off
+// wall time over the same corpus. Trials alternate off/on so allocator
+// and scheduler drift hits both sides equally, and minimum-of-N damps
+// the remaining noise; a failure here means the pass grew work
+// proportional to something other than the partition (per-instruction
+// scans, eager allocation in the dataflow loop).
+func TestDriverPREOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard; skipped in -short")
+	}
+	var routines []*ir.Routine
+	for _, bm := range workload.Corpus(0.25) {
+		routines = append(routines, bm.Routines...)
+	}
+	dOff := driver.New(driver.Config{Core: core.DefaultConfig(), Jobs: 1, PRE: false})
+	dOn := driver.New(driver.Config{Core: core.DefaultConfig(), Jobs: 1, PRE: true})
+	run := func(d *driver.Driver) float64 {
+		batch := d.Run(context.Background(), routines)
+		if err := batch.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return float64(batch.Stats.Wall)
+	}
+	run(dOff) // warm code paths and allocator before timing
+	run(dOn)
+	off, on := 0.0, 0.0
+	for trial := 0; trial < 6; trial++ {
+		if w := run(dOff); trial == 0 || w < off {
+			off = w
+		}
+		if w := run(dOn); trial == 0 || w < on {
+			on = w
+		}
+	}
+	if ratio := on / off; ratio > 1.15 {
+		t.Errorf("PRE-on batch is %.2fx the PRE-off batch (%.2fms vs %.2fms), want ≤ 1.15x",
+			ratio, on/1e6, off/1e6)
+	}
+}
+
 // BenchmarkOptimizePipeline measures the end-to-end optimize path
 // (analysis plus transformation), the library's expected usage.
 func BenchmarkOptimizePipeline(b *testing.B) {

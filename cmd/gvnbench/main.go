@@ -42,6 +42,7 @@ func main() {
 		ascii      = flag.Bool("ascii", false, "render figures as log-scaled ASCII bars")
 		jobs       = flag.Int("j", 0, "measurement worker pool size (0 = GOMAXPROCS)")
 		cache      = flag.Bool("cache", false, "share an analysis cache across figures and statistics")
+		pre        = flag.Bool("pre", false, "run the GVN-PRE pass inside the measured pipeline (timed: its overhead shows in the tables)")
 		chk        = flag.String("check", "off", "verify analysis results during figure/stats measurements: off, fast or full (timing sweeps stay unchecked)")
 		jsonOut    = flag.Bool("json", false, "write the metrics snapshot JSON to -metrics-out when done")
 		metricsOut = flag.String("metrics-out", "", "metrics snapshot path (default BENCH_<timestamp>.json; implies -json)")
@@ -60,6 +61,10 @@ func main() {
 	harness.SetJobs(*jobs)
 	harness.SetAnalysisCache(*cache)
 	harness.SetCheck(level)
+	harness.SetPRE(*pre)
+	if *pre {
+		fmt.Println("optimizer: GVN-PRE enabled inside the timed pipeline")
+	}
 	if *metricsOut != "" {
 		*jsonOut = true
 	}

@@ -86,6 +86,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		jobs         = fs.Int("j", 0, "per-request driver pool size (0 = GOMAXPROCS)")
 		mode         = fs.String("mode", "optimistic", "default value numbering mode: optimistic, balanced or pessimistic")
 		checkFlag    = fs.String("check", "off", "default self-verification tier: off, fast or full")
+		preFlag      = fs.Bool("pre", false, "enable the GVN-PRE pass by default (requests may also enable it per call)")
 		concurrency  = fs.Int("concurrency", 0, "max requests executing the pipeline at once (0 = GOMAXPROCS)")
 		queue        = fs.Int("queue", server.DefaultMaxQueue, "max requests waiting for an execution slot (admission bound)")
 		timeout      = fs.Duration("timeout", server.DefaultRequestTimeout, "per-request processing deadline")
@@ -115,6 +116,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cfg := server.Config{
 		Jobs:              *jobs,
 		Check:             level,
+		PRE:               *preFlag,
 		MaxConcurrent:     *concurrency,
 		MaxQueue:          *queue,
 		RequestTimeout:    *timeout,

@@ -4,6 +4,7 @@
 //	gvngen -scale 0.1                 print the corpus to stdout
 //	gvngen -scale 0.1 -dir corpus/    one .ir file per benchmark
 //	gvngen -seed 7 -stmts 40          print a single random routine
+//	gvngen -pre -scale 0.5            print the partial-redundancy family
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "seed for -single")
 		stmts      = flag.Int("stmts", 30, "statement budget for -single")
 		params     = flag.Int("params", 3, "parameter count for -single")
+		pre        = flag.Bool("pre", false, "emit the partial-redundancy (GVN-PRE fodder) family instead of the SPEC corpus; with -single, bias the statement mix toward it")
 		metricsOut = flag.String("metrics-out", "", "write corpus shape metrics (routine/instruction counts) as a JSON snapshot to this file")
 	)
 	flag.Parse()
@@ -33,12 +35,18 @@ func main() {
 	if *single {
 		r := workload.Generate("generated", workload.GenConfig{
 			Seed: *seed, Stmts: *stmts, Params: *params, MaxLoopDepth: 2,
+			PartialRedundancy: *pre,
 		})
 		fmt.Print(workload.SourceText(r))
 		return
 	}
 
-	corpus := workload.Corpus(*scale)
+	var corpus []workload.Benchmark
+	if *pre {
+		corpus = []workload.Benchmark{workload.PartialRedundancy(*scale)}
+	} else {
+		corpus = workload.Corpus(*scale)
+	}
 	if *metricsOut != "" {
 		reg := obs.NewRegistry()
 		for _, b := range corpus {

@@ -35,6 +35,7 @@ import (
 	"pgvn/internal/driver"
 	"pgvn/internal/ir"
 	"pgvn/internal/obs"
+	"pgvn/internal/opt"
 	"pgvn/internal/parser"
 	"pgvn/internal/ssa"
 )
@@ -59,6 +60,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		noPhiPred  = fs.Bool("no-phipred", false, "disable φ-predication")
 		dense      = fs.Bool("dense", false, "disable the sparse formulation")
 		complete   = fs.Bool("complete", false, "use the complete algorithm (reachable dominator tree)")
+		pre        = fs.Bool("pre", false, "enable GVN-PRE: partial redundancy elimination over the value partition (inserts evaluations on unavailable edges, splitting critical edges)")
 		dump       = fs.Bool("dump", false, "print the congruence partition instead of optimizing")
 		explain    = fs.String("explain", "", "explain a value instead of optimizing: a value name replays the event log into its congruence chain, 'all' explains every interesting value")
 		dot        = fs.Bool("dot", false, "print the analyzed CFG in GraphViz dot syntax instead of optimizing")
@@ -138,7 +140,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var out bytes.Buffer
 	if *ssaOnly || *dump || *explain != "" || *dot {
 		if err := runInspect(&out, stderr, routines, cfg, placement,
-			*ssaOnly, *dump, *explain, *dot, *stats, level, col); err != nil {
+			*ssaOnly, *dump, *explain, *dot, *stats, *pre, level, col); err != nil {
 			fmt.Fprintln(stderr, "gvnopt:", err)
 			return 1
 		}
@@ -148,7 +150,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			c = driver.NewCache()
 		}
 		d := driver.New(driver.Config{Core: cfg, Placement: placement, Jobs: *jobs, Cache: c,
-			Check: level, Fault: injected, Trace: col, Metrics: reg})
+			PRE: *pre, Check: level, Fault: injected, Trace: col, Metrics: reg})
 		batch := d.Run(context.Background(), routines)
 		for _, rr := range batch.Results {
 			if rr.Err != nil {
@@ -226,7 +228,7 @@ func writeObservability(col *obs.Collector, reg *obs.Registry, traceOut, traceJS
 // chain.
 func runInspect(out *bytes.Buffer, stderr io.Writer, routines []*ir.Routine,
 	cfg core.Config, placement ssa.Placement, ssaOnly, dump bool, explain string,
-	dot, stats bool, level check.Level, col *obs.Collector) error {
+	dot, stats, pre bool, level check.Level, col *obs.Collector) error {
 	explained := false
 	for idx, r := range routines {
 		if err := ssa.Build(r, placement); err != nil {
@@ -250,6 +252,9 @@ func runInspect(out *bytes.Buffer, stderr io.Writer, routines []*ir.Routine,
 		if e := check.Analyze(res, level); e != nil {
 			return e
 		}
+		// Counts read the live routine; snapshot before the explain path
+		// runs the optimizer over it.
+		counts := res.Count()
 		switch {
 		case dot:
 			out.WriteString(res.DOT())
@@ -263,14 +268,18 @@ func runInspect(out *bytes.Buffer, stderr io.Writer, routines []*ir.Routine,
 				}
 			})
 		case explain != "":
-			if explainOne(out, r, res, col, idx, explain) {
+			found, err := explainOne(out, r, res, col, idx, explain, pre)
+			if err != nil {
+				return err
+			}
+			if found {
 				explained = true
 			}
 		case dump:
 			out.WriteString(res.Dump())
 		}
 		if stats {
-			writeStats(stderr, r.Name, res.Stats, res.Count())
+			writeStats(stderr, r.Name, res.Stats, counts)
 		}
 	}
 	if explain != "" && explain != "all" && !explained {
@@ -280,9 +289,12 @@ func runInspect(out *bytes.Buffer, stderr io.Writer, routines []*ir.Routine,
 }
 
 // explainOne prints the partition's verdict for the value named name in r
-// plus the derivation chain replayed from the event log. It reports
-// whether the value was found.
-func explainOne(out *bytes.Buffer, r *ir.Routine, res *core.Result, col *obs.Collector, idx int, name string) bool {
+// plus the derivation chain replayed from the event log. The verdict and
+// the name tables are snapshotted first, then the optimizer (including
+// PRE when enabled) runs so the replayed derivation covers the
+// transformation events too — every line labeled with its originating
+// pass. It reports whether the value was found.
+func explainOne(out *bytes.Buffer, r *ir.Routine, res *core.Result, col *obs.Collector, idx int, name string, pre bool) (bool, error) {
 	var target *ir.Instr
 	r.Instrs(func(i *ir.Instr) {
 		if target == nil && i.HasValue() && i.ValueName() == name {
@@ -290,13 +302,19 @@ func explainOne(out *bytes.Buffer, r *ir.Routine, res *core.Result, col *obs.Col
 		}
 	})
 	if target == nil {
-		return false
+		return false, nil
 	}
-	out.WriteString(res.Explain(target))
+	verdict := res.Explain(target)
+	// Name tables must come from the pre-transformation routine: the
+	// event log references values the optimizer may delete.
 	names := obs.Names{
 		ValueName: valueNamer(r),
 		BlockName: blockNamer(r),
 	}
+	if _, err := opt.ApplyWith(res, opt.Options{PRE: pre}); err != nil {
+		return true, err
+	}
+	out.WriteString(verdict)
 	for _, rs := range col.Export() {
 		if rs.Index != idx {
 			continue
@@ -309,7 +327,7 @@ func explainOne(out *bytes.Buffer, r *ir.Routine, res *core.Result, col *obs.Col
 			fmt.Fprintf(out, "    %s\n", line)
 		}
 	}
-	return true
+	return true, nil
 }
 
 // valueNamer maps instruction IDs to their printable value names.

@@ -230,16 +230,16 @@ func TestRunExplainGolden(t *testing.T) {
 		{"I_88", []string{
 			"I_88 (in b5): compile-time constant 1",
 			"derivation:",
-			"pass 1: evaluated to c1",
-			"pass 1: joined the class of I_3 (c1)",
-			"pass 1: proven congruent to constant 1",
+			"[gvn pass 1] evaluated to c1",
+			"[gvn pass 1] joined the class of I_3 (c1)",
+			"[gvn pass 1] proven congruent to constant 1",
 		}},
 		{"v18", []string{
 			"v18 (in b3): compile-time constant 0",
 			"derivation:",
-			"pass 1: evaluated to c0",
-			"pass 1: joined the class of undef0 (c0)",
-			"pass 1: proven congruent to constant 0",
+			"[gvn pass 1] evaluated to c0",
+			"[gvn pass 1] joined the class of undef0 (c0)",
+			"[gvn pass 1] proven congruent to constant 0",
 		}},
 	}
 	for _, tc := range cases {
@@ -251,6 +251,38 @@ func TestRunExplainGolden(t *testing.T) {
 			if !strings.Contains(out, want) {
 				t.Errorf("-explain %s output missing %q:\n%s", tc.value, want, out)
 			}
+		}
+	}
+}
+
+// TestRunExplainOptLabels checks the replay covers the transformation
+// stages too: with -pre, a partially redundant value's derivation ends
+// with the PRE removal, and every line names its originating pass.
+func TestRunExplainOptLabels(t *testing.T) {
+	src := `
+func f(a, b, c) {
+entry:
+  if c goto t else j
+t:
+  x = a + b
+  goto j
+j:
+  u = a + b
+  return u
+}
+`
+	// SSA renaming suffixes the source name with the instruction ID.
+	code, out, errb := gvnopt(t, src, "-pre", "-explain", "u_12")
+	if code != 0 {
+		t.Fatalf("-pre -explain u_12: exit %d (%s)", code, errb)
+	}
+	for _, want := range []string{
+		"derivation:",
+		"[gvn pass 1]",
+		"[opt/pre] partially redundant: uses redirected to the merge φ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-explain u_12 output missing %q:\n%s", want, out)
 		}
 	}
 }

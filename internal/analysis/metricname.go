@@ -5,6 +5,8 @@ import (
 	"go/constant"
 	"go/token"
 	"regexp"
+	"sort"
+	"strings"
 )
 
 // MetricName keeps the pgvn-metrics/v5 snapshot schema stable at
@@ -20,6 +22,10 @@ import (
 // and per-endpoint instruments are minted. Anything else (fmt.Sprintf,
 // a bare variable) would let a code path invent instrument names at
 // runtime and silently fork the snapshot schema.
+//
+// The first word — the family — must additionally come from the closed
+// set in metricFamilies: a well-formed name in a family no dashboard
+// knows about is still a schema fork, just a politer one.
 var MetricName = &Analyzer{
 	Name: "metricname",
 	Doc:  "obs registry metric names must be string constants (or constant-prefix concatenations) in the pgvn-metrics/v5 grammar",
@@ -34,6 +40,34 @@ var (
 	metricNameRE   = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`)
 	metricPrefixRE = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*\.$`)
 )
+
+// metricFamilies is the closed set of documented top-level instrument
+// families (the first dot-separated word of every metric name). Pass
+// subsystems nest under their layer — the GVN-PRE pass reports as
+// opt.pre.* under "opt", not as a family of its own. Adding an entry
+// here is a deliberate pgvn-metrics/v5 schema extension; update the
+// snapshot consumers (dashboards, EXPERIMENTS.md) alongside it.
+var metricFamilies = map[string]bool{
+	"cluster": true, // sharded fleet: ring, hot tier, peer fill
+	"core":    true, // GVN fixpoint work counters
+	"driver":  true, // batch driver: stages, cache, checks
+	"gen":     true, // workload generation shape
+	"harness": true, // benchmark sweeps
+	"opt":     true, // optimizer passes, incl. opt.pre.*
+	"req":     true, // per-request admission instruments
+	"server":  true, // gvnd HTTP surface
+	"trace":   true, // distributed span assembly
+}
+
+// knownFamilies renders the allowlist for diagnostics, sorted.
+func knownFamilies() string {
+	fams := make([]string, 0, len(metricFamilies))
+	for f := range metricFamilies {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	return strings.Join(fams, ", ")
+}
 
 func runMetricName(p *Pass) {
 	for _, file := range p.Pkg.Files {
@@ -66,7 +100,9 @@ func checkMetricName(p *Pass, method string, arg ast.Expr) {
 	if name, ok := constString(p, arg); ok {
 		if !metricNameRE.MatchString(name) {
 			p.Reportf(arg, "metric name %q does not match the pgvn-metrics/v5 grammar (lowercase dot-separated words, e.g. \"driver.cache.hits\")", name)
+			return
 		}
+		checkFamily(p, arg, name)
 		return
 	}
 	// Constant prefix + one dynamic tail: "server.req." + name.
@@ -74,11 +110,22 @@ func checkMetricName(p *Pass, method string, arg ast.Expr) {
 		if prefix, ok := constString(p, be.X); ok {
 			if !metricPrefixRE.MatchString(prefix) {
 				p.Reportf(arg, "metric name prefix %q must be dot-terminated lowercase words (\"family.\") so the dynamic tail is a whole segment", prefix)
+				return
 			}
+			checkFamily(p, arg, prefix)
 			return
 		}
 	}
 	p.Reportf(arg, "%s name must be a string constant or a constant dot-terminated prefix + tail, not a computed value (snapshot schema stability)", method)
+}
+
+// checkFamily validates the leading word of a grammatical name or
+// prefix against the documented family allowlist.
+func checkFamily(p *Pass, arg ast.Expr, name string) {
+	fam, _, _ := strings.Cut(name, ".")
+	if !metricFamilies[fam] {
+		p.Reportf(arg, "metric name %q uses unknown family %q (known: %s); new families are schema extensions and must be added to metricFamilies deliberately", name, fam, knownFamilies())
+	}
 }
 
 // constString resolves an expression to its compile-time string value.

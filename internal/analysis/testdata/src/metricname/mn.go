@@ -1,5 +1,6 @@
 // Package mn seeds metric-name grammar violations: a malformed
-// constant, a non-dot-terminated prefix, and a fully computed name.
+// constant, a non-dot-terminated prefix, a fully computed name, and
+// well-formed names in families the snapshot schema does not document.
 package mn
 
 import (
@@ -17,6 +18,11 @@ func metrics(r *obs.Registry, name string, code int) {
 	_ = r.Histogram(fmt.Sprintf("req.%d", code)) // want "must be a string constant"
 	_ = r.Exemplars("req.latency_ns")            // exemplar reservoirs obey the same grammar: fine
 	_ = r.Exemplars("Latency NS")                // want "does not match the pgvn-metrics/v5 grammar"
+	_ = r.Counter("opt.pre.removed")             // GVN-PRE nests under the opt family: fine
+	_ = r.Counter("opt.pre.edge_splits")         // fine
+	_ = r.Counter("pre.removed")                 // want "unknown family \"pre\""
+	_ = r.Gauge("frobnicator.depth")             // want "unknown family \"frobnicator\""
+	_ = r.Histogram("frobnicator." + name)       // want "unknown family \"frobnicator\""
 }
 
 func allowed(r *obs.Registry) {

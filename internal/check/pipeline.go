@@ -45,6 +45,21 @@ func PostOpt(orig, optimized *ir.Routine, level Level) *Error {
 	return wrap(optimized.Name, "opt", vs)
 }
 
+// PassSandwich re-verifies a routine between optimization passes: the
+// structural invariants plus the independent use-def dominance
+// re-verification. The driver wires this around PRE (via
+// opt.Options.Verify), where edge splitting and φ insertion can break
+// both in ways the end-of-pipeline Verify would attribute to the wrong
+// pass. The stage is "opt:<pass>" so a conviction names the culprit.
+func PassSandwich(r *ir.Routine, pass string) *Error {
+	var vs []Violation
+	if e := Structural(r, "opt:"+pass); e != nil {
+		vs = append(vs, e.Violations...)
+	}
+	vs = append(vs, Dominance(r)...)
+	return wrap(r.Name, "opt:"+pass, vs)
+}
+
 // Pipeline runs the whole pipeline on a clone of r with checking at the
 // given level between every stage: parse form → SSA construction → GVN →
 // opt.Apply. It returns the first *Error (as an error), a pipeline
@@ -55,6 +70,13 @@ func PostOpt(orig, optimized *ir.Routine, level Level) *Error {
 // their oracle; the driver integrates the same checks stage by stage so
 // violations become per-routine RoutineErrors.
 func Pipeline(r *ir.Routine, cfg core.Config, placement ssa.Placement, level Level) error {
+	return PipelinePRE(r, cfg, placement, level, false)
+}
+
+// PipelinePRE is Pipeline with the GVN-PRE pass switchable. With pre
+// true the opt stage runs the full pipeline including PRE, sandwiched by
+// PassSandwich — the oracle configuration the PRE fuzz target uses.
+func PipelinePRE(r *ir.Routine, cfg core.Config, placement ssa.Placement, level Level, pre bool) error {
 	if level == Off {
 		return nil
 	}
@@ -78,7 +100,16 @@ func Pipeline(r *ir.Routine, cfg core.Config, placement ssa.Placement, level Lev
 	if e := Analyze(res, level); e != nil {
 		return e
 	}
-	if _, err := opt.Apply(res); err != nil {
+	o := opt.Options{PRE: pre}
+	if pre {
+		o.Verify = func(pass string) error {
+			if e := PassSandwich(work, pass); e != nil {
+				return e
+			}
+			return nil
+		}
+	}
+	if _, err := opt.ApplyWith(res, o); err != nil {
 		return err
 	}
 	if e := PostOpt(r, work, level); e != nil {

@@ -1,0 +1,96 @@
+package check_test
+
+import (
+	"testing"
+
+	"pgvn/internal/check"
+	"pgvn/internal/core"
+	"pgvn/internal/opt"
+)
+
+// TestPREWrongEdgeConvicted: a PRE insertion landing on the wrong
+// predecessor edge leaves the routine structurally valid but breaks
+// use-def dominance — the independent dominance re-verification (part of
+// the fast tier's PostOpt) must convict it under RuleLeaderDominance.
+func TestPREWrongEdgeConvicted(t *testing.T) {
+	res := analyze(t, diamondSrc, core.DefaultConfig())
+	if vs := check.Dominance(res.Routine); len(vs) != 0 {
+		t.Fatalf("dominance checker not silent before injection: %v", vs)
+	}
+	if err := res.Inject(core.FaultPREWrongEdge); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	if err := res.Routine.Verify(); err != nil {
+		t.Fatalf("fault must stay structurally valid (only dominance convicts it): %v", err)
+	}
+	vs := check.Dominance(res.Routine)
+	if len(vs) == 0 {
+		t.Fatalf("pre-wrong-edge not detected")
+	}
+	for _, v := range vs {
+		if v.Rule == check.RuleLeaderDominance {
+			return
+		}
+	}
+	t.Fatalf("pre-wrong-edge convicted under the wrong rule(s): %v", vs)
+}
+
+// TestPREPhiSwapConvicted: swapping two non-congruent φ operands stays
+// structurally valid and dominance-clean — only the full tier's
+// behavioural validation convicts it, under RuleInterpBehavior. The
+// fault targets the optimized routine (its Stage is "opt"), so the test
+// runs opt.Apply first, exactly as the driver stages it.
+func TestPREPhiSwapConvicted(t *testing.T) {
+	res := analyze(t, `
+func h(a, b) {
+entry:
+  if a < b goto l else r
+l:
+  v = a
+  goto j
+r:
+  v = b
+  goto j
+j:
+  return v
+}
+`, core.DefaultConfig())
+	orig := res.Routine.Clone()
+	if _, err := opt.Apply(res); err != nil {
+		t.Fatalf("opt: %v", err)
+	}
+	if vs := check.Behavior(orig, res.Routine); len(vs) != 0 {
+		t.Fatalf("behaviour checker not silent before injection: %v", vs)
+	}
+	if err := res.Inject(core.FaultPREPhiSwap); err != nil {
+		t.Fatalf("inject: %v", err)
+	}
+	if err := res.Routine.Verify(); err != nil {
+		t.Fatalf("fault must stay structurally valid: %v", err)
+	}
+	if vs := check.Dominance(res.Routine); len(vs) != 0 {
+		t.Fatalf("φ swap must stay dominance-clean (that's pre-wrong-edge's job): %v", vs)
+	}
+	vs := check.Behavior(orig, res.Routine)
+	if len(vs) == 0 {
+		t.Fatalf("pre-phi-swap not detected by behavioural validation")
+	}
+	for _, v := range vs {
+		if v.Rule == check.RuleInterpBehavior {
+			return
+		}
+	}
+	t.Fatalf("pre-phi-swap convicted under the wrong rule(s): %v", vs)
+}
+
+// TestPREFaultsErrLoudlyWithoutSite: both PRE faults must refuse to
+// no-op on a routine with no applicable site.
+func TestPREFaultsErrLoudlyWithoutSite(t *testing.T) {
+	res := analyze(t, constSrc, core.DefaultConfig())
+	if err := res.Inject(core.FaultPREWrongEdge); err == nil {
+		t.Errorf("pre-wrong-edge silently no-opped on a straight-line routine")
+	}
+	if err := res.Inject(core.FaultPREPhiSwap); err == nil {
+		t.Errorf("pre-phi-swap silently no-opped on a routine without φs")
+	}
+}

@@ -40,12 +40,38 @@ const (
 	// FaultWrongConst perturbs a class's constant by one, a folding bug
 	// an execution immediately contradicts.
 	FaultWrongConst Fault = "wrong-const"
+	// FaultPREWrongEdge simulates a PRE pass inserting an evaluation on
+	// the wrong predecessor edge of a merge: the inserted copy's operand
+	// is defined on a different, non-dominating arm, and the merge φ
+	// consumes it — the dominance re-verification after opt must convict
+	// it. It mutates the optimized routine (Stage "opt").
+	FaultPREWrongEdge Fault = "pre-wrong-edge"
+	// FaultPREPhiSwap swaps two non-congruent arguments of a merge φ —
+	// the value arriving over one edge is handed to the other, a
+	// misalignment that stays structurally valid and only the full-tier
+	// behavioural validation can convict. It mutates the optimized
+	// routine (Stage "opt").
+	FaultPREPhiSwap Fault = "pre-phi-swap"
 )
 
 // Faults lists every injectable fault kind.
 var Faults = []Fault{
 	FaultLeaderHoist, FaultDropClass, FaultFakeUnreachable,
 	FaultPhiPredMismatch, FaultSplitClass, FaultWrongConst,
+	FaultPREWrongEdge, FaultPREPhiSwap,
+}
+
+// Stage reports the pipeline stage whose output the fault corrupts:
+// "gvn" faults corrupt the analysis Result (or the analyzed routine)
+// before the post-analysis checks, "opt" faults corrupt the optimized
+// routine before the post-transformation checks, as a buggy
+// transformation pass would.
+func (f Fault) Stage() string {
+	switch f {
+	case FaultPREWrongEdge, FaultPREPhiSwap:
+		return "opt"
+	}
+	return "gvn"
 }
 
 // ParseFault parses a fault name as accepted by -inject-fault; the empty
@@ -83,6 +109,10 @@ func (r *Result) Inject(f Fault) error {
 		return r.injectSplitClass()
 	case FaultWrongConst:
 		return r.injectWrongConst()
+	case FaultPREWrongEdge:
+		return r.injectPREWrongEdge()
+	case FaultPREPhiSwap:
+		return r.injectPREPhiSwap()
 	}
 	return fmt.Errorf("core: unknown fault %q", f)
 }
@@ -208,6 +238,74 @@ func (r *Result) injectSplitClass() error {
 		}
 	}
 	return fmt.Errorf("core: %s has no multi-member class to split", r.Routine.Name)
+}
+
+// injectPREWrongEdge mimics a PRE insertion landing on the wrong
+// predecessor edge of a two-way merge: a copy of a value from one arm is
+// inserted at the end of the other arm (where it is not available), and
+// a merge φ consumes the misplaced copy. The routine stays structurally
+// valid; only a use-def dominance re-verification catches it.
+func (r *Result) injectPREWrongEdge() error {
+	rt := r.Routine
+	tree := dom.New(rt)
+	for _, b := range rt.Blocks {
+		if len(b.Preds) != 2 {
+			continue
+		}
+		for wrong := 0; wrong < 2; wrong++ {
+			pw := b.Preds[wrong].From
+			pr := b.Preds[1-wrong].From
+			if !tree.Contains(pw) || !tree.Contains(pr) || tree.Dominates(pr, pw) {
+				continue
+			}
+			for _, x := range pr.Instrs {
+				if !x.HasValue() {
+					continue
+				}
+				if pw.Terminator() == nil {
+					break
+				}
+				ni := rt.InsertBefore(pw.Terminator(), ir.OpCopy, x)
+				phi := rt.InsertPhi(b)
+				phi.SetArg(wrong, ni)
+				phi.SetArg(1-wrong, x)
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("core: %s has no two-way merge with an arm-local value to misplace", rt.Name)
+}
+
+// injectPREPhiSwap swaps two arguments of a merge φ. To isolate the
+// behavioural misalignment, the chosen arguments must not be congruent
+// (a congruent swap changes nothing) and each must dominate the other's
+// predecessor (otherwise dominance checking would convict it first —
+// that is FaultPREWrongEdge's job).
+func (r *Result) injectPREPhiSwap() error {
+	rt := r.Routine
+	tree := dom.New(rt)
+	argOK := func(a *ir.Instr, pred *ir.Block) bool {
+		return a.Block == pred || (tree.Contains(a.Block) && tree.Contains(pred) && tree.Dominates(a.Block, pred))
+	}
+	for _, b := range rt.Blocks {
+		for _, phi := range b.Phis() {
+			for i := 0; i < len(phi.Args); i++ {
+				for j := i + 1; j < len(phi.Args); j++ {
+					ai, aj := phi.Args[i], phi.Args[j]
+					if ai == nil || aj == nil || ai == aj || r.Congruent(ai, aj) {
+						continue
+					}
+					if !argOK(ai, b.Preds[j].From) || !argOK(aj, b.Preds[i].From) {
+						continue
+					}
+					phi.SetArg(i, aj)
+					phi.SetArg(j, ai)
+					return nil
+				}
+			}
+		}
+	}
+	return fmt.Errorf("core: %s has no φ with swappable non-congruent arguments", rt.Name)
 }
 
 // injectWrongConst perturbs the first constant class by one.

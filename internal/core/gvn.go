@@ -53,6 +53,11 @@ type class struct {
 	// inference).
 	nPredOps int
 	nEqOps   int
+
+	// dense is Partition's scratch stamp (dense id + 1; 0 = unassigned).
+	// It is written and reset entirely within Result.Partition, which
+	// is why Partition must not run concurrently on one Result.
+	dense int
 }
 
 // analysis carries the whole algorithm state for one routine.

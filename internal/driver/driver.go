@@ -22,6 +22,7 @@ package driver
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -57,6 +58,12 @@ type Config struct {
 	// AnalyzeOnly skips the transformations: the Report is produced but
 	// the routine is not rewritten and Text stays empty.
 	AnalyzeOnly bool
+	// PRE enables the GVN-PRE pass (internal/opt/pre) in the
+	// transformation pipeline. It changes the optimized text, so it
+	// participates in the cache fingerprint. When Check is on, the pass
+	// is sandwiched by check.PassSandwich — structural plus independent
+	// dominance re-verification — on top of the usual PostOpt.
+	PRE bool
 	// SlowestN bounds Stats.Slowest; 0 means the default (5).
 	SlowestN int
 	// Check selects the verification tier run inside every worker:
@@ -100,8 +107,8 @@ func (c Config) jobs() int {
 // share cache entries — so %#v is a stable, total rendering.
 func (c Config) fingerprint() string {
 	c.Core.Trace = nil
-	return fmt.Sprintf("%#v|placement=%d|analyzeonly=%t|check=%s|fault=%s",
-		c.Core, c.Placement, c.AnalyzeOnly, c.Check, c.Fault)
+	return fmt.Sprintf("%#v|placement=%d|analyzeonly=%t|check=%s|fault=%s|pre=%t",
+		c.Core, c.Placement, c.AnalyzeOnly, c.Check, c.Fault, c.PRE)
 }
 
 // Fingerprint canonicalizes everything that affects a routine's result
@@ -269,8 +276,9 @@ func (d *Driver) one(parent *obs.Span, idx int, r *ir.Routine) (rr RoutineResult
 	}()
 	// stage brackets one pipeline step with a runtime/trace region, a
 	// pair of tracer events, a child span and a latency histogram
-	// observation.
-	stage := func(name string) func() {
+	// observation. The stage span is returned so the opt stage can parent
+	// per-pass grandchildren under it.
+	stage := func(name string) (*obs.Span, func()) {
 		st := time.Now()
 		if tr != nil {
 			tr.Emit(obs.KindStageStart, 0, -1, -1, 0, name)
@@ -283,7 +291,7 @@ func (d *Driver) one(parent *obs.Span, idx int, r *ir.Routine) (rr RoutineResult
 		}
 		ss := sp.StartChild(spanName)
 		reg := rtrace.StartRegion(context.Background(), "pgvn/"+name)
-		return func() {
+		return ss, func() {
 			reg.End()
 			ss.End()
 			el := time.Since(st)
@@ -328,7 +336,7 @@ func (d *Driver) one(parent *obs.Span, idx int, r *ir.Routine) (rr RoutineResult
 	if d.cfg.Check != check.Off && checked(check.Structural(work, "parse")) {
 		return rr
 	}
-	endSSA := stage("ssa")
+	_, endSSA := stage("ssa")
 	err := ssa.Build(work, d.cfg.Placement)
 	endSSA()
 	if err != nil {
@@ -342,14 +350,18 @@ func (d *Driver) one(parent *obs.Span, idx int, r *ir.Routine) (rr RoutineResult
 	// across workers, so the driver always overrides it.
 	coreCfg := d.cfg.Core
 	coreCfg.Trace = tr
-	endGVN := stage("gvn")
+	_, endGVN := stage("gvn")
 	res, err := core.Run(work, coreCfg)
 	endGVN()
 	if err != nil {
 		rr.Err = &RoutineError{Index: idx, Routine: r.Name, Stage: "gvn", Err: err}
 		return rr
 	}
-	if d.cfg.Fault != core.FaultNone {
+	// Analysis-stage faults corrupt the Result before the post-analysis
+	// checks; transformation-stage faults ("opt", e.g. the PRE faults)
+	// inject after the optimizer has run, or its passes would repair or
+	// delete the corruption before the post-transformation checks see it.
+	if d.cfg.Fault != core.FaultNone && d.cfg.Fault.Stage() == "gvn" {
 		if err := res.Inject(d.cfg.Fault); err != nil {
 			rr.Err = &RoutineError{Index: idx, Routine: r.Name, Stage: "check",
 				Err: fmt.Errorf("fault injection: %w", err)}
@@ -368,12 +380,38 @@ func (d *Driver) one(parent *obs.Span, idx int, r *ir.Routine) (rr RoutineResult
 	rr.Report = Report{Stats: res.Stats, Counts: res.Count()}
 	rr.Report.AlwaysReturns, rr.Report.Const = res.ReturnConst()
 	if !d.cfg.AnalyzeOnly {
-		endOpt := stage("opt")
-		st, err := opt.Apply(res)
+		optSpan, endOpt := stage("opt")
+		oo := opt.Options{PRE: d.cfg.PRE, Span: optSpan}
+		if d.cfg.PRE && d.cfg.Check != check.Off {
+			oo.Verify = func(pass string) error {
+				// PassSandwich returns *check.Error; convert through the
+				// nil check so a clean pass yields an untyped nil error.
+				if e := check.PassSandwich(work, pass); e != nil {
+					return e
+				}
+				return nil
+			}
+		}
+		st, err := opt.ApplyWith(res, oo)
 		endOpt()
 		if err != nil {
+			// A sandwich violation is a check failure, not an optimizer
+			// crash: route it through checked() so it counts and reports
+			// like every other conviction.
+			var ce *check.Error
+			if errors.As(err, &ce) {
+				checked(ce)
+				return rr
+			}
 			rr.Err = &RoutineError{Index: idx, Routine: r.Name, Stage: "opt", Err: err}
 			return rr
+		}
+		if d.cfg.Fault != core.FaultNone && d.cfg.Fault.Stage() == "opt" {
+			if err := res.Inject(d.cfg.Fault); err != nil {
+				rr.Err = &RoutineError{Index: idx, Routine: r.Name, Stage: "check",
+					Err: fmt.Errorf("fault injection: %w", err)}
+				return rr
+			}
 		}
 		if d.cfg.Check != check.Off && checked(check.PostOpt(r, work, d.cfg.Check)) {
 			return rr
@@ -422,6 +460,13 @@ func (d *Driver) aggregate(b *Batch, wall time.Duration) {
 			m.Counter("opt.redundancies_replaced").Add(int64(rr.Report.Opt.RedundanciesReplaced))
 			m.Counter("opt.instrs_removed").Add(int64(rr.Report.Opt.InstrsRemoved))
 			m.Counter("opt.blocks_simplified").Add(int64(rr.Report.Opt.BlocksSimplified))
+			if d.cfg.PRE {
+				m.Counter("opt.pre.candidates").Add(int64(rr.Report.Opt.PRE.Candidates))
+				m.Counter("opt.pre.insertions").Add(int64(rr.Report.Opt.PRE.Insertions))
+				m.Counter("opt.pre.removed").Add(int64(rr.Report.Opt.PRE.Removals))
+				m.Counter("opt.pre.edge_splits").Add(int64(rr.Report.Opt.PRE.EdgeSplits))
+				m.Counter("opt.pre.phis").Add(int64(rr.Report.Opt.PRE.Phis))
+			}
 		}
 	}
 	if m != nil {

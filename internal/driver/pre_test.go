@@ -1,0 +1,165 @@
+package driver
+
+// Tests for the driver's GVN-PRE integration: the pass is wired through
+// Config.PRE, participates in the cache fingerprint, feeds the opt.pre.*
+// metrics, and the opt-stage seeded faults are injected after the
+// optimizer and convicted by the post-transformation checks.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pgvn/internal/check"
+	"pgvn/internal/core"
+	"pgvn/internal/obs"
+)
+
+// driverPartial computes a+b on one path only; PRE must insert on the
+// other path and replace the merge evaluation with a φ.
+const driverPartial = `
+func f(a, b, c) {
+entry:
+  if c goto t else j
+t:
+  x = a + b
+  y = x * 2
+  goto j
+j:
+  u = a + b
+  return u + 1
+}
+`
+
+// TestDriverPRE runs a fully-checked PRE batch over a partially
+// redundant routine: it must pass every check, report PRE work, and feed
+// the opt.pre.* counters.
+func TestDriverPRE(t *testing.T) {
+	m := obs.NewRegistry()
+	d := New(Config{Core: core.DefaultConfig(), PRE: true, Check: check.Full, Metrics: m})
+	b := d.Run(context.Background(), parseFixture(t, driverPartial))
+	if err := b.Err(); err != nil {
+		t.Fatalf("PRE batch failed: %v", err)
+	}
+	st := b.Results[0].Report.Opt.PRE
+	if st.Removals == 0 || st.Insertions == 0 {
+		t.Fatalf("PRE reported no work: %+v", st)
+	}
+	if got := m.Counter("opt.pre.removed").Value(); got != int64(st.Removals) {
+		t.Errorf("opt.pre.removed = %d, want %d", got, st.Removals)
+	}
+	if got := m.Counter("opt.pre.insertions").Value(); got != int64(st.Insertions) {
+		t.Errorf("opt.pre.insertions = %d, want %d", got, st.Insertions)
+	}
+
+	plain := New(Config{Core: core.DefaultConfig()}).Run(context.Background(), parseFixture(t, driverPartial))
+	if plain.Text() == b.Text() {
+		t.Error("PRE did not change the optimized text")
+	}
+}
+
+// TestPREInCacheKey shares one cache between a PRE-off and a PRE-on
+// configuration: the second run must not be served the first's entry.
+func TestPREInCacheKey(t *testing.T) {
+	cache := NewCache()
+	ctx := context.Background()
+	off := Config{Core: core.DefaultConfig(), Cache: cache}
+	on := off
+	on.PRE = true
+	if err := New(off).Run(ctx, parseFixture(t, driverPartial)).Err(); err != nil {
+		t.Fatalf("PRE-off batch failed: %v", err)
+	}
+	b := New(on).Run(ctx, parseFixture(t, driverPartial))
+	if err := b.Err(); err != nil {
+		t.Fatalf("PRE-on batch failed: %v", err)
+	}
+	if b.Results[0].CacheHit {
+		t.Fatal("PRE-on run was served the PRE-off cache entry")
+	}
+}
+
+// driverArmVals keeps a live value in each arm of the diamond, so the
+// optimized routine offers the wrong-edge fault a non-dominating value
+// to misplace.
+const driverArmVals = `
+func g(a, b) {
+entry:
+  if a < b goto l else r
+l:
+  v = a + 1
+  goto j
+r:
+  v = b * 2
+  goto j
+j:
+  return v
+}
+`
+
+// driverEntryVals merges two values defined in the entry block: after
+// copy propagation the join φ's arguments each dominate both
+// predecessors, which the phi-swap fault requires (an arm-local
+// argument could not be swapped without also breaking dominance).
+const driverEntryVals = `
+func g(a, b) {
+entry:
+  p = a + 1
+  q = b * 2
+  if a < b goto l else r
+l:
+  v = p
+  goto j
+r:
+  v = q
+  goto j
+j:
+  return v
+}
+`
+
+// TestOptStageFaultsConvicted seeds each transformation-stage fault
+// end to end: the driver must inject it after the optimizer has run (or
+// the passes would repair it) and the post-transformation checks must
+// convict it as a stage-"check" RoutineError.
+func TestOptStageFaultsConvicted(t *testing.T) {
+	tests := []struct {
+		fault core.Fault
+		level check.Level
+		rule  string
+		src   string
+	}{
+		// The misplaced insertion breaks use-def dominance; the structural
+		// sandwich (ssa.Verify) sees it first at any tier.
+		{core.FaultPREWrongEdge, check.Fast, check.RuleStructural, driverArmVals},
+		// The operand swap stays structurally valid and dominance-clean;
+		// only the full tier's behavioural validation convicts it.
+		{core.FaultPREPhiSwap, check.Full, check.RuleInterpBehavior, driverEntryVals},
+	}
+	for _, tt := range tests {
+		t.Run(string(tt.fault), func(t *testing.T) {
+			if tt.fault.Stage() != "opt" {
+				t.Fatalf("%s is not an opt-stage fault", tt.fault)
+			}
+			d := New(Config{Core: core.DefaultConfig(), Check: tt.level, Fault: tt.fault})
+			b := d.Run(context.Background(), parseFixture(t, tt.src))
+			rr := b.Results[0]
+			if rr.Err == nil {
+				t.Fatal("faulted routine did not fail")
+			}
+			if rr.Err.Stage != "check" {
+				t.Fatalf("failed in stage %q, want check (err: %v)", rr.Err.Stage, rr.Err)
+			}
+			var ce *check.Error
+			if !errors.As(rr.Err, &ce) {
+				t.Fatalf("error does not wrap *check.Error: %v", rr.Err)
+			}
+			found := false
+			for _, v := range ce.Violations {
+				found = found || v.Rule == tt.rule
+			}
+			if !found {
+				t.Fatalf("violations %v do not include rule %s", ce.Violations, tt.rule)
+			}
+		})
+	}
+}

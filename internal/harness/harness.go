@@ -112,6 +112,19 @@ func SetMetrics(m *obs.Registry) { metricsReg.Store(m) }
 // metricsNow returns the effective registry (possibly nil).
 func metricsNow() *obs.Registry { return metricsReg.Load() }
 
+// preEnabled selects whether the timed pipeline and the strength
+// measurements run the GVN-PRE pass (see SetPRE).
+var preEnabled atomic.Bool
+
+// SetPRE enables the GVN-PRE pass inside the measured pipeline and the
+// strength measurements' driver batches. Unlike checking or tracing, PRE
+// is part of the optimizer itself, so it belongs inside the timed
+// region — BenchmarkDriverPRE guards its overhead.
+func SetPRE(on bool) { preEnabled.Store(on) }
+
+// preNow returns the effective PRE toggle.
+func preNow() bool { return preEnabled.Load() }
+
 // traceCol, when set, hands per-routine fixpoint tracers to the strength
 // measurements' driver batches (see SetTrace). Timing sweeps are never
 // traced: a timing measured with the tracer inside it would not be the
@@ -155,7 +168,7 @@ func pipeline(r *ir.Routine, cfg core.Config) (total, gvn time.Duration, res *co
 	}
 	gvn = time.Since(gvnStart)
 	reg = rtrace.StartRegion(ctx, "pgvn/opt")
-	_, err = opt.Apply(res)
+	_, err = opt.ApplyWith(res, opt.Options{PRE: preNow()})
 	reg.End()
 	if err != nil {
 		return 0, 0, nil, err

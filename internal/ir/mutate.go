@@ -26,6 +26,27 @@ func (r *Routine) RetargetEdge(e *Edge, newTo *Block) {
 	}
 }
 
+// SplitEdge interposes a new block on edge e: e is redirected to the new
+// block (keeping its position in e.From.Succs, so branch/switch target
+// order is preserved), and a fresh jump-terminated block takes over e's
+// predecessor slot in the old destination. The φs of the destination keep
+// their argument slots — the argument that used to flow along e now flows
+// along the new block's jump — so, unlike RetargetEdge, no φ surgery is
+// required. It returns the new block; the new block's single out-edge is
+// its Succs[0].
+func (r *Routine) SplitEdge(e *Edge) *Block {
+	to := e.To
+	s := r.NewBlock("")
+	out := &Edge{From: s, To: to, outIndex: 0, inIndex: e.inIndex}
+	to.Preds[e.inIndex] = out
+	e.To = s
+	e.inIndex = 0
+	s.Preds = []*Edge{e}
+	s.Succs = []*Edge{out}
+	r.Append(s, OpJump)
+	return s
+}
+
 // MergeBlocks merges block t into its unique predecessor p: p's
 // terminator (which must be an unconditional jump to t) is deleted, t's
 // instructions are appended to p, and t's outgoing edges become p's.

@@ -142,3 +142,92 @@ func TestMergeBlocksPanicsOnBadShape(t *testing.T) {
 	}()
 	r.MergeBlocks(entry, a)
 }
+
+func TestSplitEdgePreservesPhiSlots(t *testing.T) {
+	r := NewRoutine("f")
+	entry := r.Entry()
+	a := r.NewBlock("a")
+	join := r.NewBlock("join")
+	x := r.AddParam("x")
+	one := r.ConstInt(entry, 1)
+	two := r.ConstInt(entry, 2)
+	r.Append(entry, OpBranch, x)
+	r.AddEdge(entry, a)
+	r.AddEdge(entry, join) // critical: entry has 2 succs, join has 2 preds
+	r.Append(a, OpJump)
+	r.AddEdge(a, join)
+
+	phi := r.InsertPhi(join)
+	phi.SetArg(0, one) // from entry
+	phi.SetArg(1, two) // from a
+	r.Append(join, OpReturn, phi)
+
+	crit := entry.Succs[1]
+	s := r.SplitEdge(crit)
+
+	// The split block sits on the edge: entry -> s -> join.
+	if crit.To != s || len(s.Preds) != 1 || s.Preds[0] != crit {
+		t.Fatalf("split block not interposed on the edge")
+	}
+	if len(s.Succs) != 1 || s.Succs[0].To != join {
+		t.Fatalf("split block does not jump to the old destination")
+	}
+	if term := s.Terminator(); term == nil || term.Op != OpJump {
+		t.Fatalf("split block terminator: %v", term)
+	}
+	// entry's successor order is untouched (branch targets stay aligned).
+	if entry.Succs[0].To != a || entry.Succs[1] != crit {
+		t.Fatalf("entry successor order broken")
+	}
+	// join's φ keeps both slots; the slot that flowed along the split edge
+	// now flows along the split block's jump.
+	if len(phi.Args) != 2 || phi.Args[0] != one || phi.Args[1] != two {
+		t.Fatalf("join φ args wrong after split: %v", phi.Args)
+	}
+	if join.Preds[s.Succs[0].InIndex()] != s.Succs[0] {
+		t.Fatalf("split out-edge not mirrored at its φ slot")
+	}
+	if err := r.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestSplitEdgeMiddleSlot(t *testing.T) {
+	// Splitting an edge that is not the destination's first predecessor
+	// must keep every other predecessor's inIndex intact.
+	r := NewRoutine("f")
+	entry := r.Entry()
+	a := r.NewBlock("a")
+	b := r.NewBlock("b")
+	c := r.NewBlock("c")
+	join := r.NewBlock("join")
+	x := r.AddParam("x")
+	r.Append(entry, OpSwitch, x)
+	consts := make([]*Instr, 3)
+	for k, blk := range []*Block{a, b, c} {
+		r.AddEdge(entry, blk)
+		consts[k] = r.ConstInt(blk, int64(k))
+		r.Append(blk, OpJump)
+		r.AddEdge(blk, join)
+	}
+	entry.Terminator().Cases = []int64{1, 2}
+	phi := r.InsertPhi(join)
+	for k := range consts {
+		phi.SetArg(k, consts[k])
+	}
+	r.Append(join, OpReturn, phi)
+
+	mid := join.Preds[1]
+	s := r.SplitEdge(mid)
+	if join.Preds[0].From != a || join.Preds[1].From != s || join.Preds[2].From != c {
+		t.Fatalf("predecessor slots shuffled by split")
+	}
+	for k, e := range join.Preds {
+		if e.InIndex() != k {
+			t.Fatalf("pred %d has inIndex %d", k, e.InIndex())
+		}
+	}
+	if err := r.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}

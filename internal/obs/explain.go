@@ -39,53 +39,67 @@ func (n Names) block(id int) string {
 // chronological merge/simplification chain that placed instruction
 // instrID in its final congruence class: every symbolic evaluation,
 // class founding/join, constant discovery, leader election and
-// inference step attributed to the value, one rendered line each. The
-// companion to core's Result.Explain (the final state) — this is how it
-// got there.
+// inference step attributed to the value, one rendered line each,
+// followed by the transformation events when the optimizer ran with the
+// same tracer. Every line is labeled with its originating pass —
+// "gvn pass N" for fixpoint events, "opt/<pass>" for rewrites — so a
+// derivation read end to end names which pass did what. The companion to
+// core's Result.Explain (the final state) — this is how it got there.
 func ExplainValue(rs RoutineEvents, instrID int, names Names) []string {
 	var out []string
-	add := func(e Event, format string, args ...any) {
-		out = append(out, fmt.Sprintf("pass %d: ", e.Pass)+fmt.Sprintf(format, args...))
+	gvn := func(e Event, format string, args ...any) {
+		out = append(out, fmt.Sprintf("[gvn pass %d] ", e.Pass)+fmt.Sprintf(format, args...))
+	}
+	opt := func(pass, format string, args ...any) {
+		out = append(out, "[opt/"+pass+"] "+fmt.Sprintf(format, args...))
 	}
 	for _, e := range rs.Events {
 		switch e.Kind {
 		case KindEval:
 			if e.Instr == instrID {
-				add(e, "evaluated to %s", e.Note)
+				gvn(e, "evaluated to %s", e.Note)
 			}
 		case KindClassNew:
 			if e.Instr == instrID {
-				add(e, "founded a new congruence class for %s", e.Note)
+				gvn(e, "founded a new congruence class for %s", e.Note)
 			}
 		case KindClassJoin:
 			if e.Instr == instrID {
-				add(e, "joined the class of %s (%s)", names.value(int(e.Arg)), e.Note)
+				gvn(e, "joined the class of %s (%s)", names.value(int(e.Arg)), e.Note)
 			} else if int(e.Arg) == instrID {
-				add(e, "%s joined this value's class (%s)", names.value(e.Instr), e.Note)
+				gvn(e, "%s joined this value's class (%s)", names.value(e.Instr), e.Note)
 			}
 		case KindLeaderChange:
 			if e.Instr == instrID {
-				add(e, "elected leader of its class after %s left", names.value(int(e.Arg)))
+				gvn(e, "elected leader of its class after %s left", names.value(int(e.Arg)))
 			}
 		case KindConst:
 			if e.Instr == instrID {
-				add(e, "proven congruent to constant %d", e.Arg)
+				gvn(e, "proven congruent to constant %d", e.Arg)
 			}
 		case KindPredInfer:
 			if e.Instr == instrID {
-				add(e, "predicate inference decided %s = %d in %s", e.Note, e.Arg, names.block(e.Block))
+				gvn(e, "predicate inference decided %s = %d in %s", e.Note, e.Arg, names.block(e.Block))
 			}
 		case KindValueInfer:
 			if e.Instr == instrID {
-				add(e, "value inference replaced an operand leader with %s", names.value(int(e.Arg)))
+				gvn(e, "value inference replaced an operand leader with %s", names.value(int(e.Arg)))
 			}
 		case KindOptConst:
 			if e.Instr == instrID {
-				add(e, "opt: uses rewritten to constant %d", e.Arg)
+				opt("constprop", "uses rewritten to constant %d", e.Arg)
 			}
 		case KindOptRedundant:
 			if e.Instr == instrID {
-				add(e, "opt: uses redirected to leader %s", names.value(int(e.Arg)))
+				opt("redundancy", "uses redirected to leader %s", names.value(int(e.Arg)))
+			}
+		case KindOptPREInsert:
+			if int(e.Arg) == instrID {
+				opt("pre", "evaluation of this value's class (%s) inserted in %s", e.Note, names.block(e.Block))
+			}
+		case KindOptPRERemove:
+			if e.Instr == instrID {
+				opt("pre", "partially redundant: uses redirected to the merge φ")
 			}
 		}
 	}

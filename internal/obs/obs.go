@@ -82,6 +82,18 @@ const (
 	// KindCacheHit: the driver served this routine from the
 	// content-addressed cache; no fixpoint events follow.
 	KindCacheHit
+	// GVN-PRE rewrites (appended after KindCacheHit to keep earlier kind
+	// values stable): an evaluation inserted on a predecessor edge (Instr
+	// is the new instruction, Block its home, Note the class expression
+	// key), a φ created at a merge over the now-available copies (Arg is
+	// the number of members it replaced), a partially redundant
+	// instruction's uses redirected to the φ (Arg is the φ's ID), and a
+	// critical edge split (Block is the new block, Arg the edge's source
+	// block ID).
+	KindOptPREInsert
+	KindOptPREPhi
+	KindOptPRERemove
+	KindOptPREEdgeSplit
 )
 
 var kindNames = [...]string{
@@ -109,6 +121,10 @@ var kindNames = [...]string{
 	KindStageStart:       "stage-start",
 	KindStageEnd:         "stage-end",
 	KindCacheHit:         "cache-hit",
+	KindOptPREInsert:     "opt-pre-insert",
+	KindOptPREPhi:        "opt-pre-phi",
+	KindOptPRERemove:     "opt-pre-remove",
+	KindOptPREEdgeSplit:  "opt-pre-edge-split",
 }
 
 // String names the kind ("class-join", "pred-infer", …).

@@ -62,3 +62,59 @@ func FuzzOptimizeEquivalence(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPREEquivalence is the same contract with the GVN-PRE pass enabled
+// — the one transformation that can grow the program text and rewrite
+// the CFG (edge splitting). Seeds are the shapes PRE acts on: a
+// one-armed if whose fallthrough edge is critical, half- and both-arm
+// diamonds, and a diamond inside a loop. The final oracle runs the full
+// verification tier with PRE inside the verified pipeline, so every
+// insertion and φ lands under the structural sandwich, the independent
+// dominance re-verification and translation validation.
+func FuzzPREEquivalence(f *testing.F) {
+	seeds := []string{
+		"func f(a, b) {\ne:\n  if a < b goto t else j\nt:\n  u = a + b\n  goto j\nj:\n  v = a + b\n  return v\n}",
+		"func f(a, b) {\ne:\n  if a < b goto t else o\nt:\n  u = a * b\n  goto j\no:\n  w = 7\n  goto j\nj:\n  v = a * b\n  return v + w\n}",
+		"func f(a, b) {\ne:\n  if a == b goto t else o\nt:\n  u = a - b\n  goto j\no:\n  w = a - b\n  goto j\nj:\n  v = a - b\n  return v\n}",
+		"func f(n, m) {\ne:\n  i = 0\n  goto h\nh:\n  if i < n goto b else x\nb:\n  if m < 3 goto p else q\np:\n  s = m * 2\n  goto c\nq:\n  goto c\nc:\n  r = m * 2\n  i = i + 1\n  goto h\nx:\n  return i + m * 2\n}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	inputs := [][]int64{{0}, {1}, {-3}, {7}}
+	f.Fuzz(func(t *testing.T, src string) {
+		orig, err := parser.ParseRoutine(src)
+		if err != nil {
+			return
+		}
+		work := orig.Clone()
+		if err := ssa.Build(work, ssa.SemiPruned); err != nil {
+			t.Fatalf("ssa rejected parsed routine: %v\n%q", err, src)
+		}
+		res, err := core.Run(work, core.DefaultConfig())
+		if err != nil {
+			t.Fatalf("gvn failed: %v\n%q", err, src)
+		}
+		if _, err := opt.ApplyWith(res, opt.Options{PRE: true}); err != nil {
+			t.Fatalf("optimize with PRE failed: %v\n%q", err, src)
+		}
+		for _, base := range inputs {
+			args := make([]int64, len(orig.Params))
+			for k := range args {
+				args[k] = base[0] + int64(k)
+			}
+			want, err1 := interp.Run(orig, args, 30000)
+			got, err2 := interp.Run(work, args, 30000)
+			if err1 != nil || err2 != nil {
+				continue // step limit (infinite loops are legal input)
+			}
+			if got != want {
+				t.Fatalf("PRE changed behaviour on %v: %d != %d\n%q\noptimized:\n%s",
+					args, got, want, src, work)
+			}
+		}
+		if err := check.PipelinePRE(orig, core.DefaultConfig(), ssa.SemiPruned, check.Full, true); err != nil {
+			t.Fatalf("self-checked pipeline with PRE failed: %v\n%q", err, src)
+		}
+	})
+}

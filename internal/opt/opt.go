@@ -16,6 +16,7 @@ import (
 	"pgvn/internal/dom"
 	"pgvn/internal/ir"
 	"pgvn/internal/obs"
+	"pgvn/internal/opt/pre"
 )
 
 // Stats reports what Apply changed.
@@ -33,6 +34,28 @@ type Stats struct {
 	// BlocksSimplified counts blocks removed by control-flow
 	// simplification (forwarding-block bypass and straight-line merge).
 	BlocksSimplified int
+	// PRE reports the GVN-PRE pass's work (zero unless Options.PRE).
+	PRE pre.Stats
+}
+
+// Options configures ApplyWith's pass pipeline.
+type Options struct {
+	// PRE enables the GVN-PRE pass (internal/opt/pre) between
+	// redundancy elimination and dead-code elimination, so classic
+	// elimination has already collected the dominated redundancies and
+	// DCE collects what PRE's φs replace.
+	PRE bool
+	// Span, when non-nil, parents one child span per pass ("opt.<pass>")
+	// so traces descend from the driver's opt stage to individual
+	// passes. Nil-safe: a nil span is the no-op tracer.
+	Span *obs.Span
+	// Verify, when non-nil, is the pass-sandwich hook around PRE: it is
+	// called with "pre-input" immediately before the pass and with
+	// "pre" immediately after it, and a non-nil error aborts the
+	// pipeline. The driver wires check.PassSandwich here (structural
+	// verification plus the independent dominance re-verification PRE's
+	// edge splitting demands).
+	Verify func(pass string) error
 }
 
 // Optimize runs global value numbering with the given configuration and
@@ -47,20 +70,68 @@ func Optimize(r *ir.Routine, cfg core.Config) (*core.Result, Stats, error) {
 	return res, st, err
 }
 
-// Apply transforms the analyzed routine in place using the GVN result.
+// Apply transforms the analyzed routine in place using the GVN result,
+// running the default pipeline (no PRE, no spans, no sandwich checks).
 // When the analysis ran with a tracer (core.Config.Trace), the rewrites
 // are traced too: per-value events for constant propagation and
 // redundancy elimination, per-block events for unreachable-code removal,
 // and aggregate counts for DCE and CFG simplification.
 func Apply(res *core.Result) (Stats, error) {
+	return ApplyWith(res, Options{})
+}
+
+// ApplyWith transforms the analyzed routine in place, running the pass
+// pipeline configured by o. Pass order is fixed: unreachable-code
+// elimination, constant propagation, redundancy elimination, GVN-PRE
+// (when enabled), dead-code elimination, CFG simplification.
+func ApplyWith(res *core.Result, o Options) (Stats, error) {
 	var st Stats
 	r := res.Routine
 	tr := res.Config.Trace
-	st.BlocksRemoved, st.EdgesRemoved = EliminateUnreachable(res)
-	st.ConstantsPropagated = PropagateConstants(res)
-	st.RedundanciesReplaced = EliminateRedundancies(res)
-	st.InstrsRemoved = EliminateDeadCode(r)
-	st.BlocksSimplified = SimplifyCFG(r)
+	pass := func(name string, f func() error) error {
+		s := o.Span.StartChild("opt." + name)
+		defer s.End()
+		return f()
+	}
+	pass("unreachable", func() error {
+		st.BlocksRemoved, st.EdgesRemoved = EliminateUnreachable(res)
+		return nil
+	})
+	pass("constprop", func() error {
+		st.ConstantsPropagated = PropagateConstants(res)
+		return nil
+	})
+	pass("redundancy", func() error {
+		st.RedundanciesReplaced = EliminateRedundancies(res)
+		return nil
+	})
+	if o.PRE {
+		if o.Verify != nil {
+			if err := o.Verify("pre-input"); err != nil {
+				return st, err
+			}
+		}
+		if err := pass("pre", func() error {
+			var err error
+			st.PRE, err = pre.Run(res, pre.Options{Tracer: tr})
+			return err
+		}); err != nil {
+			return st, fmt.Errorf("opt: pre: %w", err)
+		}
+		if o.Verify != nil {
+			if err := o.Verify("pre"); err != nil {
+				return st, err
+			}
+		}
+	}
+	pass("dce", func() error {
+		st.InstrsRemoved = EliminateDeadCode(r)
+		return nil
+	})
+	pass("simplifycfg", func() error {
+		st.BlocksSimplified = SimplifyCFG(r)
+		return nil
+	})
 	if tr != nil {
 		tr.Emit(obs.KindOptDeadCode, 0, -1, -1, int64(st.InstrsRemoved), "")
 		tr.Emit(obs.KindOptCFGSimplified, 0, -1, -1, int64(st.BlocksSimplified), "")

@@ -1,0 +1,301 @@
+package pre_test
+
+import (
+	"testing"
+
+	"pgvn/internal/check"
+	"pgvn/internal/core"
+	"pgvn/internal/interp"
+	"pgvn/internal/ir"
+	"pgvn/internal/opt/pre"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+)
+
+// analyze parses, converts to SSA and runs GVN; it returns the original
+// (pre-SSA clone is not needed: the caller clones before mutation).
+func analyze(t *testing.T, src string, cfg core.Config) *core.Result {
+	t.Helper()
+	r, err := parser.ParseRoutine(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := ssa.Build(r, ssa.SemiPruned); err != nil {
+		t.Fatalf("ssa: %v", err)
+	}
+	res, err := core.Run(r, cfg)
+	if err != nil {
+		t.Fatalf("gvn: %v", err)
+	}
+	return res
+}
+
+// runPRE applies the pass and verifies structure, dominance and
+// behavioural equivalence against the untransformed routine.
+func runPRE(t *testing.T, src string, cfg core.Config) pre.Stats {
+	t.Helper()
+	res := analyze(t, src, cfg)
+	orig := res.Routine.Clone()
+	st, err := pre.Run(res, pre.Options{})
+	if err != nil {
+		t.Fatalf("pre: %v", err)
+	}
+	if err := res.Routine.Verify(); err != nil {
+		t.Fatalf("verify after pre: %v\n%s", err, res.Routine)
+	}
+	if vs := check.Dominance(res.Routine); len(vs) > 0 {
+		t.Fatalf("dominance after pre: %v\n%s", vs, res.Routine)
+	}
+	for _, args := range check.Inputs(len(orig.Params)) {
+		want, err1 := interp.Run(orig, args, 100000)
+		got, err2 := interp.Run(res.Routine, args, 100000)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if got != want {
+			t.Fatalf("behaviour changed on %v: %d != %d\noriginal:\n%s\ntransformed:\n%s",
+				args, got, want, orig, res.Routine)
+		}
+	}
+	return st
+}
+
+func TestDiamondInsertion(t *testing.T) {
+	// a+b is computed on the then-path only; the else edge is critical
+	// (entry branches, join merges), so PRE must split it, insert a+b
+	// there and φ the copies.
+	st := runPRE(t, `
+func f(a, b, c) {
+e:
+  if c goto t else j
+t:
+  x = a + b
+  y = x * 2
+  goto j
+j:
+  u = a + b
+  return u
+}
+`, core.DefaultConfig())
+	if st.Candidates == 0 {
+		t.Fatalf("no candidates: %+v", st)
+	}
+	if st.Removals == 0 {
+		t.Errorf("partially redundant a+b not removed: %+v", st)
+	}
+	if st.Insertions == 0 || st.EdgeSplits == 0 {
+		t.Errorf("expected an insertion on the split else edge: %+v", st)
+	}
+}
+
+func TestBothArmsNeedNoInsertion(t *testing.T) {
+	// a*b is computed on both paths: the merge copy is redundant in the
+	// value-flow sense, yet no single computation dominates it — the
+	// exact case dominator-based elimination leaves behind. PRE must fix
+	// it with a φ alone.
+	st := runPRE(t, `
+func f(a, b, c) {
+e:
+  if c goto t else u
+t:
+  x = a * b
+  goto j
+u:
+  y = a * b
+  goto j
+j:
+  z = a * b
+  return z
+}
+`, core.DefaultConfig())
+	if st.Removals == 0 {
+		t.Errorf("merge copy not removed: %+v", st)
+	}
+	if st.Insertions != 0 || st.EdgeSplits != 0 {
+		t.Errorf("no insertion should be needed: %+v", st)
+	}
+	if st.Phis == 0 {
+		t.Errorf("expected a φ over the two arms: %+v", st)
+	}
+}
+
+func TestLoopHeaderLeftAlone(t *testing.T) {
+	// The loop header merge has an incoming back edge; without
+	// φ-translation PRE must not touch it.
+	st := runPRE(t, `
+func f(n) {
+e:
+  i = 0
+  s = 0
+  goto h
+h:
+  if i < n goto b else x
+b:
+  s = s + i
+  i = i + 1
+  goto h
+x:
+  return s
+}
+`, core.DefaultConfig())
+	if st.Insertions != 0 || st.Removals != 0 || st.EdgeSplits != 0 {
+		t.Errorf("loop header transformed: %+v", st)
+	}
+}
+
+func TestDiamondInsideLoop(t *testing.T) {
+	// The merge inside the loop body has forward predecessors only, so
+	// PRE transforms it even though it sits inside a loop.
+	st := runPRE(t, `
+func f(n, a, b) {
+e:
+  i = 0
+  s = 0
+  goto h
+h:
+  if i < n goto c else x
+c:
+  if s < a goto t else j
+t:
+  s = s + a * b
+  goto j
+j:
+  s = s + a * b
+  i = i + 1
+  goto h
+x:
+  return s
+}
+`, core.DefaultConfig())
+	if st.Removals == 0 || st.Insertions == 0 {
+		t.Errorf("in-loop diamond not transformed: %+v", st)
+	}
+}
+
+func TestPredicateAwarePlacementSkipsUnreachableEdge(t *testing.T) {
+	// The branch condition is constant false, so the analysis proves the
+	// then-edge unreachable. Run standalone (no unreachable-code
+	// elimination first): the merge keeps an analysis-unreachable
+	// incoming edge, and predicate-aware placement must refuse to
+	// transform it.
+	st := runPRE(t, `
+func f(a, b) {
+e:
+  z = 1 < 1
+  if z goto t else j
+t:
+  x = a + b
+  goto j
+j:
+  u = a + b
+  return u
+}
+`, core.DefaultConfig())
+	if st.Insertions != 0 || st.Removals != 0 {
+		t.Errorf("transformed a merge with an unreachable in-edge: %+v", st)
+	}
+}
+
+func TestCascadedMerges(t *testing.T) {
+	// Inner diamond computes a+b in both arms; the outer merge sees it
+	// available on the inner-join path only via the inner φ PRE creates
+	// first (RPO order), and must insert on the other path.
+	st := runPRE(t, `
+func f(a, b, c, d) {
+e:
+  if c goto p else q
+p:
+  if d goto t else u
+t:
+  x = a + b
+  goto ij
+u:
+  y = a + b
+  goto ij
+ij:
+  goto oj
+q:
+  goto oj
+oj:
+  z = a + b
+  return z
+}
+`, core.DefaultConfig())
+	if st.Removals == 0 {
+		t.Errorf("outer merge copy not removed: %+v", st)
+	}
+	if st.Phis < 2 {
+		t.Errorf("expected cascaded φs (inner + outer): %+v", st)
+	}
+}
+
+func TestConstantMaterializationForOperands(t *testing.T) {
+	// On the unavailable edge, x*2's operand 2 must be materialized as a
+	// constant; the split block gets the evaluation.
+	st := runPRE(t, `
+func f(a, c) {
+e:
+  if c goto t else j
+t:
+  x = a * 2
+  goto j
+j:
+  u = a * 2
+  return u
+}
+`, core.DefaultConfig())
+	if st.Removals == 0 || st.Insertions == 0 {
+		t.Errorf("multiplication by constant not transformed: %+v", st)
+	}
+}
+
+func TestStatsZeroOnStraightLine(t *testing.T) {
+	st := runPRE(t, `
+func f(a, b) {
+e:
+  x = a + b
+  y = a + b
+  return y
+}
+`, core.DefaultConfig())
+	if st != (pre.Stats{}) {
+		t.Errorf("straight-line code transformed: %+v", st)
+	}
+}
+
+// TestPhiArgumentsDominatePreds pins the structural shape: every φ PRE
+// creates has arguments defined in blocks dominating the matching
+// predecessor (the property the seeded pre-wrong-edge fault violates).
+func TestPhiArgumentsDominatePreds(t *testing.T) {
+	res := analyze(t, `
+func f(a, b, c) {
+e:
+  if c goto t else j
+t:
+  x = a + b
+  goto j
+j:
+  u = a + b
+  return u
+}
+`, core.DefaultConfig())
+	before := map[*ir.Instr]bool{}
+	res.Routine.Instrs(func(i *ir.Instr) { before[i] = true })
+	if _, err := pre.Run(res, pre.Options{}); err != nil {
+		t.Fatalf("pre: %v", err)
+	}
+	found := false
+	res.Routine.Instrs(func(i *ir.Instr) {
+		if i.Op == ir.OpPhi && !before[i] {
+			found = true
+			for k, a := range i.Args {
+				if a == nil {
+					t.Fatalf("new φ has nil arg %d", k)
+				}
+			}
+		}
+	})
+	if !found {
+		t.Fatalf("PRE created no φ")
+	}
+}

@@ -68,6 +68,9 @@ type OptimizeRequest struct {
 	// AnalyzeOnly skips the transformations; Text stays empty and only
 	// the reports are returned.
 	AnalyzeOnly bool `json:"analyze_only,omitempty"`
+	// PRE enables the GVN-PRE pass for this request (additive with the
+	// server default).
+	PRE bool `json:"pre,omitempty"`
 	// TimeoutMS caps this request's processing time; 0 uses the server
 	// default, and values above the server maximum are clamped to it.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -91,6 +94,9 @@ type RoutineSummary struct {
 	Redundancies      int    `json:"redundancies_replaced"`
 	InstrsRemoved     int    `json:"instrs_removed"`
 	BlocksSimplified  int    `json:"blocks_simplified"`
+	PREInsertions     int    `json:"pre_insertions,omitempty"`
+	PRERemoved        int    `json:"pre_removed,omitempty"`
+	PREEdgeSplits     int    `json:"pre_edge_splits,omitempty"`
 	AlwaysReturns     int64  `json:"always_returns,omitempty"`
 	Const             bool   `json:"const,omitempty"`
 }
@@ -195,6 +201,7 @@ func (s *Server) driverConfig(req *OptimizeRequest) (driver.Config, *apiError) {
 		Jobs:        s.cfg.Jobs,
 		Check:       s.cfg.Check,
 		AnalyzeOnly: req.AnalyzeOnly,
+		PRE:         s.cfg.PRE || req.PRE,
 		Cache:       s.cfg.MemCache,
 		Metrics:     s.cfg.Metrics,
 	}
@@ -494,6 +501,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			Redundancies:      rep.Opt.RedundanciesReplaced,
 			InstrsRemoved:     rep.Opt.InstrsRemoved,
 			BlocksSimplified:  rep.Opt.BlocksSimplified,
+			PREInsertions:     rep.Opt.PRE.Insertions,
+			PRERemoved:        rep.Opt.PRE.Removals,
+			PREEdgeSplits:     rep.Opt.PRE.EdgeSplits,
 			AlwaysReturns:     rep.AlwaysReturns,
 			Const:             rep.Const,
 		})

@@ -74,6 +74,10 @@ type Config struct {
 	Jobs int
 	// Check is the default verification tier; requests may override.
 	Check check.Level
+	// PRE enables the GVN-PRE pass by default; requests may turn it on
+	// per call (but not off — the flag is additive, like Check
+	// upgrades).
+	PRE bool
 	// MaxConcurrent bounds requests executing the pipeline at once
 	// (0 = GOMAXPROCS).
 	MaxConcurrent int

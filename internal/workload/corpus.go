@@ -83,6 +83,31 @@ func Corpus(scale float64) []Benchmark {
 	return out
 }
 
+// PartialRedundancy generates the GVN-PRE evaluation family: routines
+// whose statement mix is biased toward expressions computed on a strict
+// subset of a merge's incoming paths and recomputed after it (see
+// stmtPartialRedundancy). It is not part of the SPEC-shaped Corpus —
+// the paper's tables measure value numbering alone — but gvngen emits
+// it on request and the PRE presets and benchmarks are drawn from it.
+// Generation is deterministic.
+func PartialRedundancy(scale float64) Benchmark {
+	n := int(24*scale + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	b := Benchmark{Name: "partial-redundancy"}
+	for k := 0; k < n; k++ {
+		b.Routines = append(b.Routines, Generate(fmt.Sprintf("pre_r%d", k), GenConfig{
+			Seed:              int64(770003 + k*104729),
+			Stmts:             14 + (k*11)%20,
+			Params:            1 + k%4,
+			MaxLoopDepth:      2,
+			PartialRedundancy: true,
+		}))
+	}
+	return b
+}
+
 // Bzip2 generates the excluded benchmark (see profiles); callers that want
 // the full suite can append it themselves.
 func Bzip2(scale float64) Benchmark {

@@ -32,6 +32,10 @@ type GenConfig struct {
 	// default, matching the corpus (compiled C is overwhelmingly
 	// reducible).
 	Irreducible bool
+	// PartialRedundancy biases the statement mix toward GVN-PRE fodder:
+	// expressions computed on a strict subset of a merge's incoming
+	// paths and recomputed after it (see stmtPartialRedundancy).
+	PartialRedundancy bool
 }
 
 // Generate builds one routine in non-SSA form (run ssa.Build before GVN).
@@ -93,6 +97,7 @@ type generator struct {
 	loopDepth  int
 	loopSeq    int
 	blockSeq   int
+	preSeq     int // partial-redundancy patterns emitted (names their snapshots)
 	loopBudget int // loops remaining (keeps def-use loop connectedness realistic)
 
 	// recipes remembers recently generated expressions for replay, so
@@ -229,8 +234,20 @@ func (g *generator) genStmts() {
 			} else {
 				g.stmtAssign()
 			}
+		case 19:
+			if g.cfg.PartialRedundancy {
+				g.stmtPartialRedundancy()
+			} else {
+				g.stmtAssign()
+			}
 		default:
 			g.stmtAssign()
+		}
+		// A PRE-focused routine plants the pattern on most steps, not one
+		// in twenty: the family exists to exercise the pass.
+		if g.cfg.PartialRedundancy && g.budget > 0 && g.rng.Intn(2) == 0 {
+			g.budget--
+			g.stmtPartialRedundancy()
 		}
 	}
 }
@@ -468,6 +485,67 @@ func (g *generator) stmtLockstepLoop() {
 	g.cur = exit
 	// Their difference is 0 — discoverable only optimistically.
 	g.assign(g.targetVar(), g.binop(ir.OpSub, g.readNamed(counter), g.readNamed(shadow)))
+}
+
+// stmtPartialRedundancy plants GVN-PRE fodder: an expression computed on
+// a strict subset of a merge's incoming paths and recomputed after the
+// merge. The operands are snapshot into fresh names that nothing inside
+// the pattern reassigns, so the arm computation and the post-merge
+// recomputation stay congruent through SSA construction. Three shapes:
+//
+//   - skip: a one-armed if whose fallthrough edge (branch block → join)
+//     is critical — PRE must split it before inserting;
+//   - half: a full diamond computing the expression on one arm only —
+//     PRE inserts on the other arm (no split needed);
+//   - both: both arms compute it — the join recomputation collapses to
+//     a φ with no insertions at all.
+func (g *generator) stmtPartialRedundancy() {
+	g.preSeq++
+	op := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul}[g.rng.Intn(3)]
+	a := fmt.Sprintf("pa%d", g.preSeq)
+	b := fmt.Sprintf("pb%d", g.preSeq)
+	out := fmt.Sprintf("po%d", g.preSeq)
+	g.assign(a, g.genExpr(1))
+	g.assign(b, g.readVar())
+	compute := func() *ir.Instr {
+		return g.binop(op, g.readNamed(a), g.readNamed(b))
+	}
+	cond := g.genCond()
+	switch shape := g.rng.Intn(3); shape {
+	case 0:
+		// skip: the fallthrough edge g.cur→join is critical (the branch
+		// block keeps two successors, join two predecessors).
+		thenB := g.newBlock("t")
+		join := g.newBlock("j")
+		g.r.Append(g.cur, ir.OpBranch, cond)
+		g.r.AddEdge(g.cur, thenB)
+		g.r.AddEdge(g.cur, join)
+		g.cur = thenB
+		g.assign(out, compute())
+		g.r.Append(g.cur, ir.OpJump)
+		g.r.AddEdge(g.cur, join)
+		g.cur = join
+	default:
+		thenB, elseB, join := g.openDiamond(cond)
+		g.cur = thenB
+		g.assign(out, compute())
+		g.r.Append(g.cur, ir.OpJump)
+		g.r.AddEdge(g.cur, join)
+		g.cur = elseB
+		if shape == 2 {
+			g.assign(out, compute())
+		} else {
+			g.assign(out, g.constant(int64(g.rng.Intn(9)-4)))
+		}
+		g.r.Append(g.cur, ir.OpJump)
+		g.r.AddEdge(g.cur, join)
+		g.cur = join
+	}
+	// The partially redundant recomputation at the merge. Its definition
+	// dominates everything that follows (the pattern only runs at the
+	// routine's top level), so out may join the variable pool.
+	g.assign(out, compute())
+	g.vars = append(g.vars, out)
 }
 
 // stmtSwitch emits a switch over a variable with constant cases.

@@ -1,0 +1,80 @@
+package workload_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pgvn/internal/core"
+	"pgvn/internal/interp"
+	"pgvn/internal/opt"
+	"pgvn/internal/ssa"
+	"pgvn/internal/workload"
+)
+
+// TestPartialRedundancyFamilyShape: the PRE family must be deterministic
+// and structurally valid through SSA construction.
+func TestPartialRedundancyFamilyShape(t *testing.T) {
+	a := workload.PartialRedundancy(0.25)
+	b := workload.PartialRedundancy(0.25)
+	if a.Name != "partial-redundancy" {
+		t.Fatalf("family name = %q", a.Name)
+	}
+	if len(a.Routines) < 3 {
+		t.Fatalf("family too small at scale 0.25: %d routines", len(a.Routines))
+	}
+	for k, r := range a.Routines {
+		if r.String() != b.Routines[k].String() {
+			t.Fatalf("routine %d differs between generations", k)
+		}
+		if err := r.Verify(); err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		s := r.Clone()
+		if err := ssa.Build(s, ssa.SemiPruned); err != nil {
+			t.Fatalf("%s: ssa: %v", r.Name, err)
+		}
+		if err := ssa.Verify(s); err != nil {
+			t.Fatalf("%s: ssa verify: %v", r.Name, err)
+		}
+	}
+}
+
+// TestPartialRedundancyFamilyFeedsPRE: the family exists to exercise
+// GVN-PRE, so running the optimizer with the pass on must remove
+// partially redundant instructions in most routines — and the optimized
+// routines must stay interpreter-equivalent to the originals.
+func TestPartialRedundancyFamilyFeedsPRE(t *testing.T) {
+	fam := workload.PartialRedundancy(0.25)
+	rng := rand.New(rand.NewSource(11))
+	withRemovals := 0
+	for _, r := range fam.Routines {
+		work := r.Clone()
+		if err := ssa.Build(work, ssa.SemiPruned); err != nil {
+			t.Fatalf("%s: ssa: %v", r.Name, err)
+		}
+		res, err := core.Run(work, core.DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: gvn: %v", r.Name, err)
+		}
+		st, err := opt.ApplyWith(res, opt.Options{PRE: true})
+		if err != nil {
+			t.Fatalf("%s: opt: %v", r.Name, err)
+		}
+		if st.PRE.Removals > 0 {
+			withRemovals++
+		}
+		for trial := 0; trial < 4; trial++ {
+			args := randomArgs(rng, len(r.Params))
+			want, err1 := interp.Run(r, args, maxSteps)
+			got, err2 := interp.Run(work, args, maxSteps)
+			if err1 != nil || err2 != nil || got != want {
+				t.Fatalf("%s%v: optimized = (%d,%v), want (%d,%v)",
+					r.Name, args, got, err2, want, err1)
+			}
+		}
+	}
+	if min := len(fam.Routines) / 2; withRemovals < min {
+		t.Errorf("only %d/%d routines produced PRE removals, want ≥ %d",
+			withRemovals, len(fam.Routines), min)
+	}
+}

@@ -48,6 +48,12 @@ type Options struct {
 	Complete bool
 	// PrunedSSA uses pruned (liveness-based) φ-placement.
 	PrunedSSA bool
+	// PRE enables the GVN-PRE pass: partial redundancy elimination
+	// driven by the value partition, inserting evaluations on
+	// predecessor edges where a value is missing and merging the copies
+	// with a φ (internal/opt/pre). Default off — it is the one
+	// transformation that can grow the program text.
+	PRE bool
 	// Jobs routes OptimizeSource through the concurrent batch driver:
 	// routines are optimized on up to Jobs workers (negative selects
 	// GOMAXPROCS) and reassembled in input order, so the output is
@@ -129,6 +135,9 @@ type Report struct {
 	BlocksRemoved, EdgesRemoved         int
 	ConstantsPropagated                 int
 	RedundanciesReplaced, InstrsRemoved int
+	// PREInsertions, PRERemoved and PREEdgeSplits mirror the GVN-PRE
+	// pass statistics (zero unless Options.PRE).
+	PREInsertions, PRERemoved, PREEdgeSplits int
 	// AlwaysReturns holds the constant the routine is proven to always
 	// return, when Const is true.
 	AlwaysReturns int64
@@ -162,7 +171,7 @@ func OptimizeSource(src string, o Options) (string, []Report, error) {
 	var out strings.Builder
 	var reports []Report
 	for _, r := range routines {
-		rep, err := optimizeRoutine(r, cfg, o.placement())
+		rep, err := optimizeRoutine(r, cfg, o.placement(), o.PRE)
 		if err != nil {
 			return "", nil, err
 		}
@@ -187,6 +196,7 @@ func optimizeParallel(routines []*ir.Routine, cfg core.Config, o Options, lvl ch
 		Core:      cfg,
 		Placement: o.placement(),
 		Jobs:      jobs,
+		PRE:       o.PRE,
 		Check:     lvl,
 		Trace:     o.Trace,
 		Metrics:   o.Metrics,
@@ -209,6 +219,9 @@ func optimizeParallel(routines []*ir.Routine, cfg core.Config, o Options, lvl ch
 			ConstantsPropagated:  rr.Report.Opt.ConstantsPropagated,
 			RedundanciesReplaced: rr.Report.Opt.RedundanciesReplaced,
 			InstrsRemoved:        rr.Report.Opt.InstrsRemoved,
+			PREInsertions:        rr.Report.Opt.PRE.Insertions,
+			PRERemoved:           rr.Report.Opt.PRE.Removals,
+			PREEdgeSplits:        rr.Report.Opt.PRE.EdgeSplits,
 			AlwaysReturns:        rr.Report.AlwaysReturns,
 			Const:                rr.Report.Const,
 		}
@@ -262,7 +275,7 @@ func AnalyzeSource(src string, o Options) ([]Report, error) {
 	return reports, nil
 }
 
-func optimizeRoutine(r *ir.Routine, cfg core.Config, placement ssa.Placement) (Report, error) {
+func optimizeRoutine(r *ir.Routine, cfg core.Config, placement ssa.Placement, pre bool) (Report, error) {
 	if err := ssa.Build(r, placement); err != nil {
 		return Report{}, err
 	}
@@ -273,7 +286,7 @@ func optimizeRoutine(r *ir.Routine, cfg core.Config, placement ssa.Placement) (R
 	// Counts and ReturnConst read the live routine, so the analysis half
 	// of the report is snapshotted before opt.Apply rewrites it.
 	snap := analysisOf(res)
-	st, err := opt.Apply(res)
+	st, err := opt.ApplyWith(res, opt.Options{PRE: pre})
 	if err != nil {
 		return Report{}, err
 	}
@@ -312,6 +325,9 @@ func reportOf(s analysisSnapshot, st opt.Stats) Report {
 		ConstantsPropagated:  st.ConstantsPropagated,
 		RedundanciesReplaced: st.RedundanciesReplaced,
 		InstrsRemoved:        st.InstrsRemoved,
+		PREInsertions:        st.PRE.Insertions,
+		PRERemoved:           st.PRE.Removals,
+		PREEdgeSplits:        st.PRE.EdgeSplits,
 		AlwaysReturns:        s.ret,
 		Const:                s.isConst,
 	}
