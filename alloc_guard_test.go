@@ -4,17 +4,21 @@ import (
 	"testing"
 
 	"pgvn/internal/core"
+	"pgvn/internal/opt/pre"
 	"pgvn/internal/parser"
 	"pgvn/internal/ssa"
 )
 
 // TestFixpointAllocGuard gates the analysis hot path's allocation count.
 // The hash-consed expression representation brought the Figure 1 routine
-// from ~1170 allocations per core.Run to ~430 (interner universe nodes,
-// congruence classes and per-routine CFG/dominator setup — nothing per
-// evaluation); the bound below leaves headroom for benign drift but fails
-// loudly if per-evaluation allocation (string keys, un-reused scratch)
-// creeps back into the fixpoint.
+// from ~1170 allocations per core.Run to ~430; the arena/pooled core
+// (recycled dominator trees, RPO orders, interner slabs and analysis
+// scratch) brought it to ~100 — interner universe nodes, congruence
+// classes and result maps, nothing per evaluation and nothing per
+// CFG/dominator construction. The bound below leaves headroom for
+// benign drift but fails loudly if per-evaluation allocation (string
+// keys, un-reused scratch, un-pooled construction) creeps back into
+// the fixpoint.
 func TestFixpointAllocGuard(t *testing.T) {
 	r, err := parser.ParseRoutine(figure1Source)
 	if err != nil {
@@ -28,7 +32,7 @@ func TestFixpointAllocGuard(t *testing.T) {
 	if _, err := core.Run(r, cfg); err != nil {
 		t.Fatal(err)
 	}
-	const maxAllocs = 700
+	const maxAllocs = 160
 	allocs := testing.AllocsPerRun(20, func() {
 		if _, err := core.Run(r, cfg); err != nil {
 			t.Fatal(err)
@@ -38,5 +42,45 @@ func TestFixpointAllocGuard(t *testing.T) {
 		t.Fatalf("core.Run(figure1) allocates %.0f objects/run, want ≤ %d — "+
 			"per-evaluation allocation has crept back into the fixpoint hot path",
 			allocs, maxAllocs)
+	}
+}
+
+// TestPREAllocGuard gates the PRE pass's own allocation count: the
+// difference between a clone+analyze run with and without pre.Run on
+// top. The pooled Partition, single-backing dataflow bitsets and lazy
+// pass maps leave PRE around ten allocations on Figure 1; the ceiling
+// fails loudly if per-merge or per-class allocation returns.
+func TestPREAllocGuard(t *testing.T) {
+	r, err := parser.ParseRoutine(figure1Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssa.Build(r, ssa.SemiPruned); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	if _, err := core.Run(r, cfg); err != nil {
+		t.Fatal(err)
+	}
+	base := testing.AllocsPerRun(20, func() {
+		c := r.Clone()
+		if _, err := core.Run(c, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	withPre := testing.AllocsPerRun(20, func() {
+		c := r.Clone()
+		res, err := core.Run(c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pre.Run(res, pre.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const maxDelta = 60
+	if delta := withPre - base; delta > maxDelta {
+		t.Fatalf("pre.Run adds %.0f allocations on figure1 (%.0f with, %.0f without), want ≤ %d",
+			delta, withPre, base, maxDelta)
 	}
 }

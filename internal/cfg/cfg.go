@@ -3,7 +3,11 @@
 // and the loop connectedness bound used in the paper's complexity analysis.
 package cfg
 
-import "pgvn/internal/ir"
+import (
+	"sync"
+
+	"pgvn/internal/ir"
+)
 
 // Order holds a reverse-post-order numbering of a routine's blocks.
 type Order struct {
@@ -15,23 +19,60 @@ type Order struct {
 	Number []int
 }
 
+// frame is one DFS stack entry of ReversePostOrder.
+type frame struct {
+	b    *ir.Block
+	next int
+}
+
+// rpoScratch is the construction-local state of one ReversePostOrder
+// call: the visited set, the DFS stack and the post-order accumulator.
+// None of it escapes, so it is pooled; Orders themselves are pooled
+// separately via Release.
+type rpoScratch struct {
+	visited []bool
+	stack   []frame
+	post    []*ir.Block
+}
+
+var (
+	rpoScratchPool sync.Pool
+	orderPool      sync.Pool
+)
+
 // ReversePostOrder computes an RPO numbering of the blocks reachable from
 // the routine's entry block. Successors are visited in edge order, so the
 // numbering is deterministic.
 func ReversePostOrder(r *ir.Routine) *Order {
-	o := &Order{Number: make([]int, r.NumBlockIDs())}
+	n := r.NumBlockIDs()
+	o, _ := orderPool.Get().(*Order)
+	if o == nil {
+		o = &Order{}
+	}
+	if cap(o.Number) < n {
+		o.Number = make([]int, n)
+	}
+	o.Number = o.Number[:n]
 	for i := range o.Number {
 		o.Number[i] = -1
 	}
-	visited := make([]bool, r.NumBlockIDs())
-	var post []*ir.Block
-
-	// Iterative DFS with an explicit stack to survive deep graphs.
-	type frame struct {
-		b    *ir.Block
-		next int
+	sc, _ := rpoScratchPool.Get().(*rpoScratch)
+	if sc == nil {
+		sc = &rpoScratch{}
 	}
-	stack := []frame{{b: r.Entry()}}
+	if cap(sc.visited) < n {
+		sc.visited = make([]bool, n)
+		sc.stack = make([]frame, n)
+		sc.post = make([]*ir.Block, n)
+	}
+	visited := sc.visited[:n]
+	clear(visited)
+	// Iterative DFS with an explicit stack to survive deep graphs. Stack
+	// depth and post-order length are bounded by the block count, so the
+	// appends below never outgrow the pooled capacity.
+	stack := sc.stack[:0:n]
+	post, np := sc.post[:n], 0
+	stack = append(stack, frame{b: r.Entry()})
 	visited[r.Entry().ID] = true
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
@@ -44,16 +85,29 @@ func ReversePostOrder(r *ir.Routine) *Order {
 			}
 			continue
 		}
-		post = append(post, f.b)
+		post[np] = f.b
+		np++
 		stack = stack[:len(stack)-1]
 	}
-	o.Blocks = make([]*ir.Block, len(post))
-	for i, b := range post {
-		n := len(post) - 1 - i
-		o.Blocks[n] = b
-		o.Number[b.ID] = n
+	if cap(o.Blocks) < np {
+		o.Blocks = make([]*ir.Block, np)
 	}
+	o.Blocks = o.Blocks[:np]
+	for i := 0; i < np; i++ {
+		k := np - 1 - i
+		o.Blocks[k] = post[i]
+		o.Number[post[i].ID] = k
+	}
+	rpoScratchPool.Put(sc)
 	return o
+}
+
+// Release returns the Order's storage to a pool for reuse by a later
+// ReversePostOrder call. The caller must be the sole owner: the Order and
+// its slices are unusable afterwards. Releasing is optional — unreleased
+// Orders are collected normally.
+func (o *Order) Release() {
+	orderPool.Put(o)
 }
 
 // RPO returns the RPO number of b, or -1 if b is statically unreachable.

@@ -10,8 +10,8 @@ import (
 // expression e (paper Figure 4, Perform congruence finding).
 //
 //pgvn:hotpath
-func (a *analysis) congruenceFind(v *ir.Instr, e *expr.Expr) {
-	c0 := a.classOf[v.ID]
+func (a *analysis) congruenceFind(v ir.InstrID, e *expr.Expr) {
+	c0 := a.classOf[v]
 	if e.IsBottom() {
 		// Still undetermined: v stays in INITIAL. A determined value
 		// never becomes ⊥ again (the lattice only descends), so seeing
@@ -33,12 +33,7 @@ func (a *analysis) congruenceFind(v *ir.Instr, e *expr.Expr) {
 		// is one pointer-keyed map probe — no string key is rendered.
 		c = a.table[e]
 		if c == nil {
-			c = &class{
-				//pgvn:allow hotpathalloc: class creation happens once per unique expression (amortized, like an intern miss)
-				members:   []*ir.Instr{v},
-				leaderVal: v,
-				expr:      e,
-			}
+			c = a.newClass(v, e)
 			if _, ok := e.IsConst(); ok {
 				c.leaderConst = e
 			}
@@ -47,7 +42,7 @@ func (a *analysis) congruenceFind(v *ir.Instr, e *expr.Expr) {
 				return
 			}
 			if a.tr != nil {
-				a.tr.Emit(obs.KindClassNew, a.stats.Passes, v.Block.ID, v.ID, 0, e.Key())
+				a.tr.Emit(obs.KindClassNew, a.stats.Passes, int(a.ar.BlockOf(v)), int(v), 0, e.Key())
 				a.traceConst(v, c)
 			}
 			// v is the sole member of a fresh class; fall through to
@@ -57,12 +52,12 @@ func (a *analysis) congruenceFind(v *ir.Instr, e *expr.Expr) {
 		}
 	}
 	if c == c0 {
-		a.changed[v.ID] = false
+		a.changed[v] = false
 		return
 	}
 	if a.tr != nil {
-		a.tr.Emit(obs.KindClassJoin, a.stats.Passes, v.Block.ID, v.ID,
-			int64(c.leaderVal.ID), c.expr.Key())
+		a.tr.Emit(obs.KindClassJoin, a.stats.Passes, int(a.ar.BlockOf(v)), int(v),
+			int64(c.leaderVal), c.expr.Key())
 		a.traceConst(v, c)
 	}
 	a.moveValue(v, c0, c, false)
@@ -70,32 +65,34 @@ func (a *analysis) congruenceFind(v *ir.Instr, e *expr.Expr) {
 
 // traceConst emits a KindConst event when v's new class is congruent to
 // a compile-time constant (tracing only; a.tr is known non-nil).
-func (a *analysis) traceConst(v *ir.Instr, c *class) {
+func (a *analysis) traceConst(v ir.InstrID, c *class) {
 	if c.leaderConst != nil {
-		a.tr.Emit(obs.KindConst, a.stats.Passes, v.Block.ID, v.ID, c.leaderConst.C, "")
+		a.tr.Emit(obs.KindConst, a.stats.Passes, int(a.ar.BlockOf(v)), int(v), c.leaderConst.C, "")
 	}
 }
 
 // moveValue moves v from class c0 (possibly INITIAL, i.e. nil) to class c,
 // maintaining leaders, the TABLE, the CHANGED set and the TOUCHED set.
 // fresh marks c as newly created with v already among its members.
-func (a *analysis) moveValue(v *ir.Instr, c0, c *class, fresh bool) {
+//
+//pgvn:hotpath
+func (a *analysis) moveValue(v ir.InstrID, c0, c *class, fresh bool) {
 	if !fresh {
 		c.members = append(c.members, v)
 	}
-	a.classOf[v.ID] = c
-	if a.isPredOp[v.ID] {
+	a.classOf[v] = c
+	if a.isPredOp[v] {
 		c.nPredOps++
 	}
-	if a.isEqOp[v.ID] {
+	if a.isEqOp[v] {
 		c.nEqOps++
 	}
 
 	if c0 != nil {
-		if a.isPredOp[v.ID] {
+		if a.isPredOp[v] {
 			c0.nPredOps--
 		}
-		if a.isEqOp[v.ID] {
+		if a.isEqOp[v] {
 			c0.nEqOps--
 		}
 		// Remove v from its previous class.
@@ -103,7 +100,6 @@ func (a *analysis) moveValue(v *ir.Instr, c0, c *class, fresh bool) {
 			if m == v {
 				last := len(c0.members) - 1
 				c0.members[k] = c0.members[last]
-				c0.members[last] = nil
 				c0.members = c0.members[:last]
 				break
 			}
@@ -118,21 +114,21 @@ func (a *analysis) moveValue(v *ir.Instr, c0, c *class, fresh bool) {
 			// v led c0: elect the lowest-ranking remaining member.
 			best := c0.members[0]
 			for _, m := range c0.members[1:] {
-				if a.rank[m.ID] < a.rank[best.ID] {
+				if a.rank[m] < a.rank[best] {
 					best = m
 				}
 			}
 			c0.leaderVal = best
 			if a.tr != nil {
-				a.tr.Emit(obs.KindLeaderChange, a.stats.Passes, best.Block.ID,
-					best.ID, int64(v.ID), c0.expr.Key())
+				a.tr.Emit(obs.KindLeaderChange, a.stats.Passes, int(a.ar.BlockOf(best)),
+					int(best), int64(v), c0.expr.Key())
 			}
 			// If the class leader is a constant the visible leader did
 			// not change; otherwise every member is indirectly changed
 			// and its defining instruction re-touched (lines 52–56).
 			if c0.leaderConst == nil {
 				for _, m := range c0.members {
-					a.changed[m.ID] = true
+					a.changed[m] = true
 					a.touchInstr(m)
 				}
 				if !a.cfg.Sparse {

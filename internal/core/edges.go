@@ -7,21 +7,22 @@ import (
 )
 
 // processOutgoingEdges re-evaluates the reachability and predicate of every
-// outgoing edge of block b (paper Figure 5).
+// outgoing edge of block b (paper Figure 5). Edges are addressed by their
+// dense arena ids; index k of SuccEdgeIDs is the edge with OutIndex k.
 //
 //pgvn:hotpath
-func (a *analysis) processOutgoingEdges(b *ir.Block) {
-	term := b.Terminator()
-	if term == nil || term.Op == ir.OpReturn {
+func (a *analysis) processOutgoingEdges(b ir.BlockID) {
+	ar := a.ar
+	term := ar.TermOf(b)
+	if term == ir.NoInstr || ar.Op(term) == ir.OpReturn {
 		return
 	}
-	for _, e := range b.Succs {
-		idx := a.edgeIdx(e)
-		if a.evaluateEdgeReachability(term, e) && !a.edgeReach[idx] {
-			a.markEdgeReachable(e)
+	for out, eid := range ar.SuccEdgeIDs(b) {
+		if a.evaluateEdgeReachability(term, out) && !a.edgeReach[eid] {
+			a.markEdgeReachable(eid)
 		}
 		if a.cfg.usesPredicates() {
-			p := a.evaluateEdgePredicate(term, e)
+			p := a.evaluateEdgePredicate(term, out)
 			if p != nil {
 				if _, isConst := p.IsConst(); isConst {
 					p = nil // a constant predicate carries no information
@@ -31,16 +32,16 @@ func (a *analysis) processOutgoingEdges(b *ir.Block) {
 			}
 			// Predicates are canonical interned nodes, so "same predicate"
 			// is pointer equality.
-			if a.edgePred[idx] != p {
-				a.edgePred[idx] = p
+			if a.edgePred[eid] != p {
+				a.edgePred[eid] = p
 				if a.tr != nil {
 					note := ""
 					if p != nil {
 						note = p.Key()
 					}
-					a.tr.Emit(obs.KindEdgePred, a.stats.Passes, b.ID, -1, int64(e.To.ID), note)
+					a.tr.Emit(obs.KindEdgePred, a.stats.Passes, int(b), -1, int64(ar.EdgeTo(eid)), note)
 				}
-				a.propagateChangeInEdge(e)
+				a.propagateChangeInEdge(eid)
 			}
 		}
 	}
@@ -49,23 +50,26 @@ func (a *analysis) processOutgoingEdges(b *ir.Block) {
 // markEdgeReachable adds e to REACHABLE, making its destination reachable
 // (touching it wholesale) or re-touching the destination's φs, and
 // propagates the change (Figure 5 lines 04–15).
-func (a *analysis) markEdgeReachable(e *ir.Edge) {
-	a.edgeReach[a.edgeIdx(e)] = true
+//
+//pgvn:hotpath
+func (a *analysis) markEdgeReachable(e ir.EdgeID) {
+	ar := a.ar
+	a.edgeReach[e] = true
 	if a.tr != nil {
-		a.tr.Emit(obs.KindEdgeReach, a.stats.Passes, e.From.ID, -1, int64(e.To.ID), "")
+		a.tr.Emit(obs.KindEdgeReach, a.stats.Passes, int(ar.EdgeFrom(e)), -1, int64(ar.EdgeTo(e)), "")
 	}
-	d := e.To
-	if !a.blockReach[d.ID] {
-		a.blockReach[d.ID] = true
+	d := ar.EdgeTo(e)
+	if !a.blockReach[d] {
+		a.blockReach[d] = true
 		if a.tr != nil {
-			a.tr.Emit(obs.KindBlockReach, a.stats.Passes, d.ID, -1, 0, "")
+			a.tr.Emit(obs.KindBlockReach, a.stats.Passes, int(d), -1, 0, "")
 		}
 		a.touchBlock(d)
-		for _, i := range d.Instrs {
+		for _, i := range ar.InstrIDsOf(d) {
 			a.touchInstr(i)
 		}
 	} else {
-		for _, phi := range d.Phis() {
+		for _, phi := range ar.PhiIDsOf(d) {
 			a.touchInstr(phi)
 		}
 		// The destination's predicate may change now that it has
@@ -74,7 +78,7 @@ func (a *analysis) markEdgeReachable(e *ir.Edge) {
 	}
 	a.propagateChangeInEdge(e)
 	if a.incDom != nil {
-		a.incDom.InsertEdge(e)
+		a.incDom.InsertEdge(ar.EdgePtr(e))
 	}
 }
 
@@ -86,7 +90,9 @@ func (a *analysis) markEdgeReachable(e *ir.Edge) {
 // destination in RPO. Predicate-dependent analyses are the only consumers,
 // so nothing needs touching when they are all disabled (footnote 7 and
 // §2.9 emulations).
-func (a *analysis) propagateChangeInEdge(e *ir.Edge) {
+//
+//pgvn:hotpath
+func (a *analysis) propagateChangeInEdge(e ir.EdgeID) {
 	if !a.cfg.usesPredicates() {
 		return
 	}
@@ -94,42 +100,47 @@ func (a *analysis) propagateChangeInEdge(e *ir.Edge) {
 		a.touchEverything()
 		return
 	}
-	d := e.To
+	ar := a.ar
+	d := ar.EdgeTo(e)
 	if a.cfg.Complete {
-		for _, b := range a.order.Blocks {
-			if a.domTree.Contains(d) && a.domTree.Contains(b) && a.domTree.Dominates(d, b) {
-				a.touchBlock(b)
-				for _, i := range b.Instrs {
+		dp := ar.BlockPtr(d)
+		for _, bID := range a.rpoIDs {
+			bp := ar.BlockPtr(bID)
+			if a.domTree.Contains(dp) && a.domTree.Contains(bp) && a.domTree.Dominates(dp, bp) {
+				a.touchBlock(bID)
+				for _, i := range ar.InstrIDsOf(bID) {
 					a.touchInstr(i)
 				}
-			} else if a.postTree.Dominates(b, d) {
-				a.touchBlock(b)
+			} else if a.postTree.Dominates(bp, dp) {
+				a.touchBlock(bID)
 			}
 		}
 		return
 	}
-	dRPO := a.order.RPO(d)
+	dRPO := a.rpoNum[d]
 	if dRPO < 0 {
 		return
 	}
-	for _, b := range a.order.Blocks[dRPO:] {
-		a.touchBlock(b)
-		for _, i := range b.Instrs {
-			a.touchInstr(i)
-		}
+	for _, bID := range a.rpoIDs[dRPO:] {
+		a.touchBlock(bID)
+		a.touchAllIn(bID)
 	}
 }
 
-// evaluateEdgeReachability decides whether edge e is reachable given the
-// current value of its terminator's controlling expression. Unknown (⊥)
-// conditions optimistically keep edges unreachable — the branch will be
-// re-touched when the condition is determined.
-func (a *analysis) evaluateEdgeReachability(term *ir.Instr, e *ir.Edge) bool {
-	switch term.Op {
+// evaluateEdgeReachability decides whether the out'th outgoing edge of
+// term's block is reachable given the current value of the terminator's
+// controlling expression. Unknown (⊥) conditions optimistically keep
+// edges unreachable — the branch will be re-touched when the condition is
+// determined.
+//
+//pgvn:hotpath
+func (a *analysis) evaluateEdgeReachability(term ir.InstrID, out int) bool {
+	ar := a.ar
+	switch ar.Op(term) {
 	case ir.OpJump:
 		return true
 	case ir.OpBranch:
-		cond := a.leaderExpr(term.Args[0])
+		cond := a.leaderExpr(ar.Arg(term, 0))
 		if cond.IsBottom() {
 			return false
 		}
@@ -138,21 +149,22 @@ func (a *analysis) evaluateEdgeReachability(term *ir.Instr, e *ir.Edge) bool {
 			if c == 0 {
 				taken = 1
 			}
-			return e.OutIndex() == taken
+			return out == taken
 		}
 		return true
 	case ir.OpSwitch:
-		sel := a.leaderExpr(term.Args[0])
+		sel := a.leaderExpr(ar.Arg(term, 0))
 		if sel.IsBottom() {
 			return false
 		}
 		if c, ok := sel.IsConst(); ok {
-			for k, cv := range term.Cases {
+			cases := ar.CasesOf(term)
+			for k, cv := range cases {
 				if cv == c {
-					return e.OutIndex() == k
+					return out == k
 				}
 			}
-			return e.OutIndex() == len(term.Cases) // default
+			return out == len(cases) // default
 		}
 		return true
 	}
@@ -160,19 +172,23 @@ func (a *analysis) evaluateEdgeReachability(term *ir.Instr, e *ir.Edge) bool {
 }
 
 // evaluateEdgePredicate computes the canonical predicate expression of
-// edge e (paper §2.7/§2.8): the canonicalized condition for the true edge
-// of a conditional jump, its negation for the false edge, selector
-// equalities for switch cases and a conjunction of disequalities for the
-// switch default. Edges of unconditional jumps (or with undetermined
-// conditions) have no predicate.
-func (a *analysis) evaluateEdgePredicate(term *ir.Instr, e *ir.Edge) *expr.Expr {
-	switch term.Op {
+// the out'th outgoing edge of term's block (paper §2.7/§2.8): the
+// canonicalized condition for the true edge of a conditional jump, its
+// negation for the false edge, selector equalities for switch cases and a
+// conjunction of disequalities for the switch default. Edges of
+// unconditional jumps (or with undetermined conditions) have no
+// predicate.
+//
+//pgvn:hotpath
+func (a *analysis) evaluateEdgePredicate(term ir.InstrID, out int) *expr.Expr {
+	ar := a.ar
+	switch ar.Op(term) {
 	case ir.OpBranch:
 		p := a.branchCondition(term)
 		if p == nil {
 			return nil
 		}
-		if e.OutIndex() == 1 {
+		if out == 1 {
 			if p.Kind != expr.Compare {
 				return nil
 			}
@@ -180,17 +196,18 @@ func (a *analysis) evaluateEdgePredicate(term *ir.Instr, e *ir.Edge) *expr.Expr 
 		}
 		return p
 	case ir.OpSwitch:
-		sel := a.leaderExpr(term.Args[0])
+		sel := a.leaderExpr(ar.Arg(term, 0))
 		if sel.IsBottom() {
 			return nil
 		}
-		if e.OutIndex() < len(term.Cases) {
-			return a.in.Compare(ir.OpEq, a.in.Const(term.Cases[e.OutIndex()]), sel)
+		cases := ar.CasesOf(term)
+		if out < len(cases) {
+			return a.in.Compare(ir.OpEq, a.in.Const(cases[out]), sel)
 		}
 		// Default edge: selector differs from every case (§3's switch
 		// extension of φ-predication).
 		base := len(a.predParts)
-		for _, cv := range term.Cases {
+		for _, cv := range cases {
 			a.predParts = append(a.predParts, a.in.Compare(ir.OpNe, a.in.Const(cv), sel))
 		}
 		p := a.in.And(a.predParts[base:]...)
@@ -204,8 +221,11 @@ func (a *analysis) evaluateEdgePredicate(term *ir.Instr, e *ir.Edge) *expr.Expr 
 // conditional jump: the condition instruction's comparison re-evaluated
 // over current leaders, or (cond ≠ 0) for a branch on a non-comparison
 // value.
-func (a *analysis) branchCondition(term *ir.Instr) *expr.Expr {
-	cv := term.Args[0]
+//
+//pgvn:hotpath
+func (a *analysis) branchCondition(term ir.InstrID) *expr.Expr {
+	ar := a.ar
+	cv := ar.Arg(term, 0)
 	cl := a.leaderExpr(cv)
 	if cl.IsBottom() {
 		return nil
@@ -216,16 +236,18 @@ func (a *analysis) branchCondition(term *ir.Instr) *expr.Expr {
 	// Re-evaluate the controlling comparison at the branch's block (the
 	// paper symbolically evaluates PREDICATE[E] in B), so the predicate
 	// uses current leaders improved by inference at B.
-	if cv.Op.IsCompare() {
-		x := a.operandAtom(cv.Args[0], term.Block)
-		y := a.operandAtom(cv.Args[1], term.Block)
+	cvOp := ar.Op(cv)
+	if cvOp.IsCompare() {
+		b := ar.BlockOf(term)
+		x := a.operandAtom(ar.Arg(cv, 0), b)
+		y := a.operandAtom(ar.Arg(cv, 1), b)
 		if !x.IsBottom() && !y.IsBottom() {
-			return a.in.Compare(cv.Op, x, y)
+			return a.in.Compare(cvOp, x, y)
 		}
 	}
 	// A branch on a value whose class was defined by a comparison
 	// elsewhere (a copy or φ reduction of a predicate).
-	if c := a.classOf[cv.ID]; c != nil && c.expr != nil && c.expr.Kind == expr.Compare {
+	if c := a.classOf[cv]; c != nil && c.expr != nil && c.expr.Kind == expr.Compare {
 		return c.expr
 	}
 	return a.in.Compare(ir.OpNe, a.in.Const(0), cl)

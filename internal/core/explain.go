@@ -37,7 +37,7 @@ func (r *Result) Explain(v *ir.Instr) string {
 		sb.WriteByte('\n')
 	} else {
 		sb.WriteString("congruence class led by ")
-		sb.WriteString(c.leaderVal.ValueName())
+		sb.WriteString(r.byID[c.leaderVal].ValueName())
 		sb.WriteByte('\n')
 	}
 	if len(c.members) > 1 {

@@ -123,26 +123,25 @@ func (a *analysis) resolveToAtom(e *expr.Expr) *expr.Expr {
 // decisions agree, p is decided at b regardless of which edge control
 // arrived through. Back edges fail the check under the practical
 // algorithm, like single-edge inference.
-func (a *analysis) jointDecide(b *ir.Block, p *expr.Expr) (bool, bool) {
+func (a *analysis) jointDecide(b ir.BlockID, p *expr.Expr) (bool, bool) {
 	// The φ-predication block predicate, when available, is the sharper
 	// disjunction over full arrival paths; Implies handles the
 	// all-disjuncts-agree rule.
-	if bp := a.blockPred[b.ID]; bp != nil {
+	if bp := a.blockPred[b]; bp != nil {
 		if val, ok := expr.Implies(bp, p); ok {
 			return val, ok
 		}
 	}
 	decided := false
 	var verdict bool
-	base := a.edgeBase[b.ID]
-	for k := range b.Preds {
-		if !a.edgeReach[base+k] {
+	for e := a.ar.PredStart(b); e < a.ar.PredEnd(b); e++ {
+		if !a.edgeReach[e] {
 			continue
 		}
-		if !a.cfg.Complete && a.backEdge[base+k] {
+		if !a.cfg.Complete && a.backEdge[e] {
 			return false, false
 		}
-		ep := a.edgePred[base+k]
+		ep := a.edgePred[e]
 		if ep == nil {
 			return false, false
 		}

@@ -229,11 +229,11 @@ func (r *Result) injectSplitClass() error {
 			if c.leaderVal == m {
 				c.leaderVal = c.members[0]
 			}
-			split := &class{members: []*ir.Instr{m}, leaderVal: m, expr: c.expr}
+			split := &class{members: []ir.InstrID{m}, leaderVal: m, expr: c.expr}
 			if c.leaderConst != nil {
 				split.leaderConst = c.leaderConst
 			}
-			r.classOf[m.ID] = split
+			r.classOf[m] = split
 			return nil
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"os"
+	"sync"
 
 	"pgvn/internal/cfg"
 	"pgvn/internal/dom"
@@ -40,11 +41,13 @@ type Stats struct {
 }
 
 // class is one congruence class: a set of values with a leader (a constant
-// or a member value) and a defining expression.
+// or a member value) and a defining expression. Members are stored as
+// dense instruction ids (the fixpoint works entirely over the routine's
+// arena); the Result boundary converts to *ir.Instr.
 type class struct {
-	members     []*ir.Instr
+	members     []ir.InstrID
 	leaderConst *expr.Expr // non-nil iff the leader is a constant
-	leaderVal   *ir.Instr  // representative member (valid even when constant)
+	leaderVal   ir.InstrID // representative member (valid even when constant)
 	expr        *expr.Expr // canonical defining expression (EXPRESSION mapping; also the TABLE key)
 
 	// §3 work filters: the number of members that appear as operands of
@@ -60,53 +63,100 @@ type class struct {
 	dense int
 }
 
-// analysis carries the whole algorithm state for one routine.
+// noEdge is the sentinel dense edge id (edges are numbered by the arena).
+const noEdge ir.EdgeID = ^ir.EdgeID(0)
+
+// scratch is the recyclable part of the fixpoint state: every dense side
+// table the Result does NOT retain, recycled across routines through
+// scratchPool so a batch run (the driver walks thousands of routines) pays
+// the setup allocations roughly once per worker instead of once per
+// routine. Pooled memory is dirty: newAnalysis clears every table whose
+// zero value is meaningful before carving. State the Result escapes with
+// (blockReach, blockPred, classOf, rank, the class structs themselves) is
+// deliberately absent and allocated fresh per run.
+type scratch struct {
+	bools []bool       // backing for the pooled bool tables
+	exprs []*expr.Expr // backing for the pooled *Expr tables
+	ints  []int32      // backing for the pooled int32 tables
+
+	infMemo   []memoEntry
+	canonical [][]ir.EdgeID
+	rpoIDs    []uint32
+	table     map[*expr.Expr]*class
+	in        *expr.Interner
+
+	// Truncation-reset operand scratch, kept for its grown capacity.
+	argbuf, phiArgs, predParts []*expr.Expr
+	ppCanonical                []ir.EdgeID
+}
+
+var scratchPool sync.Pool
+
+// analysis carries the whole algorithm state for one routine. The hot
+// fixpoint operates on dense uint32 ids over the routine's frozen arena;
+// pointer-based IR access is confined to setup, the complete algorithm's
+// incremental dominator tree, and the Result boundary. The dense bool,
+// int32 and *expr.Expr side tables are carved from one pooled allocation
+// each, so the fixpoint state is a handful of allocations per routine.
 type analysis struct {
 	cfg     Config
 	routine *ir.Routine
+	ar      *ir.Arena
 	order   *cfg.Order
-	byID    []*ir.Instr // instruction lookup by ID
-	rank    []int       // RANK mapping, by instruction ID
+	rpoIDs  []uint32    // block ids in reverse post order
+	rpoNum  []int       // RPO number by block id (alias of order.Number)
+	byID    []*ir.Instr // instruction lookup by id (the arena's table)
+	rank    []int32     // RANK mapping, by instruction id
 
 	// in is the routine's expression universe: every expression the
 	// fixpoint handles is hash-consed into it, so structural equality is
 	// pointer equality and the TABLE below keys on canonical pointers —
 	// no string key is ever rendered on the hot path.
 	in      *expr.Interner
-	valAtom []*expr.Expr // memoized canonical Value atom per instruction ID
+	valAtom []*expr.Expr // memoized canonical Value atom per instruction id
 
 	domTree  domOracle // static (practical) or incremental reachable (complete)
 	postTree *dom.Tree
+	// idomArr caches the static tree's immediate dominators by block id
+	// (-1 = none/outside); nil when the complete algorithm's incremental
+	// tree is in use and idom queries must go through the pointer oracle.
+	idomArr  []int32
+	statTree *dom.Tree // domTree when static, for id-based Dominates
 
-	// Edge state is stored densely, indexed by edgeBase[e.To.ID] +
-	// e.InIndex() (edges carry no IDs, but a block ID and an incoming
-	// index identify one in O(1)); see edgeIdx.
-	edgeBase  []int  // incoming-edge prefix sums by block ID, len nb+1
-	backEdge  []bool // BACKWARD, by edge index
+	// Trees and orderings this analysis built itself (as opposed to
+	// receiving via Prebuilt) are returned to their package pools at
+	// release; prebuilt ones stay owned by the caller.
+	ownOrder *cfg.Order
+	ownDom   *dom.Tree
+	ownPost  *dom.Tree
+
+	// Edge state is stored densely by the arena's edge ids
+	// (EdgeID = PredStart(to) + inIndex).
+	backEdge  []bool // BACKWARD, by edge id
 	nBack     int    // number of back edges
-	edgeReach []bool // REACHABLE, by edge index
+	edgeReach []bool // REACHABLE, by edge id
 	edgePred  []*expr.Expr
 
 	// hasBackIn[blockID] reports an incoming RPO back edge (cyclic φs).
 	hasBackIn []bool
 
-	classOf []*class // by value ID; nil = INITIAL (⊥)
+	classOf []*class // by value id; nil = INITIAL (⊥)
 	table   map[*expr.Expr]*class
-	changed []bool // CHANGED, by value ID
+	changed []bool // CHANGED, by value id
 
-	// §3 inferenceable-operand marks, by value ID: the value appears as
+	// §3 inferenceable-operand marks, by value id: the value appears as
 	// an operand of a branch predicate (isPredOp) or of an equality or
 	// disequality branch predicate / a switch selector (isEqOp).
 	isPredOp, isEqOp []bool
 
-	blockReach []bool // by block ID
+	blockReach []bool // by block id
 
-	blockPred     []*expr.Expr // by block ID (always canonical)
-	blockPredNull []bool       // permanently nullified (§3)
-	canonical     [][]*ir.Edge // CANONICAL incoming-edge order, by block ID
+	blockPred     []*expr.Expr  // by block id (always canonical)
+	blockPredNull []bool        // permanently nullified (§3)
+	canonical     [][]ir.EdgeID // CANONICAL incoming-edge order, by block id
 
-	touchedInstr []bool // by instruction ID
-	touchedBlock []bool // by block ID
+	touchedInstr []bool // by instruction id
+	touchedBlock []bool // by block id
 	touchedCount int
 
 	// incDom is the complete algorithm's incremental reachable dominator
@@ -116,7 +166,7 @@ type analysis struct {
 
 	// Value-inference memo (§3: multiple uses of an inferenceable value
 	// in one evaluation must agree, so the first walk's result is
-	// cached). Keyed by value ID, invalidated by bumping infGen.
+	// cached). Keyed by value id, invalidated by bumping infGen.
 	infMemo []memoEntry
 	infGen  int
 
@@ -124,19 +174,35 @@ type analysis struct {
 	// invalidates every per-block entry in O(1), so recomputing a block
 	// predicate allocates no maps (entries are live when their gen slot
 	// equals ppCur).
-	ppCur       int
-	ppGen       []int        // validity stamp for ppPartialS, by block ID
-	ppPartialS  []*expr.Expr // partial path predicates, by block ID
-	ppInitGen   []int        // validity stamp of the per-block OR node
-	ppCanonical []*ir.Edge
+	ppCur       int32
+	ppGen       []int32      // validity stamp for ppPartialS, by block id
+	ppPartialS  []*expr.Expr // partial path predicates, by block id
+	ppInitGen   []int32      // validity stamp of the per-block OR node
+	ppCanonical []ir.EdgeID
 	ppAborted   bool
-	ppTarget    *ir.Block
+	ppTarget    ir.BlockID
 
 	// Operand scratch reused across evaluations (reset by truncation,
 	// never reallocated once warm).
 	argbuf    []*expr.Expr // opaque/compare operand lists
 	phiArgs   []*expr.Expr // φ argument lists
 	predParts []*expr.Expr // switch-default conjunction parts
+
+	// sc is the pooled scratch this analysis carved its non-escaping
+	// tables from; released back to scratchPool after result().
+	sc *scratch
+
+	// classSlab and memberSlab are chunked bump arenas class structs and
+	// singleton member lists are carved from (newClass). They escape into
+	// the Result with the classes, so they are fresh per run — the point
+	// is one allocation per chunk instead of two per congruence class.
+	// Chunks grow geometrically (class churn varies a lot per routine, so
+	// a fixed chunk either overshoots small routines or undershoots big
+	// ones).
+	classSlab   []class
+	classChunk  int
+	memberSlab  []ir.InstrID
+	memberChunk int
 
 	// tr receives the fixpoint event stream (nil = tracing off, the
 	// fast path: every emission site tests the pointer once, and key
@@ -146,11 +212,6 @@ type analysis struct {
 	curInstr int
 
 	stats Stats
-}
-
-// edgeIdx returns e's dense index into the per-edge state slices.
-func (a *analysis) edgeIdx(e *ir.Edge) int {
-	return a.edgeBase[e.To.ID] + e.InIndex()
 }
 
 // Prebuilt carries CFG analyses the embedding compiler already maintains,
@@ -189,6 +250,7 @@ func RunPrebuilt(r *ir.Routine, config Config, pre *Prebuilt) (*Result, error) {
 		pre = &Prebuilt{}
 	}
 	a := newAnalysis(r, config, pre)
+	ar := a.ar
 	if a.tr == nil && debugSink {
 		// PGVN_DEBUG is an alias for a stderr text sink when no tracer
 		// was configured explicitly.
@@ -200,33 +262,33 @@ func RunPrebuilt(r *ir.Routine, config Config, pre *Prebuilt) (*Result, error) {
 
 	// Initial assumption.
 	if config.Mode == Pessimistic || config.AssumeAllReachable {
-		for _, b := range a.order.Blocks {
-			a.blockReach[b.ID] = true
-			for _, e := range b.Succs {
-				if a.order.Reachable(e.To) {
-					a.edgeReach[a.edgeIdx(e)] = true
+		for _, bID := range a.rpoIDs {
+			a.blockReach[bID] = true
+			for _, eid := range ar.SuccEdgeIDs(bID) {
+				if a.rpoNum[ar.EdgeTo(eid)] >= 0 {
+					a.edgeReach[eid] = true
 				}
 			}
 		}
 		if config.Complete {
 			// Everything is reachable: the reachable dominator tree is
 			// the static tree.
-			a.domTree = dom.New(r)
+			t := dom.New(r)
+			a.domTree = t
+			a.ownDom = t
 			a.incDom = nil
 		}
-		for _, b := range a.order.Blocks {
-			a.touchBlock(b)
-			for _, i := range b.Instrs {
-				a.touchInstr(i)
-			}
+		for _, bID := range a.rpoIDs {
+			a.touchBlock(bID)
+			a.touchAllIn(bID)
 		}
 	} else {
-		a.blockReach[r.Entry().ID] = true
-		a.touchBlock(r.Entry())
-		for _, i := range r.Entry().Instrs {
-			a.touchInstr(i)
-		}
+		entry := ir.BlockID(r.Entry().ID)
+		a.blockReach[entry] = true
+		a.touchBlock(entry)
+		a.touchAllIn(entry)
 	}
+	a.bindDomArrays()
 
 	// The paper bounds the pass count by the loop connectedness of the
 	// SSA *def-use* graph: an acyclic def-use path threading k
@@ -245,36 +307,37 @@ func RunPrebuilt(r *ir.Routine, config Config, pre *Prebuilt) (*Result, error) {
 		if a.tr != nil {
 			a.tr.Emit(obs.KindPassStart, a.stats.Passes, -1, -1, 0, "")
 		}
-		for _, b := range a.order.Blocks {
-			if a.touchedBlock[b.ID] {
-				a.touchedBlock[b.ID] = false
+		for _, bID := range a.rpoIDs {
+			if a.touchedBlock[bID] {
+				a.touchedBlock[bID] = false
 				a.touchedCount--
-				if a.blockReach[b.ID] && a.cfg.PhiPredication {
-					a.computePredicateOfBlock(b)
+				if a.blockReach[bID] && a.cfg.PhiPredication {
+					a.computePredicateOfBlock(bID)
 				}
 			}
-			for _, i := range b.Instrs {
-				if !a.touchedInstr[i.ID] {
+			for _, i := range ar.InstrIDsOf(bID) {
+				if !a.touchedInstr[i] {
 					continue
 				}
-				a.touchedInstr[i.ID] = false
+				a.touchedInstr[i] = false
 				a.touchedCount--
-				if !a.blockReach[b.ID] {
+				if !a.blockReach[bID] {
 					continue
 				}
-				if i.HasValue() {
+				op := ar.Op(i)
+				if op.HasValue() {
 					a.stats.InstrEvals++
 					a.infGen++ // new evaluation: fresh inference memo
-					a.curInstr = i.ID
+					a.curInstr = int(i)
 					e := a.evaluate(i)
 					if a.tr != nil {
-						a.tr.Emit(obs.KindEval, a.stats.Passes, b.ID, i.ID, 0, e.Key())
+						a.tr.Emit(obs.KindEval, a.stats.Passes, int(bID), int(i), 0, e.Key())
 					}
 					a.congruenceFind(i, e)
-				} else if i.Op.IsTerminator() {
+				} else if op.IsTerminator() {
 					a.infGen++ // edge predicates evaluate at this block
-					a.curInstr = i.ID
-					a.processOutgoingEdges(b)
+					a.curInstr = int(i)
+					a.processOutgoingEdges(bID)
 				}
 			}
 			if a.touchedCount == 0 {
@@ -289,7 +352,67 @@ func RunPrebuilt(r *ir.Routine, config Config, pre *Prebuilt) (*Result, error) {
 			break // balanced and pessimistic: a single pass
 		}
 	}
-	return a.result(), nil
+	res := a.result()
+	a.release()
+	return res, nil
+}
+
+// release returns the recyclable fixpoint state — the pooled scratch and
+// the arena's index storage — for reuse by a later run. Called only after
+// result() has copied or converted everything the Result retains; error
+// paths skip it and simply let the garbage collector take the state.
+func (a *analysis) release() {
+	sc := a.sc
+	if sc == nil {
+		return
+	}
+	a.sc = nil
+	sc.argbuf = a.argbuf[:0]
+	sc.phiArgs = a.phiArgs[:0]
+	sc.predParts = a.predParts[:0]
+	sc.ppCanonical = a.ppCanonical[:0]
+	a.ar.Release()
+	scratchPool.Put(sc)
+	// Self-built trees and orderings go back to their pools; nothing in
+	// the Result references them.
+	if a.ownOrder != nil {
+		a.ownOrder.Release()
+		a.ownOrder, a.order = nil, nil
+	}
+	if a.ownDom != nil {
+		a.ownDom.Release()
+		a.ownDom, a.domTree, a.statTree = nil, nil, nil
+	}
+	if a.ownPost != nil {
+		a.ownPost.Release()
+		a.ownPost, a.postTree = nil, nil
+	}
+}
+
+// newClass carves a fresh singleton congruence class for value v out of
+// the chunked class and member slabs.
+//
+//pgvn:hotpath
+func (a *analysis) newClass(v ir.InstrID, e *expr.Expr) *class {
+	if len(a.classSlab) == 0 {
+		a.classChunk = min(max(2*a.classChunk, 16), 1024)
+		//pgvn:allow hotpathalloc: slab refill, amortized over the chunk
+		a.classSlab = make([]class, a.classChunk)
+	}
+	c := &a.classSlab[0]
+	a.classSlab = a.classSlab[1:]
+	if len(a.memberSlab) == 0 {
+		a.memberChunk = min(max(2*a.memberChunk, 32), 4096)
+		//pgvn:allow hotpathalloc: slab refill, amortized over the chunk
+		a.memberSlab = make([]ir.InstrID, a.memberChunk)
+	}
+	ms := a.memberSlab[:1:1]
+	a.memberSlab = a.memberSlab[1:]
+	ms[0] = v
+	c.members = ms
+	c.leaderVal = v
+	c.expr = e
+	return c
 }
 
 // memoEntry is one slot of the per-evaluation value-inference cache.
@@ -298,64 +421,153 @@ type memoEntry struct {
 	result *expr.Expr
 }
 
-// newAnalysis builds the analysis state for one routine, pre-sizing every
-// map and slice from the routine's instruction, block and edge counts so
-// the fixpoint itself runs without growth reallocation.
+// newAnalysis builds the analysis state for one routine: the arena
+// snapshot, then every dense side table, carved from one pooled
+// allocation per element type so the fixpoint itself runs without growth
+// reallocation and setup stays a handful of allocations.
 func newAnalysis(r *ir.Routine, config Config, pre *Prebuilt) *analysis {
 	order := pre.Order
 	if order == nil {
 		order = cfg.ReversePostOrder(r)
 	}
-	ni := r.NumInstrIDs()
-	nb := r.NumBlockIDs()
+	ar := ir.FreezeArena(r)
+	ni := ar.NumInstrIDs()
+	nb := ar.NumBlockIDs()
+	ne := ar.NumEdges()
+	sc, _ := scratchPool.Get().(*scratch)
+	if sc == nil {
+		sc = &scratch{}
+	}
 	a := &analysis{
 		cfg:      config,
 		routine:  r,
+		ar:       ar,
 		order:    order,
-		in:       expr.NewInterner(2 * ni),
-		table:    make(map[*expr.Expr]*class, ni),
+		rpoNum:   order.Number,
+		byID:     ar.InstrPtrs(),
+		sc:       sc,
 		tr:       config.Trace,
 		curInstr: -1,
 	}
-	a.byID = make([]*ir.Instr, ni)
-	r.Instrs(func(i *ir.Instr) { a.byID[i.ID] = i })
+	if sc.in == nil {
+		sc.in = expr.NewInterner(2 * ni)
+	} else {
+		sc.in.Reset(2 * ni)
+	}
+	a.in = sc.in
+	if sc.table == nil {
+		sc.table = make(map[*expr.Expr]*class, ni)
+	} else {
+		clear(sc.table)
+	}
+	a.table = sc.table
+
+	// Pooled side tables: one recycled backing per element type, cleared
+	// on acquire (the validity stamps ppGen/ppInitGen/infMemo compare
+	// against counters that start above zero, so zeroed memory behaves
+	// exactly like a fresh run). blockReach, blockPred and rank escape
+	// into the Result and are carved from fresh allocations instead.
+	nBool := 4*ni + 3*nb + 2*ne
+	if cap(sc.bools) < nBool {
+		sc.bools = make([]bool, nBool)
+	} else {
+		sc.bools = sc.bools[:nBool]
+		clear(sc.bools)
+	}
+	bools := sc.bools
+	carveBool := func(n int) []bool {
+		s := bools[:n:n]
+		bools = bools[n:]
+		return s
+	}
+	a.touchedInstr = carveBool(ni)
+	a.changed = carveBool(ni)
+	a.isPredOp = carveBool(ni)
+	a.isEqOp = carveBool(ni)
+	a.blockPredNull = carveBool(nb)
+	a.touchedBlock = carveBool(nb)
+	a.hasBackIn = carveBool(nb)
+	a.backEdge = carveBool(ne)
+	a.edgeReach = carveBool(ne)
+	a.blockReach = make([]bool, nb)
+
+	nExpr := ni + nb + ne
+	if cap(sc.exprs) < nExpr {
+		sc.exprs = make([]*expr.Expr, nExpr)
+	} else {
+		sc.exprs = sc.exprs[:nExpr]
+		clear(sc.exprs)
+	}
+	exprs := sc.exprs
+	carveExpr := func(n int) []*expr.Expr {
+		s := exprs[:n:n]
+		exprs = exprs[n:]
+		return s
+	}
+	a.valAtom = carveExpr(ni)
+	a.ppPartialS = carveExpr(nb)
+	a.edgePred = carveExpr(ne)
+	a.blockPred = make([]*expr.Expr, nb)
+
+	nInt := 3 * nb
+	if cap(sc.ints) < nInt {
+		sc.ints = make([]int32, nInt)
+	} else {
+		sc.ints = sc.ints[:nInt]
+		clear(sc.ints)
+	}
+	ints := sc.ints
+	carveInt := func(n int) []int32 {
+		s := ints[:n:n]
+		ints = ints[n:]
+		return s
+	}
+	a.ppGen = carveInt(nb)
+	a.ppInitGen = carveInt(nb)
+	a.idomArr = carveInt(nb) // filled by bindDomArrays (practical mode)
+	a.rank = make([]int32, ni)
+
+	if cap(sc.infMemo) < ni {
+		sc.infMemo = make([]memoEntry, ni)
+	} else {
+		sc.infMemo = sc.infMemo[:ni]
+		clear(sc.infMemo)
+	}
+	a.infMemo = sc.infMemo
+	if cap(sc.canonical) < nb {
+		sc.canonical = make([][]ir.EdgeID, nb)
+	} else {
+		sc.canonical = sc.canonical[:nb]
+		clear(sc.canonical)
+	}
+	a.canonical = sc.canonical
+	nOrd := len(order.Blocks)
+	if cap(sc.rpoIDs) < nOrd {
+		sc.rpoIDs = make([]uint32, nOrd)
+	}
+	a.rpoIDs = sc.rpoIDs[:nOrd]
+	a.argbuf = sc.argbuf[:0]
+	a.phiArgs = sc.phiArgs[:0]
+	a.predParts = sc.predParts[:0]
+	a.ppCanonical = sc.ppCanonical[:0]
+
+	a.classOf = make([]*class, ni)
+	for k, b := range order.Blocks {
+		a.rpoIDs[k] = uint32(b.ID)
+	}
+
 	a.assignRanks()
 	a.markInferenceable()
 
-	a.valAtom = make([]*expr.Expr, ni)
-	a.classOf = make([]*class, ni)
-	a.changed = make([]bool, ni)
-	a.infMemo = make([]memoEntry, ni)
-	a.touchedInstr = make([]bool, ni)
-
-	a.blockReach = make([]bool, nb)
-	a.blockPred = make([]*expr.Expr, nb)
-	a.blockPredNull = make([]bool, nb)
-	a.canonical = make([][]*ir.Edge, nb)
-	a.hasBackIn = make([]bool, nb)
-	a.touchedBlock = make([]bool, nb)
-	a.ppGen = make([]int, nb)
-	a.ppInitGen = make([]int, nb)
-	a.ppPartialS = make([]*expr.Expr, nb)
-
-	// Dense edge numbering: prefix sums over incoming-edge counts.
-	a.edgeBase = make([]int, nb+1)
-	for _, b := range r.Blocks {
-		a.edgeBase[b.ID+1] = len(b.Preds)
-	}
-	for k := 0; k < nb; k++ {
-		a.edgeBase[k+1] += a.edgeBase[k]
-	}
-	ne := a.edgeBase[nb]
-	a.backEdge = make([]bool, ne)
-	a.edgeReach = make([]bool, ne)
-	a.edgePred = make([]*expr.Expr, ne)
-	for _, b := range a.order.Blocks {
-		for _, e := range b.Succs {
-			if a.order.IsBackEdge(e) {
-				a.backEdge[a.edgeIdx(e)] = true
+	// Back edges, by the arena's dense edge numbering.
+	for _, bID := range a.rpoIDs {
+		f := a.rpoNum[bID]
+		for _, eid := range ar.SuccEdgeIDs(bID) {
+			to := ar.EdgeTo(eid)
+			if t := a.rpoNum[to]; t >= 0 && t <= f {
+				a.backEdge[eid] = true
 				a.nBack++
-				a.hasBackIn[e.To.ID] = true
+				a.hasBackIn[to] = true
 			}
 		}
 	}
@@ -363,6 +575,7 @@ func newAnalysis(r *ir.Routine, config Config, pre *Prebuilt) *analysis {
 	a.postTree = pre.Post
 	if a.postTree == nil {
 		a.postTree = dom.NewPost(r)
+		a.ownPost = a.postTree
 	}
 	if config.Complete {
 		// The complete algorithm maintains the dominator tree of the
@@ -372,9 +585,39 @@ func newAnalysis(r *ir.Routine, config Config, pre *Prebuilt) *analysis {
 	} else if pre.Dom != nil {
 		a.domTree = pre.Dom
 	} else {
-		a.domTree = dom.New(r)
+		t := dom.New(r)
+		a.domTree = t
+		a.ownDom = t
+	}
+	if pre.Order == nil {
+		a.ownOrder = order
 	}
 	return a
+}
+
+// bindDomArrays snapshots the static dominator tree into id-indexed
+// arrays, so the practical algorithm's dominator walks never materialize
+// *ir.Block. The complete algorithm's incremental tree changes during
+// the run and keeps the pointer oracle (idomArr nil).
+func (a *analysis) bindDomArrays() {
+	if a.incDom != nil {
+		a.idomArr = nil
+		a.statTree = nil
+		return
+	}
+	t, ok := a.domTree.(*dom.Tree)
+	if !ok {
+		a.idomArr = nil
+		return
+	}
+	a.statTree = t
+	for b := range a.idomArr {
+		if !t.ContainsID(b) {
+			a.idomArr[b] = -1
+			continue
+		}
+		a.idomArr[b] = int32(t.IDomID(b))
+	}
 }
 
 // markInferenceable precomputes the §3 work filters: a value is
@@ -384,23 +627,22 @@ func newAnalysis(r *ir.Routine, config Config, pre *Prebuilt) *analysis {
 // is an equality or disequality, or the value selects a switch (whose case
 // edges carry equality predicates).
 func (a *analysis) markInferenceable() {
-	n := a.routine.NumInstrIDs()
-	a.isPredOp = make([]bool, n)
-	a.isEqOp = make([]bool, n)
-	for _, b := range a.routine.Blocks {
-		for _, i := range b.Instrs {
+	ar := a.ar
+	for b := 0; b < ar.NumBlockIDs(); b++ {
+		for _, i := range ar.InstrIDsOf(uint32(b)) {
+			op := ar.Op(i)
 			switch {
-			case i.Op.IsCompare():
-				for _, arg := range i.Args {
-					a.isPredOp[arg.ID] = true
-					if i.Op == ir.OpEq || i.Op == ir.OpNe {
-						a.isEqOp[arg.ID] = true
+			case op.IsCompare():
+				for _, arg := range ar.ArgIDs(i) {
+					a.isPredOp[arg] = true
+					if op == ir.OpEq || op == ir.OpNe {
+						a.isEqOp[arg] = true
 					}
 				}
-			case i.Op == ir.OpSwitch:
-				sel := i.Args[0]
-				a.isPredOp[sel.ID] = true
-				a.isEqOp[sel.ID] = true
+			case op == ir.OpSwitch:
+				sel := ar.Arg(i, 0)
+				a.isPredOp[sel] = true
+				a.isEqOp[sel] = true
 			}
 		}
 	}
@@ -409,13 +651,13 @@ func (a *analysis) markInferenceable() {
 // assignRanks implements the paper's Assign ranks to values: values are
 // ranked 1.. in RPO definition order (constants, as expressions, rank 0).
 func (a *analysis) assignRanks() {
-	a.rank = make([]int, a.routine.NumInstrIDs())
-	rank := 0
-	for _, b := range a.order.Blocks {
-		for _, i := range b.Instrs {
-			if i.HasValue() {
+	ar := a.ar
+	rank := int32(0)
+	for _, bID := range a.rpoIDs {
+		for _, i := range ar.InstrIDsOf(bID) {
+			if ar.Op(i).HasValue() {
 				rank++
-				a.rank[i.ID] = rank
+				a.rank[i] = rank
 			}
 		}
 	}
@@ -426,42 +668,46 @@ func (a *analysis) assignRanks() {
 // driver could never wipe them, and their values stay in INITIAL anyway.
 //
 //pgvn:hotpath
-func (a *analysis) touchInstr(i *ir.Instr) {
-	if a.order.RPO(i.Block) < 0 {
+func (a *analysis) touchInstr(i ir.InstrID) {
+	if a.touchedInstr[i] {
 		return
 	}
-	if !a.touchedInstr[i.ID] {
-		a.touchedInstr[i.ID] = true
-		a.touchedCount++
-		a.stats.Touches++
-		if a.tr != nil {
-			a.tr.Emit(obs.KindTouchInstr, a.stats.Passes, i.Block.ID, i.ID, 0, "")
-		}
+	b := a.ar.BlockOf(i)
+	if a.rpoNum[b] < 0 {
+		return
+	}
+	a.touchedInstr[i] = true
+	a.touchedCount++
+	a.stats.Touches++
+	if a.tr != nil {
+		a.tr.Emit(obs.KindTouchInstr, a.stats.Passes, int(b), int(i), 0, "")
 	}
 }
 
 // touchBlock adds b to TOUCHED (deduplicated).
 //
 //pgvn:hotpath
-func (a *analysis) touchBlock(b *ir.Block) {
-	if !a.touchedBlock[b.ID] {
-		a.touchedBlock[b.ID] = true
+func (a *analysis) touchBlock(b ir.BlockID) {
+	if !a.touchedBlock[b] {
+		a.touchedBlock[b] = true
 		a.touchedCount++
 		a.stats.Touches++
 		if a.tr != nil {
-			a.tr.Emit(obs.KindTouchBlock, a.stats.Passes, b.ID, -1, 0, "")
+			a.tr.Emit(obs.KindTouchBlock, a.stats.Passes, int(b), -1, 0, "")
 		}
 	}
 }
 
 // touchUsers touches the consumers of v, or the whole routine in dense
 // mode.
-func (a *analysis) touchUsers(v *ir.Instr) {
+//
+//pgvn:hotpath
+func (a *analysis) touchUsers(v ir.InstrID) {
 	if !a.cfg.Sparse {
 		a.touchEverything()
 		return
 	}
-	for _, u := range v.Uses() {
+	for _, u := range a.ar.UseIDs(v) {
 		a.touchInstr(u)
 	}
 }
@@ -469,27 +715,70 @@ func (a *analysis) touchUsers(v *ir.Instr) {
 // touchEverything implements the dense (non-sparse) formulation: any
 // refinement reapplies the assumption to the entire routine.
 func (a *analysis) touchEverything() {
-	for _, b := range a.order.Blocks {
-		a.touchBlock(b)
-		for _, i := range b.Instrs {
-			a.touchInstr(i)
+	for _, bID := range a.rpoIDs {
+		a.touchBlock(bID)
+		a.touchAllIn(bID)
+	}
+}
+
+// touchAllIn touches every instruction of block b, which must be in the
+// RPO (every caller iterates rpoIDs). Semantically identical to calling
+// touchInstr on each instruction — the block membership and RPO checks
+// are hoisted out of the per-instruction loop.
+//
+//pgvn:hotpath
+func (a *analysis) touchAllIn(b ir.BlockID) {
+	for _, i := range a.ar.InstrIDsOf(b) {
+		if a.touchedInstr[i] {
+			continue
+		}
+		a.touchedInstr[i] = true
+		a.touchedCount++
+		a.stats.Touches++
+		if a.tr != nil {
+			a.tr.Emit(obs.KindTouchInstr, a.stats.Passes, int(b), int(i), 0, "")
 		}
 	}
 }
 
-// idom returns the immediate dominator under the tree in use (reachable
-// tree for the complete algorithm, static tree for the practical one).
-func (a *analysis) idom(b *ir.Block) *ir.Block {
-	if !a.domTree.Contains(b) {
-		return nil
+// idomID returns the immediate dominator's block id under the tree in
+// use (reachable tree for the complete algorithm, static tree for the
+// practical one), or -1.
+//
+//pgvn:hotpath
+func (a *analysis) idomID(b int32) int32 {
+	if a.idomArr != nil {
+		return a.idomArr[b]
 	}
-	return a.domTree.IDom(b)
+	blk := a.ar.BlockPtr(uint32(b))
+	if !a.domTree.Contains(blk) {
+		return -1
+	}
+	if d := a.domTree.IDom(blk); d != nil {
+		return int32(d.ID)
+	}
+	return -1
+}
+
+// dominatesForPredID answers dominance queries for the φ-predication
+// shortcut, tolerating blocks outside the (reachable) dominator tree.
+func (a *analysis) dominatesForPredID(x, y ir.BlockID) bool {
+	if a.statTree != nil {
+		return a.statTree.DominatesID(int(x), int(y))
+	}
+	bx, by := a.ar.BlockPtr(x), a.ar.BlockPtr(y)
+	if !a.domTree.Contains(bx) || !a.domTree.Contains(by) {
+		return false
+	}
+	return a.domTree.Dominates(bx, by)
 }
 
 // leaderExpr returns the symbolic evaluation of value v: ⊥ while v is in
 // INITIAL, the leader constant, or a Value atom for the leader.
-func (a *analysis) leaderExpr(v *ir.Instr) *expr.Expr {
-	c := a.classOf[v.ID]
+//
+//pgvn:hotpath
+func (a *analysis) leaderExpr(v ir.InstrID) *expr.Expr {
+	c := a.classOf[v]
 	if c == nil {
 		return expr.Bot
 	}
@@ -499,18 +788,22 @@ func (a *analysis) leaderExpr(v *ir.Instr) *expr.Expr {
 	return a.valueAtom(c.leaderVal)
 }
 
-// valueAtom returns the canonical Value atom for v, memoized by ID so the
+// valueAtom returns the canonical Value atom for v, memoized by id so the
 // interner probe runs once per value.
-func (a *analysis) valueAtom(v *ir.Instr) *expr.Expr {
-	if e := a.valAtom[v.ID]; e != nil {
+//
+//pgvn:hotpath
+func (a *analysis) valueAtom(v ir.InstrID) *expr.Expr {
+	if e := a.valAtom[v]; e != nil {
 		return e
 	}
-	e := a.in.Value(v.ID, a.rank[v.ID])
-	a.valAtom[v.ID] = e
+	e := a.in.Value(int(v), int(a.rank[v]))
+	a.valAtom[v] = e
 	return e
 }
 
-// classOfExpr resolves the class a Value atom refers to.
+// classOfAtom resolves the class a Value atom refers to.
+//
+//pgvn:hotpath
 func (a *analysis) classOfAtom(e *expr.Expr) *class {
 	if e.Kind != expr.Value {
 		return nil

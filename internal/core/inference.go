@@ -6,18 +6,19 @@ import (
 	"pgvn/internal/obs"
 )
 
-// uniqueReachableIn returns b's single reachable incoming edge, or nil if
-// b has zero or several. "An edge dominates a block if it is the only
+// uniqueReachableIn returns b's single reachable incoming edge, or noEdge
+// if b has zero or several. "An edge dominates a block if it is the only
 // reachable incoming edge of a dominator of the block" (§2.7) — this is
 // the practical algorithm's reachability-aware refinement of the static
 // dominator tree.
-func (a *analysis) uniqueReachableIn(b *ir.Block) *ir.Edge {
-	var found *ir.Edge
-	base := a.edgeBase[b.ID]
-	for k, e := range b.Preds {
-		if a.edgeReach[base+k] {
-			if found != nil {
-				return nil
+//
+//pgvn:hotpath
+func (a *analysis) uniqueReachableIn(b ir.BlockID) ir.EdgeID {
+	found := noEdge
+	for e := a.ar.PredStart(b); e < a.ar.PredEnd(b); e++ {
+		if a.edgeReach[e] {
+			if found != noEdge {
+				return noEdge
 			}
 			found = e
 		}
@@ -30,7 +31,9 @@ func (a *analysis) uniqueReachableIn(b *ir.Block) *ir.Edge {
 // walking up through single-reachable-incoming edges and immediate
 // dominators, the first dominating edge predicate that decides p turns it
 // into a constant.
-func (a *analysis) inferValueOfPredicate(p *expr.Expr, b *ir.Block) *expr.Expr {
+//
+//pgvn:hotpath
+func (a *analysis) inferValueOfPredicate(p *expr.Expr, b int32) *expr.Expr {
 	if p.Kind != expr.Compare {
 		return p
 	}
@@ -40,47 +43,47 @@ func (a *analysis) inferValueOfPredicate(p *expr.Expr, b *ir.Block) *expr.Expr {
 	if !a.predInferenceUseful(p) {
 		return p
 	}
-	for b != nil {
+	for b >= 0 {
 		a.stats.PredInfVisits++
-		if a.cfg.Mode != Optimistic && a.hasBackIn[b.ID] {
-			b = a.idom(b)
+		if a.cfg.Mode != Optimistic && a.hasBackIn[b] {
+			b = a.idomID(b)
 			continue
 		}
-		e := a.uniqueReachableIn(b)
-		if e == nil {
+		e := a.uniqueReachableIn(uint32(b))
+		if e == noEdge {
 			// §7 extension: several reachable incoming edges may still
 			// jointly decide p when all their predicates agree on it.
 			if a.cfg.JointDomination {
-				if val, ok := a.jointDecide(b, p); ok {
+				if val, ok := a.jointDecide(uint32(b), p); ok {
 					decided := int64(0)
 					if val {
 						decided = 1
 					}
 					if a.tr != nil {
-						a.tr.Emit(obs.KindPredInfer, a.stats.Passes, b.ID, a.curInstr, decided, p.Key())
+						a.tr.Emit(obs.KindPredInfer, a.stats.Passes, int(b), a.curInstr, decided, p.Key())
 					}
 					return a.in.Const(decided)
 				}
 			}
-			b = a.idom(b)
+			b = a.idomID(b)
 			continue
 		}
-		if !a.cfg.Complete && a.backEdge[a.edgeIdx(e)] {
+		if !a.cfg.Complete && a.backEdge[e] {
 			break // practical: no inference along back edges
 		}
-		if ep := a.edgePred[a.edgeIdx(e)]; ep != nil {
+		if ep := a.edgePred[e]; ep != nil {
 			if val, known := expr.Implies(ep, p); known {
 				decided := int64(0)
 				if val {
 					decided = 1
 				}
 				if a.tr != nil {
-					a.tr.Emit(obs.KindPredInfer, a.stats.Passes, b.ID, a.curInstr, decided, p.Key())
+					a.tr.Emit(obs.KindPredInfer, a.stats.Passes, int(b), a.curInstr, decided, p.Key())
 				}
 				return a.in.Const(decided)
 			}
 		}
-		b = e.From
+		b = int32(a.ar.EdgeFrom(e))
 	}
 	return p
 }
@@ -91,19 +94,26 @@ func (a *analysis) inferValueOfPredicate(p *expr.Expr, b *ir.Block) *expr.Expr {
 // lower-ranking value X, the leader is replaced by X and inference repeats
 // on the new value, stopping at the edge that induced the previous
 // inference.
-func (a *analysis) inferValueAtBlock(v *ir.Instr, b *ir.Block) *expr.Expr {
+//
+//pgvn:hotpath
+func (a *analysis) inferValueAtBlock(v ir.InstrID, b ir.BlockID) *expr.Expr {
 	// §3: within one symbolic evaluation every use of the same operand
 	// infers the same value; cache the first walk.
-	if m := &a.infMemo[v.ID]; m.gen == a.infGen && m.result != nil {
+	if m := &a.infMemo[v]; m.gen == a.infGen && m.result != nil {
 		return m.result
 	}
-	res := a.inferAtomAtBlock(a.leaderExpr(v), b)
-	a.infMemo[v.ID] = memoEntry{gen: a.infGen, result: res}
+	res := a.inferAtomAtBlock(a.leaderExpr(v), int32(b))
+	a.infMemo[v] = memoEntry{gen: a.infGen, result: res}
 	return res
 }
 
-func (a *analysis) inferAtomAtBlock(cur *expr.Expr, first *ir.Block) *expr.Expr {
-	var last *ir.Block
+// inferAtomAtBlock walks dominators from first looking for an edge
+// predicate that replaces Value atom cur with a lower-ranking congruent
+// value; first < 0 means "no block" (the walk never starts).
+//
+//pgvn:hotpath
+func (a *analysis) inferAtomAtBlock(cur *expr.Expr, first int32) *expr.Expr {
+	last := int32(-2) // sentinel: never equals a block id or the -1 "no idom"
 	for cur.Kind == expr.Value {
 		// §3 filter: only classes containing at least one operand of an
 		// equality branch predicate can be improved by value inference.
@@ -112,23 +122,23 @@ func (a *analysis) inferAtomAtBlock(cur *expr.Expr, first *ir.Block) *expr.Expr 
 		}
 		b := first
 		improved := false
-		for b != nil && b != last {
+		for b >= 0 && b != last {
 			a.stats.ValueInfVisits++
-			if a.cfg.Mode != Optimistic && a.hasBackIn[b.ID] {
-				b = a.idom(b)
+			if a.cfg.Mode != Optimistic && a.hasBackIn[b] {
+				b = a.idomID(b)
 				continue
 			}
-			e := a.uniqueReachableIn(b)
-			if e == nil {
-				b = a.idom(b)
+			e := a.uniqueReachableIn(uint32(b))
+			if e == noEdge {
+				b = a.idomID(b)
 				continue
 			}
-			if !a.cfg.Complete && a.backEdge[a.edgeIdx(e)] {
+			if !a.cfg.Complete && a.backEdge[e] {
 				break // practical: no inference along back edges
 			}
 			if repl, ok := a.inferFromEdgePred(e, cur); ok {
 				if a.tr != nil {
-					a.tr.Emit(obs.KindValueInfer, a.stats.Passes, b.ID, a.curInstr,
+					a.tr.Emit(obs.KindValueInfer, a.stats.Passes, int(b), a.curInstr,
 						int64(repl.ValueID()), repl.Key())
 				}
 				cur = repl
@@ -136,7 +146,7 @@ func (a *analysis) inferAtomAtBlock(cur *expr.Expr, first *ir.Block) *expr.Expr 
 				improved = true
 				break
 			}
-			b = e.From
+			b = int32(a.ar.EdgeFrom(e))
 		}
 		if !improved {
 			break
@@ -150,24 +160,28 @@ func (a *analysis) inferAtomAtBlock(cur *expr.Expr, first *ir.Block) *expr.Expr 
 // is the one place the practical algorithm allows back-edge-induced
 // inference, because the dependency is captured by def-use chains (§2.7) —
 // and otherwise inference proceeds from the edge's originating block.
-func (a *analysis) inferValueAtEdge(v *ir.Instr, e *ir.Edge) *expr.Expr {
+//
+//pgvn:hotpath
+func (a *analysis) inferValueAtEdge(v ir.InstrID, e ir.EdgeID) *expr.Expr {
 	cur := a.leaderExpr(v)
 	if !a.cfg.ValueInference || cur.Kind != expr.Value {
 		return cur
 	}
 	if repl, ok := a.inferFromEdgePred(e, cur); ok {
 		if a.tr != nil {
-			a.tr.Emit(obs.KindValueInfer, a.stats.Passes, e.From.ID, a.curInstr,
+			a.tr.Emit(obs.KindValueInfer, a.stats.Passes, int(a.ar.EdgeFrom(e)), a.curInstr,
 				int64(repl.ValueID()), repl.Key())
 		}
 		return repl
 	}
-	return a.inferAtomAtBlock(cur, e.From)
+	return a.inferAtomAtBlock(cur, int32(a.ar.EdgeFrom(e)))
 }
 
 // predInferenceUseful reports whether any value operand of p belongs to a
 // class containing a branch-predicate operand (the §3 restriction of
 // predicate inference).
+//
+//pgvn:hotpath
 func (a *analysis) predInferenceUseful(p *expr.Expr) bool {
 	for _, arg := range p.Args {
 		if arg.Kind != expr.Value {
@@ -183,11 +197,13 @@ func (a *analysis) predInferenceUseful(p *expr.Expr) bool {
 // inferFromEdgePred applies one value-inference step: when the edge's
 // predicate is an equality X = Y in canonical form (rank X < rank Y) and
 // Y is congruent to cur, cur may be replaced by the lower-ranking X.
-func (a *analysis) inferFromEdgePred(e *ir.Edge, cur *expr.Expr) (*expr.Expr, bool) {
+//
+//pgvn:hotpath
+func (a *analysis) inferFromEdgePred(e ir.EdgeID, cur *expr.Expr) (*expr.Expr, bool) {
 	if !a.cfg.ValueInference || cur.Kind != expr.Value {
 		return nil, false
 	}
-	ep := a.edgePred[a.edgeIdx(e)]
+	ep := a.edgePred[e]
 	if ep == nil || ep.Kind != expr.Compare || ep.Op != ir.OpEq {
 		return nil, false
 	}

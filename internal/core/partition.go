@@ -31,8 +31,32 @@ type Partition struct {
 	numInstrIDs int
 	classOf     []ClassID // by instruction ID; NoClass when undetermined
 	classes     []partClass
+	arena       []*ir.Instr // backing storage the member lists are carved from
 	routine     *ir.Routine
 	inOnce      sync.Once // guards the lazy per-block member index
+}
+
+// partScratch holds Partition-construction state that never escapes the
+// build: the instruction lookup and the first-encounter bookkeeping.
+type partScratch struct {
+	byID   []*ir.Instr
+	uniq   []*class
+	counts []int
+}
+
+var (
+	partitionPool   sync.Pool
+	partScratchPool sync.Pool
+)
+
+// Release returns the Partition's storage to a pool for reuse by a later
+// Partition call. The caller must be the sole owner: the Partition and
+// every slice obtained from it (Members, MembersIn) is unusable
+// afterwards. Releasing is optional — unreleased Partitions are
+// collected normally.
+func (p *Partition) Release() {
+	p.routine = nil
+	partitionPool.Put(p)
 }
 
 type partClass struct {
@@ -51,12 +75,26 @@ type partClass struct {
 // must not be called concurrently on the same Result (built Partitions
 // are themselves safe for concurrent readers).
 func (r *Result) Partition() *Partition {
-	p := &Partition{
-		numInstrIDs: r.Routine.NumInstrIDs(),
-		routine:     r.Routine,
+	p, _ := partitionPool.Get().(*Partition)
+	if p == nil {
+		p = &Partition{}
 	}
-	p.classOf = make([]ClassID, p.numInstrIDs)
-	byID := make([]*ir.Instr, p.numInstrIDs)
+	p.numInstrIDs = r.Routine.NumInstrIDs()
+	p.routine = r.Routine
+	p.inOnce = sync.Once{}
+	if cap(p.classOf) < p.numInstrIDs {
+		p.classOf = make([]ClassID, p.numInstrIDs)
+	}
+	p.classOf = p.classOf[:p.numInstrIDs]
+	sc, _ := partScratchPool.Get().(*partScratch)
+	if sc == nil {
+		sc = &partScratch{}
+	}
+	if cap(sc.byID) < p.numInstrIDs {
+		sc.byID = make([]*ir.Instr, p.numInstrIDs)
+	}
+	byID := sc.byID[:p.numInstrIDs]
+	clear(byID)
 	for k := range p.classOf {
 		p.classOf[k] = NoClass
 	}
@@ -65,8 +103,8 @@ func (r *Result) Partition() *Partition {
 	// structs (class.dense, id+1) instead of keyed through a map — the
 	// map dominated driver batch profiles. The stamps are reset below,
 	// so Partition must not run concurrently on one Result.
-	var uniq []*class
-	var counts []int
+	uniq := sc.uniq[:0]
+	counts := sc.counts[:0]
 	for _, b := range r.Routine.Blocks {
 		for _, i := range b.Instrs {
 			if !i.HasValue() || i.ID >= p.numInstrIDs {
@@ -87,11 +125,15 @@ func (r *Result) Partition() *Partition {
 			counts[id]++
 		}
 	}
-	p.classes = make([]partClass, len(uniq))
+	if cap(p.classes) < len(uniq) {
+		p.classes = make([]partClass, len(uniq))
+	}
+	p.classes = p.classes[:len(uniq)]
+	clear(p.classes) // reused entries may hold stale members/membersIn
 	for k, c := range uniq {
 		c.dense = 0
 		pc := &p.classes[k]
-		pc.leader = c.leaderVal
+		pc.leader = r.byID[c.leaderVal]
 		pc.expr = c.expr
 		if c.leaderConst != nil {
 			pc.constVal, pc.isConst = c.leaderConst.C, true
@@ -104,7 +146,11 @@ func (r *Result) Partition() *Partition {
 	for _, n := range counts {
 		total += n
 	}
-	arena := make([]*ir.Instr, total)
+	if cap(p.arena) < total {
+		p.arena = make([]*ir.Instr, total)
+	}
+	p.arena = p.arena[:total]
+	arena := p.arena
 	off := 0
 	for k := range p.classes {
 		p.classes[k].members = arena[off : off : off+counts[k]]
@@ -117,6 +163,10 @@ func (r *Result) Partition() *Partition {
 		c := p.classOf[id]
 		p.classes[c].members = append(p.classes[c].members, i)
 	}
+	clear(uniq) // drop the class pointers so the pool does not pin them
+	sc.uniq = uniq[:0]
+	sc.counts = counts[:0]
+	partScratchPool.Put(sc)
 	return p
 }
 

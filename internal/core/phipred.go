@@ -18,12 +18,12 @@ import (
 // permanently nullified.
 //
 //pgvn:hotpath
-func (a *analysis) computePredicateOfBlock(b0 *ir.Block) {
-	if a.blockPredNull[b0.ID] {
+func (a *analysis) computePredicateOfBlock(b0 ir.BlockID) {
+	if a.blockPredNull[b0] {
 		return
 	}
-	d0 := a.idom(b0)
-	if d0 == nil || !a.postTree.Dominates(b0, d0) {
+	d0 := a.idomID(int32(b0))
+	if d0 < 0 || !a.postTree.DominatesID(int(b0), int(d0)) {
 		a.setBlockPredicate(b0, nil, nil)
 		return
 	}
@@ -33,10 +33,10 @@ func (a *analysis) computePredicateOfBlock(b0 *ir.Block) {
 	a.ppCanonical = a.ppCanonical[:0]
 	a.ppAborted = false
 	a.ppTarget = b0
-	a.computePartialPredicate(d0, nil, true)
+	a.computePartialPredicate(uint32(d0), nil, true)
 	if a.ppAborted {
 		// Abnormal termination: nullify permanently (§3).
-		a.blockPredNull[b0.ID] = true
+		a.blockPredNull[b0] = true
 		a.setBlockPredicate(b0, nil, nil)
 		return
 	}
@@ -55,17 +55,21 @@ func (a *analysis) computePredicateOfBlock(b0 *ir.Block) {
 
 // ppGet reads the partial path predicate of b for the current traversal
 // (stale generations read as nil, exactly like a missing map entry).
-func (a *analysis) ppGet(b *ir.Block) *expr.Expr {
-	if a.ppGen[b.ID] == a.ppCur {
-		return a.ppPartialS[b.ID]
+//
+//pgvn:hotpath
+func (a *analysis) ppGet(b ir.BlockID) *expr.Expr {
+	if a.ppGen[b] == a.ppCur {
+		return a.ppPartialS[b]
 	}
 	return nil
 }
 
 // ppSet records the partial path predicate of b for the current traversal.
-func (a *analysis) ppSet(b *ir.Block, p *expr.Expr) {
-	a.ppGen[b.ID] = a.ppCur
-	a.ppPartialS[b.ID] = p
+//
+//pgvn:hotpath
+func (a *analysis) ppSet(b ir.BlockID, p *expr.Expr) {
+	a.ppGen[b] = a.ppCur
+	a.ppPartialS[b] = p
 }
 
 // setBlockPredicate records a (possibly nil) block predicate and its
@@ -73,32 +77,34 @@ func (a *analysis) ppSet(b *ir.Block, p *expr.Expr) {
 // changed. The raw predicate tree built by the traversal is interned
 // verbatim here, so stored block predicates are always canonical and
 // "same predicate" is pointer equality.
-func (a *analysis) setBlockPredicate(b *ir.Block, pred *expr.Expr, canon []*ir.Edge) {
+//
+//pgvn:hotpath
+func (a *analysis) setBlockPredicate(b ir.BlockID, pred *expr.Expr, canon []ir.EdgeID) {
 	pred = a.in.Canon(pred)
-	if a.blockPred[b.ID] == pred && sameEdges(a.canonical[b.ID], canon) {
+	if a.blockPred[b] == pred && sameEdges(a.canonical[b], canon) {
 		return
 	}
-	a.blockPred[b.ID] = pred
+	a.blockPred[b] = pred
 	// canon aliases the reusable traversal scratch; keep a stable copy
 	// (reusing the block's previous backing array when it fits).
 	if len(canon) == 0 {
-		a.canonical[b.ID] = nil
+		a.canonical[b] = nil
 	} else {
-		a.canonical[b.ID] = append(a.canonical[b.ID][:0], canon...)
+		a.canonical[b] = append(a.canonical[b][:0], canon...)
 	}
 	if a.tr != nil {
 		note := ""
 		if pred != nil {
 			note = pred.Key()
 		}
-		a.tr.Emit(obs.KindPhiPred, a.stats.Passes, b.ID, -1, int64(len(canon)), note)
+		a.tr.Emit(obs.KindPhiPred, a.stats.Passes, int(b), -1, int64(len(canon)), note)
 	}
-	for _, phi := range b.Phis() {
+	for _, phi := range a.ar.PhiIDsOf(b) {
 		a.touchInstr(phi)
 	}
 }
 
-func sameEdges(a, b []*ir.Edge) bool {
+func sameEdges(a, b []ir.EdgeID) bool {
 	if len(a) != len(b) {
 		return false
 	}
@@ -111,11 +117,12 @@ func sameEdges(a, b []*ir.Edge) bool {
 }
 
 // reachableInCount counts b's reachable incoming edges.
-func (a *analysis) reachableInCount(b *ir.Block) int {
+//
+//pgvn:hotpath
+func (a *analysis) reachableInCount(b ir.BlockID) int {
 	n := 0
-	base := a.edgeBase[b.ID]
-	for k := range b.Preds {
-		if a.edgeReach[base+k] {
+	for e := a.ar.PredStart(b); e < a.ar.PredEnd(b); e++ {
+		if a.edgeReach[e] {
 			n++
 		}
 	}
@@ -123,10 +130,12 @@ func (a *analysis) reachableInCount(b *ir.Block) int {
 }
 
 // reachableOutCount counts b's reachable outgoing edges.
-func (a *analysis) reachableOutCount(b *ir.Block) int {
+//
+//pgvn:hotpath
+func (a *analysis) reachableOutCount(b ir.BlockID) int {
 	n := 0
-	for _, e := range b.Succs {
-		if a.edgeReach[a.edgeIdx(e)] {
+	for _, e := range a.ar.SuccEdgeIDs(b) {
+		if a.edgeReach[e] {
 			n++
 		}
 	}
@@ -141,7 +150,9 @@ var truePlaceholder = expr.NewConst(1)
 // computePartialPredicate implements Figure 8's recursive traversal. b is
 // the block being entered, pp the predicate of the path taken to reach it,
 // ignoreIncoming true for the region head (and postdominator shortcuts).
-func (a *analysis) computePartialPredicate(b *ir.Block, pp *expr.Expr, ignoreIncoming bool) {
+//
+//pgvn:hotpath
+func (a *analysis) computePartialPredicate(b ir.BlockID, pp *expr.Expr, ignoreIncoming bool) {
 	if a.ppAborted {
 		return
 	}
@@ -150,8 +161,8 @@ func (a *analysis) computePartialPredicate(b *ir.Block, pp *expr.Expr, ignoreInc
 	if ignoreIncoming || a.reachableInCount(b) < 2 {
 		a.ppSet(b, pp)
 	} else {
-		if a.ppInitGen[b.ID] != a.ppCur {
-			a.ppInitGen[b.ID] = a.ppCur
+		if a.ppInitGen[b] != a.ppCur {
+			a.ppInitGen[b] = a.ppCur
 			a.ppSet(b, &expr.Expr{Kind: expr.Or})
 		}
 		or := a.ppGet(b)
@@ -170,16 +181,26 @@ func (a *analysis) computePartialPredicate(b *ir.Block, pp *expr.Expr, ignoreInc
 	// Single-entry single-exit shortcut: when b dominates its immediate
 	// postdominator d (≠ b0), the inner region cannot affect b0's
 	// predicate; jump straight to d.
-	if d := a.postTree.IDom(b); d != nil && d != b0 && a.dominatesForPred(b, d) && a.blockReach[d.ID] {
-		a.computePartialPredicate(d, a.ppGet(b), true)
+	if d := a.postTree.IDomID(int(b)); d >= 0 && uint32(d) != b0 && a.dominatesForPredID(b, uint32(d)) && a.blockReach[d] {
+		a.computePartialPredicate(uint32(d), a.ppGet(b), true)
 		return
 	}
-	for _, e := range a.canonicalOutgoing(b) {
-		idx := a.edgeIdx(e)
-		if !a.edgeReach[idx] {
+	// Canonical outgoing order (§2.8): for a two-way conditional the edge
+	// whose predicate has operator =, < or ≤ comes first, so structurally
+	// mirrored branches produce identical block predicates. Implemented as
+	// an index mapping — no edge slice is materialized.
+	succ := a.ar.SuccEdgeIDs(b)
+	swapped := a.mirroredBranch(succ)
+	for j := 0; j < len(succ); j++ {
+		k := j
+		if swapped {
+			k = 1 - j
+		}
+		eid := succ[k]
+		if !a.edgeReach[eid] {
 			continue
 		}
-		if a.backEdge[idx] {
+		if a.backEdge[eid] {
 			a.ppAborted = true
 			return
 		}
@@ -188,46 +209,33 @@ func (a *analysis) computePartialPredicate(b *ir.Block, pp *expr.Expr, ignoreInc
 		case a.reachableOutCount(b) == 1:
 			ep = a.ppGet(b)
 		case a.ppGet(b) == nil:
-			ep = a.edgePred[idx]
+			ep = a.edgePred[eid]
 		default:
-			ep = expr.NewAnd(a.ppGet(b), a.edgePred[idx])
+			ep = expr.NewAnd(a.ppGet(b), a.edgePred[eid])
 		}
-		a.computePartialPredicate(e.To, ep, false)
+		to := a.ar.EdgeTo(eid)
+		a.computePartialPredicate(to, ep, false)
 		if a.ppAborted {
 			return
 		}
-		if e.To == b0 {
-			a.ppCanonical = append(a.ppCanonical, e)
+		if to == b0 {
+			a.ppCanonical = append(a.ppCanonical, eid)
 		}
 	}
 }
 
-// dominatesForPred answers dominance queries for the traversal shortcut,
-// tolerating blocks outside the (reachable) dominator tree.
-func (a *analysis) dominatesForPred(x, y *ir.Block) bool {
-	if !a.domTree.Contains(x) || !a.domTree.Contains(y) {
+// mirroredBranch reports whether a two-way conditional's edges must be
+// visited in swapped order to satisfy the canonical-first rule.
+//
+//pgvn:hotpath
+func (a *analysis) mirroredBranch(succ []ir.EdgeID) bool {
+	if len(succ) != 2 {
 		return false
 	}
-	return a.domTree.Dominates(x, y)
-}
-
-// canonicalOutgoing orders b's outgoing edges canonically (§2.8): for a
-// two-way conditional the edge whose predicate has operator =, < or ≤
-// comes first, so structurally mirrored branches produce identical block
-// predicates.
-func (a *analysis) canonicalOutgoing(b *ir.Block) []*ir.Edge {
-	if len(b.Succs) != 2 {
-		return b.Succs
-	}
-	p0 := a.edgePred[a.edgeIdx(b.Succs[0])]
-	p1 := a.edgePred[a.edgeIdx(b.Succs[1])]
-	if p0 != nil && p1 != nil && p0.Kind == expr.Compare && p1.Kind == expr.Compare {
-		if !canonicalFirstOp(p0.Op) && canonicalFirstOp(p1.Op) {
-			//pgvn:allow hotpathalloc: the swapped pair is built only when a branch is mirrored, bounded by branch count
-			return []*ir.Edge{b.Succs[1], b.Succs[0]}
-		}
-	}
-	return b.Succs
+	p0 := a.edgePred[succ[0]]
+	p1 := a.edgePred[succ[1]]
+	return p0 != nil && p1 != nil && p0.Kind == expr.Compare && p1.Kind == expr.Compare &&
+		!canonicalFirstOp(p0.Op) && canonicalFirstOp(p1.Op)
 }
 
 // canonicalFirstOp reports whether op may label the first outgoing edge.

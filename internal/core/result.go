@@ -24,7 +24,7 @@ type Result struct {
 	blockReach []bool
 	edgeReach  map[*ir.Edge]bool
 	classOf    []*class
-	rank       []int
+	rank       []int32
 	byID       []*ir.Instr
 	blockPred  []*expr.Expr
 	edgePred   map[*ir.Edge]*expr.Expr
@@ -32,23 +32,45 @@ type Result struct {
 }
 
 // result packages the analysis state. The fixpoint stores per-edge state
-// densely (indexed, no edge identity); the public Result keeps the
-// edge-keyed maps because its consumers (package opt) mutate the CFG while
-// querying, which would invalidate dense indices. The maps are built once
-// here, holding only true/non-nil entries.
+// densely by arena edge id; the public Result keeps edge-keyed maps (and
+// pointer-valued canonical orders) because its consumers (package opt)
+// mutate the CFG while querying, which would invalidate dense indices.
+// The maps are built once here, holding only true/non-nil entries.
 func (a *analysis) result() *Result {
-	edgeReach := make(map[*ir.Edge]bool)
-	edgePred := make(map[*ir.Edge]*expr.Expr)
+	ar := a.ar
+	nReach, nPred := 0, 0
+	for e := 0; e < ar.NumEdges(); e++ {
+		if a.edgeReach[e] {
+			nReach++
+		}
+		if a.edgePred[e] != nil {
+			nPred++
+		}
+	}
+	edgeReach := make(map[*ir.Edge]bool, nReach)
+	edgePred := make(map[*ir.Edge]*expr.Expr, nPred)
 	for _, b := range a.routine.Blocks {
-		base := a.edgeBase[b.ID]
+		base := ar.PredStart(uint32(b.ID))
 		for k, e := range b.Preds {
-			if a.edgeReach[base+k] {
+			eid := base + uint32(k)
+			if a.edgeReach[eid] {
 				edgeReach[e] = true
 			}
-			if p := a.edgePred[base+k]; p != nil {
+			if p := a.edgePred[eid]; p != nil {
 				edgePred[e] = p
 			}
 		}
+	}
+	canonical := make([][]*ir.Edge, len(a.canonical))
+	for bid, ids := range a.canonical {
+		if ids == nil {
+			continue
+		}
+		es := make([]*ir.Edge, len(ids))
+		for k, eid := range ids {
+			es[k] = ar.EdgePtr(eid)
+		}
+		canonical[bid] = es
 	}
 	return &Result{
 		Routine:    a.routine,
@@ -61,7 +83,7 @@ func (a *analysis) result() *Result {
 		byID:       a.byID,
 		blockPred:  a.blockPred,
 		edgePred:   edgePred,
-		canonical:  a.canonical,
+		canonical:  canonical,
 	}
 }
 
@@ -111,7 +133,7 @@ func (r *Result) Leader(v *ir.Instr) *ir.Instr {
 	if c == nil {
 		return nil
 	}
-	return c.leaderVal
+	return r.byID[c.leaderVal]
 }
 
 // ClassMembers returns the members of v's class sorted by instruction ID,
@@ -121,8 +143,12 @@ func (r *Result) ClassMembers(v *ir.Instr) []*ir.Instr {
 	if c == nil {
 		return nil
 	}
-	out := append([]*ir.Instr(nil), c.members...)
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	ids := append([]ir.InstrID(nil), c.members...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*ir.Instr, len(ids))
+	for k, id := range ids {
+		out[k] = r.byID[id]
+	}
 	return out
 }
 
@@ -191,8 +217,8 @@ func (r *Result) Dump() string {
 		lead := "?"
 		if c.leaderConst != nil {
 			lead = fmt.Sprint(c.leaderConst.C)
-		} else if c.leaderVal != nil {
-			lead = c.leaderVal.ValueName()
+		} else if lv := r.byID[c.leaderVal]; lv != nil {
+			lead = lv.ValueName()
 		}
 		exprStr := ""
 		if c.expr != nil {

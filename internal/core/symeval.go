@@ -18,23 +18,25 @@ import (
 // a pointer-keyed map probe.
 //
 //pgvn:hotpath
-func (a *analysis) evaluate(i *ir.Instr) *expr.Expr {
-	b := i.Block
-	switch i.Op {
+func (a *analysis) evaluate(i ir.InstrID) *expr.Expr {
+	ar := a.ar
+	b := ar.BlockOf(i)
+	op := ar.Op(i)
+	switch op {
 	case ir.OpConst:
-		return a.in.Const(i.Const)
+		return a.in.Const(ar.ConstOf(i))
 
 	case ir.OpParam:
-		return a.in.Unique(i.ID)
+		return a.in.Unique(int(i))
 
 	case ir.OpPhi:
 		return a.evaluatePhi(i)
 
 	case ir.OpCopy:
-		return a.operandAtom(i.Args[0], b)
+		return a.operandAtom(ar.Arg(i, 0), b)
 
 	case ir.OpNeg:
-		x := a.operandForAlgebra(i.Args[0], b)
+		x := a.operandForAlgebra(ar.Arg(i, 0), b)
 		if x.IsBottom() {
 			return a.hashOnly(i, expr.Bot)
 		}
@@ -44,25 +46,25 @@ func (a *analysis) evaluate(i *ir.Instr) *expr.Expr {
 			}
 		}
 		base := len(a.argbuf)
-		a.argbuf = append(a.argbuf, a.operandAtom(i.Args[0], b))
+		a.argbuf = append(a.argbuf, a.operandAtom(ar.Arg(i, 0), b))
 		e := a.in.Opaque(ir.OpNeg, "", a.argbuf[base:])
 		a.argbuf = a.argbuf[:base]
 		return a.hashOnly(i, e)
 
 	case ir.OpAdd, ir.OpSub, ir.OpMul:
-		xa := a.operandAtom(i.Args[0], b)
-		ya := a.operandAtom(i.Args[1], b)
+		xa := a.operandAtom(ar.Arg(i, 0), b)
+		ya := a.operandAtom(ar.Arg(i, 1), b)
 		if xa.IsBottom() || ya.IsBottom() {
 			return a.hashOnly(i, expr.Bot)
 		}
 		if a.cfg.Fold {
-			if pa := a.phiArithmetic(i.Op, xa, ya); pa != nil {
+			if pa := a.phiArithmetic(op, xa, ya); pa != nil {
 				return a.hashOnly(i, pa)
 			}
-			x := a.operandForAlgebra(i.Args[0], b)
-			y := a.operandForAlgebra(i.Args[1], b)
+			x := a.operandForAlgebra(ar.Arg(i, 0), b)
+			y := a.operandForAlgebra(ar.Arg(i, 1), b)
 			var e *expr.Expr
-			switch i.Op {
+			switch op {
 			case ir.OpAdd:
 				e = a.in.Add(x, y, a.cfg.ReassocLimit)
 			case ir.OpSub:
@@ -77,15 +79,15 @@ func (a *analysis) evaluate(i *ir.Instr) *expr.Expr {
 		return a.hashOnly(i, a.opaqueBinop(i, b))
 
 	case ir.OpDiv, ir.OpMod:
-		x := a.operandAtom(i.Args[0], b)
-		y := a.operandAtom(i.Args[1], b)
+		x := a.operandAtom(ar.Arg(i, 0), b)
+		y := a.operandAtom(ar.Arg(i, 1), b)
 		if x.IsBottom() || y.IsBottom() {
 			return a.hashOnly(i, expr.Bot)
 		}
 		if a.cfg.Fold {
 			base := len(a.argbuf)
 			a.argbuf = append(a.argbuf, x, y)
-			e := a.in.Opaque(i.Op, "", a.argbuf[base:])
+			e := a.in.Opaque(op, "", a.argbuf[base:])
 			a.argbuf = a.argbuf[:base]
 			return a.hashOnly(i, e)
 		}
@@ -96,7 +98,7 @@ func (a *analysis) evaluate(i *ir.Instr) *expr.Expr {
 
 	case ir.OpCall:
 		base := len(a.argbuf)
-		for _, v := range i.Args {
+		for _, v := range ar.ArgIDs(i) {
 			av := a.operandAtom(v, b)
 			if av.IsBottom() {
 				a.argbuf = a.argbuf[:base]
@@ -104,42 +106,48 @@ func (a *analysis) evaluate(i *ir.Instr) *expr.Expr {
 			}
 			a.argbuf = append(a.argbuf, av)
 		}
-		e := a.in.Opaque(ir.OpCall, i.Name, a.argbuf[base:])
+		e := a.in.Opaque(ir.OpCall, ar.NameOf(i), a.argbuf[base:])
 		a.argbuf = a.argbuf[:base]
 		return a.hashOnly(i, e)
 	}
 	// VarRead/VarWrite never reach here (SSA verified); defensive.
-	return a.in.Unique(i.ID)
+	return a.in.Unique(int(i))
 }
 
 // hashOnly implements the Wegman–Zadeck emulation (§2.9): non-constant
 // expressions are replaced by the instruction's own value, so only
 // constants are ever congruent.
-func (a *analysis) hashOnly(i *ir.Instr, e *expr.Expr) *expr.Expr {
+//
+//pgvn:hotpath
+func (a *analysis) hashOnly(i ir.InstrID, e *expr.Expr) *expr.Expr {
 	if !a.cfg.HashOnly || e.IsBottom() {
 		return e
 	}
 	if _, isConst := e.IsConst(); isConst {
 		return e
 	}
-	return a.in.Unique(i.ID)
+	return a.in.Unique(int(i))
 }
 
 // opaqueBinop builds the no-folding expression for a binary operation:
 // operand order canonicalized for commutative operators (by rank) so that
 // pure optimistic value numbering still sees add(x,y) = add(y,x).
-func (a *analysis) opaqueBinop(i *ir.Instr, b *ir.Block) *expr.Expr {
-	x := a.operandAtom(i.Args[0], b)
-	y := a.operandAtom(i.Args[1], b)
+//
+//pgvn:hotpath
+func (a *analysis) opaqueBinop(i ir.InstrID, b ir.BlockID) *expr.Expr {
+	ar := a.ar
+	x := a.operandAtom(ar.Arg(i, 0), b)
+	y := a.operandAtom(ar.Arg(i, 1), b)
 	if x.IsBottom() || y.IsBottom() {
 		return expr.Bot
 	}
-	if i.Op.IsCommutative() && atomRank(x) > atomRank(y) {
+	op := ar.Op(i)
+	if op.IsCommutative() && atomRank(x) > atomRank(y) {
 		x, y = y, x
 	}
 	base := len(a.argbuf)
 	a.argbuf = append(a.argbuf, x, y)
-	e := a.in.Opaque(i.Op, "", a.argbuf[base:])
+	e := a.in.Opaque(op, "", a.argbuf[base:])
 	a.argbuf = a.argbuf[:base]
 	return e
 }
@@ -155,31 +163,34 @@ func atomRank(e *expr.Expr) int {
 // value inference, difference-based folding through the reassociation
 // algebra ((x+1) < (x+2) folds), canonical predicate construction, then
 // predicate inference against dominating edges.
-func (a *analysis) evaluateCompare(i *ir.Instr) *expr.Expr {
-	b := i.Block
-	x := a.operandAtom(i.Args[0], b)
-	y := a.operandAtom(i.Args[1], b)
+//
+//pgvn:hotpath
+func (a *analysis) evaluateCompare(i ir.InstrID) *expr.Expr {
+	ar := a.ar
+	b := ar.BlockOf(i)
+	op := ar.Op(i)
+	x := a.operandAtom(ar.Arg(i, 0), b)
+	y := a.operandAtom(ar.Arg(i, 1), b)
 	if x.IsBottom() || y.IsBottom() {
 		return expr.Bot
 	}
 	if a.cfg.Fold && a.cfg.Reassociate {
-		xs := a.operandForAlgebra(i.Args[0], b)
-		ys := a.operandForAlgebra(i.Args[1], b)
+		xs := a.operandForAlgebra(ar.Arg(i, 0), b)
+		ys := a.operandForAlgebra(ar.Arg(i, 1), b)
 		if !xs.IsBottom() && !ys.IsBottom() {
 			if d := a.in.Sub(xs, ys, a.cfg.ReassocLimit); d != nil {
 				if c, ok := d.IsConst(); ok {
-					return a.in.Compare(i.Op, a.in.Const(c), a.in.Const(0))
+					return a.in.Compare(op, a.in.Const(c), a.in.Const(0))
 				}
 			}
 		}
 	}
 	var e *expr.Expr
 	if a.cfg.Fold {
-		e = a.in.Compare(i.Op, x, y)
+		e = a.in.Compare(op, x, y)
 	} else {
 		// No folding: hash the comparison structurally (still with
 		// commutative canonicalization for = and ≠).
-		op := i.Op
 		if op.IsCommutative() && atomRank(x) > atomRank(y) {
 			x, y = y, x
 		}
@@ -189,7 +200,7 @@ func (a *analysis) evaluateCompare(i *ir.Instr) *expr.Expr {
 		a.argbuf = a.argbuf[:base]
 	}
 	if e.Kind == expr.Compare && a.cfg.PredicateInference {
-		e = a.inferValueOfPredicate(e, b)
+		e = a.inferValueOfPredicate(e, int32(b))
 	}
 	return e
 }
@@ -200,24 +211,40 @@ func (a *analysis) evaluateCompare(i *ir.Instr) *expr.Expr {
 // argument order follows CANONICAL; the tag is the block predicate when
 // φ-predication produced one, otherwise the block itself; and a φ whose
 // remaining arguments agree reduces to that argument.
-func (a *analysis) evaluatePhi(i *ir.Instr) *expr.Expr {
-	b := i.Block
-	if a.cfg.Mode != Optimistic && a.hasBackIn[b.ID] {
-		return a.in.Unique(i.ID) // cyclic φ under balanced/pessimistic
+//
+//pgvn:hotpath
+func (a *analysis) evaluatePhi(i ir.InstrID) *expr.Expr {
+	ar := a.ar
+	b := ar.BlockOf(i)
+	if a.cfg.Mode != Optimistic && a.hasBackIn[b] {
+		return a.in.Unique(int(i)) // cyclic φ under balanced/pessimistic
 	}
-	edges := a.incomingOrder(b)
+	predStart := ar.PredStart(b)
 	base := len(a.phiArgs)
-	for _, e := range edges {
-		if !a.edgeReach[a.edgeIdx(e)] {
-			continue
+	if canon := a.canonicalIn(b); canon != nil {
+		for _, eid := range canon {
+			if !a.edgeReach[eid] {
+				continue
+			}
+			av := a.inferValueAtEdge(ar.Arg(i, int(eid-predStart)), eid)
+			if av.IsBottom() {
+				// Optimistically ignore ⊥ (its definition will re-touch
+				// this φ when it becomes determined).
+				continue
+			}
+			a.phiArgs = append(a.phiArgs, av)
 		}
-		av := a.inferValueAtEdge(i.Args[e.InIndex()], e)
-		if av.IsBottom() {
-			// Optimistically ignore ⊥ (its definition will re-touch
-			// this φ when it becomes determined).
-			continue
+	} else {
+		for eid := predStart; eid < ar.PredEnd(b); eid++ {
+			if !a.edgeReach[eid] {
+				continue
+			}
+			av := a.inferValueAtEdge(ar.Arg(i, int(eid-predStart)), eid)
+			if av.IsBottom() {
+				continue
+			}
+			a.phiArgs = append(a.phiArgs, av)
 		}
-		a.phiArgs = append(a.phiArgs, av)
 	}
 	if len(a.phiArgs) == base {
 		return expr.Bot
@@ -227,7 +254,7 @@ func (a *analysis) evaluatePhi(i *ir.Instr) *expr.Expr {
 	if e.Kind == expr.Value {
 		// §3: when an expression reduces to a variable, value inference
 		// can be reapplied to it (here: at the φ's own block).
-		e = a.inferAtomAtBlock(e, b)
+		e = a.inferAtomAtBlock(e, int32(b))
 	}
 	return e
 }
@@ -235,30 +262,36 @@ func (a *analysis) evaluatePhi(i *ir.Instr) *expr.Expr {
 // phiTag returns the φ tag of a block: its predicate when φ-predication
 // computed one, else the block itself (preventing congruence of φs in
 // blocks whose predicates are unknown, §2.2).
-func (a *analysis) phiTag(b *ir.Block) *expr.Expr {
+//
+//pgvn:hotpath
+func (a *analysis) phiTag(b ir.BlockID) *expr.Expr {
 	if a.cfg.PhiPredication {
-		if p := a.blockPred[b.ID]; p != nil {
+		if p := a.blockPred[b]; p != nil {
 			return p
 		}
 	}
-	return a.in.BlockTag(b.ID)
+	return a.in.BlockTag(int(b))
 }
 
-// incomingOrder returns the block's reachable incoming edges in CANONICAL
-// order when φ-predication established one, otherwise in predecessor
-// order.
-func (a *analysis) incomingOrder(b *ir.Block) []*ir.Edge {
+// canonicalIn returns the block's incoming edges in CANONICAL order when
+// φ-predication established one, otherwise nil (meaning: iterate the
+// natural [PredStart, PredEnd) range, which is predecessor order).
+//
+//pgvn:hotpath
+func (a *analysis) canonicalIn(b ir.BlockID) []ir.EdgeID {
 	if a.cfg.PhiPredication {
-		if c := a.canonical[b.ID]; c != nil && a.blockPred[b.ID] != nil {
+		if c := a.canonical[b]; c != nil && a.blockPred[b] != nil {
 			return c
 		}
 	}
-	return b.Preds
+	return nil
 }
 
 // operandAtom symbolically evaluates operand v as used in block b: value
 // inference (Figure 7) then the class leader.
-func (a *analysis) operandAtom(v *ir.Instr, b *ir.Block) *expr.Expr {
+//
+//pgvn:hotpath
+func (a *analysis) operandAtom(v ir.InstrID, b ir.BlockID) *expr.Expr {
 	if a.cfg.ValueInference {
 		return a.inferValueAtBlock(v, b)
 	}
@@ -268,7 +301,9 @@ func (a *analysis) operandAtom(v *ir.Instr, b *ir.Block) *expr.Expr {
 // operandForAlgebra returns the view of operand v that participates in
 // reassociation: the constant leader, the defining sum-of-products under
 // forward propagation, or the leader atom.
-func (a *analysis) operandForAlgebra(v *ir.Instr, b *ir.Block) *expr.Expr {
+//
+//pgvn:hotpath
+func (a *analysis) operandForAlgebra(v ir.InstrID, b ir.BlockID) *expr.Expr {
 	atom := a.operandAtom(v, b)
 	if atom.IsBottom() {
 		return expr.Bot

@@ -26,10 +26,14 @@ type Tree struct {
 	// contained[blockID] reports membership in the covered subgraph.
 	contained []bool
 	// pre/postNum give the Euler-tour interval of each block in the tree
-	// (virtual exit excluded), for O(1) dominance queries.
+	// (virtual exit excluded), for O(1) dominance queries. Both are carved
+	// from nums so a pooled tree recycles one backing allocation.
+	nums            []int
 	preNum, postNum []int
-	// children[blockID] lists tree children in deterministic order.
+	// children[blockID] lists tree children in deterministic order; the
+	// lists are carved CSR-style from flat.
 	children [][]*ir.Block
+	flat     []*ir.Block
 	// rootBlocks lists the tree roots among real blocks: for a forward
 	// tree, just the entry; for a postdominator tree, the real-block
 	// children of the virtual exit.
@@ -46,23 +50,25 @@ func New(r *ir.Routine) *Tree {
 // edgeIn is nil), starting from the entry block. Blocks not reachable
 // through such edges are excluded from the tree.
 func NewReachable(r *ir.Routine, edgeIn func(*ir.Edge) bool) *Tree {
-	t := &Tree{routine: r}
 	n := r.NumBlockIDs()
+	t := getTree(r, false, n)
+	cs := getConstr()
+	defer cs.release()
 
-	// RPO of the subgraph.
-	rpoNum := make([]int, n)
+	// RPO of the subgraph. t.contained doubles as the DFS visited set —
+	// exactly the blocks the DFS reaches are contained.
+	rpoNum := cs.intsN(n)
 	for i := range rpoNum {
 		rpoNum[i] = -1
 	}
-	var order []*ir.Block
-	type frame struct {
-		b    *ir.Block
-		next int
-	}
-	seen := make([]bool, n)
-	stack := []frame{{b: r.Entry()}}
+	seen := t.contained
+	// DFS stack depth and post-order length are bounded by the block
+	// count, so the carved capacities below never grow.
+	stack := cs.bframesN(n)
+	blocks := cs.blocksN(2 * n)
+	postOrd, np := blocks[:n], 0
+	stack = append(stack, bframe{b: r.Entry()})
 	seen[r.Entry().ID] = true
-	var postOrd []*ir.Block
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
 		if f.next < len(f.b.Succs) {
@@ -73,22 +79,25 @@ func NewReachable(r *ir.Routine, edgeIn func(*ir.Edge) bool) *Tree {
 			}
 			if !seen[e.To.ID] {
 				seen[e.To.ID] = true
-				stack = append(stack, frame{b: e.To})
+				stack = append(stack, bframe{b: e.To})
 			}
 			continue
 		}
-		postOrd = append(postOrd, f.b)
+		postOrd[np] = f.b
+		np++
 		stack = stack[:len(stack)-1]
 	}
-	order = make([]*ir.Block, len(postOrd))
-	for i, b := range postOrd {
-		k := len(postOrd) - 1 - i
+	order := blocks[n : n+np]
+	for i := 0; i < np; i++ {
+		b := postOrd[i]
+		k := np - 1 - i
 		order[k] = b
 		rpoNum[b.ID] = k
 	}
 
-	// Iterative idom computation (Cooper–Harvey–Kennedy).
-	idom := make([]*ir.Block, n)
+	// Iterative idom computation (Cooper–Harvey–Kennedy), written into
+	// the tree's (cleared) idom array directly.
+	idom := t.idom
 	entry := r.Entry()
 	idom[entry.ID] = entry
 	intersect := func(a, b *ir.Block) *ir.Block {
@@ -128,37 +137,52 @@ func NewReachable(r *ir.Routine, edgeIn func(*ir.Edge) bool) *Tree {
 	}
 	idom[entry.ID] = nil // the root has no immediate dominator
 
-	t.idom = idom
-	t.contained = seen
-	t.rootBlocks = []*ir.Block{entry}
-	t.finish(order)
+	t.rootBlocks = append(t.rootBlocks, entry)
+	t.finish(order, cs)
 	return t
 }
 
 // finish builds child lists and the Euler-tour numbering. order must list
 // contained blocks with parents before children (an RPO works for forward
 // trees; for postdominator trees the caller passes a reverse-graph RPO).
-func (t *Tree) finish(order []*ir.Block) {
+// cs provides the Euler-tour stack; callers pass their construction
+// scratch, whose earlier carves are dead by the time finish runs.
+func (t *Tree) finish(order []*ir.Block, cs *constrScratch) {
 	n := len(t.idom)
-	t.children = make([][]*ir.Block, n)
+	// CSR child lists: count per parent (preNum doubles as the counting
+	// scratch — the Euler tour below rewrites it; getTree zeroed it),
+	// carve one flat payload, fill in order so parents precede children
+	// deterministically.
+	nc := 0
+	for _, b := range order {
+		if p := t.idom[b.ID]; p != nil {
+			t.preNum[p.ID]++
+			nc++
+		}
+	}
+	if cap(t.flat) < nc {
+		t.flat = make([]*ir.Block, nc)
+	}
+	t.flat = t.flat[:nc]
+	flat := t.flat
+	off := 0
+	for i := 0; i < n; i++ {
+		c := t.preNum[i]
+		t.children[i] = flat[off : off : off+c]
+		off += c
+	}
 	for _, b := range order {
 		if p := t.idom[b.ID]; p != nil {
 			t.children[p.ID] = append(t.children[p.ID], b)
 		}
 	}
-	t.preNum = make([]int, n)
-	t.postNum = make([]int, n)
 	for i := range t.preNum {
 		t.preNum[i] = -1
 	}
 	clock := 0
-	type frame struct {
-		b    *ir.Block
-		next int
-	}
-	var stack []frame
+	stack := cs.bframesN(n)
 	for _, root := range t.rootBlocks {
-		stack = append(stack, frame{b: root})
+		stack = append(stack, bframe{b: root})
 		t.preNum[root.ID] = clock
 		clock++
 		for len(stack) > 0 {
@@ -168,7 +192,7 @@ func (t *Tree) finish(order []*ir.Block) {
 				f.next++
 				t.preNum[c.ID] = clock
 				clock++
-				stack = append(stack, frame{b: c})
+				stack = append(stack, bframe{b: c})
 				continue
 			}
 			t.postNum[f.b.ID] = clock
@@ -243,4 +267,34 @@ func (t *Tree) Frontier() [][]*ir.Block {
 		}
 	}
 	return df
+}
+
+// ContainsID is Contains by block id (arena-ported consumers query by
+// dense ids without materializing *ir.Block).
+//
+//pgvn:hotpath
+func (t *Tree) ContainsID(b int) bool { return t.contained[b] }
+
+// IDomID returns the immediate dominator's block id, or -1 under the
+// same conditions IDom returns nil.
+//
+//pgvn:hotpath
+func (t *Tree) IDomID(b int) int {
+	if d := t.idom[b]; d != nil {
+		return d.ID
+	}
+	return -1
+}
+
+// DominatesID is Dominates by block id.
+//
+//pgvn:hotpath
+func (t *Tree) DominatesID(a, b int) bool {
+	if !t.contained[a] || !t.contained[b] {
+		return false
+	}
+	if t.preNum[a] < 0 || t.preNum[b] < 0 {
+		return false
+	}
+	return t.preNum[a] <= t.preNum[b] && t.postNum[b] <= t.postNum[a]
 }

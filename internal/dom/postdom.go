@@ -11,15 +11,21 @@ import "pgvn/internal/ir"
 // On the returned tree, Dominates(a, b) reads "a postdominates b"; IDom
 // returns the immediate postdominator (nil when it is the virtual exit).
 func NewPost(r *ir.Routine) *Tree {
-	t := &Tree{routine: r, post: true}
 	n := r.NumBlockIDs()
+	t := getTree(r, true, n)
+	cs := getConstr()
+	defer cs.release()
 	virtual := n // index of the virtual exit in the int-based arrays
-	byID := make([]*ir.Block, n)
+
+	// One blocks carve per construction: byID stays live through the CHK
+	// loop, exits through the DFS, order through finish.
+	blocks := cs.blocksN(3 * n)
+	byID := blocks[:n]
+	clear(byID)
 	for _, b := range r.Blocks {
 		byID[b.ID] = b
 	}
-
-	var exits []*ir.Block
+	exits := blocks[n : n : 2*n]
 	for _, b := range r.Blocks {
 		if term := b.Terminator(); term != nil && term.Op == ir.OpReturn {
 			exits = append(exits, b)
@@ -27,46 +33,47 @@ func NewPost(r *ir.Routine) *Tree {
 	}
 
 	// Reverse-graph RPO from the virtual exit. Successor order in the
-	// reverse graph is the deterministic Preds order.
-	rpoNum := make([]int, n+1)
-	for i := range rpoNum {
+	// reverse graph is the deterministic Preds order. All int arrays are
+	// one carve; the post-order length is bounded by n+1 nodes.
+	nv := n + 1
+	ints := cs.intsN(4 * nv)
+	rpoNum := ints[:nv]
+	idom := ints[nv : 2*nv]
+	postOrd := ints[2*nv : 2*nv : 3*nv]
+	orderIDs := ints[3*nv : 4*nv]
+	for i := 0; i < nv; i++ {
 		rpoNum[i] = -1
+		idom[i] = -1
 	}
-	seen := make([]bool, n+1)
+	seen := cs.boolsN(nv)
 	seen[virtual] = true
-	revSuccs := func(id int) []*ir.Block {
-		if id == virtual {
-			return exits
-		}
-		b := byID[id]
-		preds := make([]*ir.Block, len(b.Preds))
-		for k, e := range b.Preds {
-			preds[k] = e.From
-		}
-		return preds
-	}
-	type frame struct {
-		id   int
-		next int
-	}
-	stack := []frame{{id: virtual}}
-	var postOrd []int
+	stack := cs.iframesN(nv)
+	stack = append(stack, iframe{id: virtual})
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
-		succ := revSuccs(f.id)
-		if f.next < len(succ) {
-			s := succ[f.next]
+		// Reverse-graph successors, iterated in place (the virtual exit's
+		// are the return blocks, a real block's are its CFG predecessors):
+		// the edge list is walked directly so no per-visit slice is built.
+		var s *ir.Block
+		if f.id == virtual {
+			if f.next < len(exits) {
+				s = exits[f.next]
+			}
+		} else if b := byID[f.id]; f.next < len(b.Preds) {
+			s = b.Preds[f.next].From
+		}
+		if s != nil {
 			f.next++
 			if !seen[s.ID] {
 				seen[s.ID] = true
-				stack = append(stack, frame{id: s.ID})
+				stack = append(stack, iframe{id: s.ID})
 			}
 			continue
 		}
 		postOrd = append(postOrd, f.id)
 		stack = stack[:len(stack)-1]
 	}
-	orderIDs := make([]int, len(postOrd))
+	orderIDs = orderIDs[:len(postOrd)]
 	for i, id := range postOrd {
 		k := len(postOrd) - 1 - i
 		orderIDs[k] = id
@@ -74,10 +81,6 @@ func NewPost(r *ir.Routine) *Tree {
 	}
 
 	// CHK over the reverse graph with the virtual exit as root.
-	idom := make([]int, n+1)
-	for i := range idom {
-		idom[i] = -1
-	}
 	idom[virtual] = virtual
 	intersect := func(a, b int) int {
 		for a != b {
@@ -120,8 +123,9 @@ func NewPost(r *ir.Routine) *Tree {
 		}
 	}
 
-	t.idom = make([]*ir.Block, n)
-	t.contained = make([]bool, n)
+	// t.idom and t.contained were cleared by getTree; only contained
+	// blocks are written.
+	order := blocks[2*n : 2*n : 3*n]
 	for _, id := range orderIDs {
 		if id == virtual {
 			continue
@@ -131,7 +135,6 @@ func NewPost(r *ir.Routine) *Tree {
 			t.idom[id] = byID[p]
 		}
 	}
-	var order []*ir.Block
 	for _, id := range orderIDs {
 		if id == virtual {
 			continue
@@ -142,6 +145,6 @@ func NewPost(r *ir.Routine) *Tree {
 			t.rootBlocks = append(t.rootBlocks, b)
 		}
 	}
-	t.finish(order)
+	t.finish(order, cs)
 	return t
 }

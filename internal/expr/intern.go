@@ -25,20 +25,22 @@ import "pgvn/internal/ir"
 // universe: they carry precomputed hashes, are returned by array lookup or
 // identity, and never enter any Interner's bucket chains.
 
-// FNV-1a parameters (64-bit).
+// Hash mixing parameters: the FNV-1a offset seeds the state; words are
+// folded with one multiply by a 64-bit odd constant (splitmix64's
+// increment) plus an xor-shift so the low bits — the bucket index — see
+// every input bit. The hash never influences observable output (identity
+// is structural, chains are searched by equality), so the mixer is chosen
+// purely for speed: one multiply per word instead of FNV's eight.
 const (
 	fnvOffset uint64 = 14695981039346656037
 	fnvPrime  uint64 = 1099511628211
+	mixMul    uint64 = 0x9E3779B97F4A7C15
 )
 
-// fnv1aWord folds one 64-bit word into h a byte at a time.
+// fnv1aWord folds one 64-bit word into h.
 func fnv1aWord(h, w uint64) uint64 {
-	for i := 0; i < 8; i++ {
-		h ^= w & 0xff
-		h *= fnvPrime
-		w >>= 8
-	}
-	return h
+	h = (h ^ w) * mixMul
+	return h ^ (h >> 32)
 }
 
 func fnv1aString(h uint64, s string) uint64 {
@@ -135,6 +137,82 @@ type Interner struct {
 	terms   []Term
 	factors []ValueRef
 	flat    []*Expr
+
+	// Bump chunks canonical nodes and their payloads are carved from, so
+	// an intern miss costs a slab advance instead of two heap objects.
+	// Chunks grow geometrically. Carved elements are handed out exactly
+	// once and never reclaimed, so the unused tail stays valid across
+	// Reset: a later universe carves from the same chunk without touching
+	// elements retained by earlier results.
+	nodes     []Expr
+	nodeChunk int
+	argSlab   []*Expr
+	argChunk  int
+	termSlab  []Term
+	termChunk int
+	facSlab   []ValueRef
+	facChunk  int
+}
+
+// newNode carves one zeroed canonical node from the bump chunk.
+//
+//pgvn:hotpath
+func (in *Interner) newNode() *Expr {
+	if len(in.nodes) == 0 {
+		in.nodeChunk = min(max(2*in.nodeChunk, 64), 2048)
+		//pgvn:allow hotpathalloc: slab refill, amortized over the chunk
+		in.nodes = make([]Expr, in.nodeChunk)
+	}
+	e := &in.nodes[0]
+	in.nodes = in.nodes[1:]
+	return e
+}
+
+// argAlloc carves a fixed-capacity canonical Args slice of length n.
+//
+//pgvn:hotpath
+func (in *Interner) argAlloc(n int) []*Expr {
+	if len(in.argSlab) < n {
+		in.argChunk = min(max(2*in.argChunk, 128), 4096)
+		if in.argChunk < n {
+			in.argChunk = n
+		}
+		//pgvn:allow hotpathalloc: slab refill, amortized over the chunk
+		in.argSlab = make([]*Expr, in.argChunk)
+	}
+	s := in.argSlab[:n:n]
+	in.argSlab = in.argSlab[n:]
+	return s
+}
+
+// termAlloc carves a fixed-capacity canonical Terms slice of length n.
+func (in *Interner) termAlloc(n int) []Term {
+	if len(in.termSlab) < n {
+		in.termChunk = min(max(2*in.termChunk, 64), 2048)
+		if in.termChunk < n {
+			in.termChunk = n
+		}
+		//pgvn:allow hotpathalloc: slab refill, amortized over the chunk
+		in.termSlab = make([]Term, in.termChunk)
+	}
+	s := in.termSlab[:n:n]
+	in.termSlab = in.termSlab[n:]
+	return s
+}
+
+// facAlloc carves a fixed-capacity canonical Factors slice of length n.
+func (in *Interner) facAlloc(n int) []ValueRef {
+	if len(in.facSlab) < n {
+		in.facChunk = min(max(2*in.facChunk, 128), 4096)
+		if in.facChunk < n {
+			in.facChunk = n
+		}
+		//pgvn:allow hotpathalloc: slab refill, amortized over the chunk
+		in.facSlab = make([]ValueRef, in.facChunk)
+	}
+	s := in.facSlab[:n:n]
+	in.facSlab = in.facSlab[n:]
+	return s
 }
 
 // NewInterner returns an empty universe sized for roughly hint distinct
@@ -150,6 +228,35 @@ func NewInterner(hint int) *Interner {
 // Size returns the number of interned expressions (shared atoms such as
 // small constants are canonical everywhere and are not counted).
 func (in *Interner) Size() int { return in.count }
+
+// Reset empties the universe for reuse on a new routine, keeping the
+// bucket table and scratch arenas warm (resized for roughly hint distinct
+// expressions). Nodes interned before the reset stay valid — results
+// retain them — but they are no longer canonical in this universe, so a
+// caller must never mix pre- and post-reset nodes in one analysis. The
+// table shrinks when the previous routine left it more than 4× oversized,
+// so one giant routine does not tax every later small one with clearing
+// costs.
+func (in *Interner) Reset(hint int) {
+	need := 64
+	for need*3 < hint*4 { // load ≤ 3/4, as in NewInterner
+		need <<= 1
+	}
+	if need > len(in.tab) || len(in.tab) > 4*need {
+		in.tab = make([]*Expr, need)
+	} else {
+		clear(in.tab)
+	}
+	in.count = 0
+	in.terms = in.terms[:0]
+	in.factors = in.factors[:0]
+	in.flat = in.flat[:0]
+	// The bump-chunk tails deliberately survive: their elements were
+	// never handed out, so the next universe can carve them while earlier
+	// results keep the elements they escaped with (a freed result only
+	// unpins a chunk once every universe that carved from it is done —
+	// bounded by one chunk per slab).
+}
 
 func (in *Interner) bucket(h uint64) *Expr {
 	return in.tab[h&uint64(len(in.tab)-1)]
@@ -195,7 +302,9 @@ func (in *Interner) Const(c int64) *Expr {
 			return e
 		}
 	}
-	return in.add(h, &Expr{Kind: Const, C: c})
+	e := in.newNode()
+	e.Kind, e.C = Const, c
+	return in.add(h, e)
 }
 
 // Value returns the canonical atom for value id. The first interning fixes
@@ -207,7 +316,9 @@ func (in *Interner) Value(id, rank int) *Expr {
 			return e
 		}
 	}
-	return in.add(h, &Expr{Kind: Value, C: int64(id), Rank: rank})
+	e := in.newNode()
+	e.Kind, e.C, e.Rank = Value, int64(id), rank
+	return in.add(h, e)
 }
 
 // Unique returns the canonical self-congruent expression of value id.
@@ -218,7 +329,9 @@ func (in *Interner) Unique(id int) *Expr {
 			return e
 		}
 	}
-	return in.add(h, &Expr{Kind: Unique, C: int64(id)})
+	e := in.newNode()
+	e.Kind, e.C = Unique, int64(id)
+	return in.add(h, e)
 }
 
 // BlockTag returns the canonical tag of block id.
@@ -229,7 +342,9 @@ func (in *Interner) BlockTag(id int) *Expr {
 			return e
 		}
 	}
-	return in.add(h, &Expr{Kind: BlockTag, C: int64(id)})
+	e := in.newNode()
+	e.Kind, e.C = BlockTag, int64(id)
+	return in.add(h, e)
 }
 
 // internNode interns an interior node with the given canonical children,
@@ -243,7 +358,11 @@ func (in *Interner) internNode(k Kind, op ir.Op, name string, args []*Expr) *Exp
 			return e
 		}
 	}
-	return in.add(h, &Expr{Kind: k, Op: op, Name: name, Args: append([]*Expr(nil), args...)})
+	e := in.newNode()
+	e.Kind, e.Op, e.Name = k, op, name
+	e.Args = in.argAlloc(len(args))
+	copy(e.Args, args)
+	return in.add(h, e)
 }
 
 // Compare builds the canonical comparison a op b (NewCompare semantics).
@@ -262,8 +381,11 @@ func (in *Interner) Compare(op ir.Op, a, b *Expr) *Expr {
 			return e
 		}
 	}
-	//pgvn:allow hotpathalloc: the canonical node is built once per unique comparison (intern miss)
-	return in.add(h, &Expr{Kind: Compare, Op: op, Args: []*Expr{a, b}})
+	e := in.newNode()
+	e.Kind, e.Op = Compare, op
+	e.Args = in.argAlloc(2)
+	e.Args[0], e.Args[1] = a, b
+	return in.add(h, e)
 }
 
 // NegateCompare returns the canonical negation of a comparison.
@@ -320,10 +442,12 @@ func (in *Interner) Phi(tag *Expr, args []*Expr) *Expr {
 			return e
 		}
 	}
-	all := make([]*Expr, 0, len(args)+1)
-	all = append(all, tag)
-	all = append(all, args...)
-	return in.add(h, &Expr{Kind: Phi, Args: all})
+	e := in.newNode()
+	e.Kind = Phi
+	e.Args = in.argAlloc(len(args) + 1)
+	e.Args[0] = tag
+	copy(e.Args[1:], args)
+	return in.add(h, e)
 }
 
 // And conjoins canonical predicates with NewAnd's flattening and constant
@@ -407,11 +531,15 @@ func (in *Interner) internSum(out []Term) *Expr {
 			return e
 		}
 	}
-	ts := make([]Term, len(out))
+	ts := in.termAlloc(len(out))
 	for i, t := range out {
-		ts[i] = Term{Coeff: t.Coeff, Factors: append([]ValueRef(nil), t.Factors...)}
+		fs := in.facAlloc(len(t.Factors))
+		copy(fs, t.Factors)
+		ts[i] = Term{Coeff: t.Coeff, Factors: fs}
 	}
-	return in.add(h, &Expr{Kind: Sum, Terms: ts})
+	e := in.newNode()
+	e.Kind, e.Terms = Sum, ts
+	return in.add(h, e)
 }
 
 // termLen returns e's term count in the reassociation algebra, or false
@@ -589,7 +717,9 @@ func (in *Interner) Canon(e *Expr) *Expr {
 				return c
 			}
 		}
-		return in.add(h, &Expr{Kind: Sum, Terms: e.Terms})
+		c := in.newNode()
+		c.Kind, c.Terms = Sum, e.Terms
+		return in.add(h, c)
 	default: // Compare, Phi, And, Or, Opaque
 		base := len(in.flat)
 		for _, a := range e.Args {

@@ -1,0 +1,156 @@
+package ir_test
+
+// The codec round-trip tests live in the external test package so they
+// can parse real corpus sources through package parser and build SSA
+// with package ssa — the same shapes the gvnd store and peer fill
+// actually serialize.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+
+	"pgvn/internal/ir"
+	"pgvn/internal/parser"
+	"pgvn/internal/ssa"
+	"pgvn/internal/workload"
+)
+
+// codecCorpus gathers routines spanning the codec's feature space:
+// hand-written testdata (φs after SSA, switches, calls), generated
+// workload routines (pre-SSA VarRead/VarWrite forms) and their SSA
+// conversions.
+func codecCorpus(t testing.TB) []*ir.Routine {
+	var routines []*ir.Routine
+	for _, file := range []string{"../../testdata/figure1.ir", "../../testdata/realistic.ir"} {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := parser.Parse(string(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		routines = append(routines, rs...)
+	}
+	for _, bm := range workload.Corpus(0.02) {
+		for _, r := range bm.Routines {
+			routines = append(routines, r)
+			clone := r.Clone()
+			ssa.Build(clone, ssa.SemiPruned)
+			routines = append(routines, clone)
+		}
+	}
+	if len(routines) < 10 {
+		t.Fatalf("corpus too small: %d routines", len(routines))
+	}
+	return routines
+}
+
+func TestIRCodecRoundTrip(t *testing.T) {
+	for _, r := range codecCorpus(t) {
+		data := ir.Marshal(r)
+		got, err := ir.Unmarshal(data)
+		if err != nil {
+			t.Fatalf("%s: Unmarshal: %v", r.Name, err)
+		}
+		if err := r.Verify(); err == nil {
+			if err := got.Verify(); err != nil {
+				t.Fatalf("%s: decoded routine fails Verify: %v", r.Name, err)
+			}
+		}
+		if got.String() != r.String() {
+			t.Fatalf("%s: decoded routine prints differently:\n--- want\n%s\n--- got\n%s",
+				r.Name, r.String(), got.String())
+		}
+		if got.NumInstrIDs() != r.NumInstrIDs() || got.NumBlockIDs() != r.NumBlockIDs() {
+			t.Fatalf("%s: id bounds changed: instrs %d->%d, blocks %d->%d", r.Name,
+				r.NumInstrIDs(), got.NumInstrIDs(), r.NumBlockIDs(), got.NumBlockIDs())
+		}
+		// IDs are part of the contract (dense side tables key on them).
+		wantIDs := collectIDs(r)
+		gotIDs := collectIDs(got)
+		if len(wantIDs) != len(gotIDs) {
+			t.Fatalf("%s: instruction count changed", r.Name)
+		}
+		for k := range wantIDs {
+			if wantIDs[k] != gotIDs[k] {
+				t.Fatalf("%s: instruction id order changed at %d: %d != %d",
+					r.Name, k, wantIDs[k], gotIDs[k])
+			}
+		}
+		// A second marshal of the decoded routine is byte-identical:
+		// the encoding is canonical.
+		if !bytes.Equal(ir.Marshal(got), data) {
+			t.Fatalf("%s: re-marshal differs from original encoding", r.Name)
+		}
+	}
+}
+
+func collectIDs(r *ir.Routine) []int {
+	var ids []int
+	r.Instrs(func(i *ir.Instr) { ids = append(ids, i.ID) })
+	return ids
+}
+
+func TestIRCodecRejectsCorruptInput(t *testing.T) {
+	r, err := parser.Parse("func f(a) {\nentry:\n  v = a + a\n  return v\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := ir.Marshal(r[0])
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("XXXX"),
+		"truncated":   data[:len(data)/2],
+		"trailing":    append(append([]byte(nil), data...), 0),
+		"bad version": append([]byte("PGVN"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01),
+	}
+	for name, in := range cases {
+		if _, err := ir.Unmarshal(in); !errors.Is(err, ir.ErrCodec) {
+			t.Errorf("%s: Unmarshal = %v, want ErrCodec", name, err)
+		}
+	}
+	// Single flipped bytes must error or decode — never panic, and a
+	// successful decode must still re-marshal cleanly.
+	for off := range data {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), data...)
+			mut[off] ^= bit
+			r, err := ir.Unmarshal(mut)
+			if err == nil {
+				_ = r.String()
+				_ = ir.Marshal(r)
+			}
+		}
+	}
+}
+
+// FuzzIRCodec holds the decoder to its contract: arbitrary bytes either
+// fail with an error or decode to a routine that prints, re-marshals
+// and re-decodes to the same routine. Corpus encodings seed the fuzzer
+// so mutations explore the valid-format neighborhood.
+func FuzzIRCodec(f *testing.F) {
+	for _, r := range codecCorpus(f) {
+		f.Add(ir.Marshal(r))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ir.Unmarshal(data)
+		if err != nil {
+			if !errors.Is(err, ir.ErrCodec) {
+				t.Fatalf("Unmarshal error does not wrap ErrCodec: %v", err)
+			}
+			return
+		}
+		text := r.String()
+		enc := ir.Marshal(r)
+		r2, err := ir.Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("re-decoding a just-marshaled routine failed: %v", err)
+		}
+		if r2.String() != text {
+			t.Fatalf("round trip changed the routine:\n--- first\n%s\n--- second\n%s", text, r2.String())
+		}
+	})
+}

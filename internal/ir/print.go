@@ -14,7 +14,9 @@ func sprintInstr(i *Instr) string {
 
 func writeInstr(sb *strings.Builder, i *Instr) {
 	arg := func(k int) string {
-		if i.Args[k] == nil {
+		// Guard the slot too: rendering a malformed instruction (in a
+		// Verify error, say) must not panic on an understated arity.
+		if k >= len(i.Args) || i.Args[k] == nil {
 			return "<nil>"
 		}
 		return i.Args[k].ValueName()

@@ -79,6 +79,7 @@ type pass struct {
 
 	availOut []bitset // by block ID; path availability of each class
 	anticIn  []bitset // by block ID; anticipability of each class
+	work     bitset   // processMerge candidate scratch, zeroed per merge
 
 	extra       map[core.ClassID][]*ir.Instr // members created by this pass
 	created     map[*ir.Instr]bool           // set view of extra
@@ -93,17 +94,22 @@ type pass struct {
 // redundancies remain) and before dead-code elimination (which collects
 // the replaced computations and any speculative φ that found no use).
 func Run(res *core.Result, opts Options) (Stats, error) {
+	// The bookkeeping maps (extra, created, splitOrigin, consts) are
+	// allocated lazily at their first write: most routines have no
+	// transformable redundancy, and nil maps read as empty.
 	p := &pass{
-		res:         res,
-		r:           res.Routine,
-		part:        res.Partition(),
-		order:       cfg.ReversePostOrder(res.Routine),
-		tr:          opts.Tracer,
-		extra:       map[core.ClassID][]*ir.Instr{},
-		created:     map[*ir.Instr]bool{},
-		splitOrigin: map[*ir.Block]*ir.Block{},
-		consts:      map[int64]*ir.Instr{},
+		res:   res,
+		r:     res.Routine,
+		part:  res.Partition(),
+		order: cfg.ReversePostOrder(res.Routine),
+		tr:    opts.Tracer,
 	}
+	// The RPO, the partition snapshot and the dominator tree are
+	// construction-local to this call; returning them to their package
+	// pools keeps batch runs (one PRE pass per routine) off the
+	// allocator.
+	defer p.order.Release()
+	defer p.part.Release()
 	if p.part.NumClasses() == 0 {
 		return p.stats, nil
 	}
@@ -113,19 +119,33 @@ func Run(res *core.Result, opts Options) (Stats, error) {
 		return p.stats, nil
 	}
 	p.tree = dom.New(p.r)
+	defer p.tree.Release()
 	p.nblk = p.r.NumBlockIDs()
 	p.dataflow()
-	for _, b := range merges {
-		p.processMerge(b, flags[b.ID])
+	for i, b := range merges {
+		p.processMerge(b, flags[i])
 	}
 	return p.stats, nil
 }
 
 // mergeSites collects the transformable merge blocks and the
 // per-predecessor placement flags, before any mutation.
-func (p *pass) mergeSites() ([]*ir.Block, map[int][]predFlags) {
-	var merges []*ir.Block
-	flags := map[int][]predFlags{}
+// flags[i] holds the verdicts for merges[i], carved from one counted
+// backing allocation.
+func (p *pass) mergeSites() ([]*ir.Block, [][]predFlags) {
+	nm, total := 0, 0
+	for _, b := range p.order.Blocks {
+		if len(b.Preds) >= 2 {
+			nm++
+			total += len(b.Preds)
+		}
+	}
+	if nm == 0 {
+		return nil, nil
+	}
+	merges := make([]*ir.Block, 0, nm)
+	flags := make([][]predFlags, 0, nm)
+	all := make([]predFlags, 0, total)
 	for _, b := range p.order.Blocks {
 		if len(b.Preds) < 2 {
 			continue
@@ -142,15 +162,15 @@ func (p *pass) mergeSites() ([]*ir.Block, map[int][]predFlags) {
 			}
 			return false
 		}
-		fs := make([]predFlags, len(b.Preds))
-		for k, e := range b.Preds {
-			fs[k] = predFlags{
+		start := len(all)
+		for _, e := range b.Preds {
+			all = append(all, predFlags{
 				back: p.order.IsBackEdge(e),
 				ok:   p.res.EdgeReachable(e) && inCanon(e),
-			}
+			})
 		}
 		merges = append(merges, b)
-		flags[b.ID] = fs
+		flags = append(flags, all[start:len(all):len(all)])
 	}
 	return merges, flags
 }
@@ -167,9 +187,20 @@ func (p *pass) dataflow() {
 	gen := make([]bitset, nb)
 	p.availOut = make([]bitset, nb)
 	p.anticIn = make([]bitset, nb)
+	// All per-block vectors (plus the meet scratch) are carved from one
+	// counted words allocation: four bitsets per reachable block, each
+	// (nc+63)/64 words. Statically unreachable blocks keep zero-value
+	// bitsets, exactly as before.
+	ww := (nc + 63) / 64
+	backing := make([]uint64, (4*len(p.order.Blocks)+2)*ww)
+	carve := func() bitset {
+		s := bitset{n: nc, words: backing[:ww:ww]}
+		backing = backing[ww:]
+		return s
+	}
 	for _, b := range p.order.Blocks {
-		defs[b.ID] = newBitset(nc)
-		gen[b.ID] = newBitset(nc)
+		defs[b.ID] = carve()
+		gen[b.ID] = carve()
 		for _, i := range b.Instrs {
 			c := p.part.ClassOf(i)
 			if c == core.NoClass {
@@ -183,8 +214,8 @@ func (p *pass) dataflow() {
 	}
 	entry := p.r.Entry()
 	for _, b := range p.order.Blocks {
-		p.availOut[b.ID] = newBitset(nc)
-		p.anticIn[b.ID] = newBitset(nc)
+		p.availOut[b.ID] = carve()
+		p.anticIn[b.ID] = carve()
 		if b != entry {
 			p.availOut[b.ID].fill()
 		} else {
@@ -196,7 +227,8 @@ func (p *pass) dataflow() {
 			p.anticIn[b.ID].copyFrom(gen[b.ID])
 		}
 	}
-	tmp := newBitset(nc)
+	p.work = carve()
+	tmp := carve()
 	for changed := true; changed; {
 		changed = false
 		for _, b := range p.order.Blocks {
@@ -310,6 +342,17 @@ func (p *pass) availableMember(c core.ClassID, at *ir.Block) *ir.Instr {
 	return nil
 }
 
+// noteCreated records a pass-created member of class c, allocating the
+// bookkeeping maps on first use.
+func (p *pass) noteCreated(c core.ClassID, i *ir.Instr) {
+	if p.extra == nil {
+		p.extra = map[core.ClassID][]*ir.Instr{}
+		p.created = map[*ir.Instr]bool{}
+	}
+	p.extra[c] = append(p.extra[c], i)
+	p.created[i] = true
+}
+
 // members iterates the analysis members and the pass-created members of c.
 func (p *pass) members(c core.ClassID) []*ir.Instr {
 	ms := p.part.Members(c)
@@ -337,7 +380,8 @@ func (p *pass) processMerge(b *ir.Block, flags []predFlags) {
 	// overwhelming majority of classes word-by-word, without touching
 	// the partition or the dominator tree — this filter is what keeps
 	// the whole pass inside the driver's 1.15x overhead budget.
-	work := newBitset(p.part.NumClasses())
+	work := p.work
+	work.zero()
 	for _, e := range b.Preds {
 		if e.From.ID < p.nblk && p.order.Reachable(e.From) {
 			work.union(p.availOut[e.From.ID])
@@ -431,6 +475,9 @@ func (p *pass) processClass(c core.ClassID, b *ir.Block) {
 			target := e.From
 			if len(target.Succs) > 1 {
 				s := p.r.SplitEdge(e)
+				if p.splitOrigin == nil {
+					p.splitOrigin = map[*ir.Block]*ir.Block{}
+				}
 				p.splitOrigin[s] = target
 				p.stats.EdgeSplits++
 				p.emit(obs.KindOptPREEdgeSplit, s.ID, -1, int64(target.ID), "")
@@ -448,8 +495,7 @@ func (p *pass) processClass(c core.ClassID, b *ir.Block) {
 				ni.Name = tmpl.Name // the callee
 			}
 			args[ins.slot] = ni
-			p.extra[c] = append(p.extra[c], ni)
-			p.created[ni] = true
+			p.noteCreated(c, ni)
 			p.createdCls.set(int(c))
 			p.stats.Insertions++
 			p.emit(obs.KindOptPREInsert, target.ID, ni.ID, int64(tmpl.ID), p.exprKey(c))
@@ -461,8 +507,7 @@ func (p *pass) processClass(c core.ClassID, b *ir.Block) {
 	for k, a := range args {
 		phi.SetArg(k, a)
 	}
-	p.extra[c] = append(p.extra[c], phi)
-	p.created[phi] = true
+	p.noteCreated(c, phi)
 	p.createdCls.set(int(c))
 	p.stats.Phis++
 	p.emit(obs.KindOptPREPhi, b.ID, phi.ID, int64(len(replace)), p.exprKey(c))
@@ -493,6 +538,9 @@ func (p *pass) constFor(v int64) *ir.Instr {
 	entry := p.r.Entry()
 	ci := p.r.InsertBefore(entry.Instrs[len(p.r.Params)], ir.OpConst)
 	ci.Const = v
+	if p.consts == nil {
+		p.consts = map[int64]*ir.Instr{}
+	}
 	p.consts[v] = ci
 	return ci
 }
@@ -533,6 +581,9 @@ func (s bitset) fill() {
 }
 
 func (s bitset) copyFrom(o bitset) { copy(s.words, o.words) }
+
+// zero clears every bit.
+func (s bitset) zero() { clear(s.words) }
 
 func (s bitset) intersect(o bitset) {
 	for k := range s.words {

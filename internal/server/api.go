@@ -367,6 +367,16 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	storeSpan := root.StartChild("store")
 	payload, tier, cached := s.lookupLocal(key)
 	if cached {
+		// Tiers hold the packed form; a payload that fails to unpack is
+		// treated as a miss and recomputed (the fill overwrites it).
+		if up, ok := unpackPayload(payload); ok {
+			payload = up
+		} else {
+			cached = false
+			m.Counter("server.cache.unpack_errors").Inc()
+		}
+	}
+	if cached {
 		storeSpan.SetAttr("tier", tier)
 	}
 	storeSpan.End()
@@ -391,10 +401,16 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		}
 		pf.End()
 		if ok {
-			root.SetAttr("cache", "peer")
-			s.fillLocal(key, payload, false)
-			s.writePayload(w, payload, "hit", "peer")
-			return
+			// The owner served the packed form: fill the local tiers
+			// with it as-is, unpack only for the client. A payload that
+			// fails to unpack is treated as a peer miss.
+			if up, uok := unpackPayload(payload); uok {
+				root.SetAttr("cache", "peer")
+				s.fillLocal(key, payload, false)
+				s.writePayload(w, up, "hit", "peer")
+				return
+			}
+			m.Counter("server.cache.unpack_errors").Inc()
 		}
 	}
 
@@ -520,7 +536,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Store != nil || s.cfg.Hot != nil {
 		disposition = "miss"
 	}
-	s.fillLocal(key, payload, isOwner)
+	// Cache tiers and the peer wire carry the packed form; the client
+	// and coalesced followers get the raw JSON just computed.
+	s.fillLocal(key, packPayload(payload), isOwner)
 	flightResult = payload
 	s.writePayload(w, payload, disposition, "")
 }

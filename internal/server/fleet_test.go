@@ -597,14 +597,20 @@ func TestPeerEndpointNeverComputes(t *testing.T) {
 	if runs.Load() != 0 {
 		t.Fatalf("peer endpoint ran the pipeline %d times", runs.Load())
 	}
-	// Warm via optimize, then the peer read serves the same bytes.
+	// Warm via optimize, then the peer read serves the cached payload.
+	// The peer wire carries the packed (codec) form — smaller than the
+	// client JSON — and must unpack to exactly the bytes the client got.
 	rec := postOptimize(t, s.Handler(), reqBody(t, tinySource, nil))
 	if rec.Code != http.StatusOK {
 		t.Fatal(rec.Code)
 	}
 	code, body := get("/v1/peer/cache/" + key)
-	if code != http.StatusOK || !bytes.Equal(body, rec.Body.Bytes()) {
-		t.Fatalf("warm peer read = %d, bytes match = %v", code, bytes.Equal(body, rec.Body.Bytes()))
+	if code != http.StatusOK || !isPacked(body) {
+		t.Fatalf("warm peer read = %d, packed = %v", code, isPacked(body))
+	}
+	up, ok := unpackPayload(body)
+	if !ok || !bytes.Equal(up, rec.Body.Bytes()) {
+		t.Fatalf("peer payload does not unpack to the client response (ok=%v)", ok)
 	}
 	if n := reg.Counter("cluster.peer_serve.hits").Value(); n != 1 {
 		t.Fatalf("peer_serve.hits = %d", n)

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"pgvn/internal/workload"
+)
+
+// TestPackPayloadRealResponses holds the packer to its contract on real
+// optimize responses: every corpus benchmark's payload must actually
+// pack (the codec path engaging is part of the store-size win this
+// format exists for), unpack byte-identically, and shrink.
+func TestPackPayloadRealResponses(t *testing.T) {
+	s := New(Config{})
+	for _, b := range workload.Corpus(0.02) {
+		payload := append([]byte(nil), postOptimize(t, s.Handler(), reqBody(t, benchSource(b), nil)).Body.Bytes()...)
+		packed := packPayload(payload)
+		if !isPacked(packed) {
+			t.Fatalf("%s: payload did not pack", b.Name)
+		}
+		if len(packed) >= len(payload) {
+			t.Fatalf("%s: packed %d bytes >= raw %d", b.Name, len(packed), len(payload))
+		}
+		up, ok := unpackPayload(packed)
+		if !ok {
+			t.Fatalf("%s: unpack failed", b.Name)
+		}
+		if !bytes.Equal(up, payload) {
+			t.Fatalf("%s: unpack is not byte-identical to the original payload", b.Name)
+		}
+	}
+}
+
+// TestPackPayloadFallsBack: payloads the packer cannot prove it can
+// reproduce are stored raw, and raw payloads pass through unpack
+// unchanged (pre-packing stores keep replaying).
+func TestPackPayloadFallsBack(t *testing.T) {
+	for name, payload := range map[string][]byte{
+		"not json":     []byte("plain text"),
+		"wrong schema": []byte(`{"schema":"other/v1","text":"func f() {\n}\n"}`),
+		"empty text":   []byte(`{"schema":"gvnd/v1","text":""}`),
+		"bad text":     []byte(`{"schema":"gvnd/v1","text":"func f() {\nentry:\n  v = a + a\n}\n"}`),
+	} {
+		packed := packPayload(payload)
+		if isPacked(packed) {
+			t.Errorf("%s: packed, want raw fallback", name)
+		}
+		if !bytes.Equal(packed, payload) {
+			t.Errorf("%s: fallback altered the payload", name)
+		}
+		up, ok := unpackPayload(payload)
+		if !ok || !bytes.Equal(up, payload) {
+			t.Errorf("%s: raw payload did not pass through unpack", name)
+		}
+	}
+}
+
+// TestUnpackPayloadCorrupt flips every byte of a packed payload: each
+// mutation must either unpack to some bytes or report failure — never
+// panic — and a mutated container must never be confused with raw JSON.
+func TestUnpackPayloadCorrupt(t *testing.T) {
+	s := New(Config{})
+	src := "func f(a) {\nentry:\n  v = a + a\n  w = v * v\n  return w\n}\n"
+	payload := append([]byte(nil), postOptimize(t, s.Handler(), reqBody(t, src, nil)).Body.Bytes()...)
+	packed := packPayload(payload)
+	if !isPacked(packed) {
+		t.Fatal("test payload did not pack")
+	}
+	for off := range packed {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), packed...)
+			mut[off] ^= bit
+			if up, ok := unpackPayload(mut); ok && isPacked(mut) && off >= len(packMagic) {
+				// A still-valid container must still produce a response
+				// body, not garbage lengths.
+				if len(up) == 0 {
+					t.Fatalf("offset %d bit %#x: unpacked to empty body", off, bit)
+				}
+			}
+		}
+	}
+}

@@ -23,7 +23,9 @@
 package store
 
 import (
+	"bytes"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -37,13 +39,27 @@ import (
 
 // Schema tags written into every entry and the index so future layout
 // changes can be detected instead of misread.
+//
+// Entries are written in the binary v2 container (varint-framed, raw
+// checksum and payload — the same framing style as the ir codec),
+// which drops the v1 JSON wrapper's base64 inflation and hex checksum:
+// roughly a third of every entry's bytes. Legacy v1 JSON entries are
+// still read, so stores written before v2 start warm; they are
+// rewritten in v2 on their next Put.
 const (
 	entrySchema = "gvnd-store/v1"
 	indexSchema = "gvnd-store-index/v1"
 	indexFile   = "index.json"
 	tmpPrefix   = ".tmp-"
-	entryExt    = ".json"
+	entryExt    = ".bin"
+	legacyExt   = ".json"
 )
+
+// entryMagic opens every binary v2 entry file.
+var entryMagic = [4]byte{'G', 'V', 'N', 'S'}
+
+// entryVersion is the binary container version.
+const entryVersion = 2
 
 // Key returns the content address for a configuration fingerprint and a
 // request source: SHA-256 over both, NUL-separated so the two can never
@@ -58,15 +74,17 @@ func Key(fingerprint, source string) string {
 
 // entry is the in-memory index record for one on-disk payload.
 type entry struct {
-	size  int64
-	atime int64 // logical access clock, larger = more recent
+	size   int64
+	atime  int64 // logical access clock, larger = more recent
+	legacy bool  // stored in the v1 JSON container (pre-v2 store)
 }
 
-// fileEntry is the on-disk form of one cached result. Payload is []byte
-// (base64 in the file), not json.RawMessage: encoding/json compacts an
-// embedded RawMessage on marshal, which would silently change the stored
-// bytes and break both the checksum and the byte-identical replay
-// guarantee for indented payloads.
+// fileEntry is the legacy v1 on-disk form, still read so pre-v2 stores
+// start warm. Payload is []byte (base64 in the file), not
+// json.RawMessage: encoding/json compacts an embedded RawMessage on
+// marshal, which would silently change the stored bytes and break both
+// the checksum and the byte-identical replay guarantee for indented
+// payloads.
 type fileEntry struct {
 	Schema  string `json:"schema"`
 	Key     string `json:"key"`
@@ -135,9 +153,19 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 			os.Remove(filepath.Join(dir, name)) // crashed writer leftovers
 			continue
 		}
-		key, ok := entryName(name)
+		key, legacy, ok := entryName(name)
 		if !ok {
 			continue
+		}
+		if old, ok := s.entries[key]; ok {
+			// Both containers present (a crash between a v2 rewrite and
+			// the legacy unlink): keep the v2 copy, drop the other file.
+			if legacy {
+				os.Remove(filepath.Join(dir, key+legacyExt))
+				continue
+			}
+			s.total -= old.size
+			os.Remove(filepath.Join(dir, key+legacyExt))
 		}
 		info, err := de.Info()
 		if err != nil {
@@ -151,7 +179,7 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 			// acceptable: they predate this process's accesses anyway.
 			at = info.ModTime().UnixNano()
 		}
-		s.entries[key] = &entry{size: info.Size(), atime: at}
+		s.entries[key] = &entry{size: info.Size(), atime: at, legacy: legacy}
 		s.total += info.Size()
 		if at >= s.clock {
 			s.clock = at + 1
@@ -162,16 +190,20 @@ func Open(dir string, maxBytes int64) (*Store, error) {
 }
 
 // entryName reports whether name is a well-formed entry filename and
-// returns its key.
-func entryName(name string) (string, bool) {
-	key, ok := strings.CutSuffix(name, entryExt)
+// returns its key and whether it is a legacy v1 JSON entry.
+func entryName(name string) (key string, legacy, ok bool) {
+	key, ok = strings.CutSuffix(name, entryExt)
+	if !ok {
+		key, ok = strings.CutSuffix(name, legacyExt)
+		legacy = true
+	}
 	if !ok || len(key) != sha256.Size*2 {
-		return "", false
+		return "", false, false
 	}
 	if _, err := hex.DecodeString(key); err != nil {
-		return "", false
+		return "", false, false
 	}
-	return key, true
+	return key, legacy, true
 }
 
 // loadIndex reads the persisted access order; any failure just means
@@ -191,9 +223,58 @@ func (s *Store) loadIndex() map[string]int64 {
 	return idx.Atimes
 }
 
-// path returns the entry file for key.
-func (s *Store) path(key string) string {
+// path returns the entry file for key in the given container.
+func (s *Store) path(key string, legacy bool) string {
+	if legacy {
+		return filepath.Join(s.dir, key+legacyExt)
+	}
 	return filepath.Join(s.dir, key+entryExt)
+}
+
+// encodeEntry renders the binary v2 container: magic, version, key,
+// raw SHA-256 of the payload, payload.
+func encodeEntry(key string, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	data := make([]byte, 0, len(entryMagic)+2+len(key)+len(sum)+len(payload))
+	data = append(data, entryMagic[:]...)
+	data = binary.AppendUvarint(data, entryVersion)
+	data = binary.AppendUvarint(data, uint64(len(key)))
+	data = append(data, key...)
+	data = append(data, sum[:]...)
+	return append(data, payload...)
+}
+
+// decodeEntry validates a binary v2 container against the key it was
+// filed under and returns its payload.
+func decodeEntry(data []byte, key string) ([]byte, bool) {
+	if len(data) < len(entryMagic) || !bytes.Equal(data[:len(entryMagic)], entryMagic[:]) {
+		return nil, false
+	}
+	off := len(entryMagic)
+	v, n := binary.Uvarint(data[off:])
+	if n <= 0 || v != entryVersion {
+		return nil, false
+	}
+	off += n
+	kl, n := binary.Uvarint(data[off:])
+	if n <= 0 || kl > uint64(len(data)-off-n) {
+		return nil, false
+	}
+	off += n
+	if string(data[off:off+int(kl)]) != key {
+		return nil, false
+	}
+	off += int(kl)
+	if len(data)-off < sha256.Size {
+		return nil, false
+	}
+	sum := data[off : off+sha256.Size]
+	payload := data[off+sha256.Size:]
+	actual := sha256.Sum256(payload)
+	if !bytes.Equal(sum, actual[:]) {
+		return nil, false
+	}
+	return payload, true
 }
 
 // Get returns the payload stored under key. A missing, unreadable,
@@ -209,15 +290,24 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		s.stats.Misses++
 		return nil, false
 	}
-	data, err := os.ReadFile(s.path(key))
+	data, err := os.ReadFile(s.path(key, e.legacy))
 	if err != nil {
 		s.dropLocked(key, false)
 		s.stats.Misses++
 		return nil, false
 	}
-	var fe fileEntry
-	if err := json.Unmarshal(data, &fe); err != nil ||
-		fe.Schema != entrySchema || fe.Key != key || fe.Sum != payloadSum(fe.Payload) {
+	var payload []byte
+	valid := false
+	if e.legacy {
+		var fe fileEntry
+		if json.Unmarshal(data, &fe) == nil &&
+			fe.Schema == entrySchema && fe.Key == key && fe.Sum == payloadSum(fe.Payload) {
+			payload, valid = fe.Payload, true
+		}
+	} else {
+		payload, valid = decodeEntry(data, key)
+	}
+	if !valid {
 		s.dropLocked(key, true)
 		s.stats.Corrupt++
 		s.stats.Misses++
@@ -227,33 +317,29 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	e.atime = s.clock
 	s.dirty = true
 	s.stats.Hits++
-	return fe.Payload, true
+	return payload, true
 }
 
 // Put stores payload under key, atomically, and evicts least-recently
 // used entries while the store is over budget (never the entry just
 // written — a payload larger than the whole budget is still served to
-// its writer and evicted by the next Put).
+// its writer and evicted by the next Put). A key previously held in
+// the legacy JSON container is rewritten in v2 and the old file
+// removed.
 //
 //pgvn:allow lockscope: the store lock IS the disk-serialization point by design (DESIGN §11)
 func (s *Store) Put(key string, payload []byte) error {
-	fe := fileEntry{
-		Schema:  entrySchema,
-		Key:     key,
-		Sum:     payloadSum(payload),
-		Payload: payload,
-	}
-	data, err := json.Marshal(fe)
-	if err != nil {
-		return fmt.Errorf("store: encode %s: %w", key, err)
-	}
+	data := encodeEntry(key, payload)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.writeAtomic(s.path(key), data); err != nil {
+	if err := s.writeAtomic(s.path(key, false), data); err != nil {
 		return err
 	}
 	if old, ok := s.entries[key]; ok {
 		s.total -= old.size
+		if old.legacy {
+			os.Remove(s.path(key, true))
+		}
 	}
 	s.clock++
 	s.entries[key] = &entry{size: int64(len(data)), atime: s.clock}
@@ -315,13 +401,15 @@ func (s *Store) evictLocked(keep *entry) {
 
 // dropLocked forgets an entry, optionally removing its file.
 func (s *Store) dropLocked(key string, unlink bool) {
+	legacy := false
 	if e, ok := s.entries[key]; ok {
+		legacy = e.legacy
 		s.total -= e.size
 		delete(s.entries, key)
 		s.dirty = true
 	}
 	if unlink {
-		os.Remove(s.path(key))
+		os.Remove(s.path(key, legacy))
 	}
 }
 

@@ -80,22 +80,14 @@ func TestCorruptEntryIsMissAndRemoved(t *testing.T) {
 	if err := s.Put(k, []byte(`{"a":1}`)); err != nil {
 		t.Fatal(err)
 	}
-	// Flip payload bytes on disk without updating the checksum.
+	// Flip a payload byte on disk without updating the checksum.
 	path := filepath.Join(dir, k+entryExt)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var tfe fileEntry
-	if err := json.Unmarshal(data, &tfe); err != nil {
-		t.Fatal(err)
-	}
-	tfe.Payload = []byte(`{"a":2}`)
-	tampered, err := json.Marshal(tfe)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.Get(k); ok {
@@ -113,24 +105,68 @@ func TestCorruptEntryIsMissAndRemoved(t *testing.T) {
 		t.Fatal(err)
 	}
 	p2 := filepath.Join(dir, k2+entryExt)
-	data, err = os.ReadFile(p2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var fe fileEntry
-	if err := json.Unmarshal(data, &fe); err != nil {
-		t.Fatal(err)
-	}
-	fe.Key = k // lies about its identity
-	moved, err := json.Marshal(fe)
-	if err != nil {
-		t.Fatal(err)
-	}
+	moved := encodeEntry(k, []byte(`{"b":2}`)) // lies about its identity
 	if err := os.WriteFile(p2, moved, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := s.Get(k2); ok {
 		t.Fatal("mis-keyed entry served")
+	}
+}
+
+// TestLegacyEntryReadAndRewritten: a v1 JSON entry written by an older
+// daemon is served as-is, and its next Put rewrites it in the binary
+// container and removes the JSON file.
+func TestLegacyEntryReadAndRewritten(t *testing.T) {
+	dir := t.TempDir()
+	k := Key("fp", "src")
+	payload := []byte(`{"old":"format"}`)
+	legacy, err := json.Marshal(fileEntry{
+		Schema: entrySchema, Key: k, Sum: payloadSum(payload), Payload: payload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonPath := filepath.Join(dir, k+legacyExt)
+	if err := os.WriteFile(jsonPath, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("legacy entry: Get = %q, %v", got, ok)
+	}
+	if err := s.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(jsonPath); !os.IsNotExist(err) {
+		t.Fatal("legacy file not removed after v2 rewrite")
+	}
+	if _, err := os.Stat(filepath.Join(dir, k+entryExt)); err != nil {
+		t.Fatalf("v2 entry missing after rewrite: %v", err)
+	}
+	if got, ok := s.Get(k); !ok || string(got) != string(payload) {
+		t.Fatalf("rewritten entry: Get = %q, %v", got, ok)
+	}
+}
+
+// TestBinaryEntrySmallerThanLegacy pins the v2 container's reason to
+// exist: no base64 inflation, no JSON wrapper, raw checksum.
+func TestBinaryEntrySmallerThanLegacy(t *testing.T) {
+	k := Key("fp", "src")
+	payload := []byte(`{"text":"` + strings.Repeat("x", 4096) + `"}`)
+	v1, err := json.Marshal(fileEntry{
+		Schema: entrySchema, Key: k, Sum: payloadSum(payload), Payload: payload,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := encodeEntry(k, payload)
+	if len(v2) >= len(v1) {
+		t.Fatalf("v2 entry (%d bytes) not smaller than v1 (%d bytes)", len(v2), len(v1))
 	}
 }
 
@@ -140,8 +176,7 @@ func TestLRUEviction(t *testing.T) {
 	pay := func(c byte) []byte {
 		return []byte(`{"pad":"` + strings.Repeat(string(c), 64) + `"}`)
 	}
-	probe, _ := json.Marshal(fileEntry{Schema: entrySchema, Key: Key("f", "x"),
-		Sum: payloadSum(pay('x')), Payload: pay('x')})
+	probe := encodeEntry(Key("f", "x"), pay('x'))
 	budget := int64(len(probe))*2 + 10
 	s, err := Open(dir, budget)
 	if err != nil {

@@ -4,8 +4,11 @@
 #
 #   awk -f scripts/benchdiff.awk base.txt head.txt
 #
-# Multiple runs of the same benchmark (-count N) are averaged; a name
-# present in only one input renders its missing side as 0 / n/a.
+# Multiple runs of the same benchmark (-count N) are averaged. A name
+# present in only one input is reported, not errored on: its missing
+# side renders as "-" and the delta column says "new" (head only) or
+# "gone" (base only), so a PR that adds or retires benchmarks can still
+# be compared against main.
 /^Benchmark/ {
 	name = $1
 	for (i = 3; i < NF; i += 2) {
@@ -19,6 +22,7 @@
 function bmean(key) { return bn[key] ? bsum[key] / bn[key] : 0 }
 function hmean(key) { return hn[key] ? hsum[key] / hn[key] : 0 }
 function delta(b, h) { return b ? sprintf("%+.1f%%", (h - b) * 100 / b) : "n/a" }
+function cell(present, v) { return present ? sprintf("%.0f", v) : "-" }
 
 END {
 	printf "%-48s %14s %14s %9s %12s %12s %9s\n",
@@ -26,9 +30,15 @@ END {
 		"old allocs", "new allocs", "delta"
 	for (k = 1; k <= nnames; k++) {
 		n = order[k]
-		bns = bmean(n SUBSEP "ns/op"); hns = hmean(n SUBSEP "ns/op")
-		ba = bmean(n SUBSEP "allocs/op"); ha = hmean(n SUBSEP "allocs/op")
-		printf "%-48s %14.0f %14.0f %9s %12.0f %12.0f %9s\n",
-			n, bns, hns, delta(bns, hns), ba, ha, delta(ba, ha)
+		nsk = n SUBSEP "ns/op"; ak = n SUBSEP "allocs/op"
+		inBase = (nsk in bn); inHead = (nsk in hn)
+		bns = bmean(nsk); hns = hmean(nsk)
+		ba = bmean(ak); ha = hmean(ak)
+		if (!inBase) { dns = "new"; da = "new" }
+		else if (!inHead) { dns = "gone"; da = "gone" }
+		else { dns = delta(bns, hns); da = delta(ba, ha) }
+		printf "%-48s %14s %14s %9s %12s %12s %9s\n",
+			n, cell(inBase, bns), cell(inHead, hns), dns,
+			cell(inBase, ba), cell(inHead, ha), da
 	}
 }

@@ -1,0 +1,38 @@
+#!/bin/sh
+# benchsnap.sh — produce a committed BENCH_<ts>.json trajectory point.
+#
+# Runs the BenchmarkGVNFixpoint family (best-of-3 at a fixed iteration
+# count) and folds each preset's ns/op into the meta block of a gvnbench
+# metrics snapshot via -meta, so the committed baseline carries the
+# numbers CI's bench-smoke jq gate compares fresh runs against:
+#
+#   meta["bench.gvnfixpoint.<preset>_ns_per_op"]
+#
+# Usage: scripts/benchsnap.sh [out.json]   (default BENCH_<utc-ts>.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+ts=$(date -u +%Y%m%dT%H%M%SZ)
+out=${1:-BENCH_$ts.json}
+
+echo "== BenchmarkGVNFixpoint (best of 3 x 100 iterations)"
+bench=$(go test -run '^$' -bench 'BenchmarkGVNFixpoint$' \
+	-benchtime 100x -count 3 -benchmem .)
+echo "$bench"
+
+metas=$(echo "$bench" | awk '
+	/^BenchmarkGVNFixpoint\// {
+		split($1, p, "/"); sub(/-[0-9]+$/, "", p[2])
+		v = ""
+		for (i = 3; i < NF; i += 2) if ($(i + 1) == "ns/op") v = $i
+		if (v != "" && (!(p[2] in min) || v + 0 < min[p[2]] + 0)) min[p[2]] = v
+	}
+	END {
+		for (k in min)
+			printf " -meta bench.gvnfixpoint.%s_ns_per_op=%d", k, min[k]
+	}')
+[ -n "$metas" ] || { echo "benchsnap: no ns/op parsed" >&2; exit 1; }
+
+echo "== gvnbench snapshot -> $out"
+# shellcheck disable=SC2086  # $metas is a flag list by construction
+go run ./cmd/gvnbench -table 1 -stats -scale 0.1 -metrics-out "$out" $metas
